@@ -1,0 +1,38 @@
+# cardpi — prediction intervals for learned cardinality estimation.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments experiments-small fmt vet cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure at the default scale.
+experiments:
+	$(GO) run ./cmd/cardpi-bench -experiment all
+
+experiments-small:
+	$(GO) run ./cmd/cardpi-bench -experiment all -scale small
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...

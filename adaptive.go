@@ -1,0 +1,108 @@
+package cardpi
+
+import (
+	"fmt"
+
+	"cardpi/internal/conformal"
+	"cardpi/internal/workload"
+)
+
+// Adaptive is a production-oriented wrapper combining three mechanisms the
+// paper discusses (Section IV): online calibration (every executed query's
+// true selectivity is fed back, tightening intervals as the calibration set
+// tracks the live workload), optional sliding-window calibration, and
+// martingale-based exchangeability monitoring that flags workload drift
+// before the coverage guarantee silently erodes.
+type Adaptive struct {
+	model  Estimator
+	online *conformal.Online
+	mart   *conformal.PowerMartingale
+	score  conformal.Score
+	// significance is the drift-alarm level (Ville threshold 1/significance).
+	significance float64
+}
+
+// AdaptiveConfig configures NewAdaptive.
+type AdaptiveConfig struct {
+	// Alpha is the miscoverage level.
+	Alpha float64
+	// Window keeps only the most recent scores (0 = unbounded growth).
+	Window int
+	// Significance is the drift-alarm level (default 0.001).
+	Significance float64
+	// Seed drives the martingale's tie-breaking.
+	Seed int64
+}
+
+// NewAdaptive builds an adaptive PI around a model, seeded with an initial
+// calibration workload.
+func NewAdaptive(model Estimator, initial *workload.Workload, score conformal.Score, cfg AdaptiveConfig) (*Adaptive, error) {
+	if cfg.Alpha <= 0 || cfg.Alpha >= 1 {
+		return nil, fmt.Errorf("cardpi: alpha must be in (0,1), got %v", cfg.Alpha)
+	}
+	if cfg.Significance <= 0 {
+		cfg.Significance = 0.001
+	}
+	online, err := conformal.NewOnline(score, cfg.Alpha, cfg.Window)
+	if err != nil {
+		return nil, err
+	}
+	mart, err := conformal.NewPowerMartingale(0.1, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	a := &Adaptive{
+		model: model, online: online, mart: mart,
+		score: score, significance: cfg.Significance,
+	}
+	if initial != nil {
+		for _, lq := range initial.Queries {
+			a.Observe(lq.Query, lq.Sel)
+		}
+	}
+	if a.online.Len() == 0 {
+		return nil, fmt.Errorf("cardpi: adaptive PI needs a non-empty initial calibration set")
+	}
+	return a, nil
+}
+
+// Name implements PI.
+func (a *Adaptive) Name() string { return "adaptive/" + a.model.Name() }
+
+// Interval implements PI against the current calibration state.
+func (a *Adaptive) Interval(q workload.Query) (Interval, error) {
+	iv, err := a.online.Interval(a.model.EstimateSelectivity(q))
+	if err != nil {
+		return Interval{}, err
+	}
+	return clip(iv), nil
+}
+
+// Observe feeds back a query's true selectivity after execution: the
+// calibration set and the drift monitor are both updated.
+func (a *Adaptive) Observe(q workload.Query, trueSel float64) {
+	pred := a.model.EstimateSelectivity(q)
+	a.online.Add(pred, trueSel)
+	a.mart.Observe(a.score.Of(pred, trueSel))
+}
+
+// Drifted reports whether the exchangeability monitor has fired: the score
+// stream is no longer consistent with the calibration distribution, so the
+// coverage guarantee is suspect and recalibration (or model retraining) is
+// warranted.
+func (a *Adaptive) Drifted() bool { return a.mart.Rejects(a.significance) }
+
+// DriftStatistic exposes the running maximum of the restarted log
+// martingale for dashboards/alerts.
+func (a *Adaptive) DriftStatistic() float64 { return a.mart.MaxLogValue() }
+
+// CalibrationSize returns the number of scores currently calibrating.
+func (a *Adaptive) CalibrationSize() int { return a.online.Len() }
+
+// CardinalityInterval converts a selectivity interval into cardinality
+// units for a query whose normalisation constant (table size or unfiltered
+// join size) is norm, clipping to [0, norm] as the paper does.
+func CardinalityInterval(iv Interval, norm int64) Interval {
+	n := float64(norm)
+	return Interval{Lo: iv.Lo * n, Hi: iv.Hi * n}.Clip(0, n)
+}

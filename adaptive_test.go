@@ -1,0 +1,101 @@
+package cardpi
+
+import (
+	"testing"
+
+	"cardpi/internal/conformal"
+	"cardpi/internal/dataset"
+	"cardpi/internal/workload"
+)
+
+func TestAdaptiveCoverageOnStream(t *testing.T) {
+	model, _, _, cal, test := fixture(t)
+	a, err := NewAdaptive(model, cal.Subset(50), conformal.ResidualScore{},
+		AdaptiveConfig{Alpha: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "adaptive/histogram" {
+		t.Fatalf("name = %s", a.Name())
+	}
+	hits := 0
+	for _, lq := range test.Queries {
+		iv, err := a.Interval(lq.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.Contains(lq.Sel) {
+			hits++
+		}
+		a.Observe(lq.Query, lq.Sel)
+	}
+	cov := float64(hits) / float64(len(test.Queries))
+	if cov < 0.84 {
+		t.Fatalf("adaptive coverage %v < 0.84", cov)
+	}
+	if a.CalibrationSize() != 50+len(test.Queries) {
+		t.Fatalf("calibration size %d", a.CalibrationSize())
+	}
+	if a.Drifted() {
+		t.Fatalf("drift alarm on exchangeable stream (stat %v)", a.DriftStatistic())
+	}
+}
+
+func TestAdaptiveDetectsDrift(t *testing.T) {
+	model, _, _, cal, _ := fixture(t)
+	a, err := NewAdaptive(model, cal, conformal.ResidualScore{},
+		AdaptiveConfig{Alpha: 0.1, Seed: 2, Significance: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate data drift: the underlying table changed after the model's
+	// statistics were built, so observed true selectivities diverge wildly
+	// from what the model predicts.
+	tab, err := dataset.GenerateDMV(dataset.GenConfig{Rows: 5000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted, err := workload.Generate(tab, workload.Config{Count: 300, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lq := range shifted.Queries {
+		a.Observe(lq.Query, 1-lq.Sel)
+	}
+	if !a.Drifted() {
+		t.Fatalf("drift not detected; stat %v", a.DriftStatistic())
+	}
+}
+
+func TestAdaptiveWindow(t *testing.T) {
+	model, _, _, cal, _ := fixture(t)
+	a, err := NewAdaptive(model, cal, conformal.ResidualScore{},
+		AdaptiveConfig{Alpha: 0.1, Window: 64, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CalibrationSize() != 64 {
+		t.Fatalf("windowed calibration size %d, want 64", a.CalibrationSize())
+	}
+}
+
+func TestAdaptiveValidation(t *testing.T) {
+	model, _, _, cal, _ := fixture(t)
+	if _, err := NewAdaptive(model, cal, conformal.ResidualScore{}, AdaptiveConfig{Alpha: 0}); err == nil {
+		t.Fatal("alpha=0 should fail")
+	}
+	if _, err := NewAdaptive(model, nil, conformal.ResidualScore{}, AdaptiveConfig{Alpha: 0.1}); err == nil {
+		t.Fatal("empty initial calibration should fail")
+	}
+}
+
+func TestCardinalityInterval(t *testing.T) {
+	iv := CardinalityInterval(Interval{Lo: 0.1, Hi: 0.3}, 1000)
+	if iv.Lo != 100 || iv.Hi != 300 {
+		t.Fatalf("interval = %+v", iv)
+	}
+	clipped := CardinalityInterval(Interval{Lo: -0.5, Hi: 2}, 1000)
+	if clipped.Lo != 0 || clipped.Hi != 1000 {
+		t.Fatalf("clipped = %+v", clipped)
+	}
+}

@@ -1,0 +1,189 @@
+package cardpi_test
+
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// section. Each benchmark runs the corresponding experiment end to end
+// (data + workload generation, model training, conformal calibration,
+// interval evaluation) and reports the experiment's headline metrics
+// alongside the runtime, so `go test -bench=. -benchmem` reproduces the
+// paper's result set. The benchmarks use the small scale preset; run
+// cmd/cardpi-bench for the larger default scale.
+
+import (
+	"testing"
+
+	"cardpi/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string, metrics ...string) {
+	runner := experiments.Registry()[id]
+	if runner == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	scale := experiments.Small()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		report, err := runner(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, m := range metrics {
+				if v, ok := report.Metrics[m]; ok {
+					b.ReportMetric(v, m)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig1Feasibility regenerates Figure 1: PI feasibility for
+// MSCN/Naru/LW-NN under all four UQ algorithms on DMV.
+func BenchmarkFig1Feasibility(b *testing.B) {
+	benchExperiment(b, "fig1", "mscn/s-cp/coverage", "naru/s-cp/meanWidth", "mscn/s-cp/meanWidth")
+}
+
+// BenchmarkFig2Datasets regenerates Figure 2: Census/Forest/Power with MSCN.
+func BenchmarkFig2Datasets(b *testing.B) {
+	benchExperiment(b, "fig2", "census/s-cp/coverage", "forest/s-cp/coverage", "power/s-cp/coverage")
+}
+
+// BenchmarkFig3DSBJoins regenerates Figure 3: DSB join queries (MSCN).
+func BenchmarkFig3DSBJoins(b *testing.B) {
+	benchExperiment(b, "fig3", "mscn/s-cp/coverage", "mscn/cqr/coverage")
+}
+
+// BenchmarkFig4JOBJoins regenerates Figure 4: JOB join queries (MSCN).
+func BenchmarkFig4JOBJoins(b *testing.B) {
+	benchExperiment(b, "fig4", "mscn/s-cp/coverage", "mscn/cqr/coverage")
+}
+
+// BenchmarkFig5HighSelectivity regenerates Figure 5: relative interval
+// widths collapse for high-selectivity queries.
+func BenchmarkFig5HighSelectivity(b *testing.B) {
+	benchExperiment(b, "fig5", "lowSpread", "highSpread", "highMeanRelWidth")
+}
+
+// BenchmarkFig6QErrorScore regenerates Figure 6: q-error scoring function.
+func BenchmarkFig6QErrorScore(b *testing.B) {
+	benchExperiment(b, "fig6", "qerror/s-cp/relWidth", "residual/s-cp/relWidth")
+}
+
+// BenchmarkFig7RelativeScore regenerates Figure 7: relative-error scoring.
+func BenchmarkFig7RelativeScore(b *testing.B) {
+	benchExperiment(b, "fig7", "relative/s-cp/coverage", "residual/s-cp/coverage")
+}
+
+// BenchmarkFig8OnlineCP regenerates Figure 8: online calibration tightening.
+func BenchmarkFig8OnlineCP(b *testing.B) {
+	benchExperiment(b, "fig8", "firstWidth", "lastWidth", "coverage")
+}
+
+// BenchmarkFig9CoverageLevels regenerates Figure 9: coverage level sweep.
+func BenchmarkFig9CoverageLevels(b *testing.B) {
+	benchExperiment(b, "fig9", "width@0.90", "width@0.95", "width@0.99")
+}
+
+// BenchmarkFig10Exchangeable regenerates Figure 10: exchangeable
+// calibration/test.
+func BenchmarkFig10Exchangeable(b *testing.B) {
+	benchExperiment(b, "fig10", "coverage", "martingaleMaxLog")
+}
+
+// BenchmarkFig11NonExchangeable regenerates Figure 11: coverage loss under
+// workload shift.
+func BenchmarkFig11NonExchangeable(b *testing.B) {
+	benchExperiment(b, "fig11", "coverage", "martingaleMaxLog")
+}
+
+// BenchmarkFig12SplitSweep regenerates Figure 12: training/calibration split.
+func BenchmarkFig12SplitSweep(b *testing.B) {
+	benchExperiment(b, "fig12", "width@0.25", "width@0.50", "width@0.75")
+}
+
+// BenchmarkFig13EpochsMSCN regenerates Figure 13: classifier accuracy via
+// training epochs, MSCN + S-CP.
+func BenchmarkFig13EpochsMSCN(b *testing.B) {
+	benchExperiment(b, "fig13", "width@0.50", "width@1.00")
+}
+
+// BenchmarkFig14EpochsNaru regenerates Figure 14: same sweep for Naru.
+func BenchmarkFig14EpochsNaru(b *testing.B) {
+	benchExperiment(b, "fig14", "width@0.50", "width@1.00")
+}
+
+// BenchmarkTable1Optimizer regenerates Table I: the Postgres-style optimizer
+// with and without PI injection.
+func BenchmarkTable1Optimizer(b *testing.B) {
+	benchExperiment(b, "tab1",
+		"default/qerr-p90", "pi/qerr-p90", "costReductionPct")
+}
+
+// BenchmarkGuidance regenerates the Section V-D practitioner guidance
+// analysis: per-method width ratios vs S-CP and inference cost.
+func BenchmarkGuidance(b *testing.B) {
+	benchExperiment(b, "guidance", "jk-cv+/widthVsSCP", "lw-s-cp/widthVsSCP", "cqr/widthVsSCP")
+}
+
+// BenchmarkAblationCVPlus compares the two Jackknife+ interval
+// constructions (Algorithm 1 vs the CV+ interval of Barber et al.).
+func BenchmarkAblationCVPlus(b *testing.B) {
+	benchExperiment(b, "abl-cvplus", "algorithm1/meanWidth", "cvplus/meanWidth")
+}
+
+// BenchmarkAblationLCP evaluates localized conformal prediction, the
+// extension Section V-D of the paper names as promising future work.
+func BenchmarkAblationLCP(b *testing.B) {
+	benchExperiment(b, "abl-lcp", "lcp/coverage", "lcp/meanWidth", "s-cp/meanWidth")
+}
+
+// BenchmarkAblationSamplingCI contrasts the traditional AQP sampling
+// confidence interval with a conformal wrapper around the same sampler.
+func BenchmarkAblationSamplingCI(b *testing.B) {
+	benchExperiment(b, "abl-sampling", "ci/coverage", "conformal/coverage")
+}
+
+// BenchmarkAblationMondrian compares global vs per-join-template (Mondrian)
+// conformal calibration on the DSB join workload.
+func BenchmarkAblationMondrian(b *testing.B) {
+	benchExperiment(b, "abl-mondrian", "global-s-cp/meanWidth", "mondrian/meanWidth")
+}
+
+// BenchmarkAblationSPN wraps a DeepDB-style sum-product network — a fourth
+// model family — with the conformal methods.
+func BenchmarkAblationSPN(b *testing.B) {
+	benchExperiment(b, "abl-spn", "spn/s-cp/coverage", "spn/s-cp/meanWidth")
+}
+
+// BenchmarkModels regenerates the estimator accuracy landscape underpinning
+// the paper's premise that tighter intervals follow from better models.
+func BenchmarkModels(b *testing.B) {
+	benchExperiment(b, "models", "spn/qerr-p90", "mscn/qerr-p90", "histogram/qerr-p90")
+}
+
+// BenchmarkCalibration regenerates the coverage calibration curve (empirical
+// vs nominal across the coverage grid).
+func BenchmarkCalibration(b *testing.B) {
+	benchExperiment(b, "calibration", "empirical@0.90", "worstUndercoverage")
+}
+
+// BenchmarkAblationCorrelation regenerates the PI-width-vs-correlation sweep.
+func BenchmarkAblationCorrelation(b *testing.B) {
+	benchExperiment(b, "abl-correlation", "width@0.0", "width@0.9")
+}
+
+// BenchmarkAblationWeighted reruns the Fig-11 shift scenario with weighted
+// conformal prediction (covariate-shift correction).
+func BenchmarkAblationWeighted(b *testing.B) {
+	benchExperiment(b, "abl-weighted", "plain-s-cp/coverage", "weighted-cp/coverage")
+}
+
+// BenchmarkAblationSPNJoins evaluates the data-driven per-template join SPNs
+// (DeepDB's RSPN design) against MSCN with conformal wrappers on DSB.
+func BenchmarkAblationSPNJoins(b *testing.B) {
+	benchExperiment(b, "abl-spn-joins", "spn-join/s-cp/coverage", "spn-join/s-cp/meanWidth", "mscn/s-cp/meanWidth")
+}
+
+// BenchmarkAblationBitmaps measures MSCN's materialized sample bitmaps.
+func BenchmarkAblationBitmaps(b *testing.B) {
+	benchExperiment(b, "abl-bitmaps", "plain/meanWidth", "bitmaps-64/meanWidth")
+}

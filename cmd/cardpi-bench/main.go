@@ -1,0 +1,90 @@
+// Command cardpi-bench runs the paper-reproduction experiments and prints
+// the tables/series each figure or table of the paper reports.
+//
+// Usage:
+//
+//	cardpi-bench -experiment fig1           # one experiment, default scale
+//	cardpi-bench -experiment all -scale small
+//	cardpi-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cardpi/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (fig1..fig14, tab1, guidance) or 'all'")
+		scaleName  = flag.String("scale", "default", "scale preset: small | default")
+		rows       = flag.Int("rows", 0, "override dataset rows")
+		queries    = flag.Int("queries", 0, "override workload size")
+		epochs     = flag.Int("epochs", 0, "override training epochs")
+		seed       = flag.Int64("seed", 0, "override random seed")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		format     = flag.String("format", "table", "output format: table | csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var scale experiments.Scale
+	switch strings.ToLower(*scaleName) {
+	case "small":
+		scale = experiments.Small()
+	case "default", "":
+		scale = experiments.Default()
+	default:
+		fmt.Fprintf(os.Stderr, "cardpi-bench: unknown scale %q (want small or default)\n", *scaleName)
+		os.Exit(2)
+	}
+	if *rows > 0 {
+		scale.Rows = *rows
+	}
+	if *queries > 0 {
+		scale.Queries = *queries
+	}
+	if *epochs > 0 {
+		scale.Epochs = *epochs
+	}
+	if *seed != 0 {
+		scale.Seed = *seed
+	}
+
+	reg := experiments.Registry()
+	var ids []string
+	if *experiment == "all" {
+		ids = experiments.IDs()
+	} else {
+		if reg[*experiment] == nil {
+			fmt.Fprintf(os.Stderr, "cardpi-bench: unknown experiment %q (use -list)\n", *experiment)
+			os.Exit(2)
+		}
+		ids = []string{*experiment}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		report, err := reg[id](scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cardpi-bench: %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "csv":
+			fmt.Printf("# %s: %s\n%s\n", report.ID, report.Title, report.CSV())
+		default:
+			fmt.Printf("%s(completed in %s)\n\n", report, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

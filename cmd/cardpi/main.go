@@ -1,0 +1,270 @@
+// Command cardpi is an interactive demo of prediction intervals for
+// cardinality estimation: it generates a synthetic dataset, trains a chosen
+// estimator, calibrates a chosen PI wrapper, and answers SQL-ish COUNT(*)
+// queries with a point estimate, a prediction interval, and the ground
+// truth.
+//
+//	cardpi -dataset dmv -model spn -method lw-s-cp \
+//	    "state = 3 AND county = 17" \
+//	    "model_year BETWEEN 60 AND 80"
+//
+// With no query arguments it reads one query per line from stdin.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cardpi"
+	"cardpi/internal/conformal"
+	"cardpi/internal/dataset"
+	"cardpi/internal/estimator"
+	"cardpi/internal/gbm"
+	"cardpi/internal/histogram"
+	"cardpi/internal/lwnn"
+	"cardpi/internal/mscn"
+	"cardpi/internal/naru"
+	"cardpi/internal/spn"
+	"cardpi/internal/workload"
+)
+
+func main() {
+	var (
+		dsName  = flag.String("dataset", "dmv", "dataset: dmv | census | forest | power (or job | dsb with -join)")
+		rows    = flag.Int("rows", 20000, "dataset rows")
+		model   = flag.String("model", "spn", "estimator: spn | mscn | lwnn | naru | histogram")
+		method  = flag.String("method", "s-cp", "PI method: s-cp | lw-s-cp | lcp | mondrian")
+		alpha   = flag.Float64("alpha", 0.1, "miscoverage level (coverage = 1-alpha)")
+		queries = flag.Int("queries", 2000, "training+calibration workload size")
+		seed    = flag.Int64("seed", 1, "random seed")
+		join    = flag.Bool("join", false, "multi-table mode: SPJ queries over a star schema (histogram estimator, Mondrian PI)")
+		csvPath = flag.String("csv", "", "load the table from a CSV file instead of generating one (string columns are dictionary-encoded; use 'value' literals in queries)")
+	)
+	flag.Parse()
+
+	var err error
+	if *join {
+		err = runJoins(*dsName, *alpha, *rows, *queries, *seed, flag.Args())
+	} else {
+		err = run(*dsName, *csvPath, *model, *method, *alpha, *rows, *queries, *seed, flag.Args())
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cardpi: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runJoins answers SPJ COUNT(*) queries over a star schema with
+// per-template (Mondrian) prediction intervals around the traditional
+// histogram estimator.
+func runJoins(dsName string, alpha float64, rows, queries int, seed int64, args []string) error {
+	gen := map[string]func(dataset.GenConfig) (*dataset.Schema, error){
+		"job": dataset.GenerateJOB, "dsb": dataset.GenerateDSB,
+	}[strings.ToLower(dsName)]
+	if gen == nil {
+		return fmt.Errorf("join mode needs -dataset job or dsb, got %q", dsName)
+	}
+	fmt.Fprintf(os.Stderr, "generating %s schema (%d center rows)...\n", dsName, rows)
+	sch, err := gen(dataset.GenConfig{Rows: rows, Seed: seed})
+	if err != nil {
+		return err
+	}
+	wl, err := workload.GenerateJoins(sch, workload.JoinConfig{
+		Count: queries, MaxJoinTables: 4, Seed: seed + 1,
+	})
+	if err != nil {
+		return err
+	}
+	m := histogram.NewSchema(sch, histogram.Config{})
+	fmt.Fprintf(os.Stderr, "calibrating per-template PIs at coverage %.2f...\n", 1-alpha)
+	// Join selectivities span orders of magnitude, so the multiplicative
+	// (q-error) score gives far more informative intervals than the
+	// additive residual score.
+	pi, err := cardpi.WrapMondrian(m, wl, cardpi.TemplateGroup, conformal.QErrorScore{}, alpha, 10)
+	if err != nil {
+		return err
+	}
+
+	answer := func(line string) {
+		q, err := workload.ParseJoinQuery(sch, line)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		iv, err := pi.Interval(q)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		truth, err := sch.JoinCount(*q.Join)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		norm, err := sch.MaxJoinCount(q.Join.Tables)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		cardIv := cardpi.CardinalityInterval(iv, norm)
+		est := m.EstimateSelectivity(q) * float64(norm)
+		covered := "MISS"
+		if cardIv.Contains(float64(truth)) {
+			covered = "ok"
+		}
+		fmt.Printf("%-70s est=%10.0f  PI=[%10.0f, %10.0f]  true=%10d  %s\n",
+			line, est, cardIv.Lo, cardIv.Hi, truth, covered)
+	}
+	if len(args) > 0 {
+		for _, q := range args {
+			answer(q)
+		}
+		return nil
+	}
+	fmt.Fprintln(os.Stderr, "enter one SPJ query per line (e.g. \"SELECT COUNT(*) FROM title, cast_info WHERE kind_id = 1\"); ctrl-D to exit")
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		answer(line)
+	}
+	return sc.Err()
+}
+
+func run(dsName, csvPath, modelName, method string, alpha float64, rows, queries int, seed int64, args []string) error {
+	var tab *dataset.Table
+	if csvPath != "" {
+		fmt.Fprintf(os.Stderr, "loading %s...\n", csvPath)
+		f, err := os.Open(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tab, err = dataset.FromCSV(strings.TrimSuffix(filepath.Base(csvPath), ".csv"), f)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "loaded %d rows, %d columns\n", tab.NumRows(), tab.NumCols())
+	} else {
+		gen := map[string]func(dataset.GenConfig) (*dataset.Table, error){
+			"dmv": dataset.GenerateDMV, "census": dataset.GenerateCensus,
+			"forest": dataset.GenerateForest, "power": dataset.GeneratePower,
+		}[strings.ToLower(dsName)]
+		if gen == nil {
+			return fmt.Errorf("unknown dataset %q", dsName)
+		}
+		fmt.Fprintf(os.Stderr, "generating %s (%d rows)...\n", dsName, rows)
+		var err error
+		tab, err = gen(dataset.GenConfig{Rows: rows, Seed: seed})
+		if err != nil {
+			return err
+		}
+	}
+	wl, err := workload.Generate(tab, workload.Config{
+		Count: queries, Seed: seed + 1, MinPreds: 1, MaxPreds: 4,
+	})
+	if err != nil {
+		return err
+	}
+	parts, err := wl.Split(seed+2, 0.6, 0.4)
+	if err != nil {
+		return err
+	}
+	train, cal := parts[0], parts[1]
+
+	fmt.Fprintf(os.Stderr, "training %s...\n", modelName)
+	m, err := buildModel(modelName, tab, train, seed)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "calibrating %s at coverage %.2f...\n", method, 1-alpha)
+	feat := estimator.NewFeaturizer(tab)
+	ff := func(q workload.Query) []float64 { return feat.Featurize(q) }
+	var pi cardpi.PI
+	switch strings.ToLower(method) {
+	case "s-cp":
+		pi, err = cardpi.WrapSplitCP(m, cal, conformal.ResidualScore{}, alpha)
+	case "lw-s-cp":
+		pi, err = cardpi.WrapLocallyWeighted(m, train, cal, ff, conformal.ResidualScore{}, alpha,
+			gbm.Config{NumTrees: 60, MaxDepth: 4, Seed: seed + 3})
+	case "lcp":
+		pi, err = cardpi.WrapLocalized(m, cal, ff, conformal.ResidualScore{}, alpha, len(cal.Queries)/4)
+	case "mondrian":
+		pi, err = cardpi.WrapMondrian(m, cal, func(q workload.Query) string {
+			return fmt.Sprintf("%d-preds", len(q.Preds))
+		}, conformal.ResidualScore{}, alpha, 20)
+	default:
+		return fmt.Errorf("unknown method %q", method)
+	}
+	if err != nil {
+		return err
+	}
+
+	answer := func(line string) {
+		q, err := workload.ParseQuery(tab, line)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		iv, err := pi.Interval(q)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		truth, err := tab.Count(q.Preds)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		n := int64(tab.NumRows())
+		cardIv := cardpi.CardinalityInterval(iv, n)
+		est := m.EstimateSelectivity(q) * float64(n)
+		covered := "MISS"
+		if cardIv.Contains(float64(truth)) {
+			covered = "ok"
+		}
+		fmt.Printf("%-50s est=%8.0f  PI=[%8.0f, %8.0f]  true=%8d  %s\n",
+			line, est, cardIv.Lo, cardIv.Hi, truth, covered)
+	}
+
+	if len(args) > 0 {
+		for _, q := range args {
+			answer(q)
+		}
+		return nil
+	}
+	fmt.Fprintln(os.Stderr, "enter one query per line (e.g. \"state = 3 AND county = 17\"); ctrl-D to exit")
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		answer(line)
+	}
+	return sc.Err()
+}
+
+func buildModel(name string, tab *dataset.Table, train *workload.Workload, seed int64) (cardpi.Estimator, error) {
+	switch strings.ToLower(name) {
+	case "spn":
+		return spn.Train(tab, spn.Config{Seed: seed + 10})
+	case "mscn":
+		return mscn.Train(mscn.NewSingleFeaturizer(tab), train, mscn.Config{Epochs: 25, Seed: seed + 10})
+	case "lwnn":
+		return lwnn.Train(tab, train, lwnn.Config{Epochs: 30, Seed: seed + 10})
+	case "naru":
+		return naru.Train(tab, naru.Config{Seed: seed + 10})
+	case "histogram":
+		return histogram.NewSingle(tab, histogram.Config{}), nil
+	default:
+		return nil, fmt.Errorf("unknown model %q", name)
+	}
+}

@@ -1,0 +1,61 @@
+package cardpi
+
+import (
+	"fmt"
+	"time"
+
+	"cardpi/internal/conformal"
+	"cardpi/internal/workload"
+)
+
+// Evaluation summarises a PI method over a test workload: empirical
+// coverage, interval width statistics (in selectivity units), and the mean
+// inference latency per interval.
+type Evaluation struct {
+	Name       string
+	Coverage   float64
+	Widths     conformal.WidthStats
+	MeanPITime time.Duration
+	// Intervals are the per-query intervals, aligned with the workload.
+	Intervals []Interval
+}
+
+// Evaluate runs a PI method over every query of a test workload.
+func Evaluate(pi PI, test *workload.Workload) (*Evaluation, error) {
+	if test == nil || len(test.Queries) == 0 {
+		return nil, fmt.Errorf("cardpi: empty test workload")
+	}
+	intervals := make([]Interval, len(test.Queries))
+	truths := make([]float64, len(test.Queries))
+	start := time.Now()
+	for i, lq := range test.Queries {
+		iv, err := pi.Interval(lq.Query)
+		if err != nil {
+			return nil, err
+		}
+		intervals[i] = iv
+		truths[i] = lq.Sel
+	}
+	elapsed := time.Since(start)
+	cov, err := conformal.Coverage(intervals, truths)
+	if err != nil {
+		return nil, err
+	}
+	widths, err := conformal.Widths(intervals)
+	if err != nil {
+		return nil, err
+	}
+	return &Evaluation{
+		Name:       pi.Name(),
+		Coverage:   cov,
+		Widths:     widths,
+		MeanPITime: elapsed / time.Duration(len(test.Queries)),
+		Intervals:  intervals,
+	}, nil
+}
+
+// String renders a one-line summary.
+func (e *Evaluation) String() string {
+	return fmt.Sprintf("%-18s coverage=%.3f meanWidth=%.5f p90Width=%.5f latency=%s",
+		e.Name, e.Coverage, e.Widths.Mean, e.Widths.P90, e.MeanPITime)
+}

@@ -1,0 +1,56 @@
+package cardpi
+
+import (
+	"testing"
+
+	"cardpi/internal/conformal"
+	"cardpi/internal/workload"
+)
+
+func TestEvaluateValidation(t *testing.T) {
+	model, _, _, cal, _ := fixture(t)
+	pi, err := WrapSplitCP(model, cal, conformal.ResidualScore{}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Evaluate(pi, nil); err == nil {
+		t.Fatal("nil workload should fail")
+	}
+	if _, err := Evaluate(pi, &workload.Workload{}); err == nil {
+		t.Fatal("empty workload should fail")
+	}
+}
+
+func TestWrapLocalizedCoverageAndAdaptivity(t *testing.T) {
+	model, ff, _, cal, test := fixture(t)
+	pi, err := WrapLocalized(model, cal, ff, conformal.ResidualScore{}, 0.1, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi.Name() != "lcp/histogram" {
+		t.Fatalf("name = %s", pi.Name())
+	}
+	ev, err := Evaluate(pi, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Coverage < 0.84 {
+		t.Fatalf("LCP coverage %v < 0.84", ev.Coverage)
+	}
+	// Local calibration must produce varying widths.
+	if ev.Widths.P99 <= ev.Widths.Median {
+		t.Fatalf("LCP widths look constant: median %v p99 %v", ev.Widths.Median, ev.Widths.P99)
+	}
+	for _, iv := range ev.Intervals {
+		if iv.Lo < 0 || iv.Hi > 1 {
+			t.Fatalf("interval %+v escapes [0,1]", iv)
+		}
+	}
+}
+
+func TestWrapLocalizedValidation(t *testing.T) {
+	model, ff, _, _, _ := fixture(t)
+	if _, err := WrapLocalized(model, nil, ff, conformal.ResidualScore{}, 0.1, 10); err == nil {
+		t.Fatal("nil calibration should fail")
+	}
+}

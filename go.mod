@@ -1,0 +1,3 @@
+module cardpi
+
+go 1.22

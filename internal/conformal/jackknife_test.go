@@ -1,0 +1,164 @@
+package conformal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// foldedSynthetic builds a K-fold synthetic problem where fold models are
+// slightly perturbed versions of the true function.
+func foldedSynthetic(r *rand.Rand, n, k int, sigma float64) (oof, truths []float64, foldOf []int, foldBias []float64) {
+	foldBias = make([]float64, k)
+	for i := range foldBias {
+		foldBias[i] = r.NormFloat64() * 0.01 // small per-fold model differences
+	}
+	perm := r.Perm(n)
+	foldOf = FoldAssignments(perm, k)
+	for i := 0; i < n; i++ {
+		x := r.Float64()
+		truths = append(truths, x+sigma*r.NormFloat64())
+		oof = append(oof, x+foldBias[foldOf[i]])
+	}
+	return oof, truths, foldOf, foldBias
+}
+
+func TestJackknifeSimpleCoverage(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	sigma := 0.05
+	oof, truths, foldOf, _ := foldedSynthetic(r, 2000, 10, sigma)
+	jk, err := CalibrateJackknifeCV(oof, truths, foldOf, 10, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ivs []Interval
+	var testY []float64
+	for i := 0; i < 4000; i++ {
+		x := r.Float64()
+		ivs = append(ivs, jk.IntervalSimple(x)) // full model predicts x
+		testY = append(testY, x+sigma*r.NormFloat64())
+	}
+	cov, err := Coverage(ivs, testY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov < 0.88 {
+		t.Fatalf("JK-CV+ simple coverage %v < 0.88", cov)
+	}
+}
+
+func TestJackknifeCVIntervalCoverage(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	sigma := 0.05
+	k := 10
+	oof, truths, foldOf, foldBias := foldedSynthetic(r, 1000, k, sigma)
+	jk, err := CalibrateJackknifeCV(oof, truths, foldOf, k, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ivs []Interval
+	var testY []float64
+	for i := 0; i < 1000; i++ {
+		x := r.Float64()
+		foldPreds := make([]float64, k)
+		for f := 0; f < k; f++ {
+			foldPreds[f] = x + foldBias[f]
+		}
+		iv, err := jk.IntervalCV(foldPreds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ivs = append(ivs, iv)
+		testY = append(testY, x+sigma*r.NormFloat64())
+	}
+	cov, err := Coverage(ivs, testY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CV+ guarantees 1-2alpha = 0.8; empirically should do much better here.
+	if cov < 0.85 {
+		t.Fatalf("CV+ coverage %v < 0.85", cov)
+	}
+	guarantee := jk.CoverageGuarantee()
+	if guarantee > 1-2*0.1 {
+		t.Fatalf("guarantee %v exceeds 1-2alpha", guarantee)
+	}
+	if cov < guarantee {
+		t.Fatalf("empirical coverage %v below theoretical floor %v", cov, guarantee)
+	}
+}
+
+func TestJackknifeValidation(t *testing.T) {
+	if _, err := CalibrateJackknifeCV([]float64{1}, []float64{1, 2}, []int{0}, 2, 0.1); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := CalibrateJackknifeCV([]float64{1, 2}, []float64{1, 2}, []int{0, 1}, 1, 0.1); err == nil {
+		t.Fatal("K=1 should fail")
+	}
+	if _, err := CalibrateJackknifeCV([]float64{1, 2}, []float64{1, 2}, []int{0, 5}, 2, 0.1); err == nil {
+		t.Fatal("out-of-range fold index should fail")
+	}
+	jk, err := CalibrateJackknifeCV([]float64{1, 2, 3, 4}, []float64{1, 2, 3, 4}, []int{0, 1, 0, 1}, 2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jk.IntervalCV([]float64{1}); err == nil {
+		t.Fatal("wrong fold prediction count should fail")
+	}
+}
+
+func TestFoldAssignmentsBalanced(t *testing.T) {
+	perm := rand.New(rand.NewSource(3)).Perm(103)
+	folds := FoldAssignments(perm, 10)
+	counts := make([]int, 10)
+	for _, f := range folds {
+		counts[f]++
+	}
+	for _, c := range counts {
+		if c < 10 || c > 11 {
+			t.Fatalf("unbalanced folds: %v", counts)
+		}
+	}
+}
+
+func TestCoverageGuaranteeFormula(t *testing.T) {
+	jk := &JackknifeCV{Alpha: 0.1, residuals: make([]float64, 1000), k: 10}
+	g := jk.CoverageGuarantee()
+	// 1 - 0.2 - min(2*0.9/101, 0.99/11) = 0.8 - min(0.01782, 0.09) = ~0.78218
+	if g < 0.78 || g > 0.785 {
+		t.Fatalf("guarantee = %v, want ~0.782", g)
+	}
+}
+
+func TestIntervalCVContainsSimpleRoughly(t *testing.T) {
+	// When all fold models agree with the full model exactly, CV+ interval
+	// endpoints derive from the same residual distribution as Algorithm 1;
+	// both intervals should be similar in width.
+	r := rand.New(rand.NewSource(4))
+	n, k := 500, 5
+	var oof, truths []float64
+	foldOf := make([]int, n)
+	for i := 0; i < n; i++ {
+		x := r.Float64()
+		oof = append(oof, x)
+		truths = append(truths, x+0.05*r.NormFloat64())
+		foldOf[i] = i % k
+	}
+	jk, err := CalibrateJackknifeCV(oof, truths, foldOf, k, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := 0.5
+	same := make([]float64, k)
+	for i := range same {
+		same[i] = pred
+	}
+	cvIv, err := jk.IntervalCV(same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simpleIv := jk.IntervalSimple(pred)
+	ratio := cvIv.Width() / simpleIv.Width()
+	if ratio < 0.8 || ratio > 1.2 {
+		t.Fatalf("CV+ width %v vs simple %v diverge (ratio %v)", cvIv.Width(), simpleIv.Width(), ratio)
+	}
+}

@@ -1,0 +1,79 @@
+package conformal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMartingaleStaysLowUnderExchangeability(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	scores := make([]float64, 2000)
+	for i := range scores {
+		scores[i] = r.Float64()
+	}
+	maxLog, err := TestExchangeability(scores, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ville: P(max M >= 100) <= 0.01, i.e. maxLog < log(100) ~ 4.6 w.h.p.
+	if maxLog > 4.6 {
+		t.Fatalf("martingale max log %v too high for exchangeable stream", maxLog)
+	}
+}
+
+func TestMartingaleDetectsShift(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	var scores []float64
+	for i := 0; i < 500; i++ {
+		scores = append(scores, r.Float64()*0.1) // small residuals
+	}
+	for i := 0; i < 500; i++ {
+		scores = append(scores, 1+r.Float64()) // shifted workload: large residuals
+	}
+	m, err := NewPowerMartingale(0.1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range scores {
+		m.Observe(s)
+	}
+	if !m.Rejects(0.01) {
+		t.Fatalf("martingale failed to reject after shift; max log = %v", m.MaxLogValue())
+	}
+	if m.MaxLogValue() < 4.6 {
+		t.Fatalf("detection statistic %v too small after shift", m.MaxLogValue())
+	}
+}
+
+func TestMartingaleValidation(t *testing.T) {
+	if _, err := NewPowerMartingale(0, 1); err == nil {
+		t.Fatal("epsilon=0 should fail")
+	}
+	if _, err := NewPowerMartingale(1, 1); err == nil {
+		t.Fatal("epsilon=1 should fail")
+	}
+	if _, err := TestExchangeability(nil, 2, 1); err == nil {
+		t.Fatal("invalid epsilon should fail")
+	}
+}
+
+func TestMartingalePValuesUniformish(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	m, err := NewPowerMartingale(0.1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ps []float64
+	for i := 0; i < 3000; i++ {
+		ps = append(ps, m.Observe(r.NormFloat64()))
+	}
+	// Under exchangeability smoothed p-values are uniform; check the mean.
+	var sum float64
+	for _, p := range ps[100:] { // skip warm-up
+		sum += p
+	}
+	mean := sum / float64(len(ps)-100)
+	if mean < 0.45 || mean > 0.55 {
+		t.Fatalf("p-value mean %v far from 0.5", mean)
+	}
+}

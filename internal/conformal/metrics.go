@@ -1,0 +1,93 @@
+package conformal
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Coverage returns the fraction of truths contained in their intervals.
+func Coverage(intervals []Interval, truths []float64) (float64, error) {
+	if len(intervals) != len(truths) {
+		return 0, fmt.Errorf("conformal: %d intervals vs %d truths", len(intervals), len(truths))
+	}
+	if len(intervals) == 0 {
+		return 0, fmt.Errorf("conformal: empty evaluation set")
+	}
+	hit := 0
+	for i, iv := range intervals {
+		if iv.Contains(truths[i]) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(intervals)), nil
+}
+
+// WidthStats summarises the distribution of interval widths.
+type WidthStats struct {
+	Mean, Median, P90, P95, P99, Max float64
+}
+
+// Widths computes summary statistics over interval widths. Infinite widths
+// (possible with the relative-error score before clipping) count toward the
+// max but are excluded from the mean.
+func Widths(intervals []Interval) (WidthStats, error) {
+	if len(intervals) == 0 {
+		return WidthStats{}, fmt.Errorf("conformal: empty interval set")
+	}
+	ws := make([]float64, 0, len(intervals))
+	var sum float64
+	finite := 0
+	for _, iv := range intervals {
+		w := iv.Width()
+		ws = append(ws, w)
+		if !math.IsInf(w, 1) {
+			sum += w
+			finite++
+		}
+	}
+	sort.Float64s(ws)
+	st := WidthStats{
+		Median: percentile(ws, 0.5),
+		P90:    percentile(ws, 0.9),
+		P95:    percentile(ws, 0.95),
+		P99:    percentile(ws, 0.99),
+		Max:    ws[len(ws)-1],
+	}
+	if finite > 0 {
+		st.Mean = sum / float64(finite)
+	} else {
+		st.Mean = math.Inf(1)
+	}
+	return st, nil
+}
+
+// percentile returns the p-th percentile (0 <= p <= 1) of sorted values
+// using nearest-rank interpolation.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	idx := p * float64(len(sorted)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := idx - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Percentile exposes nearest-rank-interpolated percentiles over an unsorted
+// sample, used by the experiment harnesses for q-error summaries.
+func Percentile(values []float64, p float64) (float64, error) {
+	if len(values) == 0 {
+		return 0, fmt.Errorf("conformal: empty sample")
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("conformal: percentile %v out of [0,1]", p)
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	return percentile(sorted, p), nil
+}

@@ -1,0 +1,83 @@
+package conformal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCoverage(t *testing.T) {
+	ivs := []Interval{{0, 1}, {0, 1}, {2, 3}, {5, 6}}
+	truths := []float64{0.5, 2, 2.5, 5.5}
+	cov, err := Coverage(ivs, truths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov != 0.75 {
+		t.Fatalf("coverage = %v, want 0.75", cov)
+	}
+	if _, err := Coverage(ivs, truths[:2]); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := Coverage(nil, nil); err == nil {
+		t.Fatal("empty should fail")
+	}
+}
+
+func TestWidths(t *testing.T) {
+	ivs := []Interval{{0, 1}, {0, 2}, {0, 3}, {0, 4}}
+	st, err := Widths(ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mean != 2.5 {
+		t.Errorf("mean = %v, want 2.5", st.Mean)
+	}
+	if st.Median != 2.5 {
+		t.Errorf("median = %v, want 2.5", st.Median)
+	}
+	if st.Max != 4 {
+		t.Errorf("max = %v, want 4", st.Max)
+	}
+	if st.P90 < st.Median || st.P99 < st.P90 {
+		t.Errorf("percentiles not ordered: %+v", st)
+	}
+	if _, err := Widths(nil); err == nil {
+		t.Fatal("empty should fail")
+	}
+}
+
+func TestWidthsWithInfinity(t *testing.T) {
+	ivs := []Interval{{0, 1}, {0, math.Inf(1)}}
+	st, err := Widths(ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mean != 1 {
+		t.Errorf("mean should exclude infinities, got %v", st.Mean)
+	}
+	if !math.IsInf(st.Max, 1) {
+		t.Errorf("max should keep infinity, got %v", st.Max)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{4, 1, 3, 2, 5}
+	p, err := Percentile(vals, 0.5)
+	if err != nil || p != 3 {
+		t.Fatalf("median = %v, %v; want 3", p, err)
+	}
+	p, err = Percentile(vals, 0)
+	if err != nil || p != 1 {
+		t.Fatalf("p0 = %v, want 1", p)
+	}
+	p, err = Percentile(vals, 1)
+	if err != nil || p != 5 {
+		t.Fatalf("p100 = %v, want 5", p)
+	}
+	if _, err := Percentile(nil, 0.5); err == nil {
+		t.Fatal("empty should fail")
+	}
+	if _, err := Percentile(vals, 1.5); err == nil {
+		t.Fatal("out-of-range p should fail")
+	}
+}

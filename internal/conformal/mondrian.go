@@ -1,0 +1,84 @@
+package conformal
+
+import "fmt"
+
+// Mondrian implements group-conditional (Mondrian) split conformal
+// prediction: the calibration set is partitioned by a category function —
+// join template, predicate count, table — and a separate threshold is
+// calibrated per group. Coverage then holds *within every group*, not just
+// marginally, which matters when groups have very different error scales
+// (join templates being the canonical example: Table 1's per-template
+// calibration is exactly Mondrian conformal with the one-sided
+// ratio score).
+type Mondrian struct {
+	// Alpha is the per-group miscoverage level.
+	Alpha float64
+
+	score  Score
+	deltas map[string]float64
+	// fallback is the global threshold, used for unseen groups.
+	fallback float64
+	// minGroup is the minimum calibration count for a group-specific
+	// threshold; smaller groups fall back to the global one (their
+	// conformal quantile would clamp to the group max, which is both noisy
+	// and needlessly conservative).
+	minGroup int
+}
+
+// CalibrateMondrian computes per-group conformal thresholds. groups[i] is
+// the category of calibration point i.
+func CalibrateMondrian(groups []string, preds, truths []float64, score Score, alpha float64, minGroup int) (*Mondrian, error) {
+	if len(groups) != len(preds) || len(preds) != len(truths) {
+		return nil, fmt.Errorf("conformal: mismatched lengths %d/%d/%d", len(groups), len(preds), len(truths))
+	}
+	if len(preds) == 0 {
+		return nil, fmt.Errorf("conformal: empty calibration set")
+	}
+	if minGroup < 1 {
+		minGroup = 1
+	}
+	byGroup := make(map[string][]float64)
+	all := make([]float64, len(preds))
+	for i := range preds {
+		s := score.Of(preds[i], truths[i])
+		all[i] = s
+		byGroup[groups[i]] = append(byGroup[groups[i]], s)
+	}
+	fallback, err := Quantile(all, alpha)
+	if err != nil {
+		return nil, err
+	}
+	m := &Mondrian{
+		Alpha: alpha, score: score,
+		deltas:   make(map[string]float64, len(byGroup)),
+		fallback: fallback, minGroup: minGroup,
+	}
+	for g, scores := range byGroup {
+		if len(scores) < minGroup {
+			continue
+		}
+		d, err := Quantile(scores, alpha)
+		if err != nil {
+			return nil, err
+		}
+		m.deltas[g] = d
+	}
+	return m, nil
+}
+
+// Interval returns the group-calibrated interval for a point estimate.
+func (m *Mondrian) Interval(group string, pred float64) Interval {
+	return m.score.Interval(pred, m.Delta(group))
+}
+
+// Delta returns the group's threshold, falling back to the global one for
+// unseen or under-populated groups.
+func (m *Mondrian) Delta(group string) float64 {
+	if d, ok := m.deltas[group]; ok {
+		return d
+	}
+	return m.fallback
+}
+
+// Groups returns the number of groups with their own thresholds.
+func (m *Mondrian) Groups() int { return len(m.deltas) }

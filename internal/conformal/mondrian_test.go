@@ -1,0 +1,99 @@
+package conformal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// twoGroupData: group "a" has tiny residuals, group "b" large ones.
+func twoGroupData(r *rand.Rand, n int) (groups []string, preds, truths []float64) {
+	for i := 0; i < n; i++ {
+		x := r.Float64()
+		if i%2 == 0 {
+			groups = append(groups, "a")
+			preds = append(preds, x)
+			truths = append(truths, x+0.01*r.NormFloat64())
+		} else {
+			groups = append(groups, "b")
+			preds = append(preds, x)
+			truths = append(truths, x+0.3*r.NormFloat64())
+		}
+	}
+	return groups, preds, truths
+}
+
+func TestMondrianPerGroupCoverage(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	g, p, y := twoGroupData(r, 2000)
+	m, err := CalibrateMondrian(g, p, y, ResidualScore{}, 0.1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Groups() != 2 {
+		t.Fatalf("Groups = %d", m.Groups())
+	}
+	tg, tp, ty := twoGroupData(r, 2000)
+	hits := map[string]int{}
+	total := map[string]int{}
+	for i := range tg {
+		iv := m.Interval(tg[i], tp[i])
+		if iv.Contains(ty[i]) {
+			hits[tg[i]]++
+		}
+		total[tg[i]]++
+	}
+	for _, grp := range []string{"a", "b"} {
+		cov := float64(hits[grp]) / float64(total[grp])
+		if cov < 0.87 {
+			t.Errorf("group %s coverage %v < 0.87", grp, cov)
+		}
+	}
+	// Per-group widths: "a" intervals must be far tighter than "b".
+	if m.Delta("a")*5 > m.Delta("b") {
+		t.Errorf("group deltas not separated: a=%v b=%v", m.Delta("a"), m.Delta("b"))
+	}
+}
+
+func TestMondrianBeatsGlobalOnEasyGroup(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	g, p, y := twoGroupData(r, 2000)
+	m, err := CalibrateMondrian(g, p, y, ResidualScore{}, 0.1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, err := CalibrateSplit(p, y, ResidualScore{}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A global quantile over the mixture is dominated by the hard group; a
+	// per-group threshold frees the easy group from paying for it.
+	if m.Delta("a") >= global.Delta {
+		t.Errorf("easy-group delta %v not below global %v", m.Delta("a"), global.Delta)
+	}
+}
+
+func TestMondrianFallbacks(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	g, p, y := twoGroupData(r, 200)
+	// One calibration point is in a rare group.
+	g[0] = "rare"
+	m, err := CalibrateMondrian(g, p, y, ResidualScore{}, 0.1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Delta("rare") != m.Delta("never-seen") {
+		t.Error("under-populated and unseen groups should both use the fallback")
+	}
+	if m.Delta("rare") != m.fallback {
+		t.Error("fallback delta not used for rare group")
+	}
+}
+
+func TestMondrianValidation(t *testing.T) {
+	if _, err := CalibrateMondrian([]string{"a"}, []float64{1, 2}, []float64{1}, ResidualScore{}, 0.1, 1); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := CalibrateMondrian(nil, nil, nil, ResidualScore{}, 0.1, 1); err == nil {
+		t.Fatal("empty calibration should fail")
+	}
+}

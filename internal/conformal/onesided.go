@@ -1,0 +1,78 @@
+package conformal
+
+import "fmt"
+
+// One-sided conformal bounds. A query optimizer consuming a PI typically
+// wants only the upper bound (the paper's Postgres experiment replaces
+// Est(Q) with the PI's upper end): calibrating the one side directly gives a
+// tighter bound at the same confidence than taking the upper end of a
+// two-sided interval, because all the miscoverage budget is spent on one
+// tail.
+
+// UpperBound is an additive one-sided bound: P(y <= pred + Delta) >= 1-alpha
+// under exchangeability.
+type UpperBound struct {
+	Delta float64
+	Alpha float64
+}
+
+// CalibrateUpperBound computes the conformal quantile of the signed
+// residuals y - pred.
+func CalibrateUpperBound(preds, truths []float64, alpha float64) (*UpperBound, error) {
+	if len(preds) != len(truths) {
+		return nil, fmt.Errorf("conformal: %d predictions vs %d truths", len(preds), len(truths))
+	}
+	scores := make([]float64, len(preds))
+	for i := range preds {
+		scores[i] = truths[i] - preds[i]
+	}
+	delta, err := Quantile(scores, alpha)
+	if err != nil {
+		return nil, err
+	}
+	return &UpperBound{Delta: delta, Alpha: alpha}, nil
+}
+
+// Bound returns the calibrated upper bound for a point estimate.
+func (u *UpperBound) Bound(pred float64) float64 { return pred + u.Delta }
+
+// UpperFactor is a multiplicative one-sided bound:
+// P(y <= pred * Factor) >= 1-alpha. It is the scale-free variant suited to
+// cardinalities spanning orders of magnitude (the construction Table 1's
+// per-template optimizer injection uses).
+type UpperFactor struct {
+	Factor float64
+	Alpha  float64
+}
+
+// CalibrateUpperFactor computes the conformal quantile of the ratios
+// truth/pred, flooring both sides at eps to avoid division blow-ups.
+func CalibrateUpperFactor(preds, truths []float64, alpha float64) (*UpperFactor, error) {
+	if len(preds) != len(truths) {
+		return nil, fmt.Errorf("conformal: %d predictions vs %d truths", len(preds), len(truths))
+	}
+	scores := make([]float64, len(preds))
+	for i := range preds {
+		p, y := preds[i], truths[i]
+		if p < epsSel {
+			p = epsSel
+		}
+		if y < epsSel {
+			y = epsSel
+		}
+		scores[i] = y / p
+	}
+	f, err := Quantile(scores, alpha)
+	if err != nil {
+		return nil, err
+	}
+	return &UpperFactor{Factor: f, Alpha: alpha}, nil
+}
+
+// Bound returns the calibrated multiplicative upper bound.
+func (u *UpperFactor) Bound(pred float64) float64 {
+	if pred < epsSel {
+		pred = epsSel
+	}
+	return pred * u.Factor
+}

@@ -1,0 +1,96 @@
+package conformal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestUpperBoundCoverage(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	gen := func(n int) (preds, truths []float64) {
+		for i := 0; i < n; i++ {
+			x := r.Float64()
+			preds = append(preds, x)
+			truths = append(truths, x+0.05*r.NormFloat64())
+		}
+		return
+	}
+	calP, calY := gen(2000)
+	ub, err := CalibrateUpperBound(calP, calY, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testP, testY := gen(4000)
+	covered := 0
+	for i := range testP {
+		if testY[i] <= ub.Bound(testP[i]) {
+			covered++
+		}
+	}
+	cov := float64(covered) / float64(len(testP))
+	if cov < 0.88 {
+		t.Fatalf("upper bound coverage %v < 0.88", cov)
+	}
+	// One-sided bound must be tighter than the two-sided interval's upper
+	// end at the same alpha: the quantile is at 1-alpha of signed residuals
+	// vs 1-alpha of absolute residuals.
+	two, err := CalibrateSplit(calP, calY, ResidualScore{}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ub.Delta >= two.Delta {
+		t.Fatalf("one-sided delta %v not tighter than two-sided %v", ub.Delta, two.Delta)
+	}
+}
+
+func TestUpperFactorCoverage(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	// Multiplicative noise: truth = pred * lognormal-ish factor.
+	gen := func(n int) (preds, truths []float64) {
+		for i := 0; i < n; i++ {
+			p := 0.001 * (1 + 99*r.Float64())
+			preds = append(preds, p)
+			truths = append(truths, p*(0.5+1.5*r.Float64()))
+		}
+		return
+	}
+	calP, calY := gen(2000)
+	uf, err := CalibrateUpperFactor(calP, calY, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testP, testY := gen(4000)
+	covered := 0
+	for i := range testP {
+		if testY[i] <= uf.Bound(testP[i]) {
+			covered++
+		}
+	}
+	cov := float64(covered) / float64(len(testP))
+	if cov < 0.88 {
+		t.Fatalf("upper factor coverage %v < 0.88", cov)
+	}
+	if uf.Factor < 1.5 || uf.Factor > 2.1 {
+		t.Fatalf("factor %v outside expected range for Uniform(0.5,2) noise", uf.Factor)
+	}
+}
+
+func TestOneSidedValidation(t *testing.T) {
+	if _, err := CalibrateUpperBound([]float64{1}, []float64{1, 2}, 0.1); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := CalibrateUpperFactor([]float64{1}, []float64{1, 2}, 0.1); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := CalibrateUpperBound(nil, nil, 0.1); err == nil {
+		t.Fatal("empty should fail")
+	}
+	// Zero predictions are floored, not divided by.
+	uf, err := CalibrateUpperFactor([]float64{0, 1}, []float64{0.5, 1}, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := uf.Bound(0); b < 0 {
+		t.Fatalf("bound of zero prediction = %v", b)
+	}
+}

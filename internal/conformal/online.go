@@ -1,0 +1,103 @@
+package conformal
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Online maintains a growing (or sliding-window) calibration set of
+// conformal scores and produces intervals whose threshold reflects the
+// latest calibration state. This implements the paper's workload-adaptive
+// scheme (Section IV): after a query executes and its true selectivity is
+// known, the pair is appended to the calibration set, which remains valid
+// under exchangeability and tightens the intervals as the calibration set
+// becomes representative of the live workload.
+type Online struct {
+	alpha  float64
+	score  Score
+	window int // 0 = unbounded
+
+	scores []float64 // kept sorted
+	order  []float64 // insertion order, used for window eviction
+}
+
+// NewOnline creates an online conformal predictor. window == 0 keeps every
+// score; window > 0 keeps only the most recent `window` scores (the paper's
+// "last 24 hours" style calibration).
+func NewOnline(score Score, alpha float64, window int) (*Online, error) {
+	if alpha <= 0 || alpha >= 1 {
+		return nil, fmt.Errorf("conformal: alpha must be in (0,1), got %v", alpha)
+	}
+	if window < 0 {
+		return nil, fmt.Errorf("conformal: negative window %d", window)
+	}
+	return &Online{alpha: alpha, score: score, window: window}, nil
+}
+
+// Add appends one observed (prediction, truth) pair to the calibration set,
+// evicting the oldest score when a window is configured.
+func (o *Online) Add(pred, truth float64) {
+	s := o.score.Of(pred, truth)
+	o.insert(s)
+	o.order = append(o.order, s)
+	if o.window > 0 && len(o.order) > o.window {
+		old := o.order[0]
+		o.order = o.order[1:]
+		o.remove(old)
+	}
+}
+
+// Len returns the current calibration set size.
+func (o *Online) Len() int { return len(o.scores) }
+
+// Delta returns the current calibrated threshold.
+func (o *Online) Delta() (float64, error) {
+	return o.delta()
+}
+
+// Interval returns the interval for a point estimate under the current
+// calibration set. It fails until at least one score has been added.
+func (o *Online) Interval(pred float64) (Interval, error) {
+	d, err := o.delta()
+	if err != nil {
+		return Interval{}, err
+	}
+	return o.score.Interval(pred, d), nil
+}
+
+func (o *Online) delta() (float64, error) {
+	n := len(o.scores)
+	if n == 0 {
+		return 0, fmt.Errorf("conformal: online predictor has no calibration scores")
+	}
+	k := quantileIndex(n, o.alpha)
+	return o.scores[k-1], nil
+}
+
+func quantileIndex(n int, alpha float64) int {
+	k := int(float64(n+1) * (1 - alpha))
+	if float64(k) < float64(n+1)*(1-alpha) {
+		k++
+	}
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+func (o *Online) insert(s float64) {
+	i := sort.SearchFloat64s(o.scores, s)
+	o.scores = append(o.scores, 0)
+	copy(o.scores[i+1:], o.scores[i:])
+	o.scores[i] = s
+}
+
+func (o *Online) remove(s float64) {
+	i := sort.SearchFloat64s(o.scores, s)
+	if i < len(o.scores) && o.scores[i] == s {
+		o.scores = append(o.scores[:i], o.scores[i+1:]...)
+	}
+}

@@ -1,0 +1,140 @@
+package conformal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOnlineMatchesBatchQuantile(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	o, err := NewOnline(ResidualScore{}, 0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var preds, truths []float64
+	for i := 0; i < 500; i++ {
+		p, y := r.Float64(), r.Float64()
+		preds = append(preds, p)
+		truths = append(truths, y)
+		o.Add(p, y)
+	}
+	batch, err := CalibrateSplit(preds, truths, ResidualScore{}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := o.Delta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != batch.Delta {
+		t.Fatalf("online delta %v != batch delta %v", d, batch.Delta)
+	}
+	iv, err := o.Interval(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv != batch.Interval(0.5) {
+		t.Fatalf("online interval %+v != batch %+v", iv, batch.Interval(0.5))
+	}
+}
+
+func TestOnlineEmptyFails(t *testing.T) {
+	o, err := NewOnline(ResidualScore{}, 0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Interval(0.5); err == nil {
+		t.Fatal("interval with no calibration scores should fail")
+	}
+	if _, err := o.Delta(); err == nil {
+		t.Fatal("delta with no calibration scores should fail")
+	}
+}
+
+func TestOnlineValidation(t *testing.T) {
+	if _, err := NewOnline(ResidualScore{}, 0, 0); err == nil {
+		t.Fatal("alpha=0 should fail")
+	}
+	if _, err := NewOnline(ResidualScore{}, 0.1, -1); err == nil {
+		t.Fatal("negative window should fail")
+	}
+}
+
+func TestOnlineWindowEviction(t *testing.T) {
+	o, err := NewOnline(ResidualScore{}, 0.1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First 10 scores are huge; the next 10 small. After the window slides,
+	// delta must reflect only the small scores.
+	for i := 0; i < 10; i++ {
+		o.Add(0, 100)
+	}
+	for i := 0; i < 10; i++ {
+		o.Add(0, 0.01)
+	}
+	if o.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", o.Len())
+	}
+	d, err := o.Delta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0.01 {
+		t.Fatalf("delta after eviction = %v, want 0.01", d)
+	}
+}
+
+func TestOnlineAdaptationTightens(t *testing.T) {
+	// Start with a mis-calibrated set (scores from a wide distribution);
+	// stream in scores from a tight distribution — the interval width
+	// should shrink as the calibration set adapts. This is the Fig 8
+	// mechanism.
+	r := rand.New(rand.NewSource(2))
+	o, err := NewOnline(ResidualScore{}, 0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		o.Add(0, 0.5+0.2*r.Float64()) // wide residuals
+	}
+	dBefore, _ := o.Delta()
+	for i := 0; i < 5000; i++ {
+		o.Add(0, 0.02*r.Float64()) // tight residuals from the live workload
+	}
+	dAfter, _ := o.Delta()
+	if dAfter >= dBefore {
+		t.Fatalf("online adaptation failed to tighten: before %v after %v", dBefore, dAfter)
+	}
+}
+
+func TestOnlineCoverageOnStream(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	o, err := NewOnline(ResidualScore{}, 0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed with a small calibration set.
+	for i := 0; i < 100; i++ {
+		x := r.Float64()
+		o.Add(x, x+0.05*r.NormFloat64())
+	}
+	hits, total := 0, 0
+	for i := 0; i < 3000; i++ {
+		x := r.Float64()
+		y := x + 0.05*r.NormFloat64()
+		iv, err := o.Interval(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.Contains(y) {
+			hits++
+		}
+		total++
+		o.Add(x, y)
+	}
+	cov := float64(hits) / float64(total)
+	if cov < 0.87 {
+		t.Fatalf("online stream coverage %v < 0.87", cov)
+	}
+}

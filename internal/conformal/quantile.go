@@ -1,0 +1,100 @@
+// Package conformal implements the four distribution-free uncertainty
+// quantification algorithms the paper evaluates for learned cardinality
+// estimation:
+//
+//   - Split conformal prediction (S-CP), Algorithm 2
+//   - Locally weighted split conformal prediction (LW-S-CP), Algorithm 3
+//   - Conformalized quantile regression (CQR), Algorithm 4
+//   - Jackknife+ with K-fold cross validation (JK-CV+), Algorithm 1 and the
+//     CV+ interval of Barber et al. (Eq. 5 in the paper)
+//
+// plus the supporting machinery: the conformal quantile, pluggable scoring
+// functions (residual, q-error, relative error), online and windowed
+// calibration-set augmentation, a plug-in power martingale for testing
+// exchangeability, and coverage/width evaluation metrics.
+//
+// The package is pure math: it consumes predictions and ground-truth labels
+// as float64 slices (selectivities in [0,1] in this repository, though
+// nothing depends on that) so it can wrap any black-box estimator — the
+// central desideratum of the paper.
+package conformal
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Quantile returns the conformal quantile of the scores: the
+// ⌈(n+1)(1−α)⌉-th smallest value, clamped to the largest score when the
+// index exceeds n (which happens when the calibration set is too small for
+// the requested coverage). The input is not modified.
+func Quantile(scores []float64, alpha float64) (float64, error) {
+	n := len(scores)
+	if n == 0 {
+		return 0, fmt.Errorf("conformal: empty score set")
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return 0, fmt.Errorf("conformal: alpha must be in (0,1), got %v", alpha)
+	}
+	sorted := append([]float64(nil), scores...)
+	sort.Float64s(sorted)
+	k := int(math.Ceil((1 - alpha) * float64(n+1)))
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	return sorted[k-1], nil
+}
+
+// LowerQuantile returns the ⌊α(n+1)⌋-th smallest value, the lower-tail
+// analogue used by the CV+ interval construction. Index 0 clamps to the
+// smallest score.
+func LowerQuantile(scores []float64, alpha float64) (float64, error) {
+	n := len(scores)
+	if n == 0 {
+		return 0, fmt.Errorf("conformal: empty score set")
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return 0, fmt.Errorf("conformal: alpha must be in (0,1), got %v", alpha)
+	}
+	sorted := append([]float64(nil), scores...)
+	sort.Float64s(sorted)
+	k := int(math.Floor(alpha * float64(n+1)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return sorted[k-1], nil
+}
+
+// Interval is a prediction interval [Lo, Hi].
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Width returns Hi - Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// Contains reports whether y falls inside the closed interval.
+func (iv Interval) Contains(y float64) bool { return y >= iv.Lo && y <= iv.Hi }
+
+// Clip restricts the interval to [lo, hi] — the paper clips cardinality
+// intervals to [0, N], the minimum and maximum possible cardinalities.
+func (iv Interval) Clip(lo, hi float64) Interval {
+	out := iv
+	if out.Lo < lo {
+		out.Lo = lo
+	}
+	if out.Hi > hi {
+		out.Hi = hi
+	}
+	if out.Lo > out.Hi {
+		out.Lo = out.Hi
+	}
+	return out
+}

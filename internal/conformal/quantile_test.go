@@ -1,0 +1,206 @@
+package conformal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantileExactIndex(t *testing.T) {
+	scores := []float64{5, 1, 3, 2, 4} // sorted: 1 2 3 4 5
+	// n=5, alpha=0.1: ceil(6*0.9)=6 > 5 -> clamp to 5th smallest = 5.
+	q, err := Quantile(scores, 0.1)
+	if err != nil || q != 5 {
+		t.Fatalf("Quantile = %v, %v; want 5", q, err)
+	}
+	// alpha=0.5: ceil(6*0.5)=3 -> 3rd smallest = 3.
+	q, err = Quantile(scores, 0.5)
+	if err != nil || q != 3 {
+		t.Fatalf("Quantile = %v, %v; want 3", q, err)
+	}
+	// Input must not be reordered.
+	if scores[0] != 5 || scores[4] != 4 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestQuantileNineteenPoints(t *testing.T) {
+	// n=19, alpha=0.1: ceil(20*0.9)=18 -> 18th smallest.
+	scores := make([]float64, 19)
+	for i := range scores {
+		scores[i] = float64(i + 1)
+	}
+	q, err := Quantile(scores, 0.1)
+	if err != nil || q != 18 {
+		t.Fatalf("Quantile = %v, %v; want 18", q, err)
+	}
+}
+
+func TestQuantileValidation(t *testing.T) {
+	if _, err := Quantile(nil, 0.1); err == nil {
+		t.Fatal("empty scores should fail")
+	}
+	for _, a := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := Quantile([]float64{1}, a); err == nil {
+			t.Fatalf("alpha=%v should fail", a)
+		}
+		if _, err := LowerQuantile([]float64{1}, a); err == nil {
+			t.Fatalf("LowerQuantile alpha=%v should fail", a)
+		}
+	}
+	if _, err := LowerQuantile(nil, 0.1); err == nil {
+		t.Fatal("empty LowerQuantile should fail")
+	}
+}
+
+func TestLowerQuantile(t *testing.T) {
+	scores := make([]float64, 19)
+	for i := range scores {
+		scores[i] = float64(i + 1)
+	}
+	// floor(20*0.1)=2 -> 2nd smallest.
+	q, err := LowerQuantile(scores, 0.1)
+	if err != nil || q != 2 {
+		t.Fatalf("LowerQuantile = %v, %v; want 2", q, err)
+	}
+	// Clamp to at least the smallest.
+	q, err = LowerQuantile([]float64{7, 3}, 0.05)
+	if err != nil || q != 3 {
+		t.Fatalf("LowerQuantile clamp = %v, %v; want 3", q, err)
+	}
+}
+
+func TestIntervalMethods(t *testing.T) {
+	iv := Interval{Lo: 1, Hi: 3}
+	if iv.Width() != 2 {
+		t.Errorf("Width = %v", iv.Width())
+	}
+	if !iv.Contains(1) || !iv.Contains(3) || iv.Contains(0.5) || iv.Contains(3.5) {
+		t.Error("Contains wrong at boundaries")
+	}
+	clipped := Interval{Lo: -1, Hi: 9}.Clip(0, 5)
+	if clipped.Lo != 0 || clipped.Hi != 5 {
+		t.Errorf("Clip = %+v", clipped)
+	}
+	// Degenerate clip keeps Lo <= Hi.
+	deg := Interval{Lo: 8, Hi: 9}.Clip(0, 5)
+	if deg.Lo > deg.Hi {
+		t.Errorf("Clip produced inverted interval %+v", deg)
+	}
+}
+
+// Property: for every score type, the interval built from a (pred, truth)
+// pair's own score always contains the truth — the inversion identity that
+// makes conformal calibration valid.
+func TestScoreInversionProperty(t *testing.T) {
+	scores := []Score{ResidualScore{}, QErrorScore{}, RelativeScore{}}
+	for _, sc := range scores {
+		sc := sc
+		f := func(rawPred, rawTruth uint16) bool {
+			pred := float64(rawPred) / 65535.0
+			truth := float64(rawTruth) / 65535.0
+			s := sc.Of(pred, truth)
+			iv := sc.Interval(pred, s)
+			// Allow a hair of float slop at the boundary.
+			return iv.Lo <= truth+1e-9 && truth <= iv.Hi+1e-9
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%s: inversion property failed: %v", sc.Name(), err)
+		}
+	}
+}
+
+func TestScoreIntervalMonotoneInDelta(t *testing.T) {
+	for _, sc := range []Score{ResidualScore{}, QErrorScore{}, RelativeScore{}} {
+		small := sc.Interval(0.3, sc.Of(0.3, 0.31))
+		large := sc.Interval(0.3, sc.Of(0.3, 0.9))
+		if large.Width() < small.Width() {
+			t.Errorf("%s: wider score gave narrower interval", sc.Name())
+		}
+	}
+}
+
+func TestQErrorScoreSpecifics(t *testing.T) {
+	var q QErrorScore
+	if got := q.Of(0.2, 0.1); math.Abs(got-2) > 1e-12 {
+		t.Errorf("q-error = %v, want 2", got)
+	}
+	if got := q.Of(0.1, 0.2); math.Abs(got-2) > 1e-12 {
+		t.Errorf("q-error symmetric = %v, want 2", got)
+	}
+	// Zero truth falls back to the epsilon floor rather than dividing by 0.
+	if got := q.Of(0.1, 0); math.IsInf(got, 1) || math.IsNaN(got) {
+		t.Errorf("q-error with zero truth = %v", got)
+	}
+	// Delta below 1 clamps to the identity interval around pred.
+	iv := q.Interval(0.5, 0.5)
+	if iv.Lo > 0.5 || iv.Hi < 0.5 {
+		t.Errorf("q-error interval with delta<1: %+v", iv)
+	}
+}
+
+func TestRelativeScoreInfiniteUpper(t *testing.T) {
+	var r RelativeScore
+	iv := r.Interval(0.5, 1.5)
+	if !math.IsInf(iv.Hi, 1) {
+		t.Errorf("delta >= 1 should give +inf upper bound, got %v", iv.Hi)
+	}
+	clipped := iv.Clip(0, 1)
+	if clipped.Hi != 1 {
+		t.Errorf("clipping should resolve infinity, got %v", clipped.Hi)
+	}
+}
+
+// Property: the conformal quantile dominates at least ceil((n+1)(1-alpha))-1
+// of the n scores — the combinatorial fact behind the coverage guarantee.
+func TestQuantileDominationProperty(t *testing.T) {
+	f := func(raw []uint16, aRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		alpha := 0.01 + 0.98*float64(aRaw)/255.0
+		scores := make([]float64, len(raw))
+		for i, v := range raw {
+			scores[i] = float64(v)
+		}
+		q, err := Quantile(scores, alpha)
+		if err != nil {
+			return false
+		}
+		covered := 0
+		for _, s := range scores {
+			if s <= q {
+				covered++
+			}
+		}
+		n := len(scores)
+		want := int(math.Ceil((1 - alpha) * float64(n+1)))
+		if want > n {
+			want = n
+		}
+		return covered >= want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LowerQuantile <= Quantile for every score set and alpha.
+func TestQuantileOrderingProperty(t *testing.T) {
+	f := func(raw []uint16, aRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		alpha := 0.01 + 0.48*float64(aRaw)/255.0 // alpha < 0.5
+		scores := make([]float64, len(raw))
+		for i, v := range raw {
+			scores[i] = float64(v)
+		}
+		lo, err1 := LowerQuantile(scores, alpha)
+		hi, err2 := Quantile(scores, alpha)
+		return err1 == nil && err2 == nil && lo <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

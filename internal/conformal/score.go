@@ -1,0 +1,85 @@
+package conformal
+
+import "math"
+
+// Score is a conformal scoring function: Of maps a (prediction, truth) pair
+// to a nonconformity score, and Interval inverts a calibrated score
+// threshold δ back into the set {y : Of(pred, y) <= δ}, which by
+// construction is an interval for all scores used here. Any exchangeable
+// scoring function yields valid coverage; informative ones yield tight
+// intervals (Section III-C of the paper).
+type Score interface {
+	Of(pred, truth float64) float64
+	Interval(pred, delta float64) Interval
+	Name() string
+}
+
+// epsSel guards divisions when selectivities are zero (the paper substitutes
+// cardinality 1 when the true or estimated cardinality is 0; in normalised
+// selectivity space we use a tiny positive floor).
+const epsSel = 1e-12
+
+// ResidualScore is the default scoring function: |y - pred|. Inverting gives
+// the symmetric interval [pred-δ, pred+δ].
+type ResidualScore struct{}
+
+// Of implements Score.
+func (ResidualScore) Of(pred, truth float64) float64 { return math.Abs(truth - pred) }
+
+// Interval implements Score.
+func (ResidualScore) Interval(pred, delta float64) Interval {
+	return Interval{Lo: pred - delta, Hi: pred + delta}
+}
+
+// Name implements Score.
+func (ResidualScore) Name() string { return "residual" }
+
+// QErrorScore scores with the q-error max(pred/y, y/pred) (>= 1). Inverting
+// threshold δ gives the multiplicative interval [pred/δ, pred*δ], which the
+// paper finds produces the tightest prediction intervals of the three
+// scoring functions.
+type QErrorScore struct{}
+
+// Of implements Score.
+func (QErrorScore) Of(pred, truth float64) float64 {
+	p := math.Max(pred, epsSel)
+	y := math.Max(truth, epsSel)
+	return math.Max(p/y, y/p)
+}
+
+// Interval implements Score.
+func (QErrorScore) Interval(pred, delta float64) Interval {
+	p := math.Max(pred, epsSel)
+	if delta < 1 {
+		delta = 1
+	}
+	return Interval{Lo: p / delta, Hi: p * delta}
+}
+
+// Name implements Score.
+func (QErrorScore) Name() string { return "qerror" }
+
+// RelativeScore scores with the relative error |y - pred| / y. Inverting δ
+// gives y ∈ [pred/(1+δ), pred/(1-δ)] (upper bound +∞ when δ >= 1, which the
+// caller's clipping to the feasible selectivity range resolves).
+type RelativeScore struct{}
+
+// Of implements Score.
+func (RelativeScore) Of(pred, truth float64) float64 {
+	y := math.Max(truth, epsSel)
+	return math.Abs(truth-pred) / y
+}
+
+// Interval implements Score.
+func (RelativeScore) Interval(pred, delta float64) Interval {
+	p := math.Max(pred, epsSel)
+	lo := p / (1 + delta)
+	hi := math.Inf(1)
+	if delta < 1 {
+		hi = p / (1 - delta)
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Name implements Score.
+func (RelativeScore) Name() string { return "relative" }

@@ -1,0 +1,129 @@
+package conformal
+
+import "fmt"
+
+// SplitCP is a calibrated split conformal predictor (Algorithm 2). It stores
+// the calibrated threshold δ; producing an interval for a new query is a
+// single Score.Interval call — the cheapest inference of the four methods.
+type SplitCP struct {
+	// Delta is the calibrated ⌈(n+1)(1−α)⌉-quantile of the scores.
+	Delta float64
+	// Alpha is the miscoverage level the predictor was calibrated for.
+	Alpha float64
+	score Score
+}
+
+// CalibrateSplit computes the conformal score of every calibration pair and
+// returns a SplitCP holding the calibrated quantile.
+func CalibrateSplit(preds, truths []float64, score Score, alpha float64) (*SplitCP, error) {
+	if len(preds) != len(truths) {
+		return nil, fmt.Errorf("conformal: %d predictions vs %d truths", len(preds), len(truths))
+	}
+	scores := make([]float64, len(preds))
+	for i := range preds {
+		scores[i] = score.Of(preds[i], truths[i])
+	}
+	delta, err := Quantile(scores, alpha)
+	if err != nil {
+		return nil, err
+	}
+	return &SplitCP{Delta: delta, Alpha: alpha, score: score}, nil
+}
+
+// Interval returns the prediction interval for a point estimate.
+func (s *SplitCP) Interval(pred float64) Interval {
+	return s.score.Interval(pred, s.Delta)
+}
+
+// Score returns the scoring function the predictor was calibrated with.
+func (s *SplitCP) Score() Score { return s.score }
+
+// LocallyWeighted is a calibrated locally weighted split conformal predictor
+// (Algorithm 3). Scores are normalised by a per-query difficulty estimate
+// U(X) before the quantile is taken, making intervals adaptive: narrow for
+// easy queries, wide for hard ones.
+type LocallyWeighted struct {
+	// Delta is the calibrated quantile of the scaled scores.
+	Delta float64
+	// Alpha is the miscoverage level.
+	Alpha float64
+	score Score
+}
+
+// minU floors difficulty estimates so that a degenerate U(X)=0 cannot
+// produce infinite scaled scores or zero-width intervals.
+const minU = 1e-9
+
+// CalibrateLocallyWeighted calibrates with scores scaled by u[i] = U(X_i).
+func CalibrateLocallyWeighted(preds, truths, u []float64, score Score, alpha float64) (*LocallyWeighted, error) {
+	if len(preds) != len(truths) || len(preds) != len(u) {
+		return nil, fmt.Errorf("conformal: mismatched lengths %d/%d/%d", len(preds), len(truths), len(u))
+	}
+	scores := make([]float64, len(preds))
+	for i := range preds {
+		ui := u[i]
+		if ui < minU {
+			ui = minU
+		}
+		scores[i] = score.Of(preds[i], truths[i]) / ui
+	}
+	delta, err := Quantile(scores, alpha)
+	if err != nil {
+		return nil, err
+	}
+	return &LocallyWeighted{Delta: delta, Alpha: alpha, score: score}, nil
+}
+
+// Interval returns the adaptive interval for a point estimate with
+// difficulty u = U(X): the base score threshold is δ·u.
+func (l *LocallyWeighted) Interval(pred, u float64) Interval {
+	if u < minU {
+		u = minU
+	}
+	return l.score.Interval(pred, l.Delta*u)
+}
+
+// CQR is a calibrated conformalized quantile regressor (Algorithm 4). The
+// caller trains two quantile regressors Q_lo (τ=α/2) and Q_hi (τ=1−α/2);
+// CQR conformalises their heuristic interval into a valid one.
+type CQR struct {
+	// Delta is the calibrated quantile of the CQR scores
+	// max(Q_lo(X)-y, y-Q_hi(X)).
+	Delta float64
+	// Alpha is the miscoverage level.
+	Alpha float64
+}
+
+// CalibrateCQR computes the CQR conformity scores over the calibration set.
+func CalibrateCQR(loPreds, hiPreds, truths []float64, alpha float64) (*CQR, error) {
+	if len(loPreds) != len(truths) || len(hiPreds) != len(truths) {
+		return nil, fmt.Errorf("conformal: mismatched lengths %d/%d/%d", len(loPreds), len(hiPreds), len(truths))
+	}
+	scores := make([]float64, len(truths))
+	for i := range truths {
+		a := loPreds[i] - truths[i]
+		b := truths[i] - hiPreds[i]
+		if a > b {
+			scores[i] = a
+		} else {
+			scores[i] = b
+		}
+	}
+	delta, err := Quantile(scores, alpha)
+	if err != nil {
+		return nil, err
+	}
+	return &CQR{Delta: delta, Alpha: alpha}, nil
+}
+
+// Interval widens (or, when the quantile models over-cover, shrinks) the
+// heuristic quantile-regression interval by the calibrated δ:
+// [Q_lo(X)−δ, Q_hi(X)+δ]. The result is naturally asymmetric and adaptive.
+func (c *CQR) Interval(lo, hi float64) Interval {
+	iv := Interval{Lo: lo - c.Delta, Hi: hi + c.Delta}
+	if iv.Lo > iv.Hi {
+		mid := (iv.Lo + iv.Hi) / 2
+		iv.Lo, iv.Hi = mid, mid
+	}
+	return iv
+}

@@ -1,0 +1,241 @@
+package conformal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synthetic regression problem: y = x + noise, model predicts x.
+func syntheticData(r *rand.Rand, n int, noise func(x float64) float64) (preds, truths []float64) {
+	for i := 0; i < n; i++ {
+		x := r.Float64()
+		preds = append(preds, x)
+		truths = append(truths, x+noise(x)*r.NormFloat64())
+	}
+	return preds, truths
+}
+
+func TestSplitCPCoverage(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	homo := func(float64) float64 { return 0.05 }
+	calP, calY := syntheticData(r, 2000, homo)
+	cp, err := CalibrateSplit(calP, calY, ResidualScore{}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testP, testY := syntheticData(r, 5000, homo)
+	var ivs []Interval
+	for _, p := range testP {
+		ivs = append(ivs, cp.Interval(p))
+	}
+	cov, err := Coverage(ivs, testY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov < 0.88 {
+		t.Fatalf("split-CP coverage %v < 0.88 at alpha=0.1", cov)
+	}
+	if cov > 0.96 {
+		t.Fatalf("split-CP grossly over-covers: %v (intervals not tight)", cov)
+	}
+	if cp.Score().Name() != "residual" {
+		t.Fatal("Score() accessor wrong")
+	}
+}
+
+func TestSplitCPConstantWidth(t *testing.T) {
+	cp := &SplitCP{Delta: 0.2, Alpha: 0.1, score: ResidualScore{}}
+	a := cp.Interval(0.3)
+	b := cp.Interval(0.7)
+	if math.Abs(a.Width()-b.Width()) > 1e-12 {
+		t.Fatal("S-CP with residual score must have constant width")
+	}
+	if math.Abs(a.Lo-0.1) > 1e-12 || math.Abs(a.Hi-0.5) > 1e-12 {
+		t.Fatalf("interval = %+v", a)
+	}
+}
+
+func TestSplitCPHigherCoverageWiderInterval(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	calP, calY := syntheticData(r, 1000, func(float64) float64 { return 0.05 })
+	var prev float64
+	for _, alpha := range []float64{0.1, 0.05, 0.01} {
+		cp, err := CalibrateSplit(calP, calY, ResidualScore{}, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cp.Delta < prev {
+			t.Fatalf("alpha=%v gave smaller delta %v than previous %v", alpha, cp.Delta, prev)
+		}
+		prev = cp.Delta
+	}
+}
+
+func TestSplitCPValidation(t *testing.T) {
+	if _, err := CalibrateSplit([]float64{1}, []float64{1, 2}, ResidualScore{}, 0.1); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := CalibrateSplit(nil, nil, ResidualScore{}, 0.1); err == nil {
+		t.Fatal("empty calibration should fail")
+	}
+}
+
+func TestLocallyWeightedCoverageAndAdaptivity(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	// Heteroscedastic noise: hard when x > 0.5.
+	noise := func(x float64) float64 {
+		if x > 0.5 {
+			return 0.15
+		}
+		return 0.01
+	}
+	calP, calY := syntheticData(r, 3000, noise)
+	u := make([]float64, len(calP))
+	for i, p := range calP {
+		u[i] = noise(p) // oracle difficulty
+	}
+	lw, err := CalibrateLocallyWeighted(calP, calY, u, ResidualScore{}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testP, testY := syntheticData(r, 4000, noise)
+	var ivs []Interval
+	for _, p := range testP {
+		ivs = append(ivs, lw.Interval(p, noise(p)))
+	}
+	cov, err := Coverage(ivs, testY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov < 0.88 {
+		t.Fatalf("LW-S-CP coverage %v < 0.88", cov)
+	}
+	easy := lw.Interval(0.2, noise(0.2))
+	hard := lw.Interval(0.8, noise(0.8))
+	if easy.Width() >= hard.Width() {
+		t.Fatalf("adaptive widths wrong: easy %v >= hard %v", easy.Width(), hard.Width())
+	}
+}
+
+func TestLocallyWeightedTighterThanSplitOnHeteroscedastic(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	noise := func(x float64) float64 { return 0.01 + 0.2*x*x }
+	calP, calY := syntheticData(r, 3000, noise)
+	u := make([]float64, len(calP))
+	for i, p := range calP {
+		u[i] = noise(p)
+	}
+	cp, err := CalibrateSplit(calP, calY, ResidualScore{}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw, err := CalibrateLocallyWeighted(calP, calY, u, ResidualScore{}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testP, _ := syntheticData(r, 2000, noise)
+	var wCP, wLW float64
+	for _, p := range testP {
+		wCP += cp.Interval(p).Width()
+		wLW += lw.Interval(p, noise(p)).Width()
+	}
+	if wLW >= wCP {
+		t.Fatalf("LW-S-CP mean width %v not tighter than S-CP %v on heteroscedastic data",
+			wLW/2000, wCP/2000)
+	}
+}
+
+func TestLocallyWeightedZeroDifficultyGuard(t *testing.T) {
+	lw := &LocallyWeighted{Delta: 1, Alpha: 0.1, score: ResidualScore{}}
+	iv := lw.Interval(0.5, 0)
+	if math.IsNaN(iv.Lo) || math.IsNaN(iv.Hi) {
+		t.Fatal("zero difficulty produced NaN interval")
+	}
+	if _, err := CalibrateLocallyWeighted([]float64{1}, []float64{1}, []float64{1, 2}, ResidualScore{}, 0.1); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+}
+
+func TestCQRCoverageWithOracleQuantiles(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	// y = x + N(0, 0.1). Oracle 5%/95% quantiles: x ± 1.645*0.1.
+	sigma := 0.1
+	z := 1.6449
+	gen := func(n int) (lo, hi, y []float64) {
+		for i := 0; i < n; i++ {
+			x := r.Float64()
+			lo = append(lo, x-z*sigma)
+			hi = append(hi, x+z*sigma)
+			y = append(y, x+sigma*r.NormFloat64())
+		}
+		return
+	}
+	calLo, calHi, calY := gen(2000)
+	cqr, err := CalibrateCQR(calLo, calHi, calY, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testLo, testHi, testY := gen(4000)
+	var ivs []Interval
+	for i := range testLo {
+		ivs = append(ivs, cqr.Interval(testLo[i], testHi[i]))
+	}
+	cov, err := Coverage(ivs, testY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov < 0.88 || cov > 0.95 {
+		t.Fatalf("CQR coverage %v outside [0.88, 0.95]", cov)
+	}
+	// Oracle quantiles already cover ~90%, so |delta| should be small.
+	if math.Abs(cqr.Delta) > 0.05 {
+		t.Fatalf("CQR delta %v unexpectedly large for oracle quantiles", cqr.Delta)
+	}
+}
+
+func TestCQRCorrectsUnderCoveringQuantiles(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	sigma := 0.1
+	// Deliberately too-narrow heuristic quantiles (±0.5 sigma).
+	gen := func(n int) (lo, hi, y []float64) {
+		for i := 0; i < n; i++ {
+			x := r.Float64()
+			lo = append(lo, x-0.5*sigma)
+			hi = append(hi, x+0.5*sigma)
+			y = append(y, x+sigma*r.NormFloat64())
+		}
+		return
+	}
+	calLo, calHi, calY := gen(2000)
+	cqr, err := CalibrateCQR(calLo, calHi, calY, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cqr.Delta <= 0 {
+		t.Fatalf("delta should be positive to widen under-covering quantiles, got %v", cqr.Delta)
+	}
+	testLo, testHi, testY := gen(4000)
+	var ivs []Interval
+	for i := range testLo {
+		ivs = append(ivs, cqr.Interval(testLo[i], testHi[i]))
+	}
+	cov, _ := Coverage(ivs, testY)
+	if cov < 0.88 {
+		t.Fatalf("conformalized coverage %v < 0.88", cov)
+	}
+}
+
+func TestCQRDegenerateIntervalCollapses(t *testing.T) {
+	cqr := &CQR{Delta: -1, Alpha: 0.1}
+	iv := cqr.Interval(0.4, 0.6) // lo-δ = 1.4 > hi+δ = -0.4 -> collapse
+	if iv.Lo > iv.Hi {
+		t.Fatalf("degenerate CQR interval not collapsed: %+v", iv)
+	}
+}
+
+func TestCQRValidation(t *testing.T) {
+	if _, err := CalibrateCQR([]float64{1}, []float64{1, 2}, []float64{1}, 0.1); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+}

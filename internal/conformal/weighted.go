@@ -1,0 +1,108 @@
+package conformal
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Weighted split conformal prediction (Tibshirani et al., "Conformal
+// prediction under covariate shift", NeurIPS 2019) restores validity when
+// the test queries' covariate distribution differs from calibration by a
+// known (or estimated) likelihood ratio w(x) = dP_test(x)/dP_cal(x): each
+// calibration score is weighted by w(x_i) and the test point contributes
+// mass w(x_test) at +infinity. This directly addresses the paper's Figure 11
+// failure mode — coverage loss under workload shift — and pairs with the
+// martingale detector: detect the shift, estimate the ratio with a domain
+// classifier, and recover the guarantee.
+
+// WeightedQuantile returns the level-(1-alpha) quantile of the weighted
+// empirical distribution of the scores with an extra testWeight mass at
+// +infinity. It returns +Inf when the calibration weights cannot reach the
+// level — the honest answer when the shift makes calibration uninformative.
+func WeightedQuantile(scores, weights []float64, testWeight, alpha float64) (float64, error) {
+	if len(scores) != len(weights) {
+		return 0, fmt.Errorf("conformal: %d scores vs %d weights", len(scores), len(weights))
+	}
+	if len(scores) == 0 {
+		return 0, fmt.Errorf("conformal: empty score set")
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return 0, fmt.Errorf("conformal: alpha must be in (0,1), got %v", alpha)
+	}
+	if testWeight < 0 {
+		return 0, fmt.Errorf("conformal: negative test weight %v", testWeight)
+	}
+	type sw struct{ s, w float64 }
+	all := make([]sw, 0, len(scores))
+	var total float64
+	for i, s := range scores {
+		w := weights[i]
+		if w < 0 {
+			return 0, fmt.Errorf("conformal: negative weight %v at %d", w, i)
+		}
+		all = append(all, sw{s, w})
+		total += w
+	}
+	total += testWeight
+	if total <= 0 {
+		return 0, fmt.Errorf("conformal: all weights are zero")
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].s < all[j].s })
+	target := (1 - alpha) * total
+	var acc float64
+	for _, e := range all {
+		acc += e.w
+		if acc >= target {
+			return e.s, nil
+		}
+	}
+	// The +infinity mass is needed to reach the level.
+	return math.Inf(1), nil
+}
+
+// WeightedSplitCP is a calibrated weighted split conformal predictor. The
+// threshold depends on the test point's weight, so it is computed per query.
+type WeightedSplitCP struct {
+	Alpha float64
+
+	score   Score
+	scores  []float64
+	weights []float64
+}
+
+// CalibrateWeightedSplit stores the calibration scores with their
+// likelihood-ratio weights w(x_i).
+func CalibrateWeightedSplit(preds, truths, weights []float64, score Score, alpha float64) (*WeightedSplitCP, error) {
+	if len(preds) != len(truths) || len(preds) != len(weights) {
+		return nil, fmt.Errorf("conformal: mismatched lengths %d/%d/%d", len(preds), len(truths), len(weights))
+	}
+	if len(preds) == 0 {
+		return nil, fmt.Errorf("conformal: empty calibration set")
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return nil, fmt.Errorf("conformal: alpha must be in (0,1), got %v", alpha)
+	}
+	scores := make([]float64, len(preds))
+	for i := range preds {
+		scores[i] = score.Of(preds[i], truths[i])
+	}
+	return &WeightedSplitCP{
+		Alpha: alpha, score: score,
+		scores: scores, weights: append([]float64(nil), weights...),
+	}, nil
+}
+
+// Interval returns the prediction interval for a point estimate whose
+// likelihood-ratio weight is testWeight = w(x_test). Infinite thresholds
+// produce the trivial full interval, which the caller's clipping bounds.
+func (w *WeightedSplitCP) Interval(pred, testWeight float64) (Interval, error) {
+	delta, err := WeightedQuantile(w.scores, w.weights, testWeight, w.Alpha)
+	if err != nil {
+		return Interval{}, err
+	}
+	if math.IsInf(delta, 1) {
+		return Interval{Lo: math.Inf(-1), Hi: math.Inf(1)}, nil
+	}
+	return w.score.Interval(pred, delta), nil
+}

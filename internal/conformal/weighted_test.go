@@ -1,0 +1,133 @@
+package conformal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWeightedQuantileReducesToUnweighted(t *testing.T) {
+	scores := []float64{1, 2, 3, 4, 5}
+	ones := []float64{1, 1, 1, 1, 1}
+	wq, err := WeightedQuantile(scores, ones, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Quantile(scores, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wq != q {
+		t.Fatalf("uniform-weight quantile %v != conformal quantile %v", wq, q)
+	}
+}
+
+func TestWeightedQuantileInfinity(t *testing.T) {
+	// A huge test weight forces the +infinity mass into the quantile.
+	q, err := WeightedQuantile([]float64{1, 2}, []float64{1, 1}, 100, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(q, 1) {
+		t.Fatalf("quantile = %v, want +inf", q)
+	}
+}
+
+func TestWeightedQuantileValidation(t *testing.T) {
+	if _, err := WeightedQuantile([]float64{1}, []float64{1, 2}, 1, 0.1); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := WeightedQuantile(nil, nil, 1, 0.1); err == nil {
+		t.Fatal("empty should fail")
+	}
+	if _, err := WeightedQuantile([]float64{1}, []float64{-1}, 1, 0.1); err == nil {
+		t.Fatal("negative weight should fail")
+	}
+	if _, err := WeightedQuantile([]float64{1}, []float64{0}, 0, 0.1); err == nil {
+		t.Fatal("all-zero weights should fail")
+	}
+	if _, err := WeightedQuantile([]float64{1}, []float64{1}, -1, 0.1); err == nil {
+		t.Fatal("negative test weight should fail")
+	}
+}
+
+// Covariate-shift setup: x ~ Uniform on calibration but test concentrates on
+// x > 0.5, where the noise is larger. Plain split conformal undercovers; the
+// weighted variant with the true likelihood ratio restores coverage.
+func TestWeightedSplitRecoversCoverageUnderShift(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	noise := func(x float64) float64 {
+		if x > 0.5 {
+			return 0.3
+		}
+		return 0.02
+	}
+	// Calibration: x uniform on [0,1].
+	n := 3000
+	calX := make([]float64, n)
+	calP := make([]float64, n)
+	calY := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := r.Float64()
+		calX[i] = x
+		calP[i] = x
+		calY[i] = x + noise(x)*r.NormFloat64()
+	}
+	// Test: x uniform on [0.5, 1] — density ratio w(x) = 2 for x>0.5, 0 below.
+	weight := func(x float64) float64 {
+		if x > 0.5 {
+			return 2
+		}
+		return 0
+	}
+	weights := make([]float64, n)
+	for i, x := range calX {
+		weights[i] = weight(x)
+	}
+
+	plain, err := CalibrateSplit(calP, calY, ResidualScore{}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := CalibrateWeightedSplit(calP, calY, weights, ResidualScore{}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var plainHits, weightedHits, total int
+	for i := 0; i < 3000; i++ {
+		x := 0.5 + 0.5*r.Float64()
+		y := x + noise(x)*r.NormFloat64()
+		if plain.Interval(x).Contains(y) {
+			plainHits++
+		}
+		iv, err := weighted.Interval(x, weight(x))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.Contains(y) {
+			weightedHits++
+		}
+		total++
+	}
+	plainCov := float64(plainHits) / float64(total)
+	weightedCov := float64(weightedHits) / float64(total)
+	if plainCov >= 0.85 {
+		t.Fatalf("plain S-CP unexpectedly covers (%v) — shift scenario too weak", plainCov)
+	}
+	if weightedCov < 0.88 {
+		t.Fatalf("weighted CP coverage %v < 0.88", weightedCov)
+	}
+}
+
+func TestWeightedSplitValidation(t *testing.T) {
+	if _, err := CalibrateWeightedSplit([]float64{1}, []float64{1}, []float64{1, 2}, ResidualScore{}, 0.1); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := CalibrateWeightedSplit(nil, nil, nil, ResidualScore{}, 0.1); err == nil {
+		t.Fatal("empty should fail")
+	}
+	if _, err := CalibrateWeightedSplit([]float64{1}, []float64{1}, []float64{1}, ResidualScore{}, 1.5); err == nil {
+		t.Fatal("bad alpha should fail")
+	}
+}

@@ -1,0 +1,42 @@
+package dataset
+
+import "testing"
+
+func BenchmarkCount(b *testing.B) {
+	tab, err := GenerateDMV(GenConfig{Rows: 100000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	preds := []Predicate{
+		{Col: "state", Op: OpEq, Lo: 3},
+		{Col: "model_year", Op: OpRange, Lo: 40, Hi: 90},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tab.Count(preds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJoinCount(b *testing.B) {
+	sch, err := GenerateJOB(GenConfig{Rows: 5000, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := JoinQuery{
+		Tables: []string{"cast_info", "movie_info"},
+		Preds: map[string][]Predicate{
+			"title":     {{Col: "kind_id", Op: OpEq, Lo: 0}},
+			"cast_info": {{Col: "ci_role_id", Op: OpRange, Lo: 0, Hi: 4}},
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sch.JoinCount(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// FromCSV loads a table from CSV data with a header row. Column types are
+// inferred per column: if every non-empty value parses as an integer the
+// column is Numeric (domain = observed [min, max]); otherwise values are
+// dictionary-encoded as a Categorical column (codes assigned in order of
+// first appearance; the dictionary is retained for lookups, so queries can
+// reference string values). Empty fields are rejected — the estimation
+// substrate has no NULL semantics.
+func FromCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = false
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	if len(header) == 0 {
+		return nil, fmt.Errorf("dataset: empty CSV header")
+	}
+	raw := make([][]string, len(header))
+	rowCount := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV row %d: %w", rowCount+2, err)
+		}
+		for i, v := range rec {
+			if v == "" {
+				return nil, fmt.Errorf("dataset: empty value in column %q at row %d", header[i], rowCount+2)
+			}
+			raw[i] = append(raw[i], v)
+		}
+		rowCount++
+	}
+	if rowCount == 0 {
+		return nil, fmt.Errorf("dataset: CSV has no data rows")
+	}
+
+	cols := make([]*Column, len(header))
+	for ci, colName := range header {
+		cols[ci] = inferColumn(colName, raw[ci])
+	}
+	return NewTable(name, cols)
+}
+
+// inferColumn builds a Numeric column when every value is an integer, and a
+// dictionary-encoded Categorical column otherwise.
+func inferColumn(name string, values []string) *Column {
+	ints := make([]int64, len(values))
+	numeric := true
+	for i, v := range values {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			numeric = false
+			break
+		}
+		ints[i] = n
+	}
+	if numeric {
+		min, max := ints[0], ints[0]
+		for _, v := range ints {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		return &Column{Name: name, Type: Numeric, Values: ints, Min: min, Max: max}
+	}
+	// Dictionary encoding in order of first appearance.
+	codes := make([]int64, len(values))
+	lookup := make(map[string]int64)
+	var dict []string
+	for i, v := range values {
+		code, ok := lookup[v]
+		if !ok {
+			code = int64(len(dict))
+			lookup[v] = code
+			dict = append(dict, v)
+		}
+		codes[i] = code
+	}
+	return &Column{
+		Name: name, Type: Categorical, Values: codes,
+		DomainSize: int64(len(dict)), Max: int64(len(dict)) - 1,
+		Dict: dict, lookup: lookup,
+	}
+}
+
+// Code returns the dictionary code for a string value of a categorical
+// column, or false if the value (or a dictionary) is absent.
+func (c *Column) Code(value string) (int64, bool) {
+	if c.lookup == nil {
+		return 0, false
+	}
+	code, ok := c.lookup[value]
+	return code, ok
+}
+
+// Value returns the original string for a dictionary code, or false when
+// the column has no dictionary or the code is out of range.
+func (c *Column) Value(code int64) (string, bool) {
+	if c.Dict == nil || code < 0 || code >= int64(len(c.Dict)) {
+		return "", false
+	}
+	return c.Dict[code], true
+}

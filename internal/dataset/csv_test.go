@@ -1,0 +1,98 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `city,population,region
+springfield,30000,midwest
+shelbyville,21000,midwest
+ogdenville,9000,west
+springfield,30000,midwest
+capital_city,150000,east
+`
+
+func TestFromCSV(t *testing.T) {
+	tab, err := FromCSV("cities", strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 5 || tab.NumCols() != 3 {
+		t.Fatalf("shape %dx%d", tab.NumRows(), tab.NumCols())
+	}
+	city := tab.Column("city")
+	if city.Type != Categorical || city.DomainSize != 4 {
+		t.Fatalf("city column = %+v", city)
+	}
+	// Dictionary order follows first appearance.
+	if v, ok := city.Value(0); !ok || v != "springfield" {
+		t.Fatalf("Value(0) = %q, %v", v, ok)
+	}
+	if code, ok := city.Code("capital_city"); !ok || code != 3 {
+		t.Fatalf("Code(capital_city) = %d, %v", code, ok)
+	}
+	if _, ok := city.Code("nowhere"); ok {
+		t.Fatal("unknown value should not resolve")
+	}
+	pop := tab.Column("population")
+	if pop.Type != Numeric || pop.Min != 9000 || pop.Max != 150000 {
+		t.Fatalf("population column = %+v", pop)
+	}
+	// Duplicate rows share codes.
+	if city.Values[0] != city.Values[3] {
+		t.Fatal("duplicate values got different codes")
+	}
+	// Counting works end to end.
+	n, err := tab.Count([]Predicate{{Col: "region", Op: OpEq, Lo: mustCode(t, tab, "region", "midwest")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("midwest count = %d, want 3", n)
+	}
+}
+
+func mustCode(t *testing.T, tab *Table, col, val string) int64 {
+	t.Helper()
+	code, ok := tab.Column(col).Code(val)
+	if !ok {
+		t.Fatalf("no code for %s=%q", col, val)
+	}
+	return code
+}
+
+func TestFromCSVErrors(t *testing.T) {
+	cases := []string{
+		"",          // no header
+		"a,b\n",     // no data rows
+		"a,b\n1\n",  // ragged
+		"a,b\n1,\n", // empty value
+	}
+	for i, c := range cases {
+		if _, err := FromCSV("t", strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: bad CSV accepted", i)
+		}
+	}
+}
+
+func TestColumnValueWithoutDict(t *testing.T) {
+	c := catCol("c", []int64{0, 1}, 2)
+	if _, ok := c.Value(0); ok {
+		t.Fatal("synthetic column should have no dictionary")
+	}
+	if _, ok := c.Code("x"); ok {
+		t.Fatal("synthetic column should not resolve strings")
+	}
+}
+
+func TestFromCSVNegativeNumbers(t *testing.T) {
+	tab, err := FromCSV("t", strings.NewReader("delta\n-5\n10\n-3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tab.Column("delta")
+	if c.Type != Numeric || c.Min != -5 || c.Max != 10 {
+		t.Fatalf("column = %+v", c)
+	}
+}

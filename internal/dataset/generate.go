@@ -1,0 +1,281 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenConfig controls synthetic single-table generation.
+type GenConfig struct {
+	// Rows is the number of tuples to generate.
+	Rows int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Validate checks the configuration.
+func (c GenConfig) Validate() error {
+	if c.Rows <= 0 {
+		return fmt.Errorf("dataset: Rows must be positive, got %d", c.Rows)
+	}
+	return nil
+}
+
+// zipfCodes draws n categorical codes from a Zipf(s) distribution over
+// [0, domain). s > 1 controls skew; larger s is more skewed.
+func zipfCodes(r *rand.Rand, n int, domain int64, s float64) []int64 {
+	z := rand.NewZipf(r, s, 1, uint64(domain-1))
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(z.Uint64())
+	}
+	return out
+}
+
+// uniformCodes draws n codes uniformly over [0, domain).
+func uniformCodes(r *rand.Rand, n int, domain int64) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = r.Int63n(domain)
+	}
+	return out
+}
+
+// correlate derives a column from base: with probability fidelity each value
+// is a deterministic function of the base value (modular hash into the target
+// domain); otherwise it is drawn uniformly. High fidelity produces the strong
+// inter-column correlations that make learned estimators err — the
+// heteroscedasticity the locally weighted conformal method exploits.
+func correlate(r *rand.Rand, base []int64, domain int64, fidelity float64) []int64 {
+	out := make([]int64, len(base))
+	for i, b := range base {
+		if r.Float64() < fidelity {
+			out[i] = (b*2654435761 + 17) % domain
+			if out[i] < 0 {
+				out[i] += domain
+			}
+		} else {
+			out[i] = r.Int63n(domain)
+		}
+	}
+	return out
+}
+
+// gaussianInts draws n integers from a clipped Gaussian over [0, max].
+func gaussianInts(r *rand.Rand, n int, mean, stddev float64, max int64) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		v := int64(r.NormFloat64()*stddev + mean)
+		if v < 0 {
+			v = 0
+		}
+		if v > max {
+			v = max
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// catCol builds a categorical column descriptor.
+func catCol(name string, values []int64, domain int64) *Column {
+	return &Column{Name: name, Type: Categorical, Values: values, DomainSize: domain, Max: domain - 1}
+}
+
+// numCol builds a numeric column descriptor.
+func numCol(name string, values []int64, min, max int64) *Column {
+	return &Column{Name: name, Type: Numeric, Values: values, Min: min, Max: max}
+}
+
+// GenerateDMV synthesises a table with the shape of the DMV vehicle
+// registration dataset: 11 columns of which 10 are categorical, with strongly
+// Zipf-skewed marginals and several highly correlated column pairs
+// (e.g. body type determined largely by vehicle class).
+func GenerateDMV(cfg GenConfig) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Rows
+
+	record := zipfCodes(r, n, 60, 1.4)         // record_type-like hub column
+	regClass := correlate(r, record, 40, 0.85) // registration class follows record type
+	state := zipfCodes(r, n, 50, 1.2)
+	county := correlate(r, state, 62, 0.9) // county follows state
+	bodyType := zipfCodes(r, n, 30, 1.6)
+	fuel := correlate(r, bodyType, 9, 0.8) // fuel type follows body type
+	color := zipfCodes(r, n, 20, 1.1)
+	scofflaw := uniformCodes(r, n, 2)
+	suspend := correlate(r, scofflaw, 2, 0.7)
+	revoked := uniformCodes(r, n, 2)
+	modelYear := gaussianInts(r, n, 70, 18, 119) // numeric: 120 model years
+
+	cols := []*Column{
+		catCol("record_type", record, 60),
+		catCol("reg_class", regClass, 40),
+		catCol("state", state, 50),
+		catCol("county", county, 62),
+		catCol("body_type", bodyType, 30),
+		catCol("fuel_type", fuel, 9),
+		catCol("color", color, 20),
+		catCol("scofflaw", scofflaw, 2),
+		catCol("suspension", suspend, 2),
+		catCol("revoked", revoked, 2),
+		numCol("model_year", modelYear, 0, 119),
+	}
+	return NewTable("dmv", cols)
+}
+
+// GenerateCensus synthesises a Census-income-like table: mixed categorical and
+// numeric columns with moderate skew and education/occupation correlation.
+func GenerateCensus(cfg GenConfig) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Rows
+
+	age := gaussianInts(r, n, 40, 14, 90)
+	workclass := zipfCodes(r, n, 9, 1.5)
+	education := zipfCodes(r, n, 16, 1.3)
+	occupation := correlate(r, education, 15, 0.75)
+	marital := zipfCodes(r, n, 7, 1.2)
+	relationship := correlate(r, marital, 6, 0.8)
+	race := zipfCodes(r, n, 5, 1.8)
+	sex := uniformCodes(r, n, 2)
+	hours := gaussianInts(r, n, 40, 12, 99)
+	country := zipfCodes(r, n, 42, 2.0)
+
+	cols := []*Column{
+		numCol("age", age, 0, 90),
+		catCol("workclass", workclass, 9),
+		catCol("education", education, 16),
+		catCol("occupation", occupation, 15),
+		catCol("marital_status", marital, 7),
+		catCol("relationship", relationship, 6),
+		catCol("race", race, 5),
+		catCol("sex", sex, 2),
+		numCol("hours_per_week", hours, 0, 99),
+		catCol("native_country", country, 42),
+	}
+	return NewTable("census", cols)
+}
+
+// GenerateForest synthesises a Forest-cover-like table: 10 numeric columns
+// over moderately wide ordered domains, with elevation-driven correlations.
+func GenerateForest(cfg GenConfig) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Rows
+
+	elev := gaussianInts(r, n, 500, 140, 999)
+	aspect := uniformCodes(r, n, 360)
+	slope := gaussianInts(r, n, 15, 8, 66)
+	// Hydrology distances correlate with elevation.
+	hDist := make([]int64, n)
+	vDist := make([]int64, n)
+	for i := range hDist {
+		hDist[i] = clampI64(elev[i]/2+int64(r.NormFloat64()*60), 0, 999)
+		vDist[i] = clampI64(elev[i]/4+int64(r.NormFloat64()*40), 0, 700)
+	}
+	road := gaussianInts(r, n, 400, 180, 999)
+	shade9 := gaussianInts(r, n, 212, 30, 254)
+	shadeNoon := gaussianInts(r, n, 223, 25, 254)
+	shade3 := gaussianInts(r, n, 142, 35, 254)
+	fire := gaussianInts(r, n, 300, 160, 999)
+
+	cols := []*Column{
+		numCol("elevation", elev, 0, 999),
+		numCol("aspect", aspect, 0, 359),
+		numCol("slope", slope, 0, 66),
+		numCol("horiz_dist_hydro", hDist, 0, 999),
+		numCol("vert_dist_hydro", vDist, 0, 700),
+		numCol("horiz_dist_road", road, 0, 999),
+		numCol("hillshade_9am", shade9, 0, 254),
+		numCol("hillshade_noon", shadeNoon, 0, 254),
+		numCol("hillshade_3pm", shade3, 0, 254),
+		numCol("horiz_dist_fire", fire, 0, 999),
+	}
+	return NewTable("forest", cols)
+}
+
+// GeneratePower synthesises a household-power-consumption-like table:
+// 7 numeric columns (discretised continuous measurements) with strong
+// correlation between global active power and sub-meterings.
+func GeneratePower(cfg GenConfig) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Rows
+
+	active := gaussianInts(r, n, 300, 150, 999)
+	reactive := make([]int64, n)
+	voltage := gaussianInts(r, n, 500, 40, 999)
+	intensity := make([]int64, n)
+	sub1 := make([]int64, n)
+	sub2 := make([]int64, n)
+	sub3 := make([]int64, n)
+	for i := range active {
+		reactive[i] = clampI64(active[i]/5+int64(r.NormFloat64()*25), 0, 400)
+		intensity[i] = clampI64(active[i]/2+int64(r.NormFloat64()*30), 0, 600)
+		sub1[i] = clampI64(active[i]/8+int64(r.NormFloat64()*15), 0, 200)
+		sub2[i] = clampI64(active[i]/6+int64(r.NormFloat64()*20), 0, 250)
+		sub3[i] = clampI64(active[i]/3+int64(r.NormFloat64()*35), 0, 500)
+	}
+
+	cols := []*Column{
+		numCol("global_active_power", active, 0, 999),
+		numCol("global_reactive_power", reactive, 0, 400),
+		numCol("voltage", voltage, 0, 999),
+		numCol("global_intensity", intensity, 0, 600),
+		numCol("sub_metering_1", sub1, 0, 200),
+		numCol("sub_metering_2", sub2, 0, 250),
+		numCol("sub_metering_3", sub3, 0, 500),
+	}
+	return NewTable("power", cols)
+}
+
+// GenerateCorrelated synthesises a table of categorical column pairs with a
+// tunable dependence strength rho in [0, 1]: each even column is Zipf-skewed
+// and the following column equals a deterministic function of it with
+// probability rho (uniform otherwise). rho = 0 gives fully independent
+// columns; rho = 1 makes each pair functionally dependent. Used by the
+// correlation ablation to measure how estimator error — and hence prediction
+// interval width — grows with inter-column correlation.
+func GenerateCorrelated(cfg GenConfig, pairs int, rho float64) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if pairs <= 0 {
+		return nil, fmt.Errorf("dataset: pairs must be positive, got %d", pairs)
+	}
+	if rho < 0 || rho > 1 {
+		return nil, fmt.Errorf("dataset: rho must be in [0,1], got %v", rho)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Rows
+	var cols []*Column
+	for p := 0; p < pairs; p++ {
+		const domain = 24
+		base := zipfCodes(r, n, domain, 1.3)
+		dep := correlate(r, base, domain, rho)
+		cols = append(cols,
+			catCol(fmt.Sprintf("a%d", p), base, domain),
+			catCol(fmt.Sprintf("b%d", p), dep, domain),
+		)
+	}
+	return NewTable("correlated", cols)
+}
+
+func clampI64(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,343 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Relationship describes how a table connects to the schema's center table.
+type Relationship int
+
+const (
+	// DimOfCenter means the center table holds a foreign key into this
+	// table (N:1, e.g. a fact table referencing a dimension). The key of
+	// the dimension table is its row index.
+	DimOfCenter Relationship = iota
+	// SatelliteOfCenter means this table holds a foreign key into the
+	// center table (1:N, e.g. cast_info referencing title). The key of the
+	// center table is its row index.
+	SatelliteOfCenter
+)
+
+// JoinTable is a non-center table of a Schema together with its join edge.
+type JoinTable struct {
+	Table *Table
+	Rel   Relationship
+	// FKCol names the foreign-key column: a column of the center table for
+	// DimOfCenter edges, or a column of this table for SatelliteOfCenter.
+	FKCol string
+}
+
+// Schema is a star/snowflake-shaped multi-table database centred on one
+// table, covering both the DSB (fact → dimensions) and JOB (hub ← satellites)
+// join topologies used in the paper's multi-table experiments.
+type Schema struct {
+	Center *Table
+	Joins  map[string]JoinTable
+}
+
+// Tables returns all table names in the schema, center first, rest sorted.
+func (s *Schema) Tables() []string {
+	names := make([]string, 0, len(s.Joins))
+	for n := range s.Joins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return append([]string{s.Center.Name}, names...)
+}
+
+// Table returns the named table (center or joined), or nil.
+func (s *Schema) Table(name string) *Table {
+	if name == s.Center.Name {
+		return s.Center
+	}
+	if jt, ok := s.Joins[name]; ok {
+		return jt.Table
+	}
+	return nil
+}
+
+// JoinQuery is a select-project-join query over a Schema: the center table
+// joined with a subset of its connected tables, with conjunctive predicates
+// per table.
+type JoinQuery struct {
+	// Tables lists the joined tables besides the center.
+	Tables []string
+	// Preds maps table name (including the center) to its conjuncts.
+	Preds map[string][]Predicate
+}
+
+// JoinCount returns the exact cardinality of q over the schema. For N:1
+// dimension edges each center row matches at most one dimension row; for 1:N
+// satellite edges the contribution is the per-key count of satellite rows
+// passing that table's predicates. The result is
+//
+//	sum over center rows r passing center predicates of
+//	  prod over joined dims d  [dim row fk_d(r) passes d's predicates] *
+//	  prod over joined sats s  (# rows of s with fk == key(r) passing s's predicates)
+func (s *Schema) JoinCount(q JoinQuery) (int64, error) {
+	type dimCheck struct {
+		fk   []int64 // center FK column
+		pass []bool  // per-dim-row predicate result
+	}
+	type satCheck struct {
+		cnt []int64 // per-center-key count of passing satellite rows
+	}
+	var dims []dimCheck
+	var sats []satCheck
+
+	nCenter := s.Center.NumRows()
+	for _, name := range q.Tables {
+		jt, ok := s.Joins[name]
+		if !ok {
+			return 0, fmt.Errorf("dataset: schema has no join table %q", name)
+		}
+		preds := q.Preds[name]
+		switch jt.Rel {
+		case DimOfCenter:
+			fkCol := s.Center.Column(jt.FKCol)
+			if fkCol == nil {
+				return 0, fmt.Errorf("dataset: center %q missing FK column %q", s.Center.Name, jt.FKCol)
+			}
+			pass := make([]bool, jt.Table.NumRows())
+			rows, err := jt.Table.MatchingRows(preds)
+			if err != nil {
+				return 0, err
+			}
+			for _, i := range rows {
+				pass[i] = true
+			}
+			dims = append(dims, dimCheck{fk: fkCol.Values, pass: pass})
+		case SatelliteOfCenter:
+			fkCol := jt.Table.Column(jt.FKCol)
+			if fkCol == nil {
+				return 0, fmt.Errorf("dataset: satellite %q missing FK column %q", name, jt.FKCol)
+			}
+			cnt := make([]int64, nCenter)
+			rows, err := jt.Table.MatchingRows(preds)
+			if err != nil {
+				return 0, err
+			}
+			for _, i := range rows {
+				k := fkCol.Values[i]
+				if k >= 0 && k < int64(nCenter) {
+					cnt[k]++
+				}
+			}
+			sats = append(sats, satCheck{cnt: cnt})
+		default:
+			return 0, fmt.Errorf("dataset: unknown relationship %d for %q", jt.Rel, name)
+		}
+	}
+
+	centerRows, err := s.Center.MatchingRows(q.Preds[s.Center.Name])
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+rows:
+	for _, r := range centerRows {
+		contrib := int64(1)
+		for _, d := range dims {
+			k := d.fk[r]
+			if k < 0 || k >= int64(len(d.pass)) || !d.pass[k] {
+				continue rows
+			}
+		}
+		for _, sct := range sats {
+			contrib *= sct.cnt[r]
+			if contrib == 0 {
+				continue rows
+			}
+		}
+		total += contrib
+	}
+	return total, nil
+}
+
+// MaxJoinCount returns an upper bound on any query's cardinality over the
+// joined tables in q: the cardinality of the unfiltered join. It is used to
+// normalise join-query selectivities.
+func (s *Schema) MaxJoinCount(tables []string) (int64, error) {
+	return s.JoinCount(JoinQuery{Tables: tables, Preds: nil})
+}
+
+// GenerateDSB synthesises a TPC-DS/DSB-like star schema: a store_sales fact
+// table referencing date_dim, item, store and customer dimensions, with
+// skewed foreign keys and correlated dimension attributes.
+func GenerateDSB(cfg GenConfig) (*Schema, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Rows
+	nDate := int64(365)
+	nItem := maxI64(int64(n/50), 20)
+	nStore := int64(25)
+	nCust := maxI64(int64(n/20), 50)
+
+	dateDim := MustNewTable("date_dim", []*Column{
+		numCol("d_month", gaussianInts(r, int(nDate), 6, 3.4, 11), 0, 11),
+		catCol("d_day_of_week", uniformCodes(r, int(nDate), 7), 7),
+		catCol("d_holiday", zipfCodes(r, int(nDate), 2, 3.0), 2),
+	})
+	itemCat := zipfCodes(r, int(nItem), 10, 1.3)
+	item := MustNewTable("item", []*Column{
+		catCol("i_category", itemCat, 10),
+		catCol("i_brand", correlate(r, itemCat, 50, 0.8), 50),
+		numCol("i_price", gaussianInts(r, int(nItem), 120, 80, 499), 0, 499),
+	})
+	store := MustNewTable("store", []*Column{
+		catCol("s_state", zipfCodes(r, int(nStore), 10, 1.2), 10),
+		numCol("s_floor_space", gaussianInts(r, int(nStore), 400, 150, 999), 0, 999),
+	})
+	custState := zipfCodes(r, int(nCust), 50, 1.4)
+	customer := MustNewTable("customer", []*Column{
+		catCol("c_state", custState, 50),
+		catCol("c_gender", uniformCodes(r, int(nCust), 2), 2),
+		numCol("c_birth_year", gaussianInts(r, int(nCust), 45, 20, 99), 0, 99),
+	})
+
+	factDate := zipfCodes(r, n, nDate, 1.1)
+	factItem := zipfCodes(r, n, nItem, 1.3)
+	factStore := zipfCodes(r, n, nStore, 1.2)
+	factCust := zipfCodes(r, n, nCust, 1.1)
+	fact := MustNewTable("store_sales", []*Column{
+		catCol("ss_sold_date_sk", factDate, nDate),
+		catCol("ss_item_sk", factItem, nItem),
+		catCol("ss_store_sk", factStore, nStore),
+		catCol("ss_customer_sk", factCust, nCust),
+		numCol("ss_quantity", gaussianInts(r, n, 20, 12, 99), 0, 99),
+		numCol("ss_sales_price", gaussianInts(r, n, 150, 90, 499), 0, 499),
+	})
+
+	return &Schema{
+		Center: fact,
+		Joins: map[string]JoinTable{
+			"date_dim": {Table: dateDim, Rel: DimOfCenter, FKCol: "ss_sold_date_sk"},
+			"item":     {Table: item, Rel: DimOfCenter, FKCol: "ss_item_sk"},
+			"store":    {Table: store, Rel: DimOfCenter, FKCol: "ss_store_sk"},
+			"customer": {Table: customer, Rel: DimOfCenter, FKCol: "ss_customer_sk"},
+		},
+	}, nil
+}
+
+// GenerateJOB synthesises a JOB/IMDB-like snowflake: a title hub with
+// satellite tables (movie_info, cast_info, movie_companies, movie_keyword)
+// each holding many rows per title, producing the fan-out joins that make
+// traditional estimators underestimate correlated queries.
+func GenerateJOB(cfg GenConfig) (*Schema, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	nTitle := cfg.Rows
+
+	kind := zipfCodes(r, nTitle, 7, 1.5)
+	year := gaussianInts(r, nTitle, 80, 25, 129) // production year offset
+	title := MustNewTable("title", []*Column{
+		catCol("kind_id", kind, 7),
+		numCol("production_year", year, 0, 129),
+	})
+
+	// Satellite generator: rows per title follow a Zipf fan-out whose scale
+	// can depend on the owning title's attributes (popular kinds carry far
+	// more cast/info rows in IMDB), and satellite attributes correlate with
+	// the title's attributes. Both effects make traditional estimators —
+	// which assume uniform fan-out and attribute independence —
+	// underestimate exactly the correlated queries the paper highlights.
+	makeSat := func(name, fkName string, avgFan int, fanBoost func(titleRow int) int,
+		mk func(titleRow int) []int64, colDefs []*Column) *Table {
+		var fk []int64
+		var attrs [][]int64
+		for range colDefs {
+			attrs = append(attrs, nil)
+		}
+		fan := rand.NewZipf(r, 1.4, 1, uint64(4*avgFan))
+		for t := 0; t < nTitle; t++ {
+			k := int(fan.Uint64()) + 1
+			if fanBoost != nil {
+				k *= fanBoost(t)
+			}
+			for j := 0; j < k; j++ {
+				fk = append(fk, int64(t))
+				vals := mk(t)
+				for ci, v := range vals {
+					attrs[ci] = append(attrs[ci], v)
+				}
+			}
+		}
+		cols := []*Column{{Name: fkName, Type: Categorical, Values: fk, DomainSize: int64(nTitle), Max: int64(nTitle) - 1}}
+		for ci, def := range colDefs {
+			c := *def
+			c.Values = attrs[ci]
+			cols = append(cols, &c)
+		}
+		return MustNewTable(name, cols)
+	}
+
+	movieInfo := makeSat("movie_info", "mi_movie_id", 3, nil, func(t int) []int64 {
+		infoType := (kind[t]*3 + r.Int63n(4)) % 20
+		return []int64{infoType, r.Int63n(100)}
+	}, []*Column{
+		{Name: "mi_info_type", Type: Categorical, DomainSize: 20, Max: 19},
+		{Name: "mi_value", Type: Numeric, Max: 99},
+	})
+
+	// Cast fan-out explodes for the dominant kind: blockbusters have huge
+	// cast lists.
+	castInfo := makeSat("cast_info", "ci_movie_id", 5, func(t int) int {
+		if kind[t] == 0 {
+			return 6
+		}
+		return 1
+	}, func(t int) []int64 {
+		role := (year[t]/20 + r.Int63n(6)) % 11
+		return []int64{role}
+	}, []*Column{
+		{Name: "ci_role_id", Type: Categorical, DomainSize: 11, Max: 10},
+	})
+
+	movieCompanies := makeSat("movie_companies", "mc_movie_id", 2, nil, func(t int) []int64 {
+		ctype := (kind[t] + r.Int63n(2)) % 4
+		return []int64{ctype, zipfOne(r, 100, 1.4)}
+	}, []*Column{
+		{Name: "mc_company_type", Type: Categorical, DomainSize: 4, Max: 3},
+		{Name: "mc_company_id", Type: Categorical, DomainSize: 100, Max: 99},
+	})
+
+	// Keyword fan-out grows with recency: modern titles are tagged heavily.
+	movieKeyword := makeSat("movie_keyword", "mk_movie_id", 4, func(t int) int {
+		if year[t] >= 90 {
+			return 4
+		}
+		return 1
+	}, func(t int) []int64 {
+		return []int64{zipfOne(r, 200, 1.3)}
+	}, []*Column{
+		{Name: "mk_keyword_id", Type: Categorical, DomainSize: 200, Max: 199},
+	})
+
+	return &Schema{
+		Center: title,
+		Joins: map[string]JoinTable{
+			"movie_info":      {Table: movieInfo, Rel: SatelliteOfCenter, FKCol: "mi_movie_id"},
+			"cast_info":       {Table: castInfo, Rel: SatelliteOfCenter, FKCol: "ci_movie_id"},
+			"movie_companies": {Table: movieCompanies, Rel: SatelliteOfCenter, FKCol: "mc_movie_id"},
+			"movie_keyword":   {Table: movieKeyword, Rel: SatelliteOfCenter, FKCol: "mk_movie_id"},
+		},
+	}, nil
+}
+
+func zipfOne(r *rand.Rand, domain int64, s float64) int64 {
+	z := rand.NewZipf(r, s, 1, uint64(domain-1))
+	return int64(z.Uint64())
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

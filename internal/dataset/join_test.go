@@ -1,0 +1,187 @@
+package dataset
+
+import "testing"
+
+func TestDSBSchemaShape(t *testing.T) {
+	sch, err := GenerateDSB(GenConfig{Rows: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.Center.Name != "store_sales" {
+		t.Fatalf("center = %s", sch.Center.Name)
+	}
+	if len(sch.Joins) != 4 {
+		t.Fatalf("joins = %d, want 4", len(sch.Joins))
+	}
+	names := sch.Tables()
+	if names[0] != "store_sales" || len(names) != 5 {
+		t.Fatalf("Tables() = %v", names)
+	}
+	for _, n := range names {
+		if sch.Table(n) == nil {
+			t.Fatalf("Table(%q) = nil", n)
+		}
+	}
+	if sch.Table("nope") != nil {
+		t.Fatal("Table(nope) should be nil")
+	}
+}
+
+func TestJoinCountNoFilterEqualsFactSize(t *testing.T) {
+	sch, err := GenerateDSB(GenConfig{Rows: 1000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// N:1 joins with no predicates preserve fact cardinality.
+	n, err := sch.JoinCount(JoinQuery{Tables: []string{"item", "store"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(sch.Center.NumRows()) {
+		t.Fatalf("unfiltered star join = %d, want %d", n, sch.Center.NumRows())
+	}
+}
+
+func TestJoinCountDimFilterBruteForce(t *testing.T) {
+	sch, err := GenerateDSB(GenConfig{Rows: 800, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := JoinQuery{
+		Tables: []string{"item"},
+		Preds: map[string][]Predicate{
+			"store_sales": {{Col: "ss_quantity", Op: OpRange, Lo: 10, Hi: 40}},
+			"item":        {{Col: "i_category", Op: OpEq, Lo: 0}},
+		},
+	}
+	got, err := sch.JoinCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute force over fact rows.
+	item := sch.Joins["item"].Table
+	fk := sch.Center.Column("ss_item_sk").Values
+	qty := sch.Center.Column("ss_quantity").Values
+	cat := item.Column("i_category").Values
+	var want int64
+	for i := 0; i < sch.Center.NumRows(); i++ {
+		if qty[i] >= 10 && qty[i] <= 40 && cat[fk[i]] == 0 {
+			want++
+		}
+	}
+	if got != want {
+		t.Fatalf("JoinCount = %d, want %d", got, want)
+	}
+}
+
+func TestJOBSatelliteJoinBruteForce(t *testing.T) {
+	sch, err := GenerateJOB(GenConfig{Rows: 300, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := JoinQuery{
+		Tables: []string{"cast_info", "movie_info"},
+		Preds: map[string][]Predicate{
+			"title":      {{Col: "kind_id", Op: OpEq, Lo: 1}},
+			"cast_info":  {{Col: "ci_role_id", Op: OpRange, Lo: 0, Hi: 4}},
+			"movie_info": {{Col: "mi_info_type", Op: OpRange, Lo: 0, Hi: 9}},
+		},
+	}
+	got, err := sch.JoinCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute force: per-title counts multiplied.
+	ci := sch.Joins["cast_info"].Table
+	mi := sch.Joins["movie_info"].Table
+	ciCnt := make([]int64, sch.Center.NumRows())
+	for i := 0; i < ci.NumRows(); i++ {
+		if r := ci.Column("ci_role_id").Values[i]; r >= 0 && r <= 4 {
+			ciCnt[ci.Column("ci_movie_id").Values[i]]++
+		}
+	}
+	miCnt := make([]int64, sch.Center.NumRows())
+	for i := 0; i < mi.NumRows(); i++ {
+		if v := mi.Column("mi_info_type").Values[i]; v >= 0 && v <= 9 {
+			miCnt[mi.Column("mi_movie_id").Values[i]]++
+		}
+	}
+	var want int64
+	kind := sch.Center.Column("kind_id").Values
+	for tIdx := 0; tIdx < sch.Center.NumRows(); tIdx++ {
+		if kind[tIdx] == 1 {
+			want += ciCnt[tIdx] * miCnt[tIdx]
+		}
+	}
+	if got != want {
+		t.Fatalf("JoinCount = %d, want %d", got, want)
+	}
+}
+
+func TestJoinCountUnknownTable(t *testing.T) {
+	sch, err := GenerateDSB(GenConfig{Rows: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sch.JoinCount(JoinQuery{Tables: []string{"ghost"}}); err == nil {
+		t.Fatal("expected error for unknown join table")
+	}
+}
+
+func TestMaxJoinCountUpperBounds(t *testing.T) {
+	sch, err := GenerateJOB(GenConfig{Rows: 200, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := []string{"cast_info", "movie_keyword"}
+	max, err := sch.MaxJoinCount(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := sch.JoinCount(JoinQuery{
+		Tables: tables,
+		Preds: map[string][]Predicate{
+			"title": {{Col: "production_year", Op: OpRange, Lo: 40, Hi: 90}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filtered > max {
+		t.Fatalf("filtered join %d exceeds unfiltered max %d", filtered, max)
+	}
+	if max <= 0 {
+		t.Fatalf("MaxJoinCount = %d, want positive", max)
+	}
+}
+
+func TestJoinPredicateMonotonicity(t *testing.T) {
+	sch, err := GenerateDSB(GenConfig{Rows: 600, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := JoinQuery{
+		Tables: []string{"customer"},
+		Preds: map[string][]Predicate{
+			"customer": {{Col: "c_gender", Op: OpEq, Lo: 0}},
+		},
+	}
+	n1, err := sch.JoinCount(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrower := JoinQuery{
+		Tables: base.Tables,
+		Preds: map[string][]Predicate{
+			"customer":    base.Preds["customer"],
+			"store_sales": {{Col: "ss_sales_price", Op: OpRange, Lo: 0, Hi: 200}},
+		},
+	}
+	n2, err := sch.JoinCount(narrower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 > n1 {
+		t.Fatalf("adding a predicate increased join count: %d > %d", n2, n1)
+	}
+}

@@ -1,0 +1,170 @@
+package dataset
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Op is a predicate operator. The paper evaluates conjunctive queries whose
+// predicates are either point (A = v) or range (lb <= A <= ub).
+type Op int
+
+const (
+	// OpEq matches rows where the column equals Lo.
+	OpEq Op = iota
+	// OpRange matches rows where Lo <= value <= Hi.
+	OpRange
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpRange:
+		return "between"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Predicate is a single conjunct over one column of one table.
+type Predicate struct {
+	Col string
+	Op  Op
+	// Lo is the point value for OpEq, or the lower bound for OpRange.
+	Lo int64
+	// Hi is the upper bound for OpRange (ignored for OpEq).
+	Hi int64
+}
+
+// Matches reports whether value v satisfies the predicate.
+func (p Predicate) Matches(v int64) bool {
+	if p.Op == OpEq {
+		return v == p.Lo
+	}
+	return v >= p.Lo && v <= p.Hi
+}
+
+func (p Predicate) String() string {
+	if p.Op == OpEq {
+		return fmt.Sprintf("%s = %d", p.Col, p.Lo)
+	}
+	return fmt.Sprintf("%d <= %s <= %d", p.Lo, p.Col, p.Hi)
+}
+
+// bound is a compiled per-column range check.
+type bound struct {
+	col    []int64
+	lo, hi int64
+}
+
+func (t *Table) compile(preds []Predicate) ([]bound, error) {
+	bounds := make([]bound, 0, len(preds))
+	for _, p := range preds {
+		c := t.Column(p.Col)
+		if c == nil {
+			return nil, fmt.Errorf("dataset: table %q has no column %q", t.Name, p.Col)
+		}
+		lo, hi := p.Lo, p.Hi
+		if p.Op == OpEq {
+			hi = p.Lo
+		}
+		bounds = append(bounds, bound{col: c.Values, lo: lo, hi: hi})
+	}
+	return bounds, nil
+}
+
+// countChunk counts matching rows in [start, end).
+func countChunk(bounds []bound, start, end int) int64 {
+	var count int64
+rows:
+	for i := start; i < end; i++ {
+		for _, b := range bounds {
+			v := b.col[i]
+			if v < b.lo || v > b.hi {
+				continue rows
+			}
+		}
+		count++
+	}
+	return count
+}
+
+// parallelThreshold is the row count above which scans fan out across CPUs;
+// below it goroutine overhead dominates.
+const parallelThreshold = 65536
+
+// Count returns the exact number of rows in t satisfying the conjunction of
+// preds. Predicates naming columns absent from t yield an error. Large
+// tables are scanned in parallel chunks; the result is exact and
+// deterministic either way.
+func (t *Table) Count(preds []Predicate) (int64, error) {
+	bounds, err := t.compile(preds)
+	if err != nil {
+		return 0, err
+	}
+	n := t.NumRows()
+	if n < parallelThreshold {
+		return countChunk(bounds, 0, n), nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	partial := make([]int64, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		if start >= end {
+			break
+		}
+		wg.Add(1)
+		go func(w, start, end int) {
+			defer wg.Done()
+			partial[w] = countChunk(bounds, start, end)
+		}(w, start, end)
+	}
+	wg.Wait()
+	var total int64
+	for _, c := range partial {
+		total += c
+	}
+	return total, nil
+}
+
+// Selectivity returns Count(preds) normalised by the table size.
+func (t *Table) Selectivity(preds []Predicate) (float64, error) {
+	c, err := t.Count(preds)
+	if err != nil {
+		return 0, err
+	}
+	return float64(c) / float64(t.NumRows()), nil
+}
+
+// MatchingRows returns the indexes of all rows satisfying the conjunction,
+// in ascending order.
+func (t *Table) MatchingRows(preds []Predicate) ([]int, error) {
+	bounds, err := t.compile(preds)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	n := t.NumRows()
+rows:
+	for i := 0; i < n; i++ {
+		for _, b := range bounds {
+			v := b.col[i]
+			if v < b.lo || v > b.hi {
+				continue rows
+			}
+		}
+		out = append(out, i)
+	}
+	return out, nil
+}

@@ -1,0 +1,42 @@
+package estimator
+
+import (
+	"testing"
+
+	"cardpi/internal/dataset"
+	"cardpi/internal/workload"
+)
+
+func BenchmarkFeaturize(b *testing.B) {
+	tab, err := dataset.GenerateDMV(dataset.GenConfig{Rows: 1000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := NewFeaturizer(tab)
+	q := workload.Query{Preds: []dataset.Predicate{
+		{Col: "state", Op: dataset.OpEq, Lo: 3},
+		{Col: "model_year", Op: dataset.OpRange, Lo: 40, Hi: 90},
+	}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Featurize(q)
+	}
+}
+
+func BenchmarkJoinFeaturize(b *testing.B) {
+	sch, err := dataset.GenerateDSB(dataset.GenConfig{Rows: 1000, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	jf := NewJoinFeaturizer(sch)
+	q := workload.Query{Join: &dataset.JoinQuery{
+		Tables: []string{"item", "store"},
+		Preds: map[string][]dataset.Predicate{
+			"item": {{Col: "i_category", Op: dataset.OpEq, Lo: 1}},
+		},
+	}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		jf.Featurize(q)
+	}
+}

@@ -1,0 +1,108 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+
+	"cardpi/internal/dataset"
+	"cardpi/internal/workload"
+)
+
+func TestLogSelRoundTrip(t *testing.T) {
+	for _, s := range []float64{1, 0.5, 0.001, 1e-9} {
+		got := SelFromLog(LogSel(s))
+		if math.Abs(got-s) > 1e-12*s {
+			t.Errorf("round trip %v -> %v", s, got)
+		}
+	}
+	// Zero floors to MinSel instead of -inf.
+	if math.IsInf(LogSel(0), -1) {
+		t.Error("LogSel(0) should be finite")
+	}
+	if SelFromLog(10) != 1 {
+		t.Error("SelFromLog should clamp above 1")
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	if Clamp01(-1) != 0 || Clamp01(2) != 1 || Clamp01(0.3) != 0.3 {
+		t.Error("Clamp01 wrong")
+	}
+}
+
+func TestQError(t *testing.T) {
+	if QError(10, 100) != 10 || QError(100, 10) != 10 {
+		t.Error("QError should be symmetric factor")
+	}
+	if QError(5, 5) != 1 {
+		t.Error("perfect estimate should have q-error 1")
+	}
+	if v := QError(0, 100); math.IsInf(v, 1) {
+		t.Error("QError(0, x) should be finite via flooring")
+	}
+}
+
+func TestFeaturizer(t *testing.T) {
+	tab, err := dataset.GenerateCensus(dataset.GenConfig{Rows: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFeaturizer(tab)
+	if f.Dim() != 4*tab.NumCols() {
+		t.Fatalf("Dim = %d", f.Dim())
+	}
+	// Empty query: all columns unconstrained, full range [0,1].
+	empty := f.Featurize(workload.Query{})
+	for i := 0; i < tab.NumCols(); i++ {
+		if empty[4*i] != 0 || empty[4*i+1] != 0 || empty[4*i+2] != 0 || empty[4*i+3] != 1 {
+			t.Fatalf("empty query featurization wrong at column %d: %v", i, empty[4*i:4*i+4])
+		}
+	}
+	// Range predicate on age.
+	q := workload.Query{Preds: []dataset.Predicate{
+		{Col: "age", Op: dataset.OpRange, Lo: 0, Hi: 90},
+		{Col: "sex", Op: dataset.OpEq, Lo: 1},
+	}}
+	v := f.Featurize(q)
+	ageIdx, _ := tab.ColumnIndex("age")
+	if v[4*ageIdx] != 1 || v[4*ageIdx+1] != 0 {
+		t.Fatal("age range predicate flags wrong")
+	}
+	if v[4*ageIdx+2] != 0 || v[4*ageIdx+3] != 1 {
+		t.Fatalf("full-domain range should normalise to [0,1], got [%v,%v]", v[4*ageIdx+2], v[4*ageIdx+3])
+	}
+	sexIdx, _ := tab.ColumnIndex("sex")
+	if v[4*sexIdx] != 1 || v[4*sexIdx+1] != 1 {
+		t.Fatal("sex equality predicate flags wrong")
+	}
+	if v[4*sexIdx+2] != 1 || v[4*sexIdx+3] != 1 {
+		t.Fatalf("eq value 1 of domain {0,1} should normalise to 1, got [%v,%v]", v[4*sexIdx+2], v[4*sexIdx+3])
+	}
+	// Predicates on unknown columns are ignored, not panicking.
+	_ = f.Featurize(workload.Query{Preds: []dataset.Predicate{{Col: "ghost", Op: dataset.OpEq}}})
+}
+
+func TestFuncAdapter(t *testing.T) {
+	e := Func{N: "const", F: func(workload.Query) float64 { return 0.25 }}
+	if e.Name() != "const" {
+		t.Error("Name wrong")
+	}
+	if e.EstimateSelectivity(workload.Query{}) != 0.25 {
+		t.Error("EstimateSelectivity wrong")
+	}
+}
+
+func TestNaNGuards(t *testing.T) {
+	if v := SelFromLog(math.NaN()); v != 0 {
+		t.Errorf("SelFromLog(NaN) = %v, want 0", v)
+	}
+	if v := Clamp01(math.NaN()); v != 0 {
+		t.Errorf("Clamp01(NaN) = %v, want 0", v)
+	}
+	if v := SelFromLog(math.Inf(1)); v != 1 {
+		t.Errorf("SelFromLog(+inf) = %v, want 1", v)
+	}
+	if v := SelFromLog(math.Inf(-1)); v != 0 {
+		t.Errorf("SelFromLog(-inf) = %v, want 0", v)
+	}
+}

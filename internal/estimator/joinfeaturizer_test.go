@@ -1,0 +1,97 @@
+package estimator
+
+import (
+	"testing"
+
+	"cardpi/internal/dataset"
+	"cardpi/internal/workload"
+)
+
+func TestJoinFeaturizer(t *testing.T) {
+	sch, err := dataset.GenerateDSB(dataset.GenConfig{Rows: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jf := NewJoinFeaturizer(sch)
+	totalCols := 0
+	for _, name := range sch.Tables() {
+		totalCols += sch.Table(name).NumCols()
+	}
+	if jf.Dim() != len(sch.Tables())+4*totalCols {
+		t.Fatalf("Dim = %d", jf.Dim())
+	}
+
+	q := workload.Query{Join: &dataset.JoinQuery{
+		Tables: []string{"item"},
+		Preds: map[string][]dataset.Predicate{
+			"item":        {{Col: "i_category", Op: dataset.OpEq, Lo: 3}},
+			"store_sales": {{Col: "ss_quantity", Op: dataset.OpRange, Lo: 10, Hi: 30}},
+		},
+	}}
+	v := jf.Featurize(q)
+	if len(v) != jf.Dim() {
+		t.Fatalf("vector length %d", len(v))
+	}
+	// Participation indicators: center and item set; others unset.
+	names := sch.Tables()
+	for ti, name := range names {
+		want := 0.0
+		if name == "store_sales" || name == "item" {
+			want = 1
+		}
+		if v[ti] != want {
+			t.Fatalf("table indicator for %s = %v, want %v", name, v[ti], want)
+		}
+	}
+	// A different query must featurize differently.
+	q2 := workload.Query{Join: &dataset.JoinQuery{Tables: []string{"store"}}}
+	v2 := jf.Featurize(q2)
+	same := true
+	for i := range v {
+		if v[i] != v2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("distinct join queries featurize identically")
+	}
+}
+
+func TestJoinFeaturizerSingleTableQuery(t *testing.T) {
+	sch, err := dataset.GenerateJOB(dataset.GenConfig{Rows: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jf := NewJoinFeaturizer(sch)
+	q := workload.Query{Preds: []dataset.Predicate{
+		{Col: "production_year", Op: dataset.OpRange, Lo: 10, Hi: 60},
+	}}
+	v := jf.Featurize(q)
+	// Only the center participates.
+	for ti, name := range sch.Tables() {
+		want := 0.0
+		if name == sch.Center.Name {
+			want = 1
+		}
+		if v[ti] != want {
+			t.Fatalf("indicator for %s = %v, want %v", name, v[ti], want)
+		}
+	}
+}
+
+func TestJoinFeaturizerDefaultsFullRange(t *testing.T) {
+	sch, err := dataset.GenerateDSB(dataset.GenConfig{Rows: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jf := NewJoinFeaturizer(sch)
+	v := jf.Featurize(workload.Query{Join: &dataset.JoinQuery{}})
+	// Every column block should read [0,0,0,1]: unconstrained full range.
+	base := len(sch.Tables())
+	for i := base; i+3 < len(v); i += 4 {
+		if v[i] != 0 || v[i+1] != 0 || v[i+2] != 0 || v[i+3] != 1 {
+			t.Fatalf("column block at %d = %v, want [0 0 0 1]", i, v[i:i+4])
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAblationCVPlusConstructionsAgree(t *testing.T) {
+	r, err := AblationCVPlus(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper notes Jackknife and Jackknife+ produce very similar
+	// intervals in practice; both constructions must be valid and close.
+	if r.Metrics["algorithm1/coverage"] < covSlack {
+		t.Errorf("algorithm-1 coverage %v below %v", r.Metrics["algorithm1/coverage"], covSlack)
+	}
+	if r.Metrics["cvplus/coverage"] < covSlack {
+		t.Errorf("cv+ coverage %v below %v", r.Metrics["cvplus/coverage"], covSlack)
+	}
+	a, c := r.Metrics["algorithm1/meanWidth"], r.Metrics["cvplus/meanWidth"]
+	if math.Abs(a-c) > 0.3*math.Max(a, c) {
+		t.Errorf("constructions diverge: algorithm-1 width %v vs cv+ %v", a, c)
+	}
+}
+
+func TestAblationLCPValidAndAdaptive(t *testing.T) {
+	r, err := AblationLCP(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["lcp/coverage"] < covSlack {
+		t.Errorf("LCP coverage %v below %v", r.Metrics["lcp/coverage"], covSlack)
+	}
+	if r.Metrics["lcp/meanWidth"] <= 0 {
+		t.Error("LCP width missing")
+	}
+}
+
+func TestAblationSamplingCIUndercovers(t *testing.T) {
+	r, err := AblationSamplingCI(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's motivation: traditional per-estimator CIs are not valid
+	// prediction intervals; the normal approximation collapses on empty
+	// samples, losing coverage on low-selectivity queries, while the
+	// conformal wrapper around the same sampler stays valid.
+	if r.Metrics["ci/coverage"] >= r.Metrics["conformal/coverage"] {
+		t.Errorf("traditional CI coverage %v not below conformal %v",
+			r.Metrics["ci/coverage"], r.Metrics["conformal/coverage"])
+	}
+	if r.Metrics["conformal/coverage"] < covSlack {
+		t.Errorf("conformal coverage %v below %v", r.Metrics["conformal/coverage"], covSlack)
+	}
+}
+
+func TestAblationMondrianValidAndCompetitive(t *testing.T) {
+	r, err := AblationMondrian(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["mondrian/coverage"] < covSlack {
+		t.Errorf("mondrian coverage %v below %v", r.Metrics["mondrian/coverage"], covSlack)
+	}
+	if r.Metrics["global-s-cp/coverage"] < covSlack {
+		t.Errorf("global coverage %v below %v", r.Metrics["global-s-cp/coverage"], covSlack)
+	}
+	// Per-template calibration should not be meaningfully wider on average.
+	if r.Metrics["mondrian/meanWidth"] > 1.1*r.Metrics["global-s-cp/meanWidth"] {
+		t.Errorf("mondrian width %v much wider than global %v",
+			r.Metrics["mondrian/meanWidth"], r.Metrics["global-s-cp/meanWidth"])
+	}
+}
+
+func TestAblationSPNWrappersValid(t *testing.T) {
+	r, err := AblationSPN(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, meth := range []string{"jk-cv+", "s-cp", "lw-s-cp"} {
+		cov, ok := r.Metrics["spn/"+meth+"/coverage"]
+		if !ok {
+			t.Fatalf("missing spn/%s", meth)
+		}
+		if cov < covSlack {
+			t.Errorf("spn/%s coverage %v below %v", meth, cov, covSlack)
+		}
+	}
+}
+
+func TestModelsLandscape(t *testing.T) {
+	r, err := Models(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"histogram", "histogram-ext", "sampling", "mscn", "lwnn", "naru", "spn"}
+	for _, n := range names {
+		if _, ok := r.Metrics[n+"/qerr-p90"]; !ok {
+			t.Fatalf("missing q-error metrics for %s", n)
+		}
+		if r.Metrics[n+"/scpWidth"] <= 0 {
+			t.Fatalf("missing S-CP width for %s", n)
+		}
+	}
+	if len(r.Rows) != len(names) {
+		t.Fatalf("got %d rows, want %d", len(r.Rows), len(names))
+	}
+	// The paper's premise: interval width tracks model accuracy. Check the
+	// extreme pair rather than a total order (mid-pack models can swap).
+	bestW, worstW := -1.0, -1.0
+	bestQ, worstQ := -1.0, -1.0
+	for _, n := range names {
+		q := r.Metrics[n+"/qerr-p90"]
+		if bestQ < 0 || q < bestQ {
+			bestQ = q
+			bestW = r.Metrics[n+"/scpWidth"]
+		}
+		if q > worstQ {
+			worstQ = q
+			worstW = r.Metrics[n+"/scpWidth"]
+		}
+	}
+	if bestW >= worstW {
+		t.Errorf("most accurate model's width %v not below least accurate %v", bestW, worstW)
+	}
+}
+
+func TestCalibrationCurve(t *testing.T) {
+	r, err := Calibration(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empirical coverage tracks nominal across the grid; tolerate the
+	// small-sample Beta fluctuation at every level.
+	if r.Metrics["worstUndercoverage"] > 0.08 {
+		t.Errorf("worst undercoverage %v exceeds tolerance", r.Metrics["worstUndercoverage"])
+	}
+	// Monotone in the level (same calibration set, growing quantile).
+	prev := -1.0
+	for _, level := range []string{"0.50", "0.70", "0.90", "0.99"} {
+		c := r.Metrics["empirical@"+level]
+		if c < prev-0.02 {
+			t.Errorf("empirical coverage not monotone at %s: %v after %v", level, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestAblationCorrelationMonotone(t *testing.T) {
+	r, err := AblationCorrelation(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Width and estimator error grow with inter-column correlation.
+	if !(r.Metrics["width@0.0"] < r.Metrics["width@0.5"] && r.Metrics["width@0.5"] < r.Metrics["width@0.9"]) {
+		t.Errorf("widths not monotone in rho: %v %v %v",
+			r.Metrics["width@0.0"], r.Metrics["width@0.5"], r.Metrics["width@0.9"])
+	}
+	if !(r.Metrics["qerr@0.0"] < r.Metrics["qerr@0.9"]) {
+		t.Errorf("q-error not growing with rho: %v vs %v", r.Metrics["qerr@0.0"], r.Metrics["qerr@0.9"])
+	}
+	for _, rho := range []string{"0.0", "0.5", "0.9"} {
+		if cov := r.Metrics["coverage@"+rho]; cov < covSlack {
+			t.Errorf("rho=%s coverage %v below %v", rho, cov, covSlack)
+		}
+	}
+}
+
+func TestAblationWeightedRestoresCoverage(t *testing.T) {
+	r, err := AblationWeighted(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shift destroys plain conformal coverage; the reweighted quantile
+	// restores it (at the cost of wider intervals — honesty about the
+	// shift).
+	if r.Metrics["plain-s-cp/coverage"] > 0.5 {
+		t.Errorf("plain S-CP coverage %v did not collapse under shift", r.Metrics["plain-s-cp/coverage"])
+	}
+	if r.Metrics["weighted-cp/coverage"] < covSlack {
+		t.Errorf("weighted CP coverage %v below %v", r.Metrics["weighted-cp/coverage"], covSlack)
+	}
+}
+
+func TestReportCSV(t *testing.T) {
+	r := &Report{ID: "x", Title: "t", Headers: []string{"a", "b"}}
+	r.AddRow("1", "with,comma")
+	out := r.CSV()
+	want := "a,b\n1,\"with,comma\"\n"
+	if out != want {
+		t.Fatalf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestAblationSPNJoinsValid(t *testing.T) {
+	r, err := AblationSPNJoins(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"spn-join/s-cp", "spn-join/mondrian", "mscn/s-cp"} {
+		if cov := r.Metrics[key+"/coverage"]; cov < covSlack {
+			t.Errorf("%s coverage %v below %v", key, cov, covSlack)
+		}
+	}
+	// The data-driven join model should earn tighter intervals than the
+	// supervised one at this scale (it sees the data, not 200 queries).
+	if r.Metrics["spn-join/s-cp/meanWidth"] >= r.Metrics["mscn/s-cp/meanWidth"] {
+		t.Errorf("spn-join width %v not tighter than mscn %v",
+			r.Metrics["spn-join/s-cp/meanWidth"], r.Metrics["mscn/s-cp/meanWidth"])
+	}
+}
+
+func TestAblationBitmaps(t *testing.T) {
+	r, err := AblationBitmaps(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{"plain", "bitmaps-64"} {
+		if cov := r.Metrics[v+"/coverage"]; cov < covSlack {
+			t.Errorf("%s coverage %v below %v", v, cov, covSlack)
+		}
+	}
+	// Bitmaps improve accuracy and therefore tighten the intervals.
+	if r.Metrics["bitmaps-64/qerr-p90"] >= r.Metrics["plain/qerr-p90"] {
+		t.Errorf("bitmaps p90 q-error %v not better than plain %v",
+			r.Metrics["bitmaps-64/qerr-p90"], r.Metrics["plain/qerr-p90"])
+	}
+	if r.Metrics["bitmaps-64/meanWidth"] >= r.Metrics["plain/meanWidth"] {
+		t.Errorf("bitmaps width %v not tighter than plain %v",
+			r.Metrics["bitmaps-64/meanWidth"], r.Metrics["plain/meanWidth"])
+	}
+}

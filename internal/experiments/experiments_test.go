@@ -1,0 +1,340 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment tests run at Small scale and assert the robust qualitative
+// shapes of the paper's results: coverage validity wherever exchangeability
+// holds, monotone responses to coverage level / calibration size / model
+// accuracy, coverage loss under shift, and the optimizer improvements of
+// Table I. Exact width orderings between methods are scale-sensitive and are
+// reported rather than asserted.
+
+const covSlack = 0.82 // 1-alpha minus generous small-sample slack
+
+func TestFig1ShapesHold(t *testing.T) {
+	r, err := Fig1(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := []string{"mscn", "naru", "lwnn"}
+	methods := map[string][]string{
+		"mscn": {"jk-cv+", "s-cp", "lw-s-cp", "cqr"},
+		"naru": {"jk-cv+", "s-cp", "lw-s-cp"}, // CQR needs a modifiable loss
+		"lwnn": {"jk-cv+", "s-cp", "lw-s-cp", "cqr"},
+	}
+	for _, m := range models {
+		for _, meth := range methods[m] {
+			cov, ok := r.Metrics[m+"/"+meth+"/coverage"]
+			if !ok {
+				t.Fatalf("missing coverage metric for %s/%s", m, meth)
+			}
+			if cov < covSlack {
+				t.Errorf("%s/%s coverage %v below %v", m, meth, cov, covSlack)
+			}
+		}
+	}
+	// The most accurate model (Naru) gets the tightest intervals; the paper
+	// reports the same model-accuracy ordering.
+	if r.Metrics["naru/s-cp/meanWidth"] >= r.Metrics["mscn/s-cp/meanWidth"] {
+		t.Errorf("naru S-CP width %v not tighter than mscn %v",
+			r.Metrics["naru/s-cp/meanWidth"], r.Metrics["mscn/s-cp/meanWidth"])
+	}
+	if len(r.Rows) != 11 {
+		t.Errorf("expected 11 rows (4+3+4), got %d", len(r.Rows))
+	}
+	if !strings.Contains(r.String(), "fig1") {
+		t.Error("report string should carry the experiment id")
+	}
+}
+
+func TestFig2AllDatasetsCovered(t *testing.T) {
+	r, err := Fig2(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	var n int
+	for _, ds := range []string{"census", "forest", "power"} {
+		for _, meth := range []string{"jk-cv+", "s-cp", "lw-s-cp", "cqr"} {
+			cov, ok := r.Metrics[ds+"/"+meth+"/coverage"]
+			if !ok {
+				t.Fatalf("missing %s/%s", ds, meth)
+			}
+			// Individual (dataset, method) cells fluctuate at small scale;
+			// the hard floor is loose, the average must be near nominal.
+			if cov < 0.75 {
+				t.Errorf("%s/%s coverage %v below 0.75", ds, meth, cov)
+			}
+			sum += cov
+			n++
+		}
+	}
+	if mean := sum / float64(n); mean < 0.86 {
+		t.Errorf("mean coverage across datasets %v below 0.86", mean)
+	}
+}
+
+func TestFig3JoinCoverage(t *testing.T) {
+	r, err := Fig3(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, meth := range []string{"jk-cv+", "s-cp", "lw-s-cp", "cqr"} {
+		if cov := r.Metrics["mscn/"+meth+"/coverage"]; cov < 0.8 {
+			t.Errorf("DSB %s coverage %v below 0.8", meth, cov)
+		}
+	}
+}
+
+func TestFig4JoinCoverage(t *testing.T) {
+	r, err := Fig4(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, meth := range []string{"jk-cv+", "s-cp", "lw-s-cp", "cqr"} {
+		if cov := r.Metrics["mscn/"+meth+"/coverage"]; cov < 0.8 {
+			t.Errorf("JOB %s coverage %v below 0.8", meth, cov)
+		}
+	}
+}
+
+func TestFig5RelativeWidthsCollapseAtHighSelectivity(t *testing.T) {
+	r, err := Fig5(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, meth := range []string{"jk-cv+", "s-cp", "lw-s-cp", "cqr"} {
+		low := r.Metrics["low-sel/"+meth+"/relWidth"]
+		high := r.Metrics["high-sel/"+meth+"/relWidth"]
+		if high*5 > low {
+			t.Errorf("%s: high-sel relative width %v not far below low-sel %v", meth, high, low)
+		}
+	}
+}
+
+func TestFig6QErrorScoringValidAtSmallScale(t *testing.T) {
+	r, err := Fig6(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range []string{"residual", "qerror"} {
+		for _, meth := range []string{"s-cp", "lw-s-cp"} {
+			if cov := r.Metrics[sc+"/"+meth+"/coverage"]; cov < covSlack {
+				t.Errorf("%s/%s coverage %v below %v", sc, meth, cov, covSlack)
+			}
+		}
+	}
+}
+
+func TestFig6QErrorScoringRelativelyTighterAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run")
+	}
+	// The multiplicative (q-error) score's advantage over the additive
+	// residual score grows with table size (smaller reachable
+	// selectivities); it emerges at the default scale.
+	r, err := Fig6(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["qerror/s-cp/relWidth"] >= r.Metrics["residual/s-cp/relWidth"] {
+		t.Errorf("q-error S-CP relative width %v not tighter than residual %v",
+			r.Metrics["qerror/s-cp/relWidth"], r.Metrics["residual/s-cp/relWidth"])
+	}
+}
+
+func TestFig7RelativeScoringValid(t *testing.T) {
+	r, err := Fig7(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range []string{"residual", "relative"} {
+		for _, meth := range []string{"s-cp", "lw-s-cp"} {
+			if cov := r.Metrics[sc+"/"+meth+"/coverage"]; cov < covSlack {
+				t.Errorf("%s/%s coverage %v below %v", sc, meth, cov, covSlack)
+			}
+		}
+	}
+}
+
+func TestFig8OnlineTightens(t *testing.T) {
+	r, err := Fig8(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["lastWidth"] >= r.Metrics["firstWidth"] {
+		t.Errorf("online calibration failed to tighten: first %v last %v",
+			r.Metrics["firstWidth"], r.Metrics["lastWidth"])
+	}
+	if r.Metrics["coverage"] < covSlack {
+		t.Errorf("online coverage %v below %v", r.Metrics["coverage"], covSlack)
+	}
+}
+
+func TestFig9CoverageLevelMonotone(t *testing.T) {
+	r, err := Fig9(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w90, w95, w99 := r.Metrics["width@0.90"], r.Metrics["width@0.95"], r.Metrics["width@0.99"]
+	if !(w90 < w95 && w95 < w99) {
+		t.Errorf("widths not monotone in coverage level: %v %v %v", w90, w95, w99)
+	}
+	if r.Metrics["coverage@0.99"] < 0.95 {
+		t.Errorf("0.99-level empirical coverage %v too low", r.Metrics["coverage@0.99"])
+	}
+}
+
+func TestFig10And11ExchangeabilityContrast(t *testing.T) {
+	ex, err := Fig10(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := Fig11(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Metrics["coverage"] < covSlack {
+		t.Errorf("exchangeable coverage %v below %v", ex.Metrics["coverage"], covSlack)
+	}
+	if sh.Metrics["coverage"] > 0.5 {
+		t.Errorf("shifted workload coverage %v did not collapse", sh.Metrics["coverage"])
+	}
+	// The martingale must stay quiet on the exchangeable stream and fire on
+	// the shifted one (Ville threshold log(100) ~ 4.6 at significance 1%).
+	if ex.Metrics["martingaleMaxLog"] > 4.6 {
+		t.Errorf("martingale fired on exchangeable stream: %v", ex.Metrics["martingaleMaxLog"])
+	}
+	if sh.Metrics["martingaleMaxLog"] < 4.6 {
+		t.Errorf("martingale missed the shift: %v", sh.Metrics["martingaleMaxLog"])
+	}
+}
+
+func TestFig12SplitSweep(t *testing.T) {
+	r, err := Fig12(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 75% training split yields the tightest intervals of {25, 50, 75}.
+	w25, w75 := r.Metrics["width@0.25"], r.Metrics["width@0.75"]
+	if w75 >= w25 {
+		t.Errorf("75%% split width %v not tighter than 25%% split %v", w75, w25)
+	}
+	for _, frac := range []string{"0.25", "0.50", "0.75"} {
+		if cov := r.Metrics["coverage@"+frac]; cov < covSlack {
+			t.Errorf("split %s coverage %v below %v", frac, cov, covSlack)
+		}
+	}
+}
+
+func TestFig13EpochSweepMSCN(t *testing.T) {
+	r, err := Fig13(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["width@1.00"] >= r.Metrics["width@0.50"] {
+		t.Errorf("full training width %v not tighter than half training %v",
+			r.Metrics["width@1.00"], r.Metrics["width@0.50"])
+	}
+	for _, frac := range []string{"0.50", "0.75", "1.00"} {
+		if cov := r.Metrics["coverage@"+frac]; cov < covSlack {
+			t.Errorf("epochs %s coverage %v below %v", frac, cov, covSlack)
+		}
+	}
+}
+
+func TestFig14EpochSweepNaru(t *testing.T) {
+	r, err := Fig14(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["width@1.00"] >= r.Metrics["width@0.50"] {
+		t.Errorf("full training width %v not tighter than half training %v",
+			r.Metrics["width@1.00"], r.Metrics["width@0.50"])
+	}
+	for _, frac := range []string{"0.50", "0.75", "1.00"} {
+		if cov := r.Metrics["coverage@"+frac]; cov < covSlack {
+			t.Errorf("epochs %s coverage %v below %v", frac, cov, covSlack)
+		}
+	}
+}
+
+func TestTable1OptimizerImprovement(t *testing.T) {
+	r, err := Table1(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tail q-error percentiles improve with PI injection, as in Table I.
+	if r.Metrics["pi/qerr-p90"] >= r.Metrics["default/qerr-p90"] {
+		t.Errorf("p90 q-error did not improve: %v -> %v",
+			r.Metrics["default/qerr-p90"], r.Metrics["pi/qerr-p90"])
+	}
+	if r.Metrics["pi/qerr-p95"] >= r.Metrics["default/qerr-p95"] {
+		t.Errorf("p95 q-error did not improve: %v -> %v",
+			r.Metrics["default/qerr-p95"], r.Metrics["pi/qerr-p95"])
+	}
+	// Simulated runtime reduction (the paper reports ~11%).
+	if r.Metrics["costReductionPct"] <= 0 {
+		t.Errorf("plan cost did not improve: %v%%", r.Metrics["costReductionPct"])
+	}
+}
+
+func TestGuidanceAllMethodsValidAndRanked(t *testing.T) {
+	r, err := Guidance(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, meth := range []string{"jk-cv+", "s-cp", "lw-s-cp", "cqr"} {
+		if cov := r.Metrics[meth+"/coverage"]; cov < covSlack {
+			t.Errorf("%s coverage %v below %v", meth, cov, covSlack)
+		}
+		if r.Metrics[meth+"/widthVsSCP"] <= 0 {
+			t.Errorf("%s width ratio missing", meth)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	ids := IDs()
+	if len(reg) != len(ids) {
+		t.Fatalf("registry has %d entries, IDs() lists %d", len(reg), len(ids))
+	}
+	for _, id := range ids {
+		if reg[id] == nil {
+			t.Errorf("missing runner for %s", id)
+		}
+	}
+}
+
+func TestScaleDefaults(t *testing.T) {
+	var zero Scale
+	s := zero.withDefaults()
+	d := Default()
+	if s.Rows != d.Rows || s.K != d.K || s.Alpha != d.Alpha {
+		t.Errorf("withDefaults() = %+v, want Default()-like", s)
+	}
+	small := Small()
+	if small.Rows >= d.Rows {
+		t.Error("Small should be smaller than Default")
+	}
+}
+
+func TestReportFormatting(t *testing.T) {
+	r := &Report{ID: "x", Title: "t", Headers: []string{"a", "bb"}}
+	r.AddRow("1", "2")
+	r.Metric("m", 1.5)
+	out := r.String()
+	if !strings.Contains(out, "x: t") || !strings.Contains(out, "m=1.5") {
+		t.Errorf("report formatting wrong:\n%s", out)
+	}
+}
+
+func TestBuildSingleUnknownDataset(t *testing.T) {
+	if _, err := buildSingle("ghost", Small()); err == nil {
+		t.Fatal("unknown dataset should fail")
+	}
+}

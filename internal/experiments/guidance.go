@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cardpi/internal/conformal"
+)
+
+// Guidance reproduces the practitioner guidance analysis of Section V-D:
+// the relative interval widths of the four methods (the paper reports
+// JK-CV+ at 83–96% of S-CP, with LW-S-CP and CQR tighter still) and their
+// per-query inference latency, over MSCN on DMV.
+func Guidance(s Scale) (*Report, error) {
+	s = s.withDefaults()
+	d, err := buildSingle("dmv", s)
+	if err != nil {
+		return nil, err
+	}
+	kit, err := kitMSCN(d, s, true)
+	if err != nil {
+		return nil, err
+	}
+	evals, err := wrapMethods(kit, d.train, d.cal, d.testLow, s, conformal.ResidualScore{})
+	if err != nil {
+		return nil, err
+	}
+
+	var scpWidth float64
+	for _, me := range evals {
+		if me.method == "s-cp" {
+			scpWidth = me.eval.Widths.Mean
+		}
+	}
+	r := &Report{
+		ID:      "guidance",
+		Title:   "Practitioner guidance: width relative to S-CP and inference cost (MSCN, DMV)",
+		Headers: []string{"method", "coverage", "meanWidth", "widthVsSCP", "latency"},
+	}
+	for _, me := range evals {
+		rel := 0.0
+		if scpWidth > 0 {
+			rel = me.eval.Widths.Mean / scpWidth
+		}
+		r.AddRow(me.method,
+			fmt.Sprintf("%.3f", me.eval.Coverage),
+			fmt.Sprintf("%.5f", me.eval.Widths.Mean),
+			fmt.Sprintf("%.2f", rel),
+			me.eval.MeanPITime.String())
+		r.Metric(me.method+"/widthVsSCP", rel)
+		r.Metric(me.method+"/coverage", me.eval.Coverage)
+	}
+	return r, nil
+}

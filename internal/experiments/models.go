@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"cardpi"
+	"cardpi/internal/conformal"
+	"cardpi/internal/estimator"
+	"cardpi/internal/histogram"
+	"cardpi/internal/sampling"
+	"cardpi/internal/spn"
+)
+
+// Calibration sweeps the nominal coverage level across a grid and reports
+// the empirical coverage of split conformal prediction at each — the
+// validity curve underpinning every guarantee in the paper. Under
+// exchangeability the empirical values track the nominal ones across the
+// whole grid, not just at 0.9.
+func Calibration(s Scale) (*Report, error) {
+	s = s.withDefaults()
+	d, err := buildSingle("dmv", s)
+	if err != nil {
+		return nil, err
+	}
+	kit, err := kitMSCN(d, s, false)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{
+		ID:      "calibration",
+		Title:   "Coverage calibration curve for S-CP (MSCN, DMV)",
+		Headers: []string{"nominal", "empirical", "meanWidth"},
+	}
+	var worstGap float64
+	for _, level := range []float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99} {
+		pi, err := cardpi.WrapSplitCP(kit.model, d.cal, conformal.ResidualScore{}, 1-level)
+		if err != nil {
+			return nil, err
+		}
+		ev, err := cardpi.Evaluate(pi, d.testLow)
+		if err != nil {
+			return nil, err
+		}
+		gap := level - ev.Coverage
+		if gap > worstGap {
+			worstGap = gap
+		}
+		r.AddRow(fmt.Sprintf("%.2f", level),
+			fmt.Sprintf("%.3f", ev.Coverage),
+			fmt.Sprintf("%.5f", ev.Widths.Mean))
+		r.Metric(fmt.Sprintf("empirical@%.2f", level), ev.Coverage)
+	}
+	r.Metric("worstUndercoverage", worstGap)
+	return r, nil
+}
+
+// Models reproduces the accuracy landscape the paper's Section II builds on
+// (the Wang et al. style evaluation): q-error percentiles and inference
+// latency of every estimator in this repository — traditional (histogram,
+// sampling) and learned (MSCN, LW-NN, Naru, SPN) — on one dataset, plus the
+// S-CP interval width each earns. It substantiates the paper's premise that
+// tighter intervals follow from more accurate models.
+func Models(s Scale) (*Report, error) {
+	s = s.withDefaults()
+	d, err := buildSingle("dmv", s)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Report{
+		ID:      "models",
+		Title:   "Estimator accuracy landscape on DMV (q-error percentiles, latency, S-CP width)",
+		Headers: []string{"model", "qerr-p50", "qerr-p90", "qerr-p95", "qerr-p99", "latency", "scpWidth"},
+	}
+
+	add := func(name string, m cardpi.Estimator) error {
+		var qerrs []float64
+		start := time.Now()
+		for _, lq := range d.testLow.Queries {
+			est := m.EstimateSelectivity(lq.Query)
+			// Floor both sides at one row, the paper's convention.
+			floor := 1.0 / float64(lq.Norm)
+			if est < floor {
+				est = floor
+			}
+			truth := lq.Sel
+			if truth < floor {
+				truth = floor
+			}
+			qerrs = append(qerrs, estimator.QError(est, truth))
+		}
+		latency := time.Since(start) / time.Duration(len(d.testLow.Queries))
+		scp, err := cardpi.WrapSplitCP(m, d.cal, conformal.ResidualScore{}, s.Alpha)
+		if err != nil {
+			return err
+		}
+		ev, err := cardpi.Evaluate(scp, d.testLow)
+		if err != nil {
+			return err
+		}
+		row := []string{name}
+		for _, p := range []float64{0.5, 0.9, 0.95, 0.99} {
+			v, err := conformal.Percentile(qerrs, p)
+			if err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprintf("%.2f", v))
+			r.Metric(fmt.Sprintf("%s/qerr-p%d", name, int(p*100)), v)
+		}
+		row = append(row, latency.String(), fmt.Sprintf("%.5f", ev.Widths.Mean))
+		r.AddRow(row...)
+		r.Metric(name+"/scpWidth", ev.Widths.Mean)
+		return nil
+	}
+
+	// Traditional baselines, with and without extended (joint) statistics.
+	if err := add("histogram", histogram.NewSingle(d.table, histogram.Config{})); err != nil {
+		return nil, err
+	}
+	if err := add("histogram-ext", histogram.NewSingle(d.table, histogram.Config{ExtendedPairs: 5})); err != nil {
+		return nil, err
+	}
+	sampler, err := sampling.New(d.table, maxInt(200, s.Rows/20), s.Seed+95)
+	if err != nil {
+		return nil, err
+	}
+	if err := add("sampling", sampler); err != nil {
+		return nil, err
+	}
+
+	// Learned models.
+	mk, err := kitMSCN(d, s, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := add("mscn", mk.model); err != nil {
+		return nil, err
+	}
+	lk, err := kitLWNN(d, s, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := add("lwnn", lk.model); err != nil {
+		return nil, err
+	}
+	nk, err := kitNaru(d, s, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := add("naru", nk.model); err != nil {
+		return nil, err
+	}
+	sp, err := spn.Train(d.table, spn.Config{Seed: s.Seed + 96})
+	if err != nil {
+		return nil, err
+	}
+	if err := add("spn", sp); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

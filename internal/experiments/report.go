@@ -1,0 +1,144 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation section. Each experiment is a function from a Scale (dataset
+// and workload sizes, training budgets) to a Report (the rows/series the
+// paper plots, as text plus named metrics for programmatic assertions).
+// Figures that plot per-query prediction intervals are summarised as the
+// statistics the plots convey: empirical coverage and interval width
+// distributions per (model, method) pair.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report is one experiment's output.
+type Report struct {
+	// ID is the experiment identifier (fig1 ... fig14, tab1, guidance).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Headers and Rows form the printed table.
+	Headers []string
+	Rows    [][]string
+	// Metrics exposes named values for tests and benchmarks.
+	Metrics map[string]float64
+}
+
+// Metric records a named value (also usable in assertions).
+func (r *Report) Metric(name string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]float64)
+	}
+	r.Metrics[name] = v
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Headers))
+	for i, h := range r.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(r.Headers)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	if len(r.Metrics) > 0 {
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sb.WriteString("metrics:")
+		for _, k := range keys {
+			fmt.Fprintf(&sb, " %s=%.4g", k, r.Metrics[k])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// CSV renders the report's table as RFC-4180 CSV (header row first), for
+// piping experiment output into plotting tools.
+func (r *Report) CSV() string {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	_ = w.Write(r.Headers)
+	for _, row := range r.Rows {
+		_ = w.Write(row)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// Runner is an experiment entry point.
+type Runner func(Scale) (*Report, error)
+
+// Registry maps experiment IDs to runners, in the order the paper presents
+// them.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig1":            Fig1,
+		"fig2":            Fig2,
+		"fig3":            Fig3,
+		"fig4":            Fig4,
+		"fig5":            Fig5,
+		"fig6":            Fig6,
+		"fig7":            Fig7,
+		"fig8":            Fig8,
+		"fig9":            Fig9,
+		"fig10":           Fig10,
+		"fig11":           Fig11,
+		"fig12":           Fig12,
+		"fig13":           Fig13,
+		"fig14":           Fig14,
+		"tab1":            Table1,
+		"guidance":        Guidance,
+		"abl-cvplus":      AblationCVPlus,
+		"abl-lcp":         AblationLCP,
+		"abl-sampling":    AblationSamplingCI,
+		"abl-mondrian":    AblationMondrian,
+		"abl-spn":         AblationSPN,
+		"abl-correlation": AblationCorrelation,
+		"abl-weighted":    AblationWeighted,
+		"abl-spn-joins":   AblationSPNJoins,
+		"abl-bitmaps":     AblationBitmaps,
+		"models":          Models,
+		"calibration":     Calibration,
+	}
+}
+
+// IDs returns the experiment identifiers in presentation order: the paper's
+// figures and table first, then this repository's ablations.
+func IDs() []string {
+	return []string{
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "tab1", "guidance",
+		"abl-cvplus", "abl-lcp", "abl-sampling", "abl-mondrian", "abl-spn",
+		"abl-correlation", "abl-weighted", "abl-spn-joins", "abl-bitmaps",
+		"models", "calibration",
+	}
+}

@@ -1,0 +1,58 @@
+package experiments
+
+// Scale controls dataset/workload sizes and training budgets, letting the
+// same experiment run at CI-friendly and paper-like scales. The paper uses
+// 11.6M rows and 10K-query splits on a V100; the default scale reproduces
+// the same shapes on a laptop CPU in minutes.
+type Scale struct {
+	// Rows is the single-table (or schema) generation size.
+	Rows int
+	// Queries is the total labeled workload size before splitting.
+	Queries int
+	// Epochs is the full training budget E for the learned models.
+	Epochs int
+	// K is the Jackknife+ fold count (the paper uses 10).
+	K int
+	// Samples is Naru's progressive-sampling count.
+	Samples int
+	// Alpha is the miscoverage level (default coverage 0.9).
+	Alpha float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Small returns a scale suitable for unit tests (seconds per experiment).
+func Small() Scale {
+	return Scale{Rows: 2000, Queries: 450, Epochs: 10, K: 5, Samples: 80, Alpha: 0.1, Seed: 7}
+}
+
+// Default returns the benchmark scale (tens of seconds per experiment).
+func Default() Scale {
+	return Scale{Rows: 20000, Queries: 3000, Epochs: 25, K: 10, Samples: 200, Alpha: 0.1, Seed: 7}
+}
+
+func (s Scale) withDefaults() Scale {
+	d := Default()
+	if s.Rows <= 0 {
+		s.Rows = d.Rows
+	}
+	if s.Queries <= 0 {
+		s.Queries = d.Queries
+	}
+	if s.Epochs <= 0 {
+		s.Epochs = d.Epochs
+	}
+	if s.K < 2 {
+		s.K = d.K
+	}
+	if s.Samples <= 0 {
+		s.Samples = d.Samples
+	}
+	if s.Alpha <= 0 || s.Alpha >= 1 {
+		s.Alpha = d.Alpha
+	}
+	if s.Seed == 0 {
+		s.Seed = d.Seed
+	}
+	return s
+}

@@ -1,0 +1,260 @@
+// Package gbm implements gradient-boosted regression trees with squared
+// loss. It plays the role xgboost plays in the paper: a lightweight,
+// CPU-cheap model g(X) that predicts the difficulty (expected absolute
+// residual) of a query for the locally weighted split conformal method.
+package gbm
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Config controls boosting.
+type Config struct {
+	// NumTrees is the number of boosting rounds.
+	NumTrees int
+	// MaxDepth bounds tree depth (root has depth 0).
+	MaxDepth int
+	// MinLeaf is the minimum number of samples per leaf.
+	MinLeaf int
+	// LearningRate shrinks each tree's contribution.
+	LearningRate float64
+	// Subsample is the fraction of rows sampled per round (stochastic
+	// gradient boosting); 1 uses all rows.
+	Subsample float64
+	// Candidates bounds split-threshold candidates per feature.
+	Candidates int
+	// Seed makes subsampling deterministic.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumTrees <= 0 {
+		c.NumTrees = 50
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 4
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 5
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.1
+	}
+	if c.Subsample <= 0 || c.Subsample > 1 {
+		c.Subsample = 1
+	}
+	if c.Candidates <= 0 {
+		c.Candidates = 32
+	}
+	return c
+}
+
+type node struct {
+	feature   int
+	threshold float64
+	left      *node
+	right     *node
+	value     float64
+	leaf      bool
+}
+
+func (n *node) predict(x []float64) float64 {
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// Regressor is a fitted gradient-boosted tree ensemble.
+type Regressor struct {
+	base  float64
+	lr    float64
+	trees []*node
+}
+
+// Fit trains a boosted ensemble on (X, y).
+func Fit(X [][]float64, y []float64, cfg Config) (*Regressor, error) {
+	cfg = cfg.withDefaults()
+	if len(X) == 0 {
+		return nil, fmt.Errorf("gbm: empty dataset")
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("gbm: len(X)=%d != len(y)=%d", len(X), len(y))
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	var base float64
+	for _, v := range y {
+		base += v
+	}
+	base /= float64(len(y))
+
+	reg := &Regressor{base: base, lr: cfg.LearningRate}
+	pred := make([]float64, len(y))
+	for i := range pred {
+		pred[i] = base
+	}
+	resid := make([]float64, len(y))
+	for round := 0; round < cfg.NumTrees; round++ {
+		for i := range y {
+			resid[i] = y[i] - pred[i]
+		}
+		idx := sampleRows(r, len(y), cfg.Subsample)
+		tree := buildTree(X, resid, idx, 0, cfg)
+		reg.trees = append(reg.trees, tree)
+		for i := range pred {
+			pred[i] += cfg.LearningRate * tree.predict(X[i])
+		}
+	}
+	return reg, nil
+}
+
+// Predict returns the ensemble prediction for x.
+func (r *Regressor) Predict(x []float64) float64 {
+	out := r.base
+	for _, t := range r.trees {
+		out += r.lr * t.predict(x)
+	}
+	return out
+}
+
+// NumTrees returns the number of fitted boosting rounds.
+func (r *Regressor) NumTrees() int { return len(r.trees) }
+
+func sampleRows(r *rand.Rand, n int, frac float64) []int {
+	if frac >= 1 {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	k := int(frac * float64(n))
+	if k < 1 {
+		k = 1
+	}
+	return r.Perm(n)[:k]
+}
+
+func buildTree(X [][]float64, y []float64, idx []int, depth int, cfg Config) *node {
+	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeaf {
+		return &node{leaf: true, value: mean(y, idx)}
+	}
+	feature, threshold, gain := bestSplit(X, y, idx, cfg)
+	if gain <= 0 {
+		return &node{leaf: true, value: mean(y, idx)}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if X[i][feature] <= threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < cfg.MinLeaf || len(right) < cfg.MinLeaf {
+		return &node{leaf: true, value: mean(y, idx)}
+	}
+	return &node{
+		feature:   feature,
+		threshold: threshold,
+		left:      buildTree(X, y, left, depth+1, cfg),
+		right:     buildTree(X, y, right, depth+1, cfg),
+	}
+}
+
+// bestSplit scans quantile-candidate thresholds on every feature and returns
+// the split with the largest SSE reduction.
+func bestSplit(X [][]float64, y []float64, idx []int, cfg Config) (feature int, threshold, gain float64) {
+	nFeatures := len(X[idx[0]])
+	total, totalSq := sums(y, idx)
+	n := float64(len(idx))
+	parentSSE := totalSq - total*total/n
+
+	bestGain := 0.0
+	bestFeature, bestThreshold := -1, 0.0
+
+	vals := make([]float64, len(idx))
+	for f := 0; f < nFeatures; f++ {
+		for k, i := range idx {
+			vals[k] = X[i][f]
+		}
+		cands := thresholdCandidates(vals, cfg.Candidates)
+		for _, th := range cands {
+			var lSum, lSq, lN float64
+			for _, i := range idx {
+				if X[i][f] <= th {
+					v := y[i]
+					lSum += v
+					lSq += v * v
+					lN++
+				}
+			}
+			rN := n - lN
+			if lN < float64(cfg.MinLeaf) || rN < float64(cfg.MinLeaf) {
+				continue
+			}
+			rSum := total - lSum
+			rSq := totalSq - lSq
+			sse := (lSq - lSum*lSum/lN) + (rSq - rSum*rSum/rN)
+			if g := parentSSE - sse; g > bestGain {
+				bestGain, bestFeature, bestThreshold = g, f, th
+			}
+		}
+	}
+	return bestFeature, bestThreshold, bestGain
+}
+
+// thresholdCandidates returns up to k distinct split points drawn from the
+// value distribution's quantiles.
+func thresholdCandidates(vals []float64, k int) []float64 {
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	// Deduplicate.
+	uniq := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != uniq[len(uniq)-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	if len(uniq) <= 1 {
+		return nil
+	}
+	if len(uniq)-1 <= k {
+		// Midpoints between consecutive distinct values.
+		out := make([]float64, 0, len(uniq)-1)
+		for i := 0; i+1 < len(uniq); i++ {
+			out = append(out, (uniq[i]+uniq[i+1])/2)
+		}
+		return out
+	}
+	out := make([]float64, 0, k)
+	for j := 1; j <= k; j++ {
+		pos := j * (len(uniq) - 1) / (k + 1)
+		out = append(out, (uniq[pos]+uniq[pos+1])/2)
+	}
+	return out
+}
+
+func mean(y []float64, idx []int) float64 {
+	var s float64
+	for _, i := range idx {
+		s += y[i]
+	}
+	return s / float64(len(idx))
+}
+
+func sums(y []float64, idx []int) (sum, sumSq float64) {
+	for _, i := range idx {
+		v := y[i]
+		sum += v
+		sumSq += v * v
+	}
+	return sum, sumSq
+}

@@ -1,0 +1,141 @@
+package gbm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitConstant(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{5, 5, 5, 5}
+	r, err := Fit(X, y, Config{NumTrees: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := r.Predict([]float64{2.5}); math.Abs(p-5) > 1e-9 {
+		t.Fatalf("constant target: predicted %v", p)
+	}
+}
+
+func TestFitStepFunction(t *testing.T) {
+	var X [][]float64
+	var y []float64
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		v := rng.Float64()
+		X = append(X, []float64{v})
+		if v < 0.5 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 9)
+		}
+	}
+	r, err := Fit(X, y, Config{NumTrees: 60, MaxDepth: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := r.Predict([]float64{0.2}); math.Abs(p-1) > 0.5 {
+		t.Fatalf("left region: %v", p)
+	}
+	if p := r.Predict([]float64{0.8}); math.Abs(p-9) > 0.5 {
+		t.Fatalf("right region: %v", p)
+	}
+}
+
+func TestFitNonlinearTwoFeatures(t *testing.T) {
+	var X [][]float64
+	var y []float64
+	rng := rand.New(rand.NewSource(4))
+	f := func(a, b float64) float64 { return 3*a*a + b }
+	for i := 0; i < 800; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		X = append(X, []float64{a, b})
+		y = append(y, f(a, b))
+	}
+	r, err := Fit(X, y, Config{NumTrees: 120, MaxDepth: 4, LearningRate: 0.15, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sse, n float64
+	for i := range X {
+		d := r.Predict(X[i]) - y[i]
+		sse += d * d
+		n++
+	}
+	if rmse := math.Sqrt(sse / n); rmse > 0.25 {
+		t.Fatalf("rmse = %v, too high", rmse)
+	}
+}
+
+func TestSubsampleStillLearns(t *testing.T) {
+	var X [][]float64
+	var y []float64
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 400; i++ {
+		v := rng.Float64()
+		X = append(X, []float64{v})
+		y = append(y, 4*v)
+	}
+	r, err := Fit(X, y, Config{NumTrees: 80, Subsample: 0.5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := r.Predict([]float64{0.5}); math.Abs(p-2) > 0.4 {
+		t.Fatalf("subsampled fit predicted %v, want ~2", p)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Fit(nil, nil, Config{}); err == nil {
+		t.Fatal("empty dataset should fail")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1, 2}, Config{}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	var X [][]float64
+	var y []float64
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		v := rng.Float64()
+		X = append(X, []float64{v})
+		y = append(y, v*v)
+	}
+	r1, err := Fit(X, y, Config{NumTrees: 20, Subsample: 0.7, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Fit(X, y, Config{NumTrees: 20, Subsample: 0.7, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range []float64{0.1, 0.5, 0.9} {
+		if r1.Predict([]float64{probe}) != r2.Predict([]float64{probe}) {
+			t.Fatal("fitting not deterministic")
+		}
+	}
+	if r1.NumTrees() != 20 {
+		t.Fatalf("NumTrees = %d", r1.NumTrees())
+	}
+}
+
+func TestThresholdCandidates(t *testing.T) {
+	if c := thresholdCandidates([]float64{1, 1, 1}, 8); c != nil {
+		t.Fatalf("constant column should yield no candidates, got %v", c)
+	}
+	c := thresholdCandidates([]float64{1, 2, 3, 4}, 8)
+	if len(c) != 3 {
+		t.Fatalf("got %d candidates, want 3 midpoints", len(c))
+	}
+	many := make([]float64, 1000)
+	for i := range many {
+		many[i] = float64(i)
+	}
+	c = thresholdCandidates(many, 16)
+	if len(c) != 16 {
+		t.Fatalf("got %d candidates, want 16", len(c))
+	}
+}

@@ -1,0 +1,166 @@
+package histogram
+
+import (
+	"math"
+	"sort"
+
+	"cardpi/internal/dataset"
+)
+
+// Extended statistics, modelled on Postgres 10+'s CREATE STATISTICS: for the
+// most correlated column pairs, a joint most-common-values list is kept so
+// that equality conjunctions on those pairs bypass the attribute-value
+// independence assumption — the estimator's dominant failure mode on
+// correlated data.
+
+// pairKey identifies an unordered column pair.
+type pairKey struct{ a, b string }
+
+func makePairKey(a, b string) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{a, b}
+}
+
+// jointStats is a joint MCV list for one column pair.
+type jointStats struct {
+	// freq maps (va, vb) to its fraction of rows.
+	freq map[[2]int64]float64
+	// mass is the total fraction covered by the list.
+	mass float64
+}
+
+// collectExtended finds the pairs most correlated columns (by absolute
+// Pearson correlation of the integer codes over a row sample) and builds a
+// joint MCV list for each.
+func collectExtended(t *dataset.Table, pairs, mcvs int) map[pairKey]*jointStats {
+	if pairs <= 0 {
+		return nil
+	}
+	n := t.NumRows()
+	step := n/2000 + 1
+
+	type scored struct {
+		i, j int
+		corr float64
+	}
+	var cands []scored
+	for i := 0; i < t.NumCols(); i++ {
+		for j := i + 1; j < t.NumCols(); j++ {
+			c := sampleCorrelation(t.Cols[i].Values, t.Cols[j].Values, step)
+			cands = append(cands, scored{i, j, math.Abs(c)})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].corr != cands[b].corr {
+			return cands[a].corr > cands[b].corr
+		}
+		if cands[a].i != cands[b].i {
+			return cands[a].i < cands[b].i
+		}
+		return cands[a].j < cands[b].j
+	})
+	if pairs > len(cands) {
+		pairs = len(cands)
+	}
+
+	out := make(map[pairKey]*jointStats, pairs)
+	for _, cand := range cands[:pairs] {
+		ci, cj := t.Cols[cand.i], t.Cols[cand.j]
+		counts := make(map[[2]int64]int)
+		for r := 0; r < n; r++ {
+			counts[[2]int64{ci.Values[r], cj.Values[r]}]++
+		}
+		type vc struct {
+			k [2]int64
+			c int
+		}
+		all := make([]vc, 0, len(counts))
+		for k, c := range counts {
+			all = append(all, vc{k, c})
+		}
+		sort.Slice(all, func(a, b int) bool {
+			if all[a].c != all[b].c {
+				return all[a].c > all[b].c
+			}
+			if all[a].k[0] != all[b].k[0] {
+				return all[a].k[0] < all[b].k[0]
+			}
+			return all[a].k[1] < all[b].k[1]
+		})
+		keep := mcvs
+		if keep > len(all) {
+			keep = len(all)
+		}
+		js := &jointStats{freq: make(map[[2]int64]float64, keep)}
+		for _, e := range all[:keep] {
+			f := float64(e.c) / float64(n)
+			js.freq[e.k] = f
+			js.mass += f
+		}
+		key := makePairKey(ci.Name, cj.Name)
+		// The joint list is stored under the sorted name order; remember
+		// which column is first.
+		if ci.Name > cj.Name {
+			swapped := &jointStats{freq: make(map[[2]int64]float64, keep), mass: js.mass}
+			for k, f := range js.freq {
+				swapped.freq[[2]int64{k[1], k[0]}] = f
+			}
+			js = swapped
+		}
+		out[key] = js
+	}
+	return out
+}
+
+func sampleCorrelation(a, b []int64, step int) float64 {
+	var sa, sb, saa, sbb, sab, n float64
+	for i := 0; i < len(a); i += step {
+		x, y := float64(a[i]), float64(b[i])
+		sa += x
+		sb += y
+		saa += x * x
+		sbb += y * y
+		sab += x * y
+		n++
+	}
+	cov := sab/n - (sa/n)*(sb/n)
+	va := saa/n - (sa/n)*(sa/n)
+	vb := sbb/n - (sb/n)*(sb/n)
+	if va <= 0 || vb <= 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// jointEqSelectivity estimates an equality conjunction on a tracked pair.
+// The second return is false when the pair is not tracked. MCV misses fall
+// back to a uniform share of the residual mass, capped by the independence
+// estimate.
+func (s *Stats) jointEqSelectivity(colA string, va int64, colB string, vb int64) (float64, bool) {
+	key := makePairKey(colA, colB)
+	js, ok := s.extended[key]
+	if !ok {
+		return 0, false
+	}
+	lookup := [2]int64{va, vb}
+	if colA > colB {
+		lookup = [2]int64{vb, va}
+	}
+	if f, hit := js.freq[lookup]; hit {
+		return f, true
+	}
+	// Miss: the pair is rare. Use the independence estimate bounded by the
+	// residual joint mass.
+	indepA, errA := s.PredicateSelectivity(dataset.Predicate{Col: colA, Op: dataset.OpEq, Lo: va})
+	indepB, errB := s.PredicateSelectivity(dataset.Predicate{Col: colB, Op: dataset.OpEq, Lo: vb})
+	if errA != nil || errB != nil {
+		return 0, false
+	}
+	est := indepA * indepB
+	if residual := 1 - js.mass; est > residual {
+		est = residual
+	}
+	return est, true
+}

@@ -1,0 +1,380 @@
+// Package histogram implements a traditional Postgres-style cardinality
+// estimator: per-column statistics (most-common-value lists plus equi-depth
+// histograms) combined under the attribute-value-independence assumption,
+// with the textbook distinct-count rule for key/foreign-key join
+// selectivities. It serves three roles in this repository: the traditional
+// baseline, a feature source for the LW-NN model, and the estimator driving
+// the mini query optimizer of the Postgres integration experiment.
+package histogram
+
+import (
+	"fmt"
+	"sort"
+
+	"cardpi/internal/dataset"
+	"cardpi/internal/workload"
+)
+
+// Config controls statistics collection.
+type Config struct {
+	// Buckets is the number of equi-depth histogram buckets per column.
+	Buckets int
+	// MCVs is the size of the most-common-value list per column.
+	MCVs int
+	// ExtendedPairs enables extended statistics (joint MCV lists, like
+	// Postgres CREATE STATISTICS) for the N most correlated column pairs.
+	// Zero disables.
+	ExtendedPairs int
+	// ExtendedMCVs is the joint MCV list size per tracked pair.
+	ExtendedMCVs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Buckets <= 0 {
+		c.Buckets = 32
+	}
+	if c.MCVs <= 0 {
+		c.MCVs = 16
+	}
+	if c.ExtendedMCVs <= 0 {
+		c.ExtendedMCVs = 64
+	}
+	return c
+}
+
+// columnStats holds per-column statistics.
+type columnStats struct {
+	// mcv maps the most common values to their frequencies (fractions).
+	mcv map[int64]float64
+	// mcvTotal is the total frequency mass of the MCV list.
+	mcvTotal float64
+	// bounds are the histogram bucket boundaries over the non-MCV values:
+	// bucket i covers [bounds[i], bounds[i+1]); the last bucket is closed.
+	bounds []int64
+	// bucketFrac is the fraction of all rows per bucket.
+	bucketFrac []float64
+	// distinct is the number of distinct values in the column.
+	distinct int
+	// distinctNonMCV is the number of distinct values outside the MCV list.
+	distinctNonMCV int
+	min, max       int64
+}
+
+// Stats is a collection of per-column statistics over one table, plus
+// optional extended (joint) statistics for correlated pairs.
+type Stats struct {
+	table    *dataset.Table
+	cols     map[string]*columnStats
+	extended map[pairKey]*jointStats
+	n        int
+}
+
+// Collect scans the table once per column and builds its statistics.
+func Collect(t *dataset.Table, cfg Config) *Stats {
+	cfg = cfg.withDefaults()
+	s := &Stats{table: t, cols: make(map[string]*columnStats, t.NumCols()), n: t.NumRows()}
+	for _, c := range t.Cols {
+		s.cols[c.Name] = collectColumn(c, t.NumRows(), cfg)
+	}
+	s.extended = collectExtended(t, cfg.ExtendedPairs, cfg.ExtendedMCVs)
+	return s
+}
+
+func collectColumn(c *dataset.Column, n int, cfg Config) *columnStats {
+	freq := make(map[int64]int)
+	for _, v := range c.Values {
+		freq[v]++
+	}
+	type vc struct {
+		v int64
+		c int
+	}
+	pairs := make([]vc, 0, len(freq))
+	for v, cnt := range freq {
+		pairs = append(pairs, vc{v, cnt})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].c != pairs[j].c {
+			return pairs[i].c > pairs[j].c
+		}
+		return pairs[i].v < pairs[j].v
+	})
+
+	st := &columnStats{mcv: make(map[int64]float64), distinct: len(pairs)}
+	k := cfg.MCVs
+	if k > len(pairs) {
+		k = len(pairs)
+	}
+	for _, p := range pairs[:k] {
+		f := float64(p.c) / float64(n)
+		st.mcv[p.v] = f
+		st.mcvTotal += f
+	}
+
+	// Equi-depth histogram over the remaining values.
+	var rest []int64
+	for _, v := range c.Values {
+		if _, isMCV := st.mcv[v]; !isMCV {
+			rest = append(rest, v)
+		}
+	}
+	st.distinctNonMCV = st.distinct - k
+	st.min, st.max = domainBounds(c)
+	if len(rest) == 0 {
+		return st
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
+	b := cfg.Buckets
+	if b > len(rest) {
+		b = len(rest)
+	}
+	per := len(rest) / b
+	st.bounds = append(st.bounds, rest[0])
+	for i := 1; i < b; i++ {
+		st.bounds = append(st.bounds, rest[i*per])
+	}
+	st.bounds = append(st.bounds, rest[len(rest)-1]+1)
+	st.bucketFrac = make([]float64, b)
+	bi := 0
+	for _, v := range rest {
+		for bi+1 < b && v >= st.bounds[bi+1] {
+			bi++
+		}
+		st.bucketFrac[bi] += 1.0 / float64(n)
+	}
+	return st
+}
+
+func domainBounds(c *dataset.Column) (int64, int64) {
+	if c.Type == dataset.Categorical {
+		return 0, c.DomainSize - 1
+	}
+	return c.Min, c.Max
+}
+
+// PredicateSelectivity estimates the selectivity of a single predicate.
+func (s *Stats) PredicateSelectivity(p dataset.Predicate) (float64, error) {
+	st, ok := s.cols[p.Col]
+	if !ok {
+		return 0, fmt.Errorf("histogram: no statistics for column %q", p.Col)
+	}
+	if p.Op == dataset.OpEq {
+		return st.eqSelectivity(p.Lo), nil
+	}
+	return st.rangeSelectivity(p.Lo, p.Hi), nil
+}
+
+func (st *columnStats) eqSelectivity(v int64) float64 {
+	if f, ok := st.mcv[v]; ok {
+		return f
+	}
+	if st.distinctNonMCV <= 0 {
+		return 0
+	}
+	// Uniform spread of the residual mass over non-MCV distinct values.
+	return (1 - st.mcvTotal) / float64(st.distinctNonMCV)
+}
+
+func (st *columnStats) rangeSelectivity(lo, hi int64) float64 {
+	var sel float64
+	for v, f := range st.mcv {
+		if v >= lo && v <= hi {
+			sel += f
+		}
+	}
+	for i := 0; i+1 < len(st.bounds); i++ {
+		bLo, bHi := st.bounds[i], st.bounds[i+1] // [bLo, bHi)
+		oLo, oHi := maxI(lo, bLo), minI(hi+1, bHi)
+		if oHi <= oLo {
+			continue
+		}
+		frac := float64(oHi-oLo) / float64(bHi-bLo)
+		sel += st.bucketFrac[i] * frac
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	return sel
+}
+
+func maxI(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Selectivity estimates a conjunction under attribute value independence,
+// except for equality pairs covered by extended statistics, whose joint MCV
+// estimate replaces the independence product.
+func (s *Stats) Selectivity(preds []dataset.Predicate) (float64, error) {
+	used := make([]bool, len(preds))
+	sel := 1.0
+	if s.extended != nil {
+		for i := 0; i < len(preds); i++ {
+			if used[i] || preds[i].Op != dataset.OpEq {
+				continue
+			}
+			for j := i + 1; j < len(preds); j++ {
+				if used[j] || preds[j].Op != dataset.OpEq {
+					continue
+				}
+				if joint, ok := s.jointEqSelectivity(preds[i].Col, preds[i].Lo, preds[j].Col, preds[j].Lo); ok {
+					sel *= joint
+					used[i], used[j] = true, true
+					break
+				}
+			}
+		}
+	}
+	for i, p := range preds {
+		if used[i] {
+			continue
+		}
+		ps, err := s.PredicateSelectivity(p)
+		if err != nil {
+			return 0, err
+		}
+		sel *= ps
+	}
+	return sel, nil
+}
+
+// Distinct returns the estimated number of distinct values in a column, used
+// by the join-selectivity rule. Unknown columns report 1.
+func (s *Stats) Distinct(col string) int {
+	if st, ok := s.cols[col]; ok {
+		return st.distinct
+	}
+	return 1
+}
+
+// NumRows returns the row count of the analysed table.
+func (s *Stats) NumRows() int { return s.n }
+
+// Estimator is a traditional estimator over a single table or a star
+// schema: single-table queries use the table's statistics directly;
+// join queries combine per-table filtered sizes with the distinct-count
+// join rule (|R ⋈key S| ≈ |σR| · |σS| / max(ndv)).
+type Estimator struct {
+	tableStats map[string]*Stats
+	schema     *dataset.Schema
+	table      *dataset.Table
+}
+
+// NewSingle builds the estimator for a single table.
+func NewSingle(t *dataset.Table, cfg Config) *Estimator {
+	return &Estimator{
+		table:      t,
+		tableStats: map[string]*Stats{t.Name: Collect(t, cfg)},
+	}
+}
+
+// NewSchema builds the estimator for every table of a star schema.
+func NewSchema(sch *dataset.Schema, cfg Config) *Estimator {
+	e := &Estimator{schema: sch, tableStats: make(map[string]*Stats)}
+	e.tableStats[sch.Center.Name] = Collect(sch.Center, cfg)
+	for name, jt := range sch.Joins {
+		e.tableStats[name] = Collect(jt.Table, cfg)
+	}
+	return e
+}
+
+// Name implements estimator.Estimator.
+func (e *Estimator) Name() string { return "histogram" }
+
+// Stats returns the statistics of the named table, or nil.
+func (e *Estimator) Stats(table string) *Stats { return e.tableStats[table] }
+
+// EstimateSelectivity implements estimator.Estimator. For join queries the
+// returned selectivity is normalised by the unfiltered join size estimate,
+// matching the Labeled.Sel convention.
+func (e *Estimator) EstimateSelectivity(q workload.Query) float64 {
+	if !q.IsJoin() {
+		st := e.singleStats()
+		if st == nil {
+			return 0
+		}
+		sel, err := st.Selectivity(q.Preds)
+		if err != nil {
+			return 0
+		}
+		return sel
+	}
+	return e.joinSelectivity(*q.Join)
+}
+
+func (e *Estimator) singleStats() *Stats {
+	if e.table != nil {
+		return e.tableStats[e.table.Name]
+	}
+	return nil
+}
+
+// joinSelectivity estimates Card(q) / Card(unfiltered join) as the product
+// of per-table filter selectivities: under the independence assumptions of
+// traditional optimizers, join keys are independent of filters, so the
+// filtered/unfiltered ratio is exactly that product.
+func (e *Estimator) joinSelectivity(q dataset.JoinQuery) float64 {
+	if e.schema == nil {
+		return 0
+	}
+	sel := 1.0
+	consider := append([]string{e.schema.Center.Name}, q.Tables...)
+	for _, name := range consider {
+		st, ok := e.tableStats[name]
+		if !ok {
+			return 0
+		}
+		s, err := st.Selectivity(q.Preds[name])
+		if err != nil {
+			return 0
+		}
+		sel *= s
+	}
+	return sel
+}
+
+// EstimateJoinCard estimates the absolute cardinality of a join query using
+// per-table filtered sizes and the distinct-count rule, the estimate a
+// Selinger-style optimizer consumes.
+func (e *Estimator) EstimateJoinCard(q dataset.JoinQuery) (float64, error) {
+	if e.schema == nil {
+		return 0, fmt.Errorf("histogram: estimator not built over a schema")
+	}
+	centerStats := e.tableStats[e.schema.Center.Name]
+	centerSel, err := centerStats.Selectivity(q.Preds[e.schema.Center.Name])
+	if err != nil {
+		return 0, err
+	}
+	card := centerSel * float64(centerStats.NumRows())
+	for _, name := range q.Tables {
+		jt, ok := e.schema.Joins[name]
+		if !ok {
+			return 0, fmt.Errorf("histogram: unknown join table %q", name)
+		}
+		st := e.tableStats[name]
+		s, err := st.Selectivity(q.Preds[name])
+		if err != nil {
+			return 0, err
+		}
+		filtered := s * float64(st.NumRows())
+		switch jt.Rel {
+		case dataset.DimOfCenter:
+			// FK -> PK: each center row matches one dim row; the filter on
+			// the dim survives with probability |σD|/|D|.
+			card *= filtered / float64(st.NumRows())
+		case dataset.SatelliteOfCenter:
+			// PK <- FK: fan-out |S|/|T| scaled by the satellite filter.
+			card *= filtered / float64(centerStats.NumRows())
+		}
+	}
+	return card, nil
+}

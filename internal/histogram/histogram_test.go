@@ -1,0 +1,327 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+
+	"cardpi/internal/dataset"
+	"cardpi/internal/workload"
+)
+
+func dmv(t *testing.T, rows int) *dataset.Table {
+	t.Helper()
+	tab, err := dataset.GenerateDMV(dataset.GenConfig{Rows: rows, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestEqSelectivityMCVExact(t *testing.T) {
+	tab := dmv(t, 5000)
+	st := Collect(tab, Config{MCVs: 8, Buckets: 16})
+	// The most frequent state value is in the MCV list, so its estimate is
+	// exact.
+	counts := map[int64]int{}
+	var top int64
+	for _, v := range tab.Column("state").Values {
+		counts[v]++
+		if counts[v] > counts[top] {
+			top = v
+		}
+	}
+	est, err := st.PredicateSelectivity(dataset.Predicate{Col: "state", Op: dataset.OpEq, Lo: top})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(counts[top]) / 5000
+	if math.Abs(est-want) > 1e-12 {
+		t.Fatalf("MCV estimate %v, want exact %v", est, want)
+	}
+}
+
+func TestRangeSelectivityFullDomain(t *testing.T) {
+	tab := dmv(t, 2000)
+	st := Collect(tab, Config{})
+	c := tab.Column("model_year")
+	est, err := st.PredicateSelectivity(dataset.Predicate{Col: "model_year", Op: dataset.OpRange, Lo: c.Min, Hi: c.Max})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-1) > 0.02 {
+		t.Fatalf("full-range selectivity %v, want ~1", est)
+	}
+}
+
+func TestRangeSelectivityAccuracy(t *testing.T) {
+	tab := dmv(t, 8000)
+	st := Collect(tab, Config{Buckets: 64})
+	pred := dataset.Predicate{Col: "model_year", Op: dataset.OpRange, Lo: 50, Hi: 90}
+	est, err := st.PredicateSelectivity(pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := tab.Selectivity([]dataset.Predicate{pred})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-truth) > 0.05 {
+		t.Fatalf("single-column range estimate %v vs truth %v", est, truth)
+	}
+}
+
+func TestIndependenceAssumptionErrsOnCorrelated(t *testing.T) {
+	// county is ~90% determined by state; AVI should misestimate the
+	// conjunction badly for a matching pair, which is exactly the failure
+	// mode the paper's prediction intervals are meant to expose.
+	tab := dmv(t, 8000)
+	st := Collect(tab, Config{MCVs: 16})
+	state := tab.Column("state").Values
+	county := tab.Column("county").Values
+	// Find the most common (state, county) pair.
+	type pair struct{ s, c int64 }
+	counts := map[pair]int{}
+	best := pair{}
+	for i := range state {
+		p := pair{state[i], county[i]}
+		counts[p]++
+		if counts[p] > counts[best] {
+			best = p
+		}
+	}
+	preds := []dataset.Predicate{
+		{Col: "state", Op: dataset.OpEq, Lo: best.s},
+		{Col: "county", Op: dataset.OpEq, Lo: best.c},
+	}
+	est, err := st.Selectivity(preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := tab.Selectivity(preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth <= est {
+		t.Fatalf("expected underestimation on correlated pair: est %v truth %v", est, truth)
+	}
+}
+
+func TestSelectivityUnknownColumn(t *testing.T) {
+	tab := dmv(t, 200)
+	st := Collect(tab, Config{})
+	if _, err := st.PredicateSelectivity(dataset.Predicate{Col: "ghost", Op: dataset.OpEq}); err == nil {
+		t.Fatal("unknown column should fail")
+	}
+	if _, err := st.Selectivity([]dataset.Predicate{{Col: "ghost", Op: dataset.OpEq}}); err == nil {
+		t.Fatal("unknown column in conjunction should fail")
+	}
+}
+
+func TestEstimatorSingleTable(t *testing.T) {
+	tab := dmv(t, 3000)
+	e := NewSingle(tab, Config{})
+	if e.Name() != "histogram" {
+		t.Fatal("Name wrong")
+	}
+	wl, err := workload.Generate(tab, workload.Config{Count: 50, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lq := range wl.Queries {
+		s := e.EstimateSelectivity(lq.Query)
+		if s < 0 || s > 1 {
+			t.Fatalf("selectivity %v out of range", s)
+		}
+	}
+	if e.Stats(tab.Name) == nil {
+		t.Fatal("Stats accessor nil")
+	}
+}
+
+func TestEstimatorSchemaJoins(t *testing.T) {
+	sch, err := dataset.GenerateDSB(dataset.GenConfig{Rows: 3000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewSchema(sch, Config{})
+	wl, err := workload.GenerateJoins(sch, workload.JoinConfig{Count: 30, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lq := range wl.Queries {
+		s := e.EstimateSelectivity(lq.Query)
+		if s < 0 || s > 1 {
+			t.Fatalf("join selectivity %v out of range", s)
+		}
+		card, err := e.EstimateJoinCard(*lq.Query.Join)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if card < 0 {
+			t.Fatalf("negative cardinality estimate %v", card)
+		}
+	}
+}
+
+func TestEstimateJoinCardUnfilteredStar(t *testing.T) {
+	sch, err := dataset.GenerateDSB(dataset.GenConfig{Rows: 2000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewSchema(sch, Config{})
+	// Unfiltered N:1 star join cardinality equals the fact table size.
+	card, err := e.EstimateJoinCard(dataset.JoinQuery{Tables: []string{"item", "store"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(card-2000) > 1 {
+		t.Fatalf("unfiltered star estimate %v, want 2000", card)
+	}
+}
+
+func TestEstimateJoinCardErrors(t *testing.T) {
+	tab := dmv(t, 100)
+	single := NewSingle(tab, Config{})
+	if _, err := single.EstimateJoinCard(dataset.JoinQuery{}); err == nil {
+		t.Fatal("join estimate over single table should fail")
+	}
+	sch, err := dataset.GenerateDSB(dataset.GenConfig{Rows: 100, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewSchema(sch, Config{})
+	if _, err := e.EstimateJoinCard(dataset.JoinQuery{Tables: []string{"ghost"}}); err == nil {
+		t.Fatal("unknown table should fail")
+	}
+}
+
+func TestSatelliteJoinFanout(t *testing.T) {
+	sch, err := dataset.GenerateJOB(dataset.GenConfig{Rows: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewSchema(sch, Config{})
+	// Unfiltered hub-satellite join cardinality should estimate |satellite|.
+	ci := sch.Joins["cast_info"].Table
+	card, err := e.EstimateJoinCard(dataset.JoinQuery{Tables: []string{"cast_info"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(card-float64(ci.NumRows())) > 1 {
+		t.Fatalf("fan-out estimate %v, want %d", card, ci.NumRows())
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	tab := dmv(t, 500)
+	st := Collect(tab, Config{})
+	if d := st.Distinct("scofflaw"); d != 2 {
+		t.Fatalf("Distinct(scofflaw) = %d, want 2", d)
+	}
+	if d := st.Distinct("ghost"); d != 1 {
+		t.Fatalf("Distinct(ghost) = %d, want fallback 1", d)
+	}
+	if st.NumRows() != 500 {
+		t.Fatal("NumRows wrong")
+	}
+}
+
+func TestExtendedStatisticsFixCorrelatedPairs(t *testing.T) {
+	tab := dmv(t, 8000)
+	plain := Collect(tab, Config{MCVs: 16})
+	extended := Collect(tab, Config{MCVs: 16, ExtendedPairs: 4, ExtendedMCVs: 128})
+
+	// The most common (state, county) pair — 90% functionally dependent.
+	state := tab.Column("state").Values
+	county := tab.Column("county").Values
+	type pair struct{ s, c int64 }
+	counts := map[pair]int{}
+	best := pair{}
+	for i := range state {
+		p := pair{state[i], county[i]}
+		counts[p]++
+		if counts[p] > counts[best] {
+			best = p
+		}
+	}
+	preds := []dataset.Predicate{
+		{Col: "state", Op: dataset.OpEq, Lo: best.s},
+		{Col: "county", Op: dataset.OpEq, Lo: best.c},
+	}
+	truth, err := tab.Selectivity(preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainEst, err := plain.Selectivity(preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extEst, err := extended.Selectivity(preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qe := func(est float64) float64 {
+		if est < 1e-9 {
+			est = 1e-9
+		}
+		if est > truth {
+			return est / truth
+		}
+		return truth / est
+	}
+	if qe(extEst) >= qe(plainEst) {
+		t.Fatalf("extended stats did not improve: plain q=%v ext q=%v (truth %v, plain %v, ext %v)",
+			qe(plainEst), qe(extEst), truth, plainEst, extEst)
+	}
+	// A top MCV pair should be near exact.
+	if qe(extEst) > 1.2 {
+		t.Fatalf("top joint-MCV pair estimate off by %vx", qe(extEst))
+	}
+}
+
+func TestExtendedStatisticsMissFallsBack(t *testing.T) {
+	tab := dmv(t, 3000)
+	st := Collect(tab, Config{ExtendedPairs: 2, ExtendedMCVs: 4})
+	// A rare (state, county) combination misses the tiny joint MCV list and
+	// must still produce a sane (finite, bounded) estimate.
+	preds := []dataset.Predicate{
+		{Col: "state", Op: dataset.OpEq, Lo: 49},
+		{Col: "county", Op: dataset.OpEq, Lo: 61},
+	}
+	est, err := st.Selectivity(preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < 0 || est > 1 {
+		t.Fatalf("fallback estimate %v out of range", est)
+	}
+	// Untracked pairs use the plain independence path.
+	other := []dataset.Predicate{
+		{Col: "scofflaw", Op: dataset.OpEq, Lo: 0},
+		{Col: "revoked", Op: dataset.OpEq, Lo: 1},
+	}
+	if _, err := st.Selectivity(other); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtendedStatisticsRangePredicatesUnaffected(t *testing.T) {
+	tab := dmv(t, 2000)
+	plain := Collect(tab, Config{})
+	ext := Collect(tab, Config{ExtendedPairs: 3})
+	preds := []dataset.Predicate{
+		{Col: "model_year", Op: dataset.OpRange, Lo: 30, Hi: 90},
+		{Col: "state", Op: dataset.OpEq, Lo: 1},
+	}
+	a, err := plain.Selectivity(preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ext.Selectivity(preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("range+eq conjunction changed by extended stats: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,146 @@
+// Package lwnn implements the LW-NN estimator of Dutt et al. ("Selectivity
+// estimation for range predicates using lightweight models"): a small neural
+// network over heuristic features — per-column range fractions plus the
+// log-estimates of cheap traditional estimators (attribute-value-independence
+// histograms and a uniform row sample) — trained with MSE on
+// log-selectivity. A pinball-loss variant provides the quantile regressors
+// needed by conformalized quantile regression.
+package lwnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cardpi/internal/dataset"
+	"cardpi/internal/estimator"
+	"cardpi/internal/histogram"
+	"cardpi/internal/nn"
+	"cardpi/internal/sampling"
+	"cardpi/internal/workload"
+)
+
+// Config controls training.
+type Config struct {
+	// Hidden lists the hidden layer sizes (default [64, 32]).
+	Hidden []int
+	// Epochs, BatchSize and LR are passed to the trainer.
+	Epochs    int
+	BatchSize int
+	LR        float64
+	// SampleSize is the row-sample size for the sampling feature.
+	SampleSize int
+	// Seed makes initialisation and training deterministic.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Hidden) == 0 {
+		c.Hidden = []int{64, 32}
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 40
+	}
+	if c.SampleSize <= 0 {
+		c.SampleSize = 1000
+	}
+	if c.LR <= 0 {
+		c.LR = 2e-3
+	}
+	return c
+}
+
+// Features produces LW-NN's heuristic feature vectors for queries over one
+// table. It is exported so the locally weighted conformal difficulty model
+// can reuse the same featurisation.
+type Features struct {
+	feat    *estimator.Featurizer
+	hist    *histogram.Estimator
+	sampler *sampling.Estimator
+}
+
+// NewFeatures builds the feature pipeline (collects statistics, draws the
+// sample).
+func NewFeatures(t *dataset.Table, sampleSize int, seed int64) (*Features, error) {
+	s, err := sampling.New(t, sampleSize, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Features{
+		feat:    estimator.NewFeaturizer(t),
+		hist:    histogram.NewSingle(t, histogram.Config{}),
+		sampler: s,
+	}, nil
+}
+
+// Dim returns the feature vector length.
+func (f *Features) Dim() int { return f.feat.Dim() + 2 }
+
+// Vector featurises a query: the flat per-column encoding plus the
+// normalised log-estimates of the histogram and sampling estimators.
+func (f *Features) Vector(q workload.Query) []float64 {
+	v := f.feat.Featurize(q)
+	hs := f.hist.EstimateSelectivity(q)
+	ss := f.sampler.EstimateSelectivity(q)
+	// Normalise log-estimates to roughly [0, 1]: log(MinSel) ~ -26.
+	norm := func(s float64) float64 { return 1 - estimator.LogSel(s)/estimator.LogSel(estimator.MinSel) }
+	return append(v, norm(hs), norm(ss))
+}
+
+// Model is a trained LW-NN estimator.
+type Model struct {
+	name     string
+	features *Features
+	net      *nn.Net
+}
+
+// Train fits LW-NN on a labeled workload with MSE loss on log-selectivity.
+func Train(t *dataset.Table, wl *workload.Workload, cfg Config) (*Model, error) {
+	return train(t, wl, nn.MSELoss{}, "lwnn", cfg)
+}
+
+// TrainQuantile fits the tau-quantile variant with pinball loss, used by
+// CQR (tau = alpha/2 for the lower model, 1-alpha/2 for the upper).
+func TrainQuantile(t *dataset.Table, wl *workload.Workload, tau float64, cfg Config) (*Model, error) {
+	if tau <= 0 || tau >= 1 {
+		return nil, fmt.Errorf("lwnn: tau must be in (0,1), got %v", tau)
+	}
+	return train(t, wl, nn.PinballLoss{Tau: tau}, fmt.Sprintf("lwnn-q%.3f", tau), cfg)
+}
+
+func train(t *dataset.Table, wl *workload.Workload, loss nn.Loss, name string, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if wl == nil || len(wl.Queries) == 0 {
+		return nil, fmt.Errorf("lwnn: empty training workload")
+	}
+	features, err := NewFeatures(t, cfg.SampleSize, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	X := make([][]float64, len(wl.Queries))
+	y := make([]float64, len(wl.Queries))
+	for i, lq := range wl.Queries {
+		X[i] = features.Vector(lq.Query)
+		y[i] = estimator.LogSel(lq.Sel)
+	}
+	sizes := append([]int{features.Dim()}, cfg.Hidden...)
+	sizes = append(sizes, 1)
+	net := nn.NewNet(rand.New(rand.NewSource(cfg.Seed)), sizes...)
+	if _, err := nn.Fit(net, X, y, loss, nn.TrainConfig{
+		Epochs: cfg.Epochs, BatchSize: cfg.BatchSize, LR: cfg.LR, Seed: cfg.Seed + 1,
+	}); err != nil {
+		return nil, err
+	}
+	return &Model{name: name, features: features, net: net}, nil
+}
+
+// Name implements estimator.Estimator.
+func (m *Model) Name() string { return m.name }
+
+// EstimateSelectivity implements estimator.Estimator. LW-NN is a
+// single-table model; join queries report selectivity 0.
+func (m *Model) EstimateSelectivity(q workload.Query) float64 {
+	if q.IsJoin() {
+		return 0
+	}
+	return estimator.SelFromLog(m.net.Predict1(m.features.Vector(q)))
+}

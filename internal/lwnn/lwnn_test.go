@@ -1,0 +1,130 @@
+package lwnn
+
+import (
+	"testing"
+
+	"cardpi/internal/dataset"
+	"cardpi/internal/estimator"
+	"cardpi/internal/workload"
+)
+
+func trainSetup(t *testing.T) (*dataset.Table, *workload.Workload, *workload.Workload) {
+	t.Helper()
+	tab, err := dataset.GenerateForest(dataset.GenConfig{Rows: 4000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.Generate(tab, workload.Config{Count: 600, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := wl.Split(3, 0.7, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab, parts[0], parts[1]
+}
+
+func TestTrainImprovesOverConstantGuess(t *testing.T) {
+	tab, trainWL, testWL := trainSetup(t)
+	m, err := Train(tab, trainWL, Config{Epochs: 30, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var modelQ, constQ float64
+	for _, lq := range testWL.Queries {
+		est := m.EstimateSelectivity(lq.Query)
+		modelQ += estimator.QError(est, lq.Sel)
+		constQ += estimator.QError(0.05, lq.Sel)
+	}
+	if modelQ >= constQ {
+		t.Fatalf("model mean q-error %v not better than constant guess %v",
+			modelQ/float64(len(testWL.Queries)), constQ/float64(len(testWL.Queries)))
+	}
+}
+
+func TestEstimatesInRange(t *testing.T) {
+	tab, trainWL, testWL := trainSetup(t)
+	m, err := Train(tab, trainWL, Config{Epochs: 5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lq := range testWL.Queries {
+		s := m.EstimateSelectivity(lq.Query)
+		if s < 0 || s > 1 {
+			t.Fatalf("selectivity %v out of range", s)
+		}
+	}
+	if m.Name() != "lwnn" {
+		t.Fatal("Name wrong")
+	}
+}
+
+func TestQuantileVariantsBracket(t *testing.T) {
+	tab, trainWL, testWL := trainSetup(t)
+	lo, err := TrainQuantile(tab, trainWL, 0.05, Config{Epochs: 30, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := TrainQuantile(tab, trainWL, 0.95, Config{Epochs: 30, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 95%-quantile model should predict above the 5% model for most
+	// queries (pinball losses pull them apart).
+	above := 0
+	for _, lq := range testWL.Queries {
+		if hi.EstimateSelectivity(lq.Query) >= lo.EstimateSelectivity(lq.Query) {
+			above++
+		}
+	}
+	if frac := float64(above) / float64(len(testWL.Queries)); frac < 0.8 {
+		t.Fatalf("upper quantile above lower for only %v of queries", frac)
+	}
+	if lo.Name() == hi.Name() {
+		t.Fatal("quantile models should carry tau in their names")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	tab, trainWL, _ := trainSetup(t)
+	if _, err := Train(tab, nil, Config{}); err == nil {
+		t.Fatal("nil workload should fail")
+	}
+	if _, err := TrainQuantile(tab, trainWL, 1.5, Config{}); err == nil {
+		t.Fatal("tau out of range should fail")
+	}
+}
+
+func TestJoinQueriesUnsupported(t *testing.T) {
+	tab, trainWL, _ := trainSetup(t)
+	m, err := Train(tab, trainWL, Config{Epochs: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jq := workload.Query{Join: &dataset.JoinQuery{}}
+	if s := m.EstimateSelectivity(jq); s != 0 {
+		t.Fatalf("join query should report 0, got %v", s)
+	}
+}
+
+func TestFeaturesVector(t *testing.T) {
+	tab, _, _ := trainSetup(t)
+	f, err := NewFeatures(tab, 200, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := workload.Query{Preds: []dataset.Predicate{
+		{Col: "elevation", Op: dataset.OpRange, Lo: 100, Hi: 500},
+	}}
+	v := f.Vector(q)
+	if len(v) != f.Dim() {
+		t.Fatalf("vector length %d != Dim %d", len(v), f.Dim())
+	}
+	// The two heuristic-estimate features must be in [0, 1].
+	for _, x := range v[len(v)-2:] {
+		if x < 0 || x > 1 {
+			t.Fatalf("heuristic feature %v out of [0,1]", x)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package lwnn
+
+import (
+	"bytes"
+	"testing"
+
+	"cardpi/internal/dataset"
+	"cardpi/internal/workload"
+)
+
+func TestModelRoundTrip(t *testing.T) {
+	tab, err := dataset.GenerateForest(dataset.GenConfig{Rows: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.Generate(tab, workload.Config{Count: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(tab, wl, Config{Epochs: 3, Seed: 3, SampleSize: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The feature pipeline must be rebuilt identically (same table, sample
+	// size and seed) for predictions to round-trip exactly.
+	features, err := NewFeatures(tab, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadModel(&buf, features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lq := range wl.Queries[:10] {
+		if m.EstimateSelectivity(lq.Query) != loaded.EstimateSelectivity(lq.Query) {
+			t.Fatal("round-trip changed predictions")
+		}
+	}
+}
+
+func TestReadModelRejectsWrongPipeline(t *testing.T) {
+	tab, err := dataset.GenerateForest(dataset.GenConfig{Rows: 500, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.Generate(tab, workload.Config{Count: 50, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(tab, wl, Config{Epochs: 1, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other, err := dataset.GeneratePower(dataset.GenConfig{Rows: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	features, err := NewFeatures(other, 100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadModel(&buf, features); err == nil {
+		t.Fatal("mismatched pipeline accepted")
+	}
+}

@@ -1,0 +1,29 @@
+package mscn
+
+import (
+	"testing"
+
+	"cardpi/internal/dataset"
+	"cardpi/internal/workload"
+)
+
+func BenchmarkEstimate(b *testing.B) {
+	tab, err := dataset.GenerateDMV(dataset.GenConfig{Rows: 2000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl, err := workload.Generate(tab, workload.Config{Count: 200, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := Train(NewSingleFeaturizer(tab), wl, Config{Epochs: 2, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := wl.Queries[0].Query
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.EstimateSelectivity(q)
+	}
+}

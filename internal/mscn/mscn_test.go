@@ -1,0 +1,299 @@
+package mscn
+
+import (
+	"testing"
+
+	"cardpi/internal/dataset"
+	"cardpi/internal/estimator"
+	"cardpi/internal/workload"
+)
+
+func singleSetup(t *testing.T) (*Featurizer, *workload.Workload, *workload.Workload) {
+	t.Helper()
+	tab, err := dataset.GenerateDMV(dataset.GenConfig{Rows: 4000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.Generate(tab, workload.Config{Count: 600, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := wl.Split(3, 0.7, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSingleFeaturizer(tab), parts[0], parts[1]
+}
+
+func TestFeaturizerDims(t *testing.T) {
+	tab, err := dataset.GenerateCensus(dataset.GenConfig{Rows: 100, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewSingleFeaturizer(tab)
+	if f.TableDim() != 1 {
+		t.Fatalf("TableDim = %d", f.TableDim())
+	}
+	if f.PredDim() != 1+tab.NumCols()+4 {
+		t.Fatalf("PredDim = %d", f.PredDim())
+	}
+	q := workload.Query{Preds: []dataset.Predicate{
+		{Col: "age", Op: dataset.OpRange, Lo: 10, Hi: 60},
+		{Col: "sex", Op: dataset.OpEq, Lo: 1},
+	}}
+	tf, pf := f.SetElements(q)
+	if len(tf) != 1 || len(pf) != 2 {
+		t.Fatalf("set sizes %d/%d", len(tf), len(pf))
+	}
+	for _, v := range pf {
+		if len(v) != f.PredDim() {
+			t.Fatalf("pred feature length %d", len(v))
+		}
+	}
+}
+
+func TestTrainImprovesOverConstant(t *testing.T) {
+	f, trainWL, testWL := singleSetup(t)
+	m, err := Train(f, trainWL, Config{Epochs: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var modelQ, constQ float64
+	for _, lq := range testWL.Queries {
+		modelQ += estimator.QError(m.EstimateSelectivity(lq.Query), lq.Sel)
+		constQ += estimator.QError(0.05, lq.Sel)
+	}
+	if modelQ >= constQ {
+		t.Fatalf("MSCN mean q-error %v not better than constant %v",
+			modelQ/float64(len(testWL.Queries)), constQ/float64(len(testWL.Queries)))
+	}
+	if m.Name() != "mscn" {
+		t.Fatal("Name wrong")
+	}
+}
+
+func TestEstimatesInRange(t *testing.T) {
+	f, trainWL, testWL := singleSetup(t)
+	m, err := Train(f, trainWL, Config{Epochs: 3, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lq := range testWL.Queries {
+		s := m.EstimateSelectivity(lq.Query)
+		if s < 0 || s > 1 {
+			t.Fatalf("selectivity %v out of range", s)
+		}
+	}
+}
+
+func TestJoinWorkloadTraining(t *testing.T) {
+	sch, err := dataset.GenerateDSB(dataset.GenConfig{Rows: 2500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.GenerateJoins(sch, workload.JoinConfig{Count: 300, Templates: 6, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := wl.Split(9, 0.7, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewSchemaFeaturizer(sch)
+	m, err := Train(f, parts[0], Config{Epochs: 25, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var modelQ, constQ float64
+	for _, lq := range parts[1].Queries {
+		modelQ += estimator.QError(m.EstimateSelectivity(lq.Query), lq.Sel)
+		constQ += estimator.QError(0.01, lq.Sel)
+	}
+	if modelQ >= constQ {
+		t.Fatalf("join MSCN q-error %v not better than constant %v", modelQ, constQ)
+	}
+}
+
+func TestSchemaFeaturizerJoinElements(t *testing.T) {
+	sch, err := dataset.GenerateDSB(dataset.GenConfig{Rows: 500, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewSchemaFeaturizer(sch)
+	if f.TableDim() != 5 {
+		t.Fatalf("TableDim = %d, want 5", f.TableDim())
+	}
+	q := workload.Query{Join: &dataset.JoinQuery{
+		Tables: []string{"item", "store"},
+		Preds: map[string][]dataset.Predicate{
+			"item":        {{Col: "i_category", Op: dataset.OpEq, Lo: 2}},
+			"store_sales": {{Col: "ss_quantity", Op: dataset.OpRange, Lo: 5, Hi: 20}},
+		},
+	}}
+	tf, pf := f.SetElements(q)
+	if len(tf) != 3 { // center + 2 joined tables
+		t.Fatalf("table set size %d, want 3", len(tf))
+	}
+	if len(pf) != 2 {
+		t.Fatalf("pred set size %d, want 2", len(pf))
+	}
+}
+
+func TestSetElementsDeterministicForJoins(t *testing.T) {
+	sch, err := dataset.GenerateDSB(dataset.GenConfig{Rows: 300, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewSchemaFeaturizer(sch)
+	q := workload.Query{Join: &dataset.JoinQuery{
+		Tables: []string{"item", "customer"},
+		Preds: map[string][]dataset.Predicate{
+			"item":     {{Col: "i_price", Op: dataset.OpRange, Lo: 0, Hi: 100}},
+			"customer": {{Col: "c_gender", Op: dataset.OpEq, Lo: 1}},
+		},
+	}}
+	_, a := f.SetElements(q)
+	for i := 0; i < 10; i++ {
+		_, b := f.SetElements(q)
+		for j := range a {
+			for k := range a[j] {
+				if a[j][k] != b[j][k] {
+					t.Fatal("SetElements order is nondeterministic across calls")
+				}
+			}
+		}
+	}
+}
+
+func TestQuantileVariantsBracket(t *testing.T) {
+	f, trainWL, testWL := singleSetup(t)
+	lo, err := TrainQuantile(f, trainWL, 0.05, Config{Epochs: 30, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := TrainQuantile(f, trainWL, 0.95, Config{Epochs: 30, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	above := 0
+	for _, lq := range testWL.Queries {
+		if hi.PredictLog(lq.Query) >= lo.PredictLog(lq.Query) {
+			above++
+		}
+	}
+	if frac := float64(above) / float64(len(testWL.Queries)); frac < 0.8 {
+		t.Fatalf("upper quantile above lower for only %v of queries", frac)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	f, trainWL, _ := singleSetup(t)
+	if _, err := Train(f, nil, Config{}); err == nil {
+		t.Fatal("nil workload should fail")
+	}
+	if _, err := TrainQuantile(f, trainWL, 0, Config{}); err == nil {
+		t.Fatal("tau=0 should fail")
+	}
+}
+
+func TestTrainingDeterministic(t *testing.T) {
+	f, trainWL, testWL := singleSetup(t)
+	a, err := Train(f, trainWL, Config{Epochs: 3, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(f, trainWL, Config{Epochs: 3, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := testWL.Queries[0].Query
+	if a.EstimateSelectivity(q) != b.EstimateSelectivity(q) {
+		t.Fatal("MSCN training not deterministic")
+	}
+}
+
+func TestSampleBitmapsImproveAccuracy(t *testing.T) {
+	tab, err := dataset.GenerateDMV(dataset.GenConfig{Rows: 4000, Seed: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.Generate(tab, workload.Config{
+		Count: 600, Seed: 41, MinPreds: 2, MaxPreds: 5, MaxSelectivity: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := wl.Split(42, 0.7, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := parts[0], parts[1]
+	cfg := Config{Epochs: 15, Seed: 43}
+
+	plain, err := Train(NewSingleFeaturizer(tab), train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withBits, err := Train(NewSingleFeaturizer(tab).WithSampleBitmaps(64, 44), train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := func(m *Model) float64 {
+		var s float64
+		for _, lq := range test.Queries {
+			s += estimator.QError(m.EstimateSelectivity(lq.Query), lq.Sel+1e-6)
+		}
+		return s
+	}
+	if score(withBits) >= score(plain) {
+		t.Fatalf("sample bitmaps did not improve accuracy: %v vs %v",
+			score(withBits)/float64(len(test.Queries)), score(plain)/float64(len(test.Queries)))
+	}
+}
+
+func TestSampleBitmapContents(t *testing.T) {
+	tab, err := dataset.GenerateCensus(dataset.GenConfig{Rows: 200, Seed: 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewSingleFeaturizer(tab).WithSampleBitmaps(32, 46)
+	if f.TableDim() != 1+32 {
+		t.Fatalf("TableDim = %d", f.TableDim())
+	}
+	// No predicates: every sampled row matches.
+	tf, _ := f.SetElements(workload.Query{})
+	ones := 0
+	for _, v := range tf[0][1:] {
+		if v == 1 {
+			ones++
+		}
+	}
+	if ones != 32 {
+		t.Fatalf("empty query bitmap has %d ones, want 32", ones)
+	}
+	// An impossible predicate matches nothing.
+	tf, _ = f.SetElements(workload.Query{Preds: []dataset.Predicate{
+		{Col: "age", Op: dataset.OpRange, Lo: -10, Hi: -5},
+	}})
+	for _, v := range tf[0][1:] {
+		if v != 0 {
+			t.Fatal("impossible predicate set a bitmap bit")
+		}
+	}
+	// Bitmap size clamps to the table size.
+	small, err := dataset.GenerateCensus(dataset.GenConfig{Rows: 10, Seed: 47})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewSingleFeaturizer(small).WithSampleBitmaps(64, 48)
+	tf, _ = fs.SetElements(workload.Query{})
+	ones = 0
+	for _, v := range tf[0][1:] {
+		if v == 1 {
+			ones++
+		}
+	}
+	if ones != 10 {
+		t.Fatalf("clamped bitmap has %d ones, want 10", ones)
+	}
+}

@@ -1,0 +1,78 @@
+package mscn
+
+import (
+	"bytes"
+	"testing"
+
+	"cardpi/internal/dataset"
+	"cardpi/internal/workload"
+)
+
+func TestModelRoundTrip(t *testing.T) {
+	tab, err := dataset.GenerateCensus(dataset.GenConfig{Rows: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.Generate(tab, workload.Config{Count: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewSingleFeaturizer(tab)
+	m, err := Train(f, wl, Config{Epochs: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadModel(&buf, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name() != m.Name() {
+		t.Fatal("name changed")
+	}
+	for _, lq := range wl.Queries[:10] {
+		if m.EstimateSelectivity(lq.Query) != loaded.EstimateSelectivity(lq.Query) {
+			t.Fatal("round-trip changed predictions")
+		}
+	}
+}
+
+func TestReadModelRejectsMismatchedFeaturizer(t *testing.T) {
+	tab, err := dataset.GenerateCensus(dataset.GenConfig{Rows: 500, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.Generate(tab, workload.Config{Count: 60, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(NewSingleFeaturizer(tab), wl, Config{Epochs: 1, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other, err := dataset.GeneratePower(dataset.GenConfig{Rows: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadModel(&buf, NewSingleFeaturizer(other)); err == nil {
+		t.Fatal("mismatched featurizer accepted")
+	}
+}
+
+func TestReadModelRejectsGarbage(t *testing.T) {
+	tab, _ := dataset.GenerateCensus(dataset.GenConfig{Rows: 100, Seed: 8})
+	f := NewSingleFeaturizer(tab)
+	if _, err := ReadModel(bytes.NewReader([]byte("XXXX")), f); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadModel(bytes.NewReader(nil), f); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}

@@ -1,0 +1,28 @@
+package naru
+
+import (
+	"testing"
+
+	"cardpi/internal/dataset"
+	"cardpi/internal/workload"
+)
+
+func BenchmarkEstimate(b *testing.B) {
+	tab, err := dataset.GenerateDMV(dataset.GenConfig{Rows: 2000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := Train(tab, Config{Hidden: 32, Epochs: 2, Samples: 100, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := workload.Query{Preds: []dataset.Predicate{
+		{Col: "state", Op: dataset.OpEq, Lo: 3},
+		{Col: "model_year", Op: dataset.OpRange, Lo: 40, Hi: 90},
+	}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.EstimateSelectivity(q)
+	}
+}

@@ -1,0 +1,190 @@
+package naru
+
+import (
+	"math"
+	"testing"
+
+	"cardpi/internal/dataset"
+	"cardpi/internal/estimator"
+	"cardpi/internal/workload"
+)
+
+func smallConfig() Config {
+	return Config{Bins: 32, Hidden: 48, Epochs: 8, Samples: 150, Seed: 1}
+}
+
+func TestTrainAndEstimatePointQueries(t *testing.T) {
+	tab, err := dataset.GenerateDMV(dataset.GenConfig{Rows: 3000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(tab, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "naru" {
+		t.Fatal("Name wrong")
+	}
+	// Single-column equality on the most frequent record_type: the learned
+	// marginal should be close to the true frequency.
+	counts := map[int64]int{}
+	var top int64
+	for _, v := range tab.Column("record_type").Values {
+		counts[v]++
+		if counts[v] > counts[top] {
+			top = v
+		}
+	}
+	truth := float64(counts[top]) / 3000
+	q := workload.Query{Preds: []dataset.Predicate{{Col: "record_type", Op: dataset.OpEq, Lo: top}}}
+	est := m.EstimateSelectivity(q)
+	if qe := estimator.QError(est, truth); qe > 2 {
+		t.Fatalf("marginal estimate %v vs truth %v (q-error %v)", est, truth, qe)
+	}
+}
+
+func TestEstimateBetterThanUniform(t *testing.T) {
+	tab, err := dataset.GenerateCensus(dataset.GenConfig{Rows: 3000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(tab, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.Generate(tab, workload.Config{Count: 100, Seed: 4, MaxPreds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var modelQ, constQ float64
+	for _, lq := range wl.Queries {
+		modelQ += math.Log(estimator.QError(m.EstimateSelectivity(lq.Query), lq.Sel))
+		constQ += math.Log(estimator.QError(0.05, lq.Sel))
+	}
+	if modelQ >= constQ {
+		t.Fatalf("naru mean log q-error %v not better than constant %v",
+			modelQ/float64(len(wl.Queries)), constQ/float64(len(wl.Queries)))
+	}
+}
+
+func TestRangeQuerySupport(t *testing.T) {
+	tab, err := dataset.GenerateForest(dataset.GenConfig{Rows: 2000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(tab, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full-domain range should estimate ~1.
+	c := tab.Column("elevation")
+	full := workload.Query{Preds: []dataset.Predicate{{Col: "elevation", Op: dataset.OpRange, Lo: c.Min, Hi: c.Max}}}
+	if est := m.EstimateSelectivity(full); est < 0.95 {
+		t.Fatalf("full-range estimate %v, want ~1", est)
+	}
+	// Narrow range should be far below 1.
+	narrow := workload.Query{Preds: []dataset.Predicate{{Col: "elevation", Op: dataset.OpRange, Lo: 0, Hi: 10}}}
+	if est := m.EstimateSelectivity(narrow); est > 0.2 {
+		t.Fatalf("narrow-range estimate %v suspiciously high", est)
+	}
+}
+
+func TestEmptyPredicateListIsFullTable(t *testing.T) {
+	tab, err := dataset.GeneratePower(dataset.GenConfig{Rows: 500, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(tab, Config{Bins: 16, Hidden: 8, Epochs: 1, Samples: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est := m.EstimateSelectivity(workload.Query{}); est != 1 {
+		t.Fatalf("no predicates should estimate 1, got %v", est)
+	}
+}
+
+func TestEstimateDeterministicPerQuery(t *testing.T) {
+	tab, err := dataset.GenerateCensus(dataset.GenConfig{Rows: 800, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(tab, Config{Bins: 16, Hidden: 12, Epochs: 2, Samples: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1 := workload.Query{Preds: []dataset.Predicate{{Col: "age", Op: dataset.OpRange, Lo: 20, Hi: 40}}}
+	q2 := workload.Query{Preds: []dataset.Predicate{{Col: "sex", Op: dataset.OpEq, Lo: 1}}}
+	a := m.EstimateSelectivity(q1)
+	// Interleave another query: estimates must not depend on call order.
+	_ = m.EstimateSelectivity(q2)
+	b := m.EstimateSelectivity(q1)
+	if a != b {
+		t.Fatalf("estimate depends on call order: %v vs %v", a, b)
+	}
+}
+
+func TestJoinQueriesUnsupported(t *testing.T) {
+	tab, err := dataset.GeneratePower(dataset.GenConfig{Rows: 300, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(tab, Config{Bins: 8, Hidden: 8, Epochs: 1, Samples: 10, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jq := workload.Query{Join: &dataset.JoinQuery{}}
+	if s := m.EstimateSelectivity(jq); s != 0 {
+		t.Fatalf("join query should report 0, got %v", s)
+	}
+}
+
+func TestCodecBinning(t *testing.T) {
+	c := &dataset.Column{Name: "x", Type: dataset.Numeric, Min: 0, Max: 999}
+	cc := newCodec(c, 10)
+	if !cc.binned || cc.vocab != 10 {
+		t.Fatalf("codec = %+v", cc)
+	}
+	if cc.code(0) != 0 || cc.code(999) != 9 {
+		t.Fatalf("boundary codes wrong: %d, %d", cc.code(0), cc.code(999))
+	}
+	// Overlap of the full domain should sum bins with fraction 1.
+	ov := cc.overlap(0, 999)
+	if len(ov) != 10 {
+		t.Fatalf("full overlap has %d bins", len(ov))
+	}
+	for k, f := range ov {
+		if math.Abs(f-1) > 1e-9 {
+			t.Fatalf("bin %d fraction %v, want 1", k, f)
+		}
+	}
+	// A half-bin overlap should be fractional.
+	ov = cc.overlap(0, 49)
+	if f := ov[0]; math.Abs(f-0.5) > 0.02 {
+		t.Fatalf("half-bin overlap %v, want ~0.5", f)
+	}
+	// Inverted range is empty.
+	if len(cc.overlap(10, 5)) != 0 {
+		t.Fatal("inverted range should have no overlap")
+	}
+}
+
+func TestCodecSmallDomainUnbinned(t *testing.T) {
+	c := &dataset.Column{Name: "x", Type: dataset.Categorical, DomainSize: 5, Max: 4}
+	cc := newCodec(c, 64)
+	if cc.binned || cc.vocab != 5 {
+		t.Fatalf("codec = %+v", cc)
+	}
+	ov := cc.overlap(1, 3)
+	if len(ov) != 3 || ov[1] != 1 || ov[3] != 1 {
+		t.Fatalf("overlap = %v", ov)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	empty := dataset.MustNewTable("t", []*dataset.Column{
+		{Name: "a", Type: dataset.Categorical, Values: []int64{}, DomainSize: 2, Max: 1},
+	})
+	if _, err := Train(empty, Config{}); err == nil {
+		t.Fatal("empty table should fail")
+	}
+}

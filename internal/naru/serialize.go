@@ -1,0 +1,136 @@
+package naru
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"cardpi/internal/dataset"
+	"cardpi/internal/nn"
+)
+
+// Model checkpointing. Layout:
+//
+//	magic "NARU" | bins:u32 | samples:u32 | seed:u64 | numCols:u32 |
+//	per column: vocab:u32 | per column: conditional net
+//
+// The codecs are recomputed from the table at load time and validated
+// against the stored vocabularies.
+
+var modelMagic = [4]byte{'N', 'A', 'R', 'U'}
+
+// WriteTo serialises the trained autoregressive model.
+func (m *Model) WriteTo(w io.Writer) (int64, error) {
+	var written int64
+	if _, err := w.Write(modelMagic[:]); err != nil {
+		return written, err
+	}
+	written += 4
+	var buf [8]byte
+	writeU32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(buf[:4], v)
+		k, err := w.Write(buf[:4])
+		written += int64(k)
+		return err
+	}
+	// bins is recoverable as the max vocab; store it explicitly anyway for
+	// validation at load time.
+	maxVocab := 0
+	for _, cc := range m.codecs {
+		if cc.vocab > maxVocab {
+			maxVocab = cc.vocab
+		}
+	}
+	if err := writeU32(uint32(maxVocab)); err != nil {
+		return written, err
+	}
+	if err := writeU32(uint32(m.samples)); err != nil {
+		return written, err
+	}
+	binary.LittleEndian.PutUint64(buf[:], uint64(m.seed))
+	k, err := w.Write(buf[:])
+	written += int64(k)
+	if err != nil {
+		return written, err
+	}
+	if err := writeU32(uint32(len(m.codecs))); err != nil {
+		return written, err
+	}
+	for _, cc := range m.codecs {
+		if err := writeU32(uint32(cc.vocab)); err != nil {
+			return written, err
+		}
+	}
+	for _, net := range m.nets {
+		n, err := net.WriteTo(w)
+		written += n
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// ReadModel deserialises a model written by WriteTo, binding it to the table
+// it was trained on (the codecs are rebuilt and validated against the
+// stored vocabularies).
+func ReadModel(r io.Reader, t *dataset.Table) (*Model, error) {
+	var mg [4]byte
+	if _, err := io.ReadFull(r, mg[:]); err != nil {
+		return nil, fmt.Errorf("naru: reading magic: %w", err)
+	}
+	if mg != modelMagic {
+		return nil, fmt.Errorf("naru: bad magic %q", mg)
+	}
+	var buf [8]byte
+	readU32 := func() (uint32, error) {
+		if _, err := io.ReadFull(r, buf[:4]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(buf[:4]), nil
+	}
+	bins, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("naru: reading bins: %w", err)
+	}
+	samples, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("naru: reading samples: %w", err)
+	}
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return nil, fmt.Errorf("naru: reading seed: %w", err)
+	}
+	seed := int64(binary.LittleEndian.Uint64(buf[:]))
+	numCols, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("naru: reading column count: %w", err)
+	}
+	if int(numCols) != t.NumCols() {
+		return nil, fmt.Errorf("naru: model has %d columns, table has %d", numCols, t.NumCols())
+	}
+
+	m := &Model{name: "naru", table: t, samples: int(samples), seed: seed}
+	prefixDim := 0
+	for ci := 0; ci < int(numCols); ci++ {
+		vocab, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("naru: reading vocab %d: %w", ci, err)
+		}
+		cc := newCodec(t.Cols[ci], int(bins))
+		if cc.vocab != int(vocab) {
+			return nil, fmt.Errorf("naru: column %d vocab mismatch: stored %d, table gives %d",
+				ci, vocab, cc.vocab)
+		}
+		m.codecs = append(m.codecs, cc)
+		m.prefix = append(m.prefix, prefixDim)
+		prefixDim += cc.vocab
+	}
+	for ci := 0; ci < int(numCols); ci++ {
+		net, err := nn.ReadNet(r)
+		if err != nil {
+			return nil, fmt.Errorf("naru: reading net %d: %w", ci, err)
+		}
+		m.nets = append(m.nets, net)
+	}
+	return m, nil
+}

@@ -1,0 +1,61 @@
+package naru
+
+import (
+	"bytes"
+	"testing"
+
+	"cardpi/internal/dataset"
+	"cardpi/internal/workload"
+)
+
+func TestModelRoundTrip(t *testing.T) {
+	tab, err := dataset.GenerateCensus(dataset.GenConfig{Rows: 800, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(tab, Config{Bins: 16, Hidden: 12, Epochs: 2, Samples: 40, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadModel(&buf, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.Generate(tab, workload.Config{Count: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lq := range wl.Queries {
+		// Per-query deterministic sampling (seed + query hash) must make
+		// the loaded model reproduce the original exactly.
+		if m.EstimateSelectivity(lq.Query) != loaded.EstimateSelectivity(lq.Query) {
+			t.Fatal("round-trip changed estimates")
+		}
+	}
+}
+
+func TestReadModelRejectsWrongTable(t *testing.T) {
+	tab, err := dataset.GenerateCensus(dataset.GenConfig{Rows: 400, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(tab, Config{Bins: 16, Hidden: 8, Epochs: 1, Samples: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other, err := dataset.GeneratePower(dataset.GenConfig{Rows: 400, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadModel(&buf, other); err == nil {
+		t.Fatal("mismatched table accepted")
+	}
+}

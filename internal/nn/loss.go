@@ -1,0 +1,128 @@
+package nn
+
+import "math"
+
+// Loss is a scalar regression loss over one (prediction, target) pair.
+// Grad returns dLoss/dPrediction.
+type Loss interface {
+	Value(pred, target float64) float64
+	Grad(pred, target float64) float64
+	Name() string
+}
+
+// MSELoss is the squared error (pred-target)^2, the loss LW-NN trains with.
+type MSELoss struct{}
+
+// Value implements Loss.
+func (MSELoss) Value(p, y float64) float64 { return (p - y) * (p - y) }
+
+// Grad implements Loss.
+func (MSELoss) Grad(p, y float64) float64 { return 2 * (p - y) }
+
+// Name implements Loss.
+func (MSELoss) Name() string { return "mse" }
+
+// QErrorLoss is the mean q-error loss used by MSCN. Predictions and targets
+// are log-selectivities, so q-error = exp(|pred - target|) and q=1 means a
+// perfect estimate. The exponent is capped: beyond a log-gap of qErrorCap
+// the loss continues linearly, so one badly-initialised example cannot blow
+// up a whole minibatch (the uncapped gradient grows like e^|gap| and
+// destabilises training for unlucky seeds).
+type QErrorLoss struct{}
+
+// qErrorCap bounds the exponent of the q-error loss; e^8 ≈ 3000 keeps large
+// errors strongly penalised while remaining finite-gradient-friendly.
+const qErrorCap = 8.0
+
+// Value implements Loss.
+func (QErrorLoss) Value(p, y float64) float64 {
+	d := math.Abs(p - y)
+	if d <= qErrorCap {
+		return math.Exp(d)
+	}
+	return math.Exp(qErrorCap) * (1 + d - qErrorCap)
+}
+
+// Grad implements Loss.
+func (QErrorLoss) Grad(p, y float64) float64 {
+	d := p - y
+	ad := math.Abs(d)
+	var g float64
+	if ad <= qErrorCap {
+		g = math.Exp(ad)
+	} else {
+		g = math.Exp(qErrorCap)
+	}
+	if d < 0 {
+		return -g
+	}
+	return g
+}
+
+// Name implements Loss.
+func (QErrorLoss) Name() string { return "qerror" }
+
+// PinballLoss is the quantile (pinball) loss at level Tau, used to train the
+// lower/upper quantile regressors of conformalized quantile regression:
+//
+//	L(p, y) = Tau*(y-p)      if y >= p
+//	        = (1-Tau)*(p-y)  otherwise
+//
+// Minimising it makes the model estimate the Tau-quantile of Y|X.
+type PinballLoss struct{ Tau float64 }
+
+// Value implements Loss.
+func (l PinballLoss) Value(p, y float64) float64 {
+	if y >= p {
+		return l.Tau * (y - p)
+	}
+	return (1 - l.Tau) * (p - y)
+}
+
+// Grad implements Loss.
+func (l PinballLoss) Grad(p, y float64) float64 {
+	if y >= p {
+		return -l.Tau
+	}
+	return 1 - l.Tau
+}
+
+// Name implements Loss.
+func (l PinballLoss) Name() string { return "pinball" }
+
+// SoftmaxCrossEntropy computes the cross-entropy loss of logits against the
+// target class, returning the loss and the gradient with respect to the
+// logits (softmax(logits) - onehot(target)). Used by the Naru-style
+// autoregressive model's per-column output heads.
+func SoftmaxCrossEntropy(logits []float64, target int) (float64, []float64) {
+	probs := Softmax(logits)
+	grad := make([]float64, len(logits))
+	copy(grad, probs)
+	grad[target] -= 1
+	p := probs[target]
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	return -math.Log(p), grad
+}
+
+// Softmax returns the softmax distribution of the logits, computed stably.
+func Softmax(logits []float64) []float64 {
+	max := math.Inf(-1)
+	for _, v := range logits {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]float64, len(logits))
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(v - max)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}

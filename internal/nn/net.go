@@ -1,0 +1,200 @@
+// Package nn is a small from-scratch neural network library sufficient to
+// train the paper's learned cardinality estimators on CPU: fully connected
+// networks with ReLU activations, reverse-mode gradients, the Adam
+// optimizer, and the losses the paper's models need (MSE for LW-NN, mean
+// q-error for MSCN, pinball/quantile loss for the CQR variants, and
+// cross-entropy for the Naru-style autoregressive model).
+//
+// The library is deliberately minimal: vectors are []float64, forward passes
+// return explicit caches, and gradients accumulate in the layers until
+// ZeroGrad, which lets composite models (for example MSCN's shared per-set
+// networks with average pooling) run several forward/backward passes per
+// example before a single optimizer step.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dense is one fully connected layer: y = W x + b.
+type Dense struct {
+	In, Out int
+	// W is row-major: W[o*In+i] multiplies input i into output o.
+	W, B []float64
+	// gW and gB accumulate gradients between ZeroGrad calls.
+	gW, gB []float64
+}
+
+// NewDense allocates a layer with He-style initialisation, which suits the
+// ReLU hidden activations used throughout.
+func NewDense(r *rand.Rand, in, out int) *Dense {
+	d := &Dense{
+		In: in, Out: out,
+		W:  make([]float64, in*out),
+		B:  make([]float64, out),
+		gW: make([]float64, in*out),
+		gB: make([]float64, out),
+	}
+	scale := math.Sqrt(2.0 / float64(in))
+	for i := range d.W {
+		d.W[i] = r.NormFloat64() * scale
+	}
+	return d
+}
+
+// Forward computes Wx+b.
+func (d *Dense) Forward(x []float64) []float64 {
+	out := make([]float64, d.Out)
+	for o := 0; o < d.Out; o++ {
+		s := d.B[o]
+		row := d.W[o*d.In : (o+1)*d.In]
+		for i, xi := range x {
+			s += row[i] * xi
+		}
+		out[o] = s
+	}
+	return out
+}
+
+// Backward accumulates parameter gradients given the layer input x and the
+// gradient of the loss with respect to the layer output, and returns the
+// gradient with respect to x.
+func (d *Dense) Backward(x, gradOut []float64) []float64 {
+	gradIn := make([]float64, d.In)
+	for o := 0; o < d.Out; o++ {
+		g := gradOut[o]
+		if g == 0 {
+			continue
+		}
+		d.gB[o] += g
+		row := d.W[o*d.In : (o+1)*d.In]
+		grow := d.gW[o*d.In : (o+1)*d.In]
+		for i, xi := range x {
+			grow[i] += g * xi
+			gradIn[i] += g * row[i]
+		}
+	}
+	return gradIn
+}
+
+// Net is a multilayer perceptron with ReLU on hidden layers and a linear
+// output layer.
+type Net struct {
+	Layers []*Dense
+}
+
+// NewNet builds an MLP with the given layer sizes (len(sizes) >= 2).
+func NewNet(r *rand.Rand, sizes ...int) *Net {
+	if len(sizes) < 2 {
+		panic(fmt.Sprintf("nn: NewNet needs at least 2 sizes, got %d", len(sizes)))
+	}
+	n := &Net{}
+	for i := 0; i+1 < len(sizes); i++ {
+		n.Layers = append(n.Layers, NewDense(r, sizes[i], sizes[i+1]))
+	}
+	return n
+}
+
+// Cache holds the intermediate activations of one forward pass.
+type Cache struct {
+	// inputs[l] is the input to layer l (post-activation of layer l-1).
+	inputs [][]float64
+	// preact[l] is the pre-activation output of layer l.
+	preact [][]float64
+}
+
+// Forward runs the net on x and returns the output plus a cache for Backward.
+func (n *Net) Forward(x []float64) ([]float64, *Cache) {
+	c := &Cache{}
+	cur := x
+	for li, l := range n.Layers {
+		c.inputs = append(c.inputs, cur)
+		z := l.Forward(cur)
+		c.preact = append(c.preact, z)
+		if li < len(n.Layers)-1 {
+			a := make([]float64, len(z))
+			for i, v := range z {
+				if v > 0 {
+					a[i] = v
+				}
+			}
+			cur = a
+		} else {
+			cur = z
+		}
+	}
+	return cur, c
+}
+
+// Predict runs the net and discards the cache.
+func (n *Net) Predict(x []float64) []float64 {
+	out, _ := n.Forward(x)
+	return out
+}
+
+// Predict1 returns the first output of the net, for scalar regressors.
+func (n *Net) Predict1(x []float64) float64 {
+	return n.Predict(x)[0]
+}
+
+// Backward accumulates gradients for a forward pass, given the gradient of
+// the loss with respect to the network output, and returns the gradient with
+// respect to the network input.
+func (n *Net) Backward(c *Cache, gradOut []float64) []float64 {
+	grad := gradOut
+	for li := len(n.Layers) - 1; li >= 0; li-- {
+		if li < len(n.Layers)-1 {
+			// Undo the ReLU between layer li and li+1: grad currently refers
+			// to the post-activation values of layer li.
+			z := c.preact[li]
+			masked := make([]float64, len(grad))
+			for i, g := range grad {
+				if z[i] > 0 {
+					masked[i] = g
+				}
+			}
+			grad = masked
+		}
+		grad = n.Layers[li].Backward(c.inputs[li], grad)
+	}
+	return grad
+}
+
+// ZeroGrad clears all accumulated gradients.
+func (n *Net) ZeroGrad() {
+	for _, l := range n.Layers {
+		for i := range l.gW {
+			l.gW[i] = 0
+		}
+		for i := range l.gB {
+			l.gB[i] = 0
+		}
+	}
+}
+
+// NumParams returns the number of trainable parameters.
+func (n *Net) NumParams() int {
+	total := 0
+	for _, l := range n.Layers {
+		total += len(l.W) + len(l.B)
+	}
+	return total
+}
+
+// Clone returns a deep copy of the network (weights only; gradients zeroed).
+func (n *Net) Clone() *Net {
+	out := &Net{}
+	for _, l := range n.Layers {
+		nl := &Dense{
+			In: l.In, Out: l.Out,
+			W:  append([]float64(nil), l.W...),
+			B:  append([]float64(nil), l.B...),
+			gW: make([]float64, len(l.W)),
+			gB: make([]float64, len(l.B)),
+		}
+		out.Layers = append(out.Layers, nl)
+	}
+	return out
+}

@@ -1,0 +1,305 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// numericalGrad estimates dLoss/dparam by central differences.
+func numericalGrad(net *Net, x []float64, y float64, loss Loss, p *float64) float64 {
+	const h = 1e-5
+	orig := *p
+	*p = orig + h
+	up := loss.Value(net.Predict1(x), y)
+	*p = orig - h
+	down := loss.Value(net.Predict1(x), y)
+	*p = orig
+	return (up - down) / (2 * h)
+}
+
+func TestDenseGradientsMatchNumerical(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	net := NewNet(r, 3, 5, 1)
+	x := []float64{0.3, -0.7, 1.2}
+	y := 0.9
+	loss := MSELoss{}
+
+	pred, cache := net.Forward(x)
+	net.Backward(cache, []float64{loss.Grad(pred[0], y)})
+
+	for li, l := range net.Layers {
+		for wi := range l.W {
+			want := numericalGrad(net, x, y, loss, &l.W[wi])
+			got := l.gW[wi]
+			if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+				t.Fatalf("layer %d W[%d]: analytic %v vs numeric %v", li, wi, got, want)
+			}
+		}
+		for bi := range l.B {
+			want := numericalGrad(net, x, y, loss, &l.B[bi])
+			got := l.gB[bi]
+			if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+				t.Fatalf("layer %d B[%d]: analytic %v vs numeric %v", li, bi, got, want)
+			}
+		}
+	}
+}
+
+func TestBackwardInputGradient(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	net := NewNet(r, 2, 4, 1)
+	x := []float64{0.5, -0.25}
+	y := 0.1
+	loss := MSELoss{}
+	pred, cache := net.Forward(x)
+	gradIn := net.Backward(cache, []float64{loss.Grad(pred[0], y)})
+
+	const h = 1e-5
+	for i := range x {
+		xp := append([]float64(nil), x...)
+		xp[i] += h
+		xm := append([]float64(nil), x...)
+		xm[i] -= h
+		want := (loss.Value(net.Predict1(xp), y) - loss.Value(net.Predict1(xm), y)) / (2 * h)
+		if math.Abs(gradIn[i]-want) > 1e-4*(1+math.Abs(want)) {
+			t.Fatalf("input grad[%d]: analytic %v vs numeric %v", i, gradIn[i], want)
+		}
+	}
+}
+
+func TestFitLearnsLinearFunction(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 400; i++ {
+		a, b := r.Float64(), r.Float64()
+		X = append(X, []float64{a, b})
+		y = append(y, 2*a-3*b+0.5)
+	}
+	net := NewNet(rand.New(rand.NewSource(4)), 2, 16, 16, 1)
+	if _, err := Fit(net, X, y, MSELoss{}, TrainConfig{Epochs: 120, BatchSize: 32, LR: 5e-3, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	mse := MeanLoss(net, X, y, MSELoss{})
+	if mse > 0.01 {
+		t.Fatalf("net failed to learn linear function, mse=%v", mse)
+	}
+}
+
+func TestFitLearnsNonlinearFunction(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 600; i++ {
+		a := r.Float64()*2 - 1
+		X = append(X, []float64{a})
+		y = append(y, a*a)
+	}
+	net := NewNet(rand.New(rand.NewSource(7)), 1, 24, 24, 1)
+	if _, err := Fit(net, X, y, MSELoss{}, TrainConfig{Epochs: 150, BatchSize: 32, LR: 5e-3, Seed: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if mse := MeanLoss(net, X, y, MSELoss{}); mse > 0.01 {
+		t.Fatalf("net failed to learn x^2, mse=%v", mse)
+	}
+}
+
+func TestPinballLearnsQuantile(t *testing.T) {
+	// Targets drawn uniform in [0,1] independent of X: the tau-quantile
+	// regressor should converge to approximately tau everywhere.
+	r := rand.New(rand.NewSource(9))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 2000; i++ {
+		X = append(X, []float64{r.Float64()})
+		y = append(y, r.Float64())
+	}
+	for _, tau := range []float64{0.1, 0.9} {
+		net := NewNet(rand.New(rand.NewSource(10)), 1, 8, 1)
+		if _, err := Fit(net, X, y, PinballLoss{Tau: tau}, TrainConfig{Epochs: 80, BatchSize: 64, LR: 5e-3, Seed: 11}); err != nil {
+			t.Fatal(err)
+		}
+		pred := net.Predict1([]float64{0.5})
+		if math.Abs(pred-tau) > 0.1 {
+			t.Fatalf("tau=%v: predicted quantile %v", tau, pred)
+		}
+	}
+}
+
+func TestLossInterfaces(t *testing.T) {
+	cases := []struct {
+		l    Loss
+		name string
+	}{
+		{MSELoss{}, "mse"},
+		{QErrorLoss{}, "qerror"},
+		{PinballLoss{Tau: 0.5}, "pinball"},
+	}
+	for _, tc := range cases {
+		if tc.l.Name() != tc.name {
+			t.Errorf("Name() = %s, want %s", tc.l.Name(), tc.name)
+		}
+		// Numerical gradient check at an asymmetric point.
+		p, y := 0.7, 0.2
+		const h = 1e-6
+		want := (tc.l.Value(p+h, y) - tc.l.Value(p-h, y)) / (2 * h)
+		if got := tc.l.Grad(p, y); math.Abs(got-want) > 1e-4 {
+			t.Errorf("%s: Grad=%v numeric=%v", tc.name, got, want)
+		}
+	}
+	// QError at perfect prediction is exactly 1.
+	if v := (QErrorLoss{}).Value(0.42, 0.42); v != 1 {
+		t.Errorf("QError(perfect) = %v, want 1", v)
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	logits := []float64{1.0, 2.0, -0.5, 1000}
+	p := Softmax(logits)
+	var sum float64
+	for _, v := range p {
+		if v < 0 || v > 1 {
+			t.Fatalf("softmax out of range: %v", p)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("softmax sums to %v", sum)
+	}
+	if p[3] < 0.99 {
+		t.Fatalf("dominant logit should dominate: %v", p)
+	}
+}
+
+func TestSoftmaxCrossEntropyGradient(t *testing.T) {
+	logits := []float64{0.3, -0.2, 0.8}
+	target := 1
+	_, grad := SoftmaxCrossEntropy(logits, target)
+	// Numeric check.
+	const h = 1e-6
+	for i := range logits {
+		lp := append([]float64(nil), logits...)
+		lp[i] += h
+		lm := append([]float64(nil), logits...)
+		lm[i] -= h
+		up, _ := SoftmaxCrossEntropy(lp, target)
+		down, _ := SoftmaxCrossEntropy(lm, target)
+		want := (up - down) / (2 * h)
+		if math.Abs(grad[i]-want) > 1e-5 {
+			t.Fatalf("grad[%d]=%v, numeric %v", i, grad[i], want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	a := NewNet(r, 2, 3, 1)
+	b := a.Clone()
+	before := b.Predict1([]float64{1, 1})
+	a.Layers[0].W[0] += 10
+	if b.Predict1([]float64{1, 1}) != before {
+		t.Fatal("Clone shares weights with original")
+	}
+	if a.NumParams() != b.NumParams() {
+		t.Fatal("Clone changed parameter count")
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	net := NewNet(r, 2, 2, 1)
+	if _, err := Fit(net, nil, nil, MSELoss{}, TrainConfig{}); err == nil {
+		t.Fatal("empty dataset should fail")
+	}
+	if _, err := Fit(net, [][]float64{{1, 2}}, []float64{1, 2}, MSELoss{}, TrainConfig{}); err == nil {
+		t.Fatal("mismatched lengths should fail")
+	}
+	multi := NewNet(r, 2, 3)
+	if _, err := Fit(multi, [][]float64{{1, 2}}, []float64{1}, MSELoss{}, TrainConfig{}); err == nil {
+		t.Fatal("multi-output net should fail Fit")
+	}
+}
+
+func TestNewNetPanicsOnBadSizes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewNet(rand.New(rand.NewSource(14)), 3)
+}
+
+func TestTrainingIsDeterministic(t *testing.T) {
+	build := func() float64 {
+		r := rand.New(rand.NewSource(15))
+		var X [][]float64
+		var y []float64
+		for i := 0; i < 100; i++ {
+			v := r.Float64()
+			X = append(X, []float64{v})
+			y = append(y, 3*v)
+		}
+		net := NewNet(rand.New(rand.NewSource(16)), 1, 8, 1)
+		_, err := Fit(net, X, y, MSELoss{}, TrainConfig{Epochs: 10, Seed: 17})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net.Predict1([]float64{0.5})
+	}
+	if build() != build() {
+		t.Fatal("training is not deterministic for fixed seeds")
+	}
+}
+
+func TestQErrorLossOrdersPredictions(t *testing.T) {
+	// In log space the loss must be symmetric in over/under-estimation.
+	l := QErrorLoss{}
+	if l.Value(1, 3) != l.Value(3, 1) {
+		t.Fatal("q-error should be symmetric in log gap")
+	}
+	vals := []float64{l.Value(1, 1), l.Value(1, 2), l.Value(1, 3)}
+	if !sort.Float64sAreSorted(vals) {
+		t.Fatalf("q-error not monotone in gap: %v", vals)
+	}
+}
+
+func TestWeightDecayShrinksNorm(t *testing.T) {
+	r := rand.New(rand.NewSource(20))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		v := r.Float64()
+		X = append(X, []float64{v})
+		y = append(y, 3*v)
+	}
+	norm := func(n *Net) float64 {
+		var s float64
+		for _, l := range n.Layers {
+			for _, w := range l.W {
+				s += w * w
+			}
+		}
+		return s
+	}
+	train := func(decay float64) float64 {
+		net := NewNet(rand.New(rand.NewSource(21)), 1, 16, 1)
+		opt := NewAdam(1e-3, net)
+		opt.WeightDecay = decay
+		loss := MSELoss{}
+		for epoch := 0; epoch < 30; epoch++ {
+			for i := range X {
+				pred, cache := net.Forward(X[i])
+				net.Backward(cache, []float64{loss.Grad(pred[0], y[i])})
+			}
+			opt.Step(len(X))
+		}
+		return norm(net)
+	}
+	plain := train(0)
+	decayed := train(0.05)
+	if decayed >= plain {
+		t.Fatalf("weight decay did not shrink weights: %v vs %v", decayed, plain)
+	}
+}

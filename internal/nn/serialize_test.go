@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	net := NewNet(r, 5, 16, 8, 1)
+	var buf bytes.Buffer
+	if _, err := net.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadNet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.1, -0.2, 0.3, 0.4, -0.5}
+	if net.Predict1(x) != loaded.Predict1(x) {
+		t.Fatal("round-trip changed predictions")
+	}
+	if net.NumParams() != loaded.NumParams() {
+		t.Fatal("round-trip changed parameter count")
+	}
+}
+
+func TestSerializeTrainedNetPredictsSame(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		v := r.Float64()
+		X = append(X, []float64{v})
+		y = append(y, 2*v+1)
+	}
+	net := NewNet(rand.New(rand.NewSource(3)), 1, 8, 1)
+	if _, err := Fit(net, X, y, MSELoss{}, TrainConfig{Epochs: 20, Seed: 4}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := net.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadNet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range []float64{0, 0.25, 0.5, 1} {
+		if net.Predict1([]float64{probe}) != loaded.Predict1([]float64{probe}) {
+			t.Fatalf("prediction mismatch at %v", probe)
+		}
+	}
+	// The loaded net must be trainable (gradient buffers allocated).
+	if _, err := Fit(loaded, X, y, MSELoss{}, TrainConfig{Epochs: 1, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadNetRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("NNv1"), // truncated after magic
+		append([]byte("NNv1"), 0xFF, 0xFF, 0xFF, 0xFF), // implausible layer count
+	}
+	for i, c := range cases {
+		if _, err := ReadNet(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestReadNetRejectsTruncatedWeights(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	net := NewNet(r, 3, 4, 1)
+	var buf bytes.Buffer
+	if _, err := net.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	if _, err := ReadNet(bytes.NewReader(full[:len(full)-9])); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}

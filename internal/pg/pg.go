@@ -1,0 +1,366 @@
+// Package pg implements a miniature cost-based query optimizer and
+// simulated executor, reproducing the paper's Postgres integration
+// experiment (Section V-B, Table I): a Selinger-style dynamic program picks
+// left-deep join orders using a traditional histogram estimator's
+// cardinality estimates under the C_out cost model, and execution cost is
+// evaluated with the true cardinalities of every intermediate result. A
+// prediction-interval upper bound can be injected in place of the raw
+// estimate — exactly the modification the paper applies to Postgres — to
+// measure the effect on plan quality and simulated runtime.
+package pg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"cardpi/internal/dataset"
+	"cardpi/internal/histogram"
+)
+
+// Optimizer plans star-schema join queries.
+type Optimizer struct {
+	sch *dataset.Schema
+	est *histogram.Estimator
+	// delta, when positive, inflates every cardinality estimate to the
+	// split-conformal upper bound: est + delta * (estimated unfiltered
+	// size of the sub-join), i.e. the selectivity-space PI upper bound
+	// rescaled to the sub-plan.
+	delta float64
+	// factor, when > 1, applies the multiplicative upper bound of split
+	// conformal prediction with the q-error scoring function: est * factor.
+	factor float64
+	// subsetFactors, when set, apply per-join-subset multiplicative upper
+	// bounds keyed by SubsetKey: sub-plans whose table subset is known to
+	// be underestimated get inflated more, steering the join-order DP away
+	// from them (pessimistic planning à la Cai et al.).
+	subsetFactors map[string]float64
+}
+
+// NewOptimizer builds an optimizer over a schema with a histogram estimator.
+func NewOptimizer(sch *dataset.Schema, est *histogram.Estimator) *Optimizer {
+	return &Optimizer{sch: sch, est: est}
+}
+
+// SetPIUpperBound enables additive prediction-interval injection with the
+// given selectivity-space delta (from split conformal calibration with the
+// residual score). Zero disables.
+func (o *Optimizer) SetPIUpperBound(delta float64) { o.delta = delta }
+
+// SetPIMultiplier enables multiplicative prediction-interval injection (the
+// split-conformal upper bound under the q-error scoring function): every
+// estimate becomes est * factor. Values <= 1 disable.
+func (o *Optimizer) SetPIMultiplier(factor float64) { o.factor = factor }
+
+// SetSubsetFactors installs per-join-subset multiplicative upper bounds
+// (keyed by SubsetKey of the joined non-center tables). nil disables.
+func (o *Optimizer) SetSubsetFactors(f map[string]float64) { o.subsetFactors = f }
+
+// SubsetKey canonically identifies a join subset by its sorted non-center
+// table names.
+func SubsetKey(tables []string) string {
+	s := append([]string(nil), tables...)
+	sort.Strings(s)
+	return strings.Join(s, ",")
+}
+
+// JoinOp is a physical join operator.
+type JoinOp int
+
+const (
+	// HashJoin builds a hash table on one side and probes with the other:
+	// cost |L| + |R| + |out|.
+	HashJoin JoinOp = iota
+	// NestedLoopJoin scans the inner per outer row: cost nljFactor*|L|*|R|
+	// + |out| — far cheaper than hashing when the outer is tiny, and
+	// catastrophic when the optimizer only believed it was tiny. Operator
+	// misselection driven by underestimates is the classic source of
+	// runaway plans that the PI upper bound guards against.
+	NestedLoopJoin
+)
+
+func (op JoinOp) String() string {
+	if op == HashJoin {
+		return "hash"
+	}
+	return "nlj"
+}
+
+// nljFactor scales nested-loop cost; NLJ beats hash roughly when the outer
+// side has fewer than ~1/nljFactor rows.
+const nljFactor = 0.05
+
+// joinCost prices one join step under the simulated cost model.
+func joinCost(op JoinOp, left, right, out float64) float64 {
+	if op == NestedLoopJoin {
+		return nljFactor*left*right + out
+	}
+	return left + right + out
+}
+
+// Plan is a left-deep join order with per-step physical operators and its
+// estimated cost.
+type Plan struct {
+	// Order lists table names in join order (first table is the base).
+	Order []string
+	// Ops[k] is the operator joining Order[k+1] into the prefix. When
+	// empty (hand-built plans), every step defaults to a hash join.
+	Ops []JoinOp
+	// EstCost is the estimated total cost of the join steps.
+	EstCost float64
+}
+
+// opAt returns the operator for step k (joining Order[k+1]).
+func (p Plan) opAt(k int) JoinOp {
+	if k < len(p.Ops) {
+		return p.Ops[k]
+	}
+	return HashJoin
+}
+
+// Describe renders the plan in EXPLAIN style:
+// "title -nlj-> cast_info -hash-> movie_info".
+func (p Plan) Describe() string {
+	if len(p.Order) == 0 {
+		return "(empty plan)"
+	}
+	var sb strings.Builder
+	sb.WriteString(p.Order[0])
+	for i := 1; i < len(p.Order); i++ {
+		fmt.Fprintf(&sb, " -%s-> %s", p.opAt(i-1), p.Order[i])
+	}
+	return sb.String()
+}
+
+// EstimateCard returns the (possibly PI-inflated) cardinality estimate for a
+// join query.
+func (o *Optimizer) EstimateCard(q dataset.JoinQuery) (float64, error) {
+	est, err := o.est.EstimateJoinCard(q)
+	if err != nil {
+		return 0, err
+	}
+	if o.delta > 0 {
+		unfiltered, err := o.est.EstimateJoinCard(dataset.JoinQuery{Tables: q.Tables})
+		if err != nil {
+			return 0, err
+		}
+		est += o.delta * unfiltered
+	}
+	if o.factor > 1 {
+		est *= o.factor
+	}
+	if o.subsetFactors != nil {
+		if f, ok := o.subsetFactors[SubsetKey(q.Tables)]; ok && f > 1 {
+			est *= f
+		}
+	}
+	return est, nil
+}
+
+// ChoosePlan runs the Selinger DP over left-deep, cross-product-free join
+// orders, costing sub-plans with the estimator (plus PI inflation when
+// enabled) under the C_out metric (sum of intermediate cardinalities).
+func (o *Optimizer) ChoosePlan(q dataset.JoinQuery) (Plan, error) {
+	center := o.sch.Center.Name
+	tables := append([]string{center}, q.Tables...)
+	sort.Strings(tables)
+	idxOf := make(map[string]int, len(tables))
+	for i, t := range tables {
+		idxOf[t] = i
+	}
+	centerBit := 1 << idxOf[center]
+	full := (1 << len(tables)) - 1
+
+	// Pre-compute estimated cardinality of every connected subset.
+	card := make([]float64, full+1)
+	for mask := 1; mask <= full; mask++ {
+		if !o.connected(mask, centerBit) {
+			card[mask] = math.Inf(1)
+			continue
+		}
+		sub, err := o.subQuery(q, tables, mask)
+		if err != nil {
+			return Plan{}, err
+		}
+		c, err := o.estimateSubset(sub, mask, centerBit, tables)
+		if err != nil {
+			return Plan{}, err
+		}
+		card[mask] = c
+	}
+
+	cost := make([]float64, full+1)
+	prev := make([]int, full+1)      // the table joined last, as a bit; 0 = base
+	prevOp := make([]JoinOp, full+1) // operator used for that last join
+	for mask := 1; mask <= full; mask++ {
+		if bitsCount(mask) == 1 {
+			cost[mask] = 0 // base scans cost the same in every plan
+			continue
+		}
+		cost[mask] = math.Inf(1)
+		if !o.connected(mask, centerBit) {
+			continue
+		}
+		for bit := 1; bit <= mask; bit <<= 1 {
+			if mask&bit == 0 {
+				continue
+			}
+			rest := mask &^ bit
+			if !o.connected(rest, centerBit) {
+				continue
+			}
+			left := card[rest]
+			right := card[bit]
+			for _, op := range []JoinOp{HashJoin, NestedLoopJoin} {
+				if c := cost[rest] + joinCost(op, left, right, card[mask]); c < cost[mask] {
+					cost[mask] = c
+					prev[mask] = bit
+					prevOp[mask] = op
+				}
+			}
+		}
+	}
+	if math.IsInf(cost[full], 1) {
+		return Plan{}, fmt.Errorf("pg: no cross-product-free plan for %v", q.Tables)
+	}
+
+	// Reconstruct the join order and operators.
+	var rev []string
+	var revOps []JoinOp
+	mask := full
+	for bitsCount(mask) > 1 {
+		bit := prev[mask]
+		rev = append(rev, tables[bitIndex(bit)])
+		revOps = append(revOps, prevOp[mask])
+		mask &^= bit
+	}
+	rev = append(rev, tables[bitIndex(mask)])
+	order := make([]string, len(rev))
+	for i, t := range rev {
+		order[len(rev)-1-i] = t
+	}
+	ops := make([]JoinOp, len(revOps))
+	for i, op := range revOps {
+		ops[len(revOps)-1-i] = op
+	}
+	return Plan{Order: order, Ops: ops, EstCost: cost[full]}, nil
+}
+
+// TrueCost evaluates a plan with exact cardinalities: each join step is
+// priced with the plan's chosen operator on the true sizes of its inputs and
+// output, which is where an operator picked on an underestimate reveals its
+// real cost.
+func (o *Optimizer) TrueCost(q dataset.JoinQuery, p Plan) (float64, error) {
+	center := o.sch.Center.Name
+	// True filtered size of every base table in the plan.
+	baseSize := make(map[string]float64, len(p.Order))
+	for _, name := range p.Order {
+		t := o.sch.Table(name)
+		if t == nil {
+			return 0, fmt.Errorf("pg: unknown table %q in plan", name)
+		}
+		c, err := t.Count(q.Preds[name])
+		if err != nil {
+			return 0, err
+		}
+		baseSize[name] = float64(c)
+	}
+
+	var total float64
+	left := baseSize[p.Order[0]]
+	for k := 2; k <= len(p.Order); k++ {
+		prefix := p.Order[:k]
+		hasCenter := false
+		var joined []string
+		for _, t := range prefix {
+			if t == center {
+				hasCenter = true
+			} else {
+				joined = append(joined, t)
+			}
+		}
+		if !hasCenter {
+			return 0, fmt.Errorf("pg: plan prefix %v lacks the center table", prefix)
+		}
+		sub := dataset.JoinQuery{Tables: joined, Preds: restrictPreds(q.Preds, prefix)}
+		c, err := o.sch.JoinCount(sub)
+		if err != nil {
+			return 0, err
+		}
+		out := float64(c)
+		right := baseSize[p.Order[k-1]]
+		total += joinCost(p.opAt(k-2), left, right, out)
+		left = out
+	}
+	return total, nil
+}
+
+// connected reports whether the table subset can be joined without cross
+// products: singletons always; larger subsets must contain the center (all
+// join edges in the star pass through it).
+func (o *Optimizer) connected(mask, centerBit int) bool {
+	return bitsCount(mask) == 1 || mask&centerBit != 0
+}
+
+// subQuery restricts q to the tables in mask.
+func (o *Optimizer) subQuery(q dataset.JoinQuery, tables []string, mask int) (dataset.JoinQuery, error) {
+	center := o.sch.Center.Name
+	var joined, all []string
+	for i, t := range tables {
+		if mask&(1<<i) == 0 {
+			continue
+		}
+		all = append(all, t)
+		if t != center {
+			joined = append(joined, t)
+		}
+	}
+	return dataset.JoinQuery{Tables: joined, Preds: restrictPreds(q.Preds, all)}, nil
+}
+
+// estimateSubset estimates a subset's cardinality, handling non-center
+// singletons (plain filtered scans) specially.
+func (o *Optimizer) estimateSubset(sub dataset.JoinQuery, mask, centerBit int, tables []string) (float64, error) {
+	if bitsCount(mask) == 1 && mask&centerBit == 0 {
+		name := tables[bitIndex(mask)]
+		st := o.est.Stats(name)
+		if st == nil {
+			return 0, fmt.Errorf("pg: no statistics for table %q", name)
+		}
+		sel, err := st.Selectivity(sub.Preds[name])
+		if err != nil {
+			return 0, err
+		}
+		return sel * float64(st.NumRows()), nil
+	}
+	return o.EstimateCard(sub)
+}
+
+func restrictPreds(preds map[string][]dataset.Predicate, tables []string) map[string][]dataset.Predicate {
+	out := make(map[string][]dataset.Predicate)
+	for _, t := range tables {
+		if ps, ok := preds[t]; ok {
+			out[t] = ps
+		}
+	}
+	return out
+}
+
+func bitsCount(mask int) int {
+	n := 0
+	for mask != 0 {
+		mask &= mask - 1
+		n++
+	}
+	return n
+}
+
+func bitIndex(bit int) int {
+	i := 0
+	for bit > 1 {
+		bit >>= 1
+		i++
+	}
+	return i
+}

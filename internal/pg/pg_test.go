@@ -1,0 +1,288 @@
+package pg
+
+import (
+	"testing"
+
+	"cardpi/internal/dataset"
+	"cardpi/internal/histogram"
+	"cardpi/internal/workload"
+)
+
+func setup(t *testing.T) (*dataset.Schema, *Optimizer, *workload.Workload) {
+	t.Helper()
+	sch, err := dataset.GenerateJOB(dataset.GenConfig{Rows: 800, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := histogram.NewSchema(sch, histogram.Config{})
+	wl, err := workload.GenerateJoins(sch, workload.JoinConfig{Count: 40, Seed: 2, MaxJoinTables: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sch, NewOptimizer(sch, est), wl
+}
+
+func TestChoosePlanCoversAllTables(t *testing.T) {
+	_, opt, wl := setup(t)
+	for _, lq := range wl.Queries {
+		p, err := opt.ChoosePlan(*lq.Query.Join)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := len(lq.Query.Join.Tables) + 1
+		if len(p.Order) != want {
+			t.Fatalf("plan order %v covers %d tables, want %d", p.Order, len(p.Order), want)
+		}
+		seen := map[string]bool{}
+		for _, tn := range p.Order {
+			if seen[tn] {
+				t.Fatalf("table %s appears twice in %v", tn, p.Order)
+			}
+			seen[tn] = true
+		}
+		if p.EstCost < 0 {
+			t.Fatalf("negative estimated cost %v", p.EstCost)
+		}
+	}
+}
+
+func TestPlanAvoidsCrossProducts(t *testing.T) {
+	_, opt, wl := setup(t)
+	for _, lq := range wl.Queries {
+		if len(lq.Query.Join.Tables) < 2 {
+			continue
+		}
+		p, err := opt.ChoosePlan(*lq.Query.Join)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every prefix of length >= 2 must include the center (title).
+		hasCenter := p.Order[0] == "title" || p.Order[1] == "title"
+		if !hasCenter {
+			t.Fatalf("plan %v starts with a cross product", p.Order)
+		}
+	}
+}
+
+func TestTrueCostPositiveAndPlanSensitive(t *testing.T) {
+	_, opt, wl := setup(t)
+	found := false
+	for _, lq := range wl.Queries {
+		if len(lq.Query.Join.Tables) < 2 {
+			continue
+		}
+		p, err := opt.ChoosePlan(*lq.Query.Join)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := opt.TrueCost(*lq.Query.Join, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c < 0 {
+			t.Fatalf("negative true cost %v", c)
+		}
+		// An alternative order — center first, satellites reversed — should
+		// differ in cost for at least one query, demonstrating plan
+		// sensitivity.
+		var sats []string
+		for _, tn := range p.Order {
+			if tn != "title" {
+				sats = append(sats, tn)
+			}
+		}
+		alt := []string{"title"}
+		for i := len(sats) - 1; i >= 0; i-- {
+			alt = append(alt, sats[i])
+		}
+		c2, err := opt.TrueCost(*lq.Query.Join, Plan{Order: alt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c2 != c {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no query showed cost sensitivity to join order")
+	}
+}
+
+func TestPIInjectionRaisesEstimates(t *testing.T) {
+	_, opt, wl := setup(t)
+	q := *wl.Queries[0].Query.Join
+	base, err := opt.EstimateCard(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.SetPIUpperBound(0.01)
+	inflated, err := opt.EstimateCard(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inflated <= base {
+		t.Fatalf("PI injection should raise estimate: %v -> %v", base, inflated)
+	}
+	opt.SetPIUpperBound(0)
+	back, err := opt.EstimateCard(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != base {
+		t.Fatal("disabling PI injection should restore the raw estimate")
+	}
+}
+
+func TestTrueCostRejectsCrossProductPrefix(t *testing.T) {
+	_, opt, wl := setup(t)
+	for _, lq := range wl.Queries {
+		if len(lq.Query.Join.Tables) < 2 {
+			continue
+		}
+		bad := Plan{Order: append(append([]string{}, lq.Query.Join.Tables...), "title")}
+		if _, err := opt.TrueCost(*lq.Query.Join, bad); err == nil {
+			t.Fatal("cross-product prefix should fail")
+		}
+		return
+	}
+}
+
+func TestDSBStarPlans(t *testing.T) {
+	sch, err := dataset.GenerateDSB(dataset.GenConfig{Rows: 1500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := histogram.NewSchema(sch, histogram.Config{})
+	opt := NewOptimizer(sch, est)
+	wl, err := workload.GenerateJoins(sch, workload.JoinConfig{Count: 20, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lq := range wl.Queries {
+		p, err := opt.ChoosePlan(*lq.Query.Join)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := opt.TrueCost(*lq.Query.Join, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOperatorSelection(t *testing.T) {
+	// NLJ wins for a tiny outer side, hash for a large one, under both the
+	// estimated and true cost formulas.
+	small := joinCost(NestedLoopJoin, 5, 1000, 50)
+	hashSmall := joinCost(HashJoin, 5, 1000, 50)
+	if small >= hashSmall {
+		t.Fatalf("NLJ should beat hash for tiny outer: %v vs %v", small, hashSmall)
+	}
+	big := joinCost(NestedLoopJoin, 5000, 1000, 50)
+	hashBig := joinCost(HashJoin, 5000, 1000, 50)
+	if big <= hashBig {
+		t.Fatalf("hash should beat NLJ for large outer: %v vs %v", big, hashBig)
+	}
+	if HashJoin.String() != "hash" || NestedLoopJoin.String() != "nlj" {
+		t.Fatal("JoinOp.String wrong")
+	}
+}
+
+func TestChoosePlanRecordsOperators(t *testing.T) {
+	_, opt, wl := setup(t)
+	for _, lq := range wl.Queries {
+		if len(lq.Query.Join.Tables) < 2 {
+			continue
+		}
+		p, err := opt.ChoosePlan(*lq.Query.Join)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p.Ops) != len(p.Order)-1 {
+			t.Fatalf("plan has %d ops for %d tables", len(p.Ops), len(p.Order))
+		}
+		return
+	}
+	t.Fatal("no multi-join query found")
+}
+
+func TestTrueCostSensitiveToOperator(t *testing.T) {
+	_, opt, wl := setup(t)
+	for _, lq := range wl.Queries {
+		if len(lq.Query.Join.Tables) < 1 {
+			continue
+		}
+		p, err := opt.ChoosePlan(*lq.Query.Join)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allHash := Plan{Order: p.Order}
+		allNLJ := Plan{Order: p.Order, Ops: make([]JoinOp, len(p.Order)-1)}
+		for i := range allNLJ.Ops {
+			allNLJ.Ops[i] = NestedLoopJoin
+		}
+		ch, err := opt.TrueCost(*lq.Query.Join, allHash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cn, err := opt.TrueCost(*lq.Query.Join, allNLJ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ch != cn {
+			return // operator choice matters for at least one query
+		}
+	}
+	t.Fatal("operator choice never affected true cost")
+}
+
+func TestSubsetFactors(t *testing.T) {
+	_, opt, wl := setup(t)
+	q := *wl.Queries[0].Query.Join
+	base, err := opt.EstimateCard(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.SetSubsetFactors(map[string]float64{SubsetKey(q.Tables): 3})
+	inflated, err := opt.EstimateCard(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inflated < 2.9*base {
+		t.Fatalf("subset factor not applied: %v -> %v", base, inflated)
+	}
+	// Unknown subsets are untouched; factors <= 1 are ignored.
+	opt.SetSubsetFactors(map[string]float64{"ghost": 5, SubsetKey(q.Tables): 0.5})
+	same, err := opt.EstimateCard(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != base {
+		t.Fatalf("factor <= 1 should be ignored: %v vs %v", same, base)
+	}
+	opt.SetSubsetFactors(nil)
+}
+
+func TestSubsetKeyCanonical(t *testing.T) {
+	if SubsetKey([]string{"b", "a"}) != SubsetKey([]string{"a", "b"}) {
+		t.Fatal("SubsetKey should be order-invariant")
+	}
+	if SubsetKey(nil) != "" {
+		t.Fatal("empty subset key should be empty string")
+	}
+}
+
+func TestPlanDescribe(t *testing.T) {
+	p := Plan{Order: []string{"title", "cast_info", "movie_info"}, Ops: []JoinOp{NestedLoopJoin, HashJoin}}
+	want := "title -nlj-> cast_info -hash-> movie_info"
+	if got := p.Describe(); got != want {
+		t.Fatalf("Describe = %q, want %q", got, want)
+	}
+	if (Plan{}).Describe() != "(empty plan)" {
+		t.Fatal("empty plan description wrong")
+	}
+	// Missing ops default to hash.
+	short := Plan{Order: []string{"a", "b"}}
+	if short.Describe() != "a -hash-> b" {
+		t.Fatalf("default op description = %q", short.Describe())
+	}
+}

@@ -1,0 +1,214 @@
+package spn
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"cardpi/internal/dataset"
+	"cardpi/internal/workload"
+)
+
+// Join support follows DeepDB's design: one SPN per join shape, each learned
+// over a uniform sample of that join's result (an "RSPN" over the joined
+// relation). Sampling a star join uniformly is exact and cheap: pick the
+// center row with probability proportional to its satellite fan-out product
+// (for N:1 dimensions the factor is 1), then pick one matching row per
+// joined table uniformly. Join queries route to their template's SPN and
+// are answered by exact conjunction evaluation — a fully data-driven join
+// estimator with no query workload.
+
+// JoinConfig controls TrainJoins.
+type JoinConfig struct {
+	// SampleSize is the number of join tuples sampled per template.
+	SampleSize int
+	// SPN configures the per-template networks.
+	SPN Config
+	// Seed drives sampling.
+	Seed int64
+}
+
+func (c JoinConfig) withDefaults() JoinConfig {
+	if c.SampleSize <= 0 {
+		c.SampleSize = 5000
+	}
+	return c
+}
+
+// JoinModel answers join queries with per-template SPNs.
+type JoinModel struct {
+	schema *dataset.Schema
+	models map[string]*Model
+}
+
+// templateKey canonically identifies a template.
+func templateKey(tables []string) string {
+	s := append([]string(nil), tables...)
+	sort.Strings(s)
+	return strings.Join(s, ",")
+}
+
+// TrainJoins samples each template's join and trains its SPN. Templates are
+// lists of non-center table names (the center always participates).
+func TrainJoins(s *dataset.Schema, templates [][]string, cfg JoinConfig) (*JoinModel, error) {
+	cfg = cfg.withDefaults()
+	jm := &JoinModel{schema: s, models: make(map[string]*Model, len(templates))}
+	for ti, tmpl := range templates {
+		key := templateKey(tmpl)
+		if _, dup := jm.models[key]; dup {
+			continue
+		}
+		sample, err := sampleJoin(s, tmpl, cfg.SampleSize, cfg.Seed+int64(ti))
+		if err != nil {
+			return nil, fmt.Errorf("spn: sampling template %q: %w", key, err)
+		}
+		spnCfg := cfg.SPN
+		spnCfg.Seed = cfg.Seed + 1000 + int64(ti)
+		m, err := Train(sample, spnCfg)
+		if err != nil {
+			return nil, fmt.Errorf("spn: training template %q: %w", key, err)
+		}
+		jm.models[key] = m
+	}
+	return jm, nil
+}
+
+// Templates returns the number of trained templates.
+func (jm *JoinModel) Templates() int { return len(jm.models) }
+
+// Name implements estimator.Estimator.
+func (jm *JoinModel) Name() string { return "spn-join" }
+
+// EstimateSelectivity implements estimator.Estimator for join queries: the
+// estimate is relative to the template's unfiltered join size, matching the
+// Labeled.Sel convention. Queries whose template was not trained, and
+// single-table queries, report 0.
+func (jm *JoinModel) EstimateSelectivity(q workload.Query) float64 {
+	if !q.IsJoin() {
+		return 0
+	}
+	m, ok := jm.models[templateKey(q.Join.Tables)]
+	if !ok {
+		return 0
+	}
+	// Flatten per-table predicates into the sampled table's column space.
+	var preds []dataset.Predicate
+	for table, ps := range q.Join.Preds {
+		for _, p := range ps {
+			fp := p
+			fp.Col = table + "." + p.Col
+			preds = append(preds, fp)
+		}
+	}
+	return m.EstimateSelectivity(workload.Query{Preds: preds})
+}
+
+// sampleJoin draws a uniform sample of the join of the center with the
+// template's tables, flattened into one table with "<table>.<col>" columns.
+func sampleJoin(s *dataset.Schema, tmpl []string, size int, seed int64) (*dataset.Table, error) {
+	nCenter := s.Center.NumRows()
+	// Per-table matching-row lists per center row: dims have exactly one
+	// (the referenced row); satellites have their fan-out list.
+	type side struct {
+		jt   dataset.JoinTable
+		name string
+		// rows[t] lists the table's rows joining center row t.
+		rows [][]int
+	}
+	sides := make([]side, 0, len(tmpl))
+	for _, name := range tmpl {
+		jt, ok := s.Joins[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown join table %q", name)
+		}
+		sd := side{jt: jt, name: name, rows: make([][]int, nCenter)}
+		switch jt.Rel {
+		case dataset.DimOfCenter:
+			fk := s.Center.Column(jt.FKCol).Values
+			for t := 0; t < nCenter; t++ {
+				k := fk[t]
+				if k >= 0 && k < int64(jt.Table.NumRows()) {
+					sd.rows[t] = []int{int(k)}
+				}
+			}
+		case dataset.SatelliteOfCenter:
+			fk := jt.Table.Column(jt.FKCol).Values
+			for i, k := range fk {
+				if k >= 0 && k < int64(nCenter) {
+					sd.rows[k] = append(sd.rows[k], i)
+				}
+			}
+		}
+		sides = append(sides, sd)
+	}
+
+	// Center weights: product of per-side match counts.
+	weights := make([]float64, nCenter)
+	var total float64
+	for t := 0; t < nCenter; t++ {
+		w := 1.0
+		for _, sd := range sides {
+			w *= float64(len(sd.rows[t]))
+		}
+		weights[t] = w
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("join of %v is empty", tmpl)
+	}
+	cum := make([]float64, nCenter)
+	acc := 0.0
+	for t, w := range weights {
+		acc += w
+		cum[t] = acc
+	}
+
+	r := rand.New(rand.NewSource(seed))
+	// Output columns: center's, then each template table's, prefixed.
+	type outCol struct {
+		src    *dataset.Column
+		name   string
+		values []int64
+	}
+	var cols []outCol
+	addCols := func(t *dataset.Table, prefix string) {
+		for _, c := range t.Cols {
+			cols = append(cols, outCol{src: c, name: prefix + "." + c.Name})
+		}
+	}
+	addCols(s.Center, s.Center.Name)
+	for _, sd := range sides {
+		addCols(sd.jt.Table, sd.name)
+	}
+
+	for i := 0; i < size; i++ {
+		u := r.Float64() * total
+		t := sort.SearchFloat64s(cum, u)
+		if t >= nCenter {
+			t = nCenter - 1
+		}
+		ci := 0
+		for range s.Center.Cols {
+			cols[ci].values = append(cols[ci].values, cols[ci].src.Values[t])
+			ci++
+		}
+		for _, sd := range sides {
+			matches := sd.rows[t]
+			row := matches[r.Intn(len(matches))]
+			for range sd.jt.Table.Cols {
+				cols[ci].values = append(cols[ci].values, cols[ci].src.Values[row])
+				ci++
+			}
+		}
+	}
+
+	out := make([]*dataset.Column, len(cols))
+	for i, oc := range cols {
+		c := *oc.src
+		c.Name = oc.name
+		c.Values = oc.values
+		out[i] = &c
+	}
+	return dataset.NewTable("join:"+templateKey(tmpl), out)
+}

@@ -1,0 +1,160 @@
+package spn
+
+import (
+	"math"
+	"testing"
+
+	"cardpi/internal/dataset"
+	"cardpi/internal/estimator"
+	"cardpi/internal/workload"
+)
+
+func TestTrainJoinsDSB(t *testing.T) {
+	sch, err := dataset.GenerateDSB(dataset.GenConfig{Rows: 3000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	templates := [][]string{{"item"}, {"item", "store"}, {"customer"}}
+	jm, err := TrainJoins(sch, templates, JoinConfig{SampleSize: 4000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jm.Templates() != 3 {
+		t.Fatalf("Templates = %d", jm.Templates())
+	}
+	if jm.Name() != "spn-join" {
+		t.Fatal("Name wrong")
+	}
+
+	// Accuracy on a join workload restricted to the trained templates.
+	wl, err := workload.GenerateJoins(sch, workload.JoinConfig{Count: 150, MaxJoinTables: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	var modelQ, constQ float64
+	for _, lq := range wl.Queries {
+		est := jm.EstimateSelectivity(lq.Query)
+		if est == 0 {
+			continue // untrained template
+		}
+		n++
+		modelQ += math.Log(estimator.QError(est, math.Max(lq.Sel, 1e-6)))
+		constQ += math.Log(estimator.QError(0.01, math.Max(lq.Sel, 1e-6)))
+	}
+	if n < 30 {
+		t.Fatalf("only %d queries hit trained templates", n)
+	}
+	if modelQ >= constQ {
+		t.Fatalf("spn-join mean log q-error %v not better than constant %v",
+			modelQ/float64(n), constQ/float64(n))
+	}
+}
+
+func TestTrainJoinsJOBSatellites(t *testing.T) {
+	sch, err := dataset.GenerateJOB(dataset.GenConfig{Rows: 800, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jm, err := TrainJoins(sch, [][]string{{"cast_info"}, {"cast_info", "movie_info"}},
+		JoinConfig{SampleSize: 4000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A correlated center+satellite query: the sampled joint should beat
+	// the independence assumption.
+	q := workload.Query{Join: &dataset.JoinQuery{
+		Tables: []string{"cast_info"},
+		Preds: map[string][]dataset.Predicate{
+			"title":     {{Col: "kind_id", Op: dataset.OpEq, Lo: 0}},
+			"cast_info": {{Col: "ci_role_id", Op: dataset.OpRange, Lo: 0, Hi: 4}},
+		},
+	}}
+	card, err := sch.JoinCount(*q.Join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, err := sch.MaxJoinCount(q.Join.Tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := float64(card) / float64(norm)
+	est := jm.EstimateSelectivity(q)
+	if qe := estimator.QError(est, truth); qe > 2.5 {
+		t.Fatalf("correlated join estimate %v vs truth %v (q=%v)", est, truth, qe)
+	}
+}
+
+func TestJoinModelEdgeCases(t *testing.T) {
+	sch, err := dataset.GenerateDSB(dataset.GenConfig{Rows: 500, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jm, err := TrainJoins(sch, [][]string{{"item"}}, JoinConfig{SampleSize: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-table and untrained-template queries report 0.
+	if s := jm.EstimateSelectivity(workload.Query{}); s != 0 {
+		t.Fatalf("single-table estimate %v", s)
+	}
+	untrained := workload.Query{Join: &dataset.JoinQuery{Tables: []string{"store"}}}
+	if s := jm.EstimateSelectivity(untrained); s != 0 {
+		t.Fatalf("untrained template estimate %v", s)
+	}
+	// Unknown template table fails at training time.
+	if _, err := TrainJoins(sch, [][]string{{"ghost"}}, JoinConfig{Seed: 8}); err == nil {
+		t.Fatal("unknown table should fail")
+	}
+	// Duplicate templates are trained once.
+	jm2, err := TrainJoins(sch, [][]string{{"item"}, {"item"}}, JoinConfig{SampleSize: 200, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jm2.Templates() != 1 {
+		t.Fatalf("duplicate templates trained twice: %d", jm2.Templates())
+	}
+}
+
+func TestSampleJoinUniformity(t *testing.T) {
+	// For a 1:N satellite join, sampled center rows must appear with
+	// frequency proportional to their fan-out.
+	sch, err := dataset.GenerateJOB(dataset.GenConfig{Rows: 50, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample, err := sampleJoin(sch, []string{"cast_info"}, 30000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count sampled occurrences per title via a unique center column; use
+	// production_year + kind to identify? Simpler: recompute expected
+	// frequencies from fan-outs and compare the chi-square-ish deviation on
+	// the center's production_year marginal.
+	fk := sch.Joins["cast_info"].Table.Column("ci_movie_id").Values
+	fan := make([]float64, sch.Center.NumRows())
+	var totalFan float64
+	for _, k := range fk {
+		fan[k]++
+		totalFan++
+	}
+	// Expected marginal of production_year under fan-out weighting.
+	year := sch.Center.Column("production_year").Values
+	expected := map[int64]float64{}
+	for tIdx, f := range fan {
+		expected[year[tIdx]] += f / totalFan
+	}
+	got := map[int64]float64{}
+	sampledYear := sample.Column("title.production_year").Values
+	for _, y := range sampledYear {
+		got[y] += 1.0 / float64(len(sampledYear))
+	}
+	for y, e := range expected {
+		if e < 0.02 {
+			continue
+		}
+		if math.Abs(got[y]-e) > 0.03 {
+			t.Fatalf("year %d: sampled frequency %v vs expected %v", y, got[y], e)
+		}
+	}
+}

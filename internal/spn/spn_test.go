@@ -1,0 +1,199 @@
+package spn
+
+import (
+	"math"
+	"testing"
+
+	"cardpi/internal/dataset"
+	"cardpi/internal/estimator"
+	"cardpi/internal/workload"
+)
+
+func TestMarginalAccuracy(t *testing.T) {
+	tab, err := dataset.GenerateDMV(dataset.GenConfig{Rows: 5000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(tab, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "spn" {
+		t.Fatal("Name wrong")
+	}
+	// Single-column marginals should be near exact (leaf histograms).
+	counts := map[int64]int{}
+	for _, v := range tab.Column("state").Values {
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 100 {
+			continue
+		}
+		truth := float64(c) / 5000
+		q := workload.Query{Preds: []dataset.Predicate{{Col: "state", Op: dataset.OpEq, Lo: v}}}
+		est := m.EstimateSelectivity(q)
+		if qe := estimator.QError(est, truth); qe > 1.5 {
+			t.Fatalf("marginal for state=%d: est %v truth %v (q=%v)", v, est, truth, qe)
+		}
+	}
+}
+
+func TestCorrelationCaptured(t *testing.T) {
+	// DMV's county is ~90% determined by state. A pure-independence model
+	// underestimates the compatible pair badly; the SPN's row clustering
+	// should recover a good share of the correlation.
+	tab, err := dataset.GenerateDMV(dataset.GenConfig{Rows: 8000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(tab, Config{Seed: 4, MinRows: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := tab.Column("state").Values
+	county := tab.Column("county").Values
+	type pair struct{ s, c int64 }
+	pc := map[pair]int{}
+	bestP := pair{}
+	for i := range state {
+		p := pair{state[i], county[i]}
+		pc[p]++
+		if pc[p] > pc[bestP] {
+			bestP = p
+		}
+	}
+	preds := []dataset.Predicate{
+		{Col: "state", Op: dataset.OpEq, Lo: bestP.s},
+		{Col: "county", Op: dataset.OpEq, Lo: bestP.c},
+	}
+	truth, err := tab.Selectivity(preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spnEst := m.EstimateSelectivity(workload.Query{Preds: preds})
+	// Independence baseline.
+	var sSel, cSel float64
+	for _, v := range state {
+		if v == bestP.s {
+			sSel++
+		}
+	}
+	for _, v := range county {
+		if v == bestP.c {
+			cSel++
+		}
+	}
+	indep := (sSel / 8000) * (cSel / 8000)
+	spnQ := estimator.QError(spnEst, truth)
+	indepQ := estimator.QError(indep, truth)
+	if spnQ >= indepQ {
+		t.Fatalf("SPN q-error %v not better than independence %v (est %v vs %v, truth %v)",
+			spnQ, indepQ, spnEst, indep, truth)
+	}
+}
+
+func TestBetterThanConstantOnWorkload(t *testing.T) {
+	tab, err := dataset.GenerateCensus(dataset.GenConfig{Rows: 4000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(tab, Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.Generate(tab, workload.Config{Count: 200, Seed: 7, MaxPreds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spnQ, constQ float64
+	for _, lq := range wl.Queries {
+		spnQ += math.Log(estimator.QError(m.EstimateSelectivity(lq.Query), lq.Sel))
+		constQ += math.Log(estimator.QError(0.05, lq.Sel))
+	}
+	if spnQ >= constQ {
+		t.Fatalf("SPN mean log q-error %v not better than constant %v",
+			spnQ/200, constQ/200)
+	}
+}
+
+func TestRangeAndStructure(t *testing.T) {
+	tab, err := dataset.GenerateForest(dataset.GenConfig{Rows: 3000, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(tab, Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums, products, leaves := m.Nodes()
+	if leaves == 0 || products == 0 {
+		t.Fatalf("degenerate structure: %d sums %d products %d leaves", sums, products, leaves)
+	}
+	// Full-domain conjunction over every column evaluates to ~1.
+	var preds []dataset.Predicate
+	for _, c := range tab.Cols {
+		preds = append(preds, dataset.Predicate{Col: c.Name, Op: dataset.OpRange, Lo: c.Min, Hi: c.Max})
+	}
+	if est := m.EstimateSelectivity(workload.Query{Preds: preds}); est < 0.99 {
+		t.Fatalf("full-domain estimate %v, want ~1", est)
+	}
+	// Empty conjunction is 1.
+	if est := m.EstimateSelectivity(workload.Query{}); est != 1 {
+		t.Fatalf("empty query estimate %v", est)
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	empty := dataset.MustNewTable("t", []*dataset.Column{
+		{Name: "a", Type: dataset.Categorical, Values: []int64{}, DomainSize: 2, Max: 1},
+	})
+	if _, err := Train(empty, Config{}); err == nil {
+		t.Fatal("empty table should fail")
+	}
+
+	tab, err := dataset.GeneratePower(dataset.GenConfig{Rows: 300, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(tab, Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unknown column -> 0; join query -> 0.
+	if s := m.EstimateSelectivity(workload.Query{Preds: []dataset.Predicate{{Col: "ghost", Op: dataset.OpEq}}}); s != 0 {
+		t.Fatalf("unknown column estimate %v", s)
+	}
+	if s := m.EstimateSelectivity(workload.Query{Join: &dataset.JoinQuery{}}); s != 0 {
+		t.Fatalf("join estimate %v", s)
+	}
+	// Same-column conjunction intersects.
+	c := tab.Cols[0]
+	q := workload.Query{Preds: []dataset.Predicate{
+		{Col: c.Name, Op: dataset.OpRange, Lo: c.Min, Hi: c.Max},
+		{Col: c.Name, Op: dataset.OpRange, Lo: c.Min, Hi: c.Min + (c.Max-c.Min)/2},
+	}}
+	full := workload.Query{Preds: q.Preds[:1]}
+	if m.EstimateSelectivity(q) > m.EstimateSelectivity(full) {
+		t.Fatal("intersecting a range should not increase the estimate")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	tab, err := dataset.GenerateCensus(dataset.GenConfig{Rows: 1000, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Train(tab, Config{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(tab, Config{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := workload.Query{Preds: []dataset.Predicate{{Col: "age", Op: dataset.OpRange, Lo: 20, Hi: 50}}}
+	if a.EstimateSelectivity(q) != b.EstimateSelectivity(q) {
+		t.Fatal("SPN training not deterministic")
+	}
+}

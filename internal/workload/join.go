@@ -1,0 +1,238 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"cardpi/internal/dataset"
+)
+
+// JoinConfig controls templated join workload generation, mirroring the
+// paper's DSB setup: a fixed number of SPJ templates (table subsets), each
+// instantiated many times with data-anchored predicates.
+type JoinConfig struct {
+	// Count is the total number of distinct queries to generate.
+	Count int
+	// Templates is the number of distinct table-subset templates to use.
+	// Zero means "as many as available".
+	Templates int
+	// MaxJoinTables bounds the number of non-center tables per template.
+	MaxJoinTables int
+	// MaxPredsPerTable bounds conjuncts per participating table.
+	MaxPredsPerTable int
+	// RangeFrac and WidthScale behave as in Config.
+	RangeFrac  float64
+	WidthScale float64
+	// MaxSelectivity discards queries above this normalised selectivity.
+	MaxSelectivity float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (c JoinConfig) withDefaults() JoinConfig {
+	if c.MaxJoinTables <= 0 {
+		c.MaxJoinTables = 3
+	}
+	if c.MaxPredsPerTable <= 0 {
+		c.MaxPredsPerTable = 2
+	}
+	if c.RangeFrac == 0 {
+		c.RangeFrac = 0.8
+	}
+	if c.WidthScale <= 0 {
+		c.WidthScale = 0.25
+	}
+	return c
+}
+
+// GenerateJoins produces a deduplicated labeled join workload over the
+// schema. Each query's Norm is the cardinality of its template's unfiltered
+// join, so selectivities are comparable across templates.
+func GenerateJoins(s *dataset.Schema, cfg JoinConfig) (*Workload, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Count <= 0 {
+		return nil, fmt.Errorf("workload: Count must be positive, got %d", cfg.Count)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	templates := enumerateTemplates(s, cfg.MaxJoinTables)
+	if cfg.Templates > 0 && cfg.Templates < len(templates) {
+		// Deterministic template subset: shuffle then truncate.
+		r.Shuffle(len(templates), func(i, j int) { templates[i], templates[j] = templates[j], templates[i] })
+		templates = templates[:cfg.Templates]
+	}
+	if len(templates) == 0 {
+		return nil, fmt.Errorf("workload: schema yields no join templates")
+	}
+
+	norms := make([]int64, len(templates))
+	for i, tmpl := range templates {
+		n, err := s.MaxJoinCount(tmpl)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			n = 1
+		}
+		norms[i] = n
+	}
+
+	// Index satellite rows by their center key so predicates can be
+	// anchored along one coherent join path: benchmark queries ask about
+	// real entities, which is what makes cross-table correlations bite.
+	satRows := make(map[string][][]int)
+	for name, jt := range s.Joins {
+		if jt.Rel != dataset.SatelliteOfCenter {
+			continue
+		}
+		idx := make([][]int, s.Center.NumRows())
+		fk := jt.Table.Column(jt.FKCol).Values
+		for i, k := range fk {
+			if k >= 0 && k < int64(len(idx)) {
+				idx[k] = append(idx[k], i)
+			}
+		}
+		satRows[name] = idx
+	}
+
+	seen := make(map[string]struct{}, cfg.Count)
+	out := make([]Labeled, 0, cfg.Count)
+	attempts := 0
+	maxAttempts := cfg.Count*200 + 1000
+	for len(out) < cfg.Count && attempts < maxAttempts {
+		attempts++
+		ti := len(out) % len(templates) // round-robin across templates
+		tmpl := templates[ti]
+		q, err := instantiateTemplate(r, s, tmpl, satRows, cfg)
+		if err != nil {
+			return nil, err
+		}
+		key := q.Key()
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		card, err := s.JoinCount(*q.Join)
+		if err != nil {
+			return nil, err
+		}
+		sel := float64(card) / float64(norms[ti])
+		if cfg.MaxSelectivity > 0 && sel > cfg.MaxSelectivity {
+			continue
+		}
+		seen[key] = struct{}{}
+		out = append(out, Labeled{Query: q, Card: card, Sel: sel, Norm: norms[ti]})
+	}
+	if len(out) < cfg.Count {
+		return nil, fmt.Errorf("workload: generated only %d of %d join queries", len(out), cfg.Count)
+	}
+	// NormN is the largest template norm; per-query Norm is authoritative.
+	var maxNorm int64
+	for _, n := range norms {
+		if n > maxNorm {
+			maxNorm = n
+		}
+	}
+	return &Workload{Queries: out, Schema: s, NormN: maxNorm}, nil
+}
+
+// enumerateTemplates lists all non-empty subsets of the schema's join tables
+// up to maxTables, in deterministic order.
+func enumerateTemplates(s *dataset.Schema, maxTables int) [][]string {
+	names := make([]string, 0, len(s.Joins))
+	for n := range s.Joins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out [][]string
+	total := 1 << len(names)
+	for mask := 1; mask < total; mask++ {
+		var subset []string
+		for i, n := range names {
+			if mask&(1<<i) != 0 {
+				subset = append(subset, n)
+			}
+		}
+		if len(subset) <= maxTables {
+			out = append(out, subset)
+		}
+	}
+	return out
+}
+
+// instantiateTemplate fills a template with predicates anchored along one
+// coherent join path: a random center row anchors the center's predicates,
+// the dimension rows it references anchor dimension predicates, and one of
+// its satellite rows anchors each satellite's predicates.
+func instantiateTemplate(r *rand.Rand, s *dataset.Schema, tmpl []string,
+	satRows map[string][][]int, cfg JoinConfig) (Query, error) {
+	preds := make(map[string][]dataset.Predicate)
+	wcfg := Config{RangeFrac: cfg.RangeFrac, WidthScale: cfg.WidthScale}.withDefaults()
+	centerAnchor := r.Intn(s.Center.NumRows())
+
+	addPreds := func(t *dataset.Table, anchor int) {
+		k := 1 + r.Intn(cfg.MaxPredsPerTable)
+		if k > t.NumCols() {
+			k = t.NumCols()
+		}
+		picked := r.Perm(t.NumCols())[:k]
+		var ps []dataset.Predicate
+		for _, ci := range picked {
+			col := t.Cols[ci]
+			if isFKColumn(s, t, col.Name) {
+				continue // never filter on join keys
+			}
+			ps = append(ps, makePredicate(r, col, anchor, wcfg))
+		}
+		if len(ps) > 0 {
+			preds[t.Name] = ps
+		}
+	}
+
+	anchorFor := func(name string) int {
+		jt := s.Joins[name]
+		switch jt.Rel {
+		case dataset.DimOfCenter:
+			return int(s.Center.Column(jt.FKCol).Values[centerAnchor])
+		case dataset.SatelliteOfCenter:
+			if rows := satRows[name][centerAnchor]; len(rows) > 0 {
+				return rows[r.Intn(len(rows))]
+			}
+		}
+		return r.Intn(jt.Table.NumRows())
+	}
+
+	// Predicates on the center with probability 0.7, plus each joined table
+	// with probability 0.8 — some tables join without filters, as in DSB.
+	if r.Float64() < 0.7 {
+		addPreds(s.Center, centerAnchor)
+	}
+	for _, name := range tmpl {
+		if r.Float64() < 0.8 {
+			addPreds(s.Joins[name].Table, anchorFor(name))
+		}
+	}
+	if len(preds) == 0 {
+		// Guarantee at least one filter so the query is not the full join.
+		addPreds(s.Joins[tmpl[0]].Table, anchorFor(tmpl[0]))
+	}
+	jq := &dataset.JoinQuery{Tables: append([]string(nil), tmpl...), Preds: preds}
+	return Query{Join: jq}, nil
+}
+
+// isFKColumn reports whether col is a join-key column of t in the schema.
+func isFKColumn(s *dataset.Schema, t *dataset.Table, col string) bool {
+	for _, jt := range s.Joins {
+		switch jt.Rel {
+		case dataset.DimOfCenter:
+			if t == s.Center && jt.FKCol == col {
+				return true
+			}
+		case dataset.SatelliteOfCenter:
+			if t == jt.Table && jt.FKCol == col {
+				return true
+			}
+		}
+	}
+	return false
+}

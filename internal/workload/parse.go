@@ -1,0 +1,503 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"cardpi/internal/dataset"
+)
+
+// ParseQuery parses a SQL-ish conjunctive filter over one table into a
+// Query. Accepted forms (keywords are case-insensitive; the optional
+// "SELECT COUNT(*) FROM <table> WHERE" prefix is allowed and validated):
+//
+//	age = 30
+//	age BETWEEN 20 AND 40
+//	20 <= age AND age <= 40
+//	age >= 20 AND age < 65 AND sex = 1
+//
+// Open-ended comparisons are closed using the column's domain bounds.
+func ParseQuery(t *dataset.Table, input string) (Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return Query{}, err
+	}
+	p := &parser{toks: toks}
+	if err := p.header(t.Name); err != nil {
+		return Query{}, err
+	}
+	resolve := func(table, col string) (*dataset.Column, string, error) {
+		if table != "" && !strings.EqualFold(table, t.Name) {
+			return nil, "", fmt.Errorf("workload: unknown table %q (query is over %q)", table, t.Name)
+		}
+		c := t.Column(col)
+		if c == nil {
+			return nil, "", fmt.Errorf("workload: table %q has no column %q", t.Name, col)
+		}
+		return c, t.Name, nil
+	}
+	preds, err := p.conjunction(resolve)
+	if err != nil {
+		return Query{}, err
+	}
+	return Query{Preds: preds[t.Name]}, nil
+}
+
+// ParseJoinQuery parses a SQL-ish select-project-join query over a star
+// schema. The FROM clause lists the participating tables (the center table
+// may be included or implied); predicates may qualify columns with a table
+// name, and unqualified column names are resolved when unique across the
+// participating tables. Join conditions are implicit (the schema's key
+// edges), as in the templated workloads.
+func ParseJoinQuery(s *dataset.Schema, input string) (Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return Query{}, err
+	}
+	p := &parser{toks: toks}
+	tables, err := p.joinHeader(s)
+	if err != nil {
+		return Query{}, err
+	}
+	participating := map[string]*dataset.Table{s.Center.Name: s.Center}
+	var joined []string
+	for _, name := range tables {
+		if name == s.Center.Name {
+			continue
+		}
+		jt, ok := s.Joins[name]
+		if !ok {
+			return Query{}, fmt.Errorf("workload: schema has no table %q", name)
+		}
+		participating[name] = jt.Table
+		joined = append(joined, name)
+	}
+	resolve := func(table, col string) (*dataset.Column, string, error) {
+		if table != "" {
+			t, ok := participating[table]
+			if !ok {
+				return nil, "", fmt.Errorf("workload: table %q not in FROM clause", table)
+			}
+			c := t.Column(col)
+			if c == nil {
+				return nil, "", fmt.Errorf("workload: table %q has no column %q", table, col)
+			}
+			return c, table, nil
+		}
+		var found *dataset.Column
+		var owner string
+		for name, t := range participating {
+			if c := t.Column(col); c != nil {
+				if found != nil {
+					return nil, "", fmt.Errorf("workload: column %q is ambiguous; qualify it", col)
+				}
+				found, owner = c, name
+			}
+		}
+		if found == nil {
+			return nil, "", fmt.Errorf("workload: no participating table has column %q", col)
+		}
+		return found, owner, nil
+	}
+	preds, err := p.conjunction(resolve)
+	if err != nil {
+		return Query{}, err
+	}
+	return Query{Join: &dataset.JoinQuery{Tables: joined, Preds: preds}}, nil
+}
+
+// --- lexer ---
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokNumber
+	tokString // 'quoted' or "quoted" literal, resolved via column dictionaries
+	tokOp     // = <= >= < > ( ) , . *
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		ch := rune(input[i])
+		switch {
+		case unicode.IsSpace(ch):
+			i++
+		case ch == '(' || ch == ')' || ch == ',' || ch == '.' || ch == '*' || ch == '=':
+			toks = append(toks, token{tokOp, string(ch)})
+			i++
+		case ch == '<' || ch == '>':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{tokOp, input[i : i+2]})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, string(ch)})
+				i++
+			}
+		case ch == '\'' || ch == '"':
+			quote := byte(ch)
+			j := i + 1
+			for j < len(input) && input[j] != quote {
+				j++
+			}
+			if j >= len(input) {
+				return nil, fmt.Errorf("workload: unterminated string literal at position %d", i)
+			}
+			toks = append(toks, token{tokString, input[i+1 : j]})
+			i = j + 1
+		case ch == '-' || unicode.IsDigit(ch):
+			j := i + 1
+			for j < len(input) && unicode.IsDigit(rune(input[j])) {
+				j++
+			}
+			if j == i+1 && ch == '-' {
+				return nil, fmt.Errorf("workload: stray '-' at position %d", i)
+			}
+			toks = append(toks, token{tokNumber, input[i:j]})
+			i = j
+		case unicode.IsLetter(ch) || ch == '_':
+			j := i + 1
+			for j < len(input) && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, input[i:j]})
+			i = j
+		default:
+			return nil, fmt.Errorf("workload: unexpected character %q at position %d", ch, i)
+		}
+	}
+	return toks, nil
+}
+
+// --- parser ---
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos >= len(p.toks) {
+		return token{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *parser) next() (token, bool) {
+	t, ok := p.peek()
+	if ok {
+		p.pos++
+	}
+	return t, ok
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	t, ok := p.peek()
+	if ok && t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	t, ok := p.next()
+	if !ok || t.kind != tokOp || t.text != op {
+		return fmt.Errorf("workload: expected %q, got %q", op, t.text)
+	}
+	return nil
+}
+
+// header consumes an optional "SELECT COUNT(*) FROM <table> WHERE" prefix.
+func (p *parser) header(tableName string) error {
+	if !p.acceptKeyword("select") {
+		return nil
+	}
+	if err := p.countStar(); err != nil {
+		return err
+	}
+	if !p.acceptKeyword("from") {
+		return fmt.Errorf("workload: expected FROM after SELECT COUNT(*)")
+	}
+	t, ok := p.next()
+	if !ok || t.kind != tokIdent {
+		return fmt.Errorf("workload: expected table name after FROM")
+	}
+	if !strings.EqualFold(t.text, tableName) {
+		return fmt.Errorf("workload: query is over table %q, not %q", tableName, t.text)
+	}
+	if !p.acceptKeyword("where") {
+		// A bare "SELECT COUNT(*) FROM t" has no predicates.
+		if _, more := p.peek(); more {
+			return fmt.Errorf("workload: expected WHERE")
+		}
+	}
+	return nil
+}
+
+// joinHeader consumes "SELECT COUNT(*) FROM t1, t2, ... [WHERE]" (required
+// for join queries — the FROM clause defines the template) and returns the
+// table list.
+func (p *parser) joinHeader(s *dataset.Schema) ([]string, error) {
+	if !p.acceptKeyword("select") {
+		return nil, fmt.Errorf("workload: join queries must start with SELECT COUNT(*) FROM ...")
+	}
+	if err := p.countStar(); err != nil {
+		return nil, err
+	}
+	if !p.acceptKeyword("from") {
+		return nil, fmt.Errorf("workload: expected FROM")
+	}
+	var tables []string
+	for {
+		t, ok := p.next()
+		if !ok || t.kind != tokIdent {
+			return nil, fmt.Errorf("workload: expected table name in FROM clause")
+		}
+		tables = append(tables, t.text)
+		if nx, ok := p.peek(); ok && nx.kind == tokOp && nx.text == "," {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if !p.acceptKeyword("where") {
+		if _, more := p.peek(); more {
+			return nil, fmt.Errorf("workload: expected WHERE")
+		}
+	}
+	return tables, nil
+}
+
+func (p *parser) countStar() error {
+	if !p.acceptKeyword("count") {
+		return fmt.Errorf("workload: expected COUNT(*)")
+	}
+	if err := p.expectOp("("); err != nil {
+		return err
+	}
+	if err := p.expectOp("*"); err != nil {
+		return err
+	}
+	return p.expectOp(")")
+}
+
+// resolver maps (optional table qualifier, column name) to the column and
+// its owning table name.
+type resolver func(table, col string) (*dataset.Column, string, error)
+
+// conjunction parses "pred AND pred AND ..." into per-table predicates,
+// merging multiple constraints on the same column into one range.
+func (p *parser) conjunction(resolve resolver) (map[string][]dataset.Predicate, error) {
+	type bound struct {
+		col    *dataset.Column
+		table  string
+		name   string
+		lo, hi int64
+	}
+	bounds := make(map[string]*bound) // keyed table.col
+	if _, any := p.peek(); !any {
+		return map[string][]dataset.Predicate{}, nil
+	}
+	for {
+		lo, hi, col, table, name, err := p.predicate(resolve)
+		if err != nil {
+			return nil, err
+		}
+		key := table + "." + name
+		if b, seen := bounds[key]; seen {
+			if lo > b.lo {
+				b.lo = lo
+			}
+			if hi < b.hi {
+				b.hi = hi
+			}
+		} else {
+			bounds[key] = &bound{col: col, table: table, name: name, lo: lo, hi: hi}
+		}
+		if !p.acceptKeyword("and") {
+			break
+		}
+	}
+	if t, extra := p.peek(); extra {
+		return nil, fmt.Errorf("workload: unexpected trailing token %q", t.text)
+	}
+	out := make(map[string][]dataset.Predicate)
+	// Deterministic order: iterate tokens again is complex; sort keys.
+	keys := make([]string, 0, len(bounds))
+	for k := range bounds {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	for _, k := range keys {
+		b := bounds[k]
+		pr := dataset.Predicate{Col: b.name, Op: dataset.OpRange, Lo: b.lo, Hi: b.hi}
+		if b.lo == b.hi {
+			pr = dataset.Predicate{Col: b.name, Op: dataset.OpEq, Lo: b.lo}
+		}
+		out[b.table] = append(out[b.table], pr)
+	}
+	return out, nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// predicate parses one comparison and returns its closed range.
+func (p *parser) predicate(resolve resolver) (lo, hi int64, col *dataset.Column, table, name string, err error) {
+	t, ok := p.peek()
+	if !ok {
+		return 0, 0, nil, "", "", fmt.Errorf("workload: expected predicate")
+	}
+	if t.kind == tokNumber {
+		// "20 <= age" or "20 < age" prefix form (possibly "20 <= age <= 40").
+		p.pos++
+		v, perr := strconv.ParseInt(t.text, 10, 64)
+		if perr != nil {
+			return 0, 0, nil, "", "", fmt.Errorf("workload: bad number %q", t.text)
+		}
+		op, ok := p.next()
+		if !ok || op.kind != tokOp || (op.text != "<=" && op.text != "<") {
+			return 0, 0, nil, "", "", fmt.Errorf("workload: expected <= or < after number")
+		}
+		col, table, name, err = p.columnRef(resolve)
+		if err != nil {
+			return 0, 0, nil, "", "", err
+		}
+		lo = v
+		if op.text == "<" {
+			lo = v + 1
+		}
+		hi = domainMax(col)
+		// Optional chained upper bound: "... <= 40".
+		if nx, ok := p.peek(); ok && nx.kind == tokOp && (nx.text == "<=" || nx.text == "<") {
+			p.pos++
+			nt, ok := p.next()
+			if !ok || nt.kind != tokNumber {
+				return 0, 0, nil, "", "", fmt.Errorf("workload: expected number after %q", nx.text)
+			}
+			u, perr := strconv.ParseInt(nt.text, 10, 64)
+			if perr != nil {
+				return 0, 0, nil, "", "", fmt.Errorf("workload: bad number %q", nt.text)
+			}
+			hi = u
+			if nx.text == "<" {
+				hi = u - 1
+			}
+		}
+		return lo, hi, col, table, name, nil
+	}
+
+	// Column-first form.
+	col, table, name, err = p.columnRef(resolve)
+	if err != nil {
+		return 0, 0, nil, "", "", err
+	}
+	if p.acceptKeyword("between") {
+		a, err := p.number()
+		if err != nil {
+			return 0, 0, nil, "", "", err
+		}
+		if !p.acceptKeyword("and") {
+			return 0, 0, nil, "", "", fmt.Errorf("workload: expected AND in BETWEEN")
+		}
+		b, err := p.number()
+		if err != nil {
+			return 0, 0, nil, "", "", err
+		}
+		return a, b, col, table, name, nil
+	}
+	op, ok := p.next()
+	if !ok || op.kind != tokOp {
+		return 0, 0, nil, "", "", fmt.Errorf("workload: expected comparison operator")
+	}
+	// String literal: only equality, resolved through the column dictionary
+	// (columns loaded from CSV keep their original string values).
+	if t, ok := p.peek(); ok && t.kind == tokString {
+		p.pos++
+		if op.text != "=" {
+			return 0, 0, nil, "", "", fmt.Errorf("workload: string literals support only '='")
+		}
+		code, ok := col.Code(t.text)
+		if !ok {
+			return 0, 0, nil, "", "", fmt.Errorf("workload: column %q has no value %q", name, t.text)
+		}
+		return code, code, col, table, name, nil
+	}
+	v, err := p.number()
+	if err != nil {
+		return 0, 0, nil, "", "", err
+	}
+	switch op.text {
+	case "=":
+		return v, v, col, table, name, nil
+	case "<=":
+		return domainMin(col), v, col, table, name, nil
+	case "<":
+		return domainMin(col), v - 1, col, table, name, nil
+	case ">=":
+		return v, domainMax(col), col, table, name, nil
+	case ">":
+		return v + 1, domainMax(col), col, table, name, nil
+	default:
+		return 0, 0, nil, "", "", fmt.Errorf("workload: unsupported operator %q", op.text)
+	}
+}
+
+// columnRef parses "[table .] column".
+func (p *parser) columnRef(resolve resolver) (*dataset.Column, string, string, error) {
+	t, ok := p.next()
+	if !ok || t.kind != tokIdent {
+		return nil, "", "", fmt.Errorf("workload: expected column name, got %q", t.text)
+	}
+	table, name := "", t.text
+	if nx, ok := p.peek(); ok && nx.kind == tokOp && nx.text == "." {
+		p.pos++
+		ct, ok := p.next()
+		if !ok || ct.kind != tokIdent {
+			return nil, "", "", fmt.Errorf("workload: expected column after %q.", t.text)
+		}
+		table, name = t.text, ct.text
+	}
+	col, owner, err := resolve(table, name)
+	if err != nil {
+		return nil, "", "", err
+	}
+	return col, owner, name, nil
+}
+
+func (p *parser) number() (int64, error) {
+	t, ok := p.next()
+	if !ok || t.kind != tokNumber {
+		return 0, fmt.Errorf("workload: expected number, got %q", t.text)
+	}
+	return strconv.ParseInt(t.text, 10, 64)
+}
+
+func domainMin(c *dataset.Column) int64 {
+	if c.Type == dataset.Categorical {
+		return 0
+	}
+	return c.Min
+}
+
+func domainMax(c *dataset.Column) int64 {
+	if c.Type == dataset.Categorical {
+		return c.DomainSize - 1
+	}
+	return c.Max
+}

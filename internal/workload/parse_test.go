@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"cardpi/internal/dataset"
+)
+
+func parseTable(t *testing.T) *dataset.Table {
+	t.Helper()
+	tab, err := dataset.GenerateCensus(dataset.GenConfig{Rows: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestParseQueryForms(t *testing.T) {
+	tab := parseTable(t)
+	cases := []struct {
+		in   string
+		want []dataset.Predicate
+	}{
+		{"sex = 1", []dataset.Predicate{{Col: "sex", Op: dataset.OpEq, Lo: 1}}},
+		{"age BETWEEN 20 AND 40", []dataset.Predicate{{Col: "age", Op: dataset.OpRange, Lo: 20, Hi: 40}}},
+		{"20 <= age <= 40", []dataset.Predicate{{Col: "age", Op: dataset.OpRange, Lo: 20, Hi: 40}}},
+		{"20 < age < 41", []dataset.Predicate{{Col: "age", Op: dataset.OpRange, Lo: 21, Hi: 40}}},
+		{"age >= 20 AND age <= 40", []dataset.Predicate{{Col: "age", Op: dataset.OpRange, Lo: 20, Hi: 40}}},
+		{"age <= 40", []dataset.Predicate{{Col: "age", Op: dataset.OpRange, Lo: 0, Hi: 40}}},
+		{"age > 40", []dataset.Predicate{{Col: "age", Op: dataset.OpRange, Lo: 41, Hi: 90}}},
+		{"SELECT COUNT(*) FROM census WHERE sex = 0", []dataset.Predicate{{Col: "sex", Op: dataset.OpEq, Lo: 0}}},
+		{"select count(*) from census", nil},
+		{"age = 30 AND sex = 1 AND education = 2", []dataset.Predicate{
+			{Col: "age", Op: dataset.OpEq, Lo: 30},
+			{Col: "education", Op: dataset.OpEq, Lo: 2},
+			{Col: "sex", Op: dataset.OpEq, Lo: 1},
+		}},
+	}
+	for _, tc := range cases {
+		q, err := ParseQuery(tab, tc.in)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.in, err)
+		}
+		if len(q.Preds) != len(tc.want) {
+			t.Fatalf("%q: got %d predicates %v, want %d", tc.in, len(q.Preds), q.Preds, len(tc.want))
+		}
+		for i, w := range tc.want {
+			g := q.Preds[i]
+			if g.Col != w.Col || g.Op != w.Op || g.Lo != w.Lo || (w.Op == dataset.OpRange && g.Hi != w.Hi) {
+				t.Fatalf("%q: predicate %d = %+v, want %+v", tc.in, i, g, w)
+			}
+		}
+	}
+}
+
+func TestParseQueryMatchesOracle(t *testing.T) {
+	tab := parseTable(t)
+	q, err := ParseQuery(tab, "age BETWEEN 25 AND 45 AND sex = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tab.Count(q.Preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	age := tab.Column("age").Values
+	sex := tab.Column("sex").Values
+	for i := 0; i < tab.NumRows(); i++ {
+		if age[i] >= 25 && age[i] <= 45 && sex[i] == 1 {
+			want++
+		}
+	}
+	if got != want {
+		t.Fatalf("parsed query counts %d, want %d", got, want)
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	tab := parseTable(t)
+	bad := []string{
+		"ghost = 1",
+		"age ??",
+		"age = ",
+		"age BETWEEN 2",
+		"SELECT COUNT(*) FROM other WHERE sex = 1",
+		"age = 1 extra",
+		"= 5",
+		"age - 5",
+		"20 = age",
+	}
+	for _, in := range bad {
+		if _, err := ParseQuery(tab, in); err == nil {
+			t.Errorf("%q: expected error", in)
+		}
+	}
+}
+
+func TestParseJoinQuery(t *testing.T) {
+	sch, err := dataset.GenerateJOB(dataset.GenConfig{Rows: 300, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseJoinQuery(sch,
+		"SELECT COUNT(*) FROM title, cast_info WHERE kind_id = 1 AND cast_info.ci_role_id <= 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.IsJoin() {
+		t.Fatal("expected join query")
+	}
+	if len(q.Join.Tables) != 1 || q.Join.Tables[0] != "cast_info" {
+		t.Fatalf("joined tables = %v", q.Join.Tables)
+	}
+	// The parsed query must agree with the oracle.
+	card, err := sch.JoinCount(*q.Join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual := dataset.JoinQuery{
+		Tables: []string{"cast_info"},
+		Preds: map[string][]dataset.Predicate{
+			"title":     {{Col: "kind_id", Op: dataset.OpEq, Lo: 1}},
+			"cast_info": {{Col: "ci_role_id", Op: dataset.OpRange, Lo: 0, Hi: 4}},
+		},
+	}
+	want, err := sch.JoinCount(manual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if card != want {
+		t.Fatalf("parsed join counts %d, want %d", card, want)
+	}
+}
+
+func TestParseJoinQueryErrors(t *testing.T) {
+	sch, err := dataset.GenerateJOB(dataset.GenConfig{Rows: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []string{
+		"kind_id = 1", // join queries need the FROM clause
+		"SELECT COUNT(*) FROM ghost WHERE kind_id = 1",
+		"SELECT COUNT(*) FROM title, cast_info WHERE nope = 1",
+		"SELECT COUNT(*) FROM title WHERE movie_info.mi_value = 1", // not in FROM
+	}
+	for _, in := range bad {
+		if _, err := ParseJoinQuery(sch, in); err == nil {
+			t.Errorf("%q: expected error", in)
+		}
+	}
+	// Ambiguity: mi_value exists only in movie_info, so unqualified works
+	// when the table participates.
+	q, err := ParseJoinQuery(sch, "SELECT COUNT(*) FROM title, movie_info WHERE mi_value <= 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Join.Preds["movie_info"]) != 1 {
+		t.Fatalf("preds = %v", q.Join.Preds)
+	}
+}
+
+func TestParseQueryStringLiterals(t *testing.T) {
+	csv := "city,population\nspringfield,30000\nshelbyville,21000\nspringfield,29000\n"
+	tab, err := dataset.FromCSV("cities", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseQuery(tab, "city = 'springfield' AND population >= 25000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := tab.Count(q.Preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("count = %d, want 2", n)
+	}
+	// Double quotes work too.
+	if _, err := ParseQuery(tab, `city = "shelbyville"`); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown values and non-equality operators fail clearly.
+	if _, err := ParseQuery(tab, "city = 'nowhere'"); err == nil {
+		t.Fatal("unknown string value should fail")
+	}
+	if _, err := ParseQuery(tab, "city <= 'springfield'"); err == nil {
+		t.Fatal("string with range operator should fail")
+	}
+	if _, err := ParseQuery(tab, "city = 'unterminated"); err == nil {
+		t.Fatal("unterminated literal should fail")
+	}
+}

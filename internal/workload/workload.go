@@ -1,0 +1,275 @@
+// Package workload generates labeled query workloads for cardinality
+// estimation experiments. It implements a unified generator in the style of
+// Wang et al. ("Are we ready for learned cardinality estimation?"): queries
+// are centred on data tuples so they hit non-empty regions, mix point and
+// range predicates, and can be filtered to selectivity bands. It also
+// produces templated select-project-join workloads over star schemas for the
+// DSB- and JOB-style multi-table experiments, and provides the
+// train/calibration/test splitting used by the conformal methods.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"cardpi/internal/dataset"
+)
+
+// Query is a conjunctive query: either single-table (Preds over the base
+// table) or multi-table (Join non-nil; Preds unused).
+type Query struct {
+	Preds []dataset.Predicate
+	Join  *dataset.JoinQuery
+}
+
+// IsJoin reports whether the query is multi-table.
+func (q Query) IsJoin() bool { return q.Join != nil }
+
+// Key returns a canonical string identity for duplicate elimination.
+func (q Query) Key() string {
+	var sb strings.Builder
+	writePreds := func(preds []dataset.Predicate) {
+		ps := make([]string, len(preds))
+		for i, p := range preds {
+			ps[i] = p.String()
+		}
+		sort.Strings(ps)
+		sb.WriteString(strings.Join(ps, "&"))
+	}
+	if q.Join == nil {
+		writePreds(q.Preds)
+		return sb.String()
+	}
+	tables := append([]string(nil), q.Join.Tables...)
+	sort.Strings(tables)
+	sb.WriteString("J[" + strings.Join(tables, ",") + "]")
+	names := make([]string, 0, len(q.Join.Preds))
+	for n := range q.Join.Preds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		sb.WriteString(";" + n + ":")
+		writePreds(q.Join.Preds[n])
+	}
+	return sb.String()
+}
+
+// Labeled pairs a query with its ground-truth cardinality and normalised
+// selectivity (cardinality divided by the relevant maximum: table size for
+// single-table queries, unfiltered join size of the query's template for
+// join queries).
+type Labeled struct {
+	Query Query
+	Card  int64
+	Sel   float64
+	// Norm is the per-query normalisation constant: Card == Sel * Norm.
+	Norm int64
+}
+
+// Workload is a labeled set of queries over one data source.
+type Workload struct {
+	Queries []Labeled
+	// Table is the base table for single-table workloads (nil for joins).
+	Table *dataset.Table
+	// Schema is the star schema for join workloads (nil for single-table).
+	Schema *dataset.Schema
+	// NormN is the normalisation constant: true cardinality = Sel * NormN.
+	NormN int64
+}
+
+// Config controls single-table workload generation.
+type Config struct {
+	// Count is the number of distinct queries to generate.
+	Count int
+	// MinPreds and MaxPreds bound the number of conjuncts per query.
+	MinPreds, MaxPreds int
+	// RangeFrac is the probability a numeric column gets a range predicate
+	// rather than a point predicate. Categorical columns always get points.
+	RangeFrac float64
+	// MaxSelectivity discards queries above this selectivity (the paper
+	// focuses on selectivity < 0.1 where PIs are informative). <=0 disables.
+	MaxSelectivity float64
+	// MinSelectivity discards queries below this selectivity. Used by the
+	// high-selectivity experiment (Fig 5). <0 disables; 0 keeps empty
+	// results.
+	MinSelectivity float64
+	// Columns restricts generation to the named columns (nil = all).
+	// Used to build the non-exchangeable calibration/test pairs (Fig 11).
+	Columns []string
+	// WidthScale scales range predicate widths as a fraction of the domain;
+	// widths are drawn uniformly in (0, WidthScale * domain]. Default 0.25.
+	WidthScale float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinPreds <= 0 {
+		c.MinPreds = 1
+	}
+	if c.MaxPreds <= 0 {
+		c.MaxPreds = 4
+	}
+	if c.WidthScale <= 0 {
+		c.WidthScale = 0.25
+	}
+	if c.RangeFrac == 0 {
+		c.RangeFrac = 0.8
+	}
+	return c
+}
+
+// Generate produces a deduplicated labeled workload over t.
+func Generate(t *dataset.Table, cfg Config) (*Workload, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Count <= 0 {
+		return nil, fmt.Errorf("workload: Count must be positive, got %d", cfg.Count)
+	}
+	if cfg.MinPreds > cfg.MaxPreds {
+		return nil, fmt.Errorf("workload: MinPreds %d > MaxPreds %d", cfg.MinPreds, cfg.MaxPreds)
+	}
+	cols, err := selectColumns(t, cfg.Columns)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxPreds > len(cols) {
+		cfg.MaxPreds = len(cols)
+	}
+	if cfg.MinPreds > cfg.MaxPreds {
+		cfg.MinPreds = cfg.MaxPreds
+	}
+
+	r := rand.New(rand.NewSource(cfg.Seed))
+	n := t.NumRows()
+	seen := make(map[string]struct{}, cfg.Count)
+	out := make([]Labeled, 0, cfg.Count)
+	attempts := 0
+	maxAttempts := cfg.Count*200 + 1000
+	for len(out) < cfg.Count && attempts < maxAttempts {
+		attempts++
+		k := cfg.MinPreds + r.Intn(cfg.MaxPreds-cfg.MinPreds+1)
+		picked := r.Perm(len(cols))[:k]
+		anchor := r.Intn(n)
+		preds := make([]dataset.Predicate, 0, k)
+		for _, ci := range picked {
+			preds = append(preds, makePredicate(r, cols[ci], anchor, cfg))
+		}
+		q := Query{Preds: preds}
+		key := q.Key()
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		card, err := t.Count(preds)
+		if err != nil {
+			return nil, err
+		}
+		sel := float64(card) / float64(n)
+		if cfg.MaxSelectivity > 0 && sel > cfg.MaxSelectivity {
+			continue
+		}
+		if sel < cfg.MinSelectivity {
+			continue
+		}
+		seen[key] = struct{}{}
+		out = append(out, Labeled{Query: q, Card: card, Sel: sel, Norm: int64(n)})
+	}
+	if len(out) < cfg.Count {
+		return nil, fmt.Errorf("workload: generated only %d of %d queries after %d attempts; relax selectivity bounds",
+			len(out), cfg.Count, attempts)
+	}
+	return &Workload{Queries: out, Table: t, NormN: int64(n)}, nil
+}
+
+func selectColumns(t *dataset.Table, names []string) ([]*dataset.Column, error) {
+	if names == nil {
+		return t.Cols, nil
+	}
+	cols := make([]*dataset.Column, 0, len(names))
+	for _, name := range names {
+		c := t.Column(name)
+		if c == nil {
+			return nil, fmt.Errorf("workload: table %q has no column %q", t.Name, name)
+		}
+		cols = append(cols, c)
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("workload: empty column restriction")
+	}
+	return cols, nil
+}
+
+// makePredicate builds a predicate on col anchored at the value held by the
+// anchor row, guaranteeing the query region is non-empty.
+func makePredicate(r *rand.Rand, col *dataset.Column, anchor int, cfg Config) dataset.Predicate {
+	v := col.Values[anchor]
+	if col.Type == dataset.Categorical || r.Float64() >= cfg.RangeFrac {
+		return dataset.Predicate{Col: col.Name, Op: dataset.OpEq, Lo: v}
+	}
+	width := int64(cfg.WidthScale * float64(col.DomainWidth()))
+	if width < 1 {
+		width = 1
+	}
+	w := 1 + r.Int63n(width)
+	lo := v - r.Int63n(w+1)
+	hi := lo + w
+	if lo < col.Min {
+		lo = col.Min
+	}
+	if hi > col.Max {
+		hi = col.Max
+	}
+	return dataset.Predicate{Col: col.Name, Op: dataset.OpRange, Lo: lo, Hi: hi}
+}
+
+// Split partitions the workload into parts with the given fractions (must sum
+// to <= 1; a final remainder part is appended if they sum to < 1 is NOT done —
+// fractions define all parts). Queries are shuffled deterministically first.
+func (w *Workload) Split(seed int64, fractions ...float64) ([]*Workload, error) {
+	var sum float64
+	for _, f := range fractions {
+		if f <= 0 {
+			return nil, fmt.Errorf("workload: non-positive split fraction %v", f)
+		}
+		sum += f
+	}
+	if sum > 1.0001 {
+		return nil, fmt.Errorf("workload: split fractions sum to %v > 1", sum)
+	}
+	r := rand.New(rand.NewSource(seed))
+	idx := r.Perm(len(w.Queries))
+	parts := make([]*Workload, len(fractions))
+	start := 0
+	for i, f := range fractions {
+		size := int(f * float64(len(w.Queries)))
+		if i == len(fractions)-1 && sum > 0.9999 {
+			size = len(w.Queries) - start
+		}
+		qs := make([]Labeled, 0, size)
+		for _, j := range idx[start : start+size] {
+			qs = append(qs, w.Queries[j])
+		}
+		parts[i] = &Workload{Queries: qs, Table: w.Table, Schema: w.Schema, NormN: w.NormN}
+		start += size
+	}
+	return parts, nil
+}
+
+// Subset returns a workload containing the first n queries.
+func (w *Workload) Subset(n int) *Workload {
+	if n > len(w.Queries) {
+		n = len(w.Queries)
+	}
+	return &Workload{Queries: w.Queries[:n], Table: w.Table, Schema: w.Schema, NormN: w.NormN}
+}
+
+// Selectivities returns the selectivity of every query, in order.
+func (w *Workload) Selectivities() []float64 {
+	out := make([]float64, len(w.Queries))
+	for i, q := range w.Queries {
+		out[i] = q.Sel
+	}
+	return out
+}

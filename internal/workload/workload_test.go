@@ -1,0 +1,277 @@
+package workload
+
+import (
+	"testing"
+
+	"cardpi/internal/dataset"
+)
+
+func testTable(t *testing.T) *dataset.Table {
+	t.Helper()
+	tab, err := dataset.GenerateCensus(dataset.GenConfig{Rows: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestGenerateBasics(t *testing.T) {
+	tab := testTable(t)
+	wl, err := Generate(tab, Config{Count: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Queries) != 100 {
+		t.Fatalf("got %d queries, want 100", len(wl.Queries))
+	}
+	seen := map[string]struct{}{}
+	for _, lq := range wl.Queries {
+		if lq.Card < 0 || lq.Sel < 0 || lq.Sel > 1 {
+			t.Fatalf("bad label: card=%d sel=%v", lq.Card, lq.Sel)
+		}
+		if lq.Norm != int64(tab.NumRows()) {
+			t.Fatalf("Norm = %d, want %d", lq.Norm, tab.NumRows())
+		}
+		// Labels must match the oracle.
+		card, err := tab.Count(lq.Query.Preds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if card != lq.Card {
+			t.Fatalf("label %d != oracle %d", lq.Card, card)
+		}
+		key := lq.Query.Key()
+		if _, dup := seen[key]; dup {
+			t.Fatalf("duplicate query %s", key)
+		}
+		seen[key] = struct{}{}
+	}
+}
+
+func TestGenerateAnchoredQueriesNonEmpty(t *testing.T) {
+	tab := testTable(t)
+	wl, err := Generate(tab, Config{Count: 50, Seed: 3, MinPreds: 1, MaxPreds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonEmpty := 0
+	for _, lq := range wl.Queries {
+		if lq.Card > 0 {
+			nonEmpty++
+		}
+	}
+	// Data-anchored generation should make virtually all queries non-empty.
+	if nonEmpty < 45 {
+		t.Fatalf("only %d/50 queries non-empty", nonEmpty)
+	}
+}
+
+func TestGenerateSelectivityBounds(t *testing.T) {
+	tab := testTable(t)
+	wl, err := Generate(tab, Config{Count: 60, Seed: 4, MaxSelectivity: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lq := range wl.Queries {
+		if lq.Sel > 0.1 {
+			t.Fatalf("selectivity %v exceeds bound", lq.Sel)
+		}
+	}
+	wl2, err := Generate(tab, Config{Count: 30, Seed: 5, MinSelectivity: 0.1, MaxPreds: 1, RangeFrac: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lq := range wl2.Queries {
+		if lq.Sel < 0.1 {
+			t.Fatalf("selectivity %v below bound", lq.Sel)
+		}
+	}
+}
+
+func TestGenerateColumnRestriction(t *testing.T) {
+	tab := testTable(t)
+	wl, err := Generate(tab, Config{Count: 40, Seed: 6, Columns: []string{"age", "sex"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lq := range wl.Queries {
+		for _, p := range lq.Query.Preds {
+			if p.Col != "age" && p.Col != "sex" {
+				t.Fatalf("predicate on unexpected column %s", p.Col)
+			}
+		}
+	}
+	if _, err := Generate(tab, Config{Count: 5, Seed: 7, Columns: []string{"ghost"}}); err == nil {
+		t.Fatal("expected error for unknown restricted column")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	tab := testTable(t)
+	if _, err := Generate(tab, Config{Count: 0}); err == nil {
+		t.Fatal("Count=0 should fail")
+	}
+	if _, err := Generate(tab, Config{Count: 5, MinPreds: 5, MaxPreds: 2}); err == nil {
+		t.Fatal("MinPreds>MaxPreds should fail")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	tab := testTable(t)
+	a, err := Generate(tab, Config{Count: 30, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(tab, Config{Count: 30, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Queries {
+		if a.Queries[i].Query.Key() != b.Queries[i].Query.Key() {
+			t.Fatalf("nondeterministic generation at %d", i)
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	tab := testTable(t)
+	wl, err := Generate(tab, Config{Count: 100, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := wl.Split(1, 0.5, 0.25, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 3 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	total := 0
+	seen := map[string]struct{}{}
+	for _, p := range parts {
+		total += len(p.Queries)
+		for _, q := range p.Queries {
+			key := q.Query.Key()
+			if _, dup := seen[key]; dup {
+				t.Fatalf("query appears in two splits")
+			}
+			seen[key] = struct{}{}
+		}
+	}
+	if total != 100 {
+		t.Fatalf("splits cover %d queries, want 100", total)
+	}
+
+	if _, err := wl.Split(1, 0.7, 0.7); err == nil {
+		t.Fatal("fractions summing > 1 should fail")
+	}
+	if _, err := wl.Split(1, -0.5); err == nil {
+		t.Fatal("negative fraction should fail")
+	}
+}
+
+func TestSubsetAndSelectivities(t *testing.T) {
+	tab := testTable(t)
+	wl, err := Generate(tab, Config{Count: 20, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := wl.Subset(5)
+	if len(sub.Queries) != 5 {
+		t.Fatalf("Subset(5) has %d queries", len(sub.Queries))
+	}
+	if len(wl.Subset(1000).Queries) != 20 {
+		t.Fatal("Subset should clamp to workload size")
+	}
+	sels := wl.Selectivities()
+	if len(sels) != 20 || sels[0] != wl.Queries[0].Sel {
+		t.Fatal("Selectivities mismatch")
+	}
+}
+
+func TestQueryKeyCanonical(t *testing.T) {
+	p1 := dataset.Predicate{Col: "a", Op: dataset.OpEq, Lo: 1}
+	p2 := dataset.Predicate{Col: "b", Op: dataset.OpRange, Lo: 0, Hi: 5}
+	q1 := Query{Preds: []dataset.Predicate{p1, p2}}
+	q2 := Query{Preds: []dataset.Predicate{p2, p1}}
+	if q1.Key() != q2.Key() {
+		t.Fatal("Key should be order-invariant")
+	}
+	if q1.IsJoin() {
+		t.Fatal("single-table query reported as join")
+	}
+}
+
+func TestGenerateJoinsDSB(t *testing.T) {
+	sch, err := dataset.GenerateDSB(dataset.GenConfig{Rows: 1500, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := GenerateJoins(sch, JoinConfig{Count: 60, Templates: 5, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Queries) != 60 {
+		t.Fatalf("got %d join queries", len(wl.Queries))
+	}
+	templates := map[string]struct{}{}
+	for _, lq := range wl.Queries {
+		if !lq.Query.IsJoin() {
+			t.Fatal("expected join query")
+		}
+		// Label must match oracle and Norm relation must hold.
+		card, err := sch.JoinCount(*lq.Query.Join)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if card != lq.Card {
+			t.Fatalf("label %d != oracle %d", lq.Card, card)
+		}
+		if got := lq.Sel * float64(lq.Norm); got < float64(lq.Card)-0.5 || got > float64(lq.Card)+0.5 {
+			t.Fatalf("Sel*Norm = %v, want %d", got, lq.Card)
+		}
+		kt := ""
+		for _, tn := range lq.Query.Join.Tables {
+			kt += tn + ","
+		}
+		templates[kt] = struct{}{}
+	}
+	if len(templates) != 5 {
+		t.Fatalf("used %d templates, want 5", len(templates))
+	}
+}
+
+func TestGenerateJoinsJOB(t *testing.T) {
+	sch, err := dataset.GenerateJOB(dataset.GenConfig{Rows: 400, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := GenerateJoins(sch, JoinConfig{Count: 40, Seed: 15, MaxJoinTables: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lq := range wl.Queries {
+		if len(lq.Query.Join.Tables) > 2 {
+			t.Fatalf("template has %d tables, want <= 2", len(lq.Query.Join.Tables))
+		}
+		// Join keys must never be filtered.
+		for tname, preds := range lq.Query.Join.Preds {
+			for _, p := range preds {
+				if p.Col == "mi_movie_id" || p.Col == "ci_movie_id" ||
+					p.Col == "mc_movie_id" || p.Col == "mk_movie_id" {
+					t.Fatalf("predicate on join key %s.%s", tname, p.Col)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateJoinsValidation(t *testing.T) {
+	sch, err := dataset.GenerateDSB(dataset.GenConfig{Rows: 300, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenerateJoins(sch, JoinConfig{Count: 0}); err == nil {
+		t.Fatal("Count=0 should fail")
+	}
+}
