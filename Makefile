@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments experiments-small fmt vet cover clean
+.PHONY: all build test race bench bench-json experiments experiments-small fmt vet cover clean
 
 all: build test
 
@@ -17,6 +17,14 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Run the NN-core benchmarks and record them as BENCH_nn.json so future
+# changes have a perf trajectory to compare against.
+bench-json:
+	@{ $(GO) test -run '^$$' -bench '^BenchmarkFit$$' -benchmem ./internal/nn/ ; \
+	   $(GO) test -run '^$$' -bench '^BenchmarkIntervalCV$$' -benchmem ./internal/conformal/ ; \
+	   $(GO) test -run '^$$' -bench '^BenchmarkEvaluate$$' -benchmem . ; } \
+	  | tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_nn.json
 
 # Regenerate every paper table/figure at the default scale.
 experiments:

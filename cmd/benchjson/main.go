@@ -1,0 +1,153 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// performance record. `make bench-json` pipes the NN-core benchmarks
+// (BenchmarkFit, BenchmarkEvaluate, BenchmarkIntervalCV) through it into
+// BENCH_nn.json, giving future changes a perf trajectory to compare against.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Runs        int64              `json:"runs"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Output is the BENCH_nn.json document.
+type Output struct {
+	Date       string             `json:"date"`
+	Goos       string             `json:"goos"`
+	Goarch     string             `json:"goarch"`
+	CPU        string             `json:"cpu,omitempty"`
+	NumCPU     int                `json:"num_cpu"`
+	Benchmarks []Benchmark        `json:"benchmarks"`
+	Speedups   map[string]float64 `json:"speedups,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc := Output{
+		Date:   time.Now().UTC().Format("2006-01-02"),
+		Goos:   runtime.GOOS,
+		Goarch: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(),
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseLine(line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	doc.Speedups = speedups(doc.Benchmarks)
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one result line, e.g.
+//
+//	BenchmarkFit/workers=8-4  5  12479618 ns/op  152947 B/op  215 allocs/op
+//
+// Trailing custom metrics (`0.91 coverage`) land in Metrics.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	// Strip the trailing -GOMAXPROCS suffix go test appends.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Runs: runs}
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = &v
+		case "allocs/op":
+			b.AllocsPerOp = &v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, true
+}
+
+// speedups derives the headline ratios the benchmarks exist to track.
+func speedups(bs []Benchmark) map[string]float64 {
+	ns := map[string]float64{}
+	for _, b := range bs {
+		ns[b.Name] = b.NsPerOp
+	}
+	out := map[string]float64{}
+	ratio := func(key, base, fast string) {
+		if ns[fast] > 0 && ns[base] > 0 {
+			out[key] = ns[base] / ns[fast]
+		}
+	}
+	ratio("fit_workers8_vs_seed", "BenchmarkFit/seed", "BenchmarkFit/workers=8")
+	ratio("fit_sequential_vs_seed", "BenchmarkFit/seed", "BenchmarkFit/sequential")
+	ratio("intervalcv_fast_vs_reference", "BenchmarkIntervalCV/reference", "BenchmarkIntervalCV/fast")
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

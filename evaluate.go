@@ -2,41 +2,55 @@ package cardpi
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"cardpi/internal/conformal"
+	"cardpi/internal/par"
 	"cardpi/internal/workload"
 )
 
 // Evaluation summarises a PI method over a test workload: empirical
-// coverage, interval width statistics (in selectivity units), and the mean
-// inference latency per interval.
+// coverage, interval width statistics (in selectivity units), and per-query
+// inference latency. Each pi.Interval call is timed individually, so
+// MeanPITime and P99PITime describe the per-call latency distribution
+// rather than an average smeared over the whole loop.
 type Evaluation struct {
 	Name       string
 	Coverage   float64
 	Widths     conformal.WidthStats
 	MeanPITime time.Duration
+	P99PITime  time.Duration
 	// Intervals are the per-query intervals, aligned with the workload.
 	Intervals []Interval
 }
 
-// Evaluate runs a PI method over every query of a test workload.
+// Evaluate runs a PI method over every query of a test workload. Queries are
+// dispatched across a bounded worker pool — every PI implementation in this
+// package is safe for concurrent Interval calls — and Intervals stays in
+// workload order regardless of scheduling.
 func Evaluate(pi PI, test *workload.Workload) (*Evaluation, error) {
 	if test == nil || len(test.Queries) == 0 {
 		return nil, fmt.Errorf("cardpi: empty test workload")
 	}
 	intervals := make([]Interval, len(test.Queries))
 	truths := make([]float64, len(test.Queries))
-	start := time.Now()
-	for i, lq := range test.Queries {
+	times := make([]time.Duration, len(test.Queries))
+	err := par.ForEach(len(test.Queries), func(i int) error {
+		lq := test.Queries[i]
+		qStart := time.Now()
 		iv, err := pi.Interval(lq.Query)
+		times[i] = time.Since(qStart)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		intervals[i] = iv
 		truths[i] = lq.Sel
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	elapsed := time.Since(start)
 	cov, err := conformal.Coverage(intervals, truths)
 	if err != nil {
 		return nil, err
@@ -45,17 +59,34 @@ func Evaluate(pi PI, test *workload.Workload) (*Evaluation, error) {
 	if err != nil {
 		return nil, err
 	}
+	mean, p99 := latencyStats(times)
 	return &Evaluation{
 		Name:       pi.Name(),
 		Coverage:   cov,
 		Widths:     widths,
-		MeanPITime: elapsed / time.Duration(len(test.Queries)),
+		MeanPITime: mean,
+		P99PITime:  p99,
 		Intervals:  intervals,
 	}, nil
 }
 
+// latencyStats reduces per-call durations to their mean and p99 (nearest-
+// rank, clamped to the maximum for small samples).
+func latencyStats(times []time.Duration) (mean, p99 time.Duration) {
+	var total time.Duration
+	for _, d := range times {
+		total += d
+	}
+	mean = total / time.Duration(len(times))
+	sorted := append([]time.Duration(nil), times...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := min((99*len(sorted)+99)/100, len(sorted)) - 1
+	p99 = sorted[idx]
+	return mean, p99
+}
+
 // String renders a one-line summary.
 func (e *Evaluation) String() string {
-	return fmt.Sprintf("%-18s coverage=%.3f meanWidth=%.5f p90Width=%.5f latency=%s",
-		e.Name, e.Coverage, e.Widths.Mean, e.Widths.P90, e.MeanPITime)
+	return fmt.Sprintf("%-18s coverage=%.3f meanWidth=%.5f p90Width=%.5f latency=%s p99=%s",
+		e.Name, e.Coverage, e.Widths.Mean, e.Widths.P90, e.MeanPITime, e.P99PITime)
 }

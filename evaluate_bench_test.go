@@ -1,0 +1,45 @@
+package cardpi
+
+import (
+	"testing"
+
+	"cardpi/internal/conformal"
+	"cardpi/internal/dataset"
+	"cardpi/internal/histogram"
+	"cardpi/internal/workload"
+)
+
+// BenchmarkEvaluate measures interval production over a full test workload —
+// the path parallelised across the worker pool with per-query latency
+// accounting. Results are recorded in BENCH_nn.json by `make bench-json`.
+func BenchmarkEvaluate(b *testing.B) {
+	tab, err := dataset.GenerateDMV(dataset.GenConfig{Rows: 20000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl, err := workload.Generate(tab, workload.Config{Count: 1500, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	parts, err := wl.Split(3, 0.5, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cal, test := parts[0], parts[1]
+	model := histogram.NewSingle(tab, histogram.Config{})
+	pi, err := WrapSplitCP(model, cal, conformal.ResidualScore{}, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev, err := Evaluate(pi, test)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(ev.Coverage, "coverage")
+		}
+	}
+}

@@ -37,7 +37,10 @@ func BenchmarkSplitCPInterval(b *testing.B) {
 	}
 }
 
-func BenchmarkJackknifeCVInterval(b *testing.B) {
+// BenchmarkIntervalCV compares the cursor-based CV+ interval (0 allocs/op)
+// against the sort-everything reference it replaced; results are recorded in
+// BENCH_nn.json by `make bench-json`.
+func BenchmarkIntervalCV(b *testing.B) {
 	r := rand.New(rand.NewSource(2))
 	n, k := 5000, 10
 	oof := make([]float64, n)
@@ -56,13 +59,22 @@ func BenchmarkJackknifeCVInterval(b *testing.B) {
 	for i := range foldPreds {
 		foldPreds[i] = 0.5 + 0.01*float64(i)
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := jk.IntervalCV(foldPreds); err != nil {
-			b.Fatal(err)
+	b.Run("fast", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := jk.IntervalCV(foldPreds); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := jk.intervalCVReference(foldPreds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkOnlineAdd(b *testing.B) {

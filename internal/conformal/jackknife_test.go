@@ -1,7 +1,9 @@
 package conformal
 
 import (
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -103,6 +105,158 @@ func TestJackknifeValidation(t *testing.T) {
 	}
 	if _, err := jk.IntervalCV([]float64{1}); err == nil {
 		t.Fatal("wrong fold prediction count should fail")
+	}
+}
+
+// TestIntervalCVMatchesReference drives the cursor-based fast path against
+// the sort-everything transcription of Eq. 5 across fold counts, coverage
+// levels, uneven folds, and an entirely empty fold.
+func TestIntervalCVMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for _, tc := range []struct {
+		n, k  int
+		alpha float64
+	}{
+		{50, 2, 0.1}, {101, 3, 0.05}, {500, 10, 0.1}, {500, 10, 0.5},
+		{37, 5, 0.2}, {1000, 25, 0.01}, {9, 4, 0.3},
+	} {
+		oof := make([]float64, tc.n)
+		truths := make([]float64, tc.n)
+		foldOf := make([]int, tc.n)
+		for i := range oof {
+			oof[i] = r.Float64()
+			truths[i] = oof[i] + 0.1*r.NormFloat64()
+			// Uneven fold sizes; fold 0 gets a double share.
+			foldOf[i] = r.Intn(tc.k+1) % tc.k
+		}
+		jk, err := CalibrateJackknifeCV(oof, truths, foldOf, tc.k, tc.alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 25; trial++ {
+			foldPreds := make([]float64, tc.k)
+			for f := range foldPreds {
+				foldPreds[f] = r.NormFloat64()
+			}
+			got, err := jk.IntervalCV(foldPreds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := jk.intervalCVReference(foldPreds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("n=%d k=%d alpha=%v trial %d: fast %+v != reference %+v",
+					tc.n, tc.k, tc.alpha, trial, got, want)
+			}
+		}
+	}
+
+	// An empty fold: every point lands in folds 0..2 of a K=4 problem.
+	oof := []float64{0.1, 0.5, 0.9, 0.3, 0.7, 0.2}
+	truths := []float64{0.15, 0.45, 1.0, 0.35, 0.6, 0.25}
+	foldOf := []int{0, 1, 2, 0, 1, 2}
+	jk, err := CalibrateJackknifeCV(oof, truths, foldOf, 4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foldPreds := []float64{0.4, 0.5, 0.6, -100}
+	got, err := jk.IntervalCV(foldPreds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := jk.intervalCVReference(foldPreds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("empty fold: fast %+v != reference %+v", got, want)
+	}
+}
+
+// TestIntervalCVZeroAllocations asserts the per-query contract: once the
+// pooled cursor scratch exists, IntervalCV performs no heap allocations.
+func TestIntervalCVZeroAllocations(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	n, k := 2000, 10
+	oof := make([]float64, n)
+	truths := make([]float64, n)
+	foldOf := make([]int, n)
+	for i := range oof {
+		oof[i] = r.Float64()
+		truths[i] = oof[i] + 0.05*r.NormFloat64()
+		foldOf[i] = i % k
+	}
+	jk, err := CalibrateJackknifeCV(oof, truths, foldOf, k, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foldPreds := make([]float64, k)
+	for f := range foldPreds {
+		foldPreds[f] = r.Float64()
+	}
+	if _, err := jk.IntervalCV(foldPreds); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := jk.IntervalCV(foldPreds); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("IntervalCV allocates %v per query, want 0", allocs)
+	}
+}
+
+// TestIntervalCVConcurrent hammers one calibrated JackknifeCV from many
+// goroutines; run under -race this checks the pooled scratch never shares.
+func TestIntervalCVConcurrent(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	n, k := 500, 5
+	oof := make([]float64, n)
+	truths := make([]float64, n)
+	foldOf := make([]int, n)
+	for i := range oof {
+		oof[i] = r.Float64()
+		truths[i] = oof[i] + 0.05*r.NormFloat64()
+		foldOf[i] = i % k
+	}
+	jk, err := CalibrateJackknifeCV(oof, truths, foldOf, k, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foldPreds := make([]float64, k)
+	for f := range foldPreds {
+		foldPreds[f] = r.Float64()
+	}
+	want, err := jk.IntervalCV(foldPreds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				got, err := jk.IntervalCV(foldPreds)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if got != want {
+					errs[g] = fmt.Errorf("goroutine %d: %+v != %+v", g, got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

@@ -173,9 +173,9 @@ func GenerateDSB(cfg GenConfig) (*Schema, error) {
 	r := rand.New(rand.NewSource(cfg.Seed))
 	n := cfg.Rows
 	nDate := int64(365)
-	nItem := maxI64(int64(n/50), 20)
+	nItem := max(int64(n/50), 20)
 	nStore := int64(25)
-	nCust := maxI64(int64(n/20), 50)
+	nCust := max(int64(n/20), 50)
 
 	dateDim := MustNewTable("date_dim", []*Column{
 		numCol("d_month", gaussianInts(r, int(nDate), 6, 3.4, 11), 0, 11),
@@ -333,11 +333,4 @@ func GenerateJOB(cfg GenConfig) (*Schema, error) {
 func zipfOne(r *rand.Rand, domain int64, s float64) int64 {
 	z := rand.NewZipf(r, s, 1, uint64(domain-1))
 	return int64(z.Uint64())
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

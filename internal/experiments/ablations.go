@@ -330,7 +330,7 @@ func AblationSPNJoins(s Scale) (*Report, error) {
 		}
 	}
 	jm, err := spn.TrainJoins(sch, templates, spn.JoinConfig{
-		SampleSize: maxInt(2000, s.Rows), Seed: s.Seed + 97,
+		SampleSize: max(2000, s.Rows), Seed: s.Seed + 97,
 	})
 	if err != nil {
 		return nil, err
@@ -539,7 +539,7 @@ func AblationSamplingCI(s Scale) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	sampler, err := sampling.New(d.table, maxInt(200, s.Rows/20), s.Seed+80)
+	sampler, err := sampling.New(d.table, max(200, s.Rows/20), s.Seed+80)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 
 	"cardpi/internal/conformal"
 	"cardpi/internal/dataset"
+	"cardpi/internal/par"
 	"cardpi/internal/workload"
 )
 
@@ -68,8 +69,12 @@ func Fig2(s Scale) (*Report, error) {
 		Title:   "PI on Census/Forest/Power (MSCN, residual score)",
 		Headers: append([]string{"dataset"}, standardHeaders()...),
 	}
-	for _, name := range []string{"census", "forest", "power"} {
-		d, err := buildSingle(name, s)
+	// The three datasets are independent end-to-end pipelines; run them on
+	// the shared worker pool and append report rows in dataset order, so the
+	// report is identical to the serial loop's.
+	names := []string{"census", "forest", "power"}
+	perDataset, err := par.Map(par.NewPool(0), len(names), func(i int) ([]methodEval, error) {
+		d, err := buildSingle(names[i], s)
 		if err != nil {
 			return nil, err
 		}
@@ -77,10 +82,13 @@ func Fig2(s Scale) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		evals, err := wrapMethods(kit, d.train, d.cal, d.testLow, s, conformal.ResidualScore{})
-		if err != nil {
-			return nil, err
-		}
+		return wrapMethods(kit, d.train, d.cal, d.testLow, s, conformal.ResidualScore{})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for di, evals := range perDataset {
+		name := names[di]
 		for _, me := range evals {
 			e := me.eval
 			r.AddRow(name, "mscn", me.method,

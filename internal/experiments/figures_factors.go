@@ -112,7 +112,7 @@ func Fig8(s Scale) (*Report, error) {
 	// spectrum, where the model's residuals are large), mirroring the
 	// paper's setup where the PI tightens as executed queries make the
 	// calibration set reflective of the actual workload.
-	initN := maxInt(len(d.cal.Queries)/20, 20)
+	initN := max(len(d.cal.Queries)/20, 20)
 	broad, err := workload.Generate(d.table, workload.Config{
 		Count: initN, Seed: s.Seed + 33, MinPreds: 1, MaxPreds: 2,
 	})
@@ -396,9 +396,9 @@ func Fig13(s Scale) (*Report, error) {
 	// 0.5E variant is then a genuinely less accurate classifier at every
 	// scale.
 	const fullE = 4
-	batch := maxInt(32, len(d.train.Queries)/7)
+	batch := max(32, len(d.train.Queries)/7)
 	for _, frac := range []float64{0.5, 0.75, 1.0} {
-		epochs := maxInt(1, int(frac*float64(fullE)))
+		epochs := max(1, int(frac*float64(fullE)))
 		m, err := mscn.Train(f, d.train, mscn.Config{
 			Hidden: mscnHidden(s), Epochs: epochs, BatchSize: batch, Seed: s.Seed + 60,
 		})
@@ -434,9 +434,9 @@ func Fig14(s Scale) (*Report, error) {
 		Title:   "Impact of classifier accuracy via epochs (Naru, S-CP, DMV)",
 		Headers: []string{"epochFrac", "epochs", "coverage", "meanWidth"},
 	}
-	fullEpochs := maxInt(2, naruEpochs(s)*2)
+	fullEpochs := max(2, naruEpochs(s)*2)
 	for _, frac := range []float64{0.5, 0.75, 1.0} {
-		epochs := maxInt(1, int(frac*float64(fullEpochs)))
+		epochs := max(1, int(frac*float64(fullEpochs)))
 		m, err := naru.Train(d.table, naru.Config{
 			Hidden: naruHidden(s), Epochs: epochs, Samples: s.Samples, Seed: s.Seed + 61,
 		})

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
-	"sync"
 
 	"cardpi"
 	"cardpi/internal/conformal"
@@ -13,6 +12,7 @@ import (
 	"cardpi/internal/lwnn"
 	"cardpi/internal/mscn"
 	"cardpi/internal/naru"
+	"cardpi/internal/par"
 	"cardpi/internal/workload"
 )
 
@@ -95,16 +95,9 @@ type modelKit struct {
 
 func mscnEpochs(s Scale) int { return s.Epochs }
 func lwnnEpochs(s Scale) int { return s.Epochs }
-func naruEpochs(s Scale) int { return maxInt(2, s.Epochs/5) }
+func naruEpochs(s Scale) int { return max(2, s.Epochs/5) }
 func naruHidden(s Scale) int { return 40 }
 func mscnHidden(s Scale) int { return 32 }
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
 
 // kitMSCN trains MSCN plus its CQR quantile variants on a single table.
 func kitMSCN(d *singleTableData, s Scale, withQuantiles bool) (*modelKit, error) {
@@ -214,37 +207,29 @@ func kitNaru(d *singleTableData, s Scale, withFolds bool) (*modelKit, error) {
 	r := rand.New(rand.NewSource(s.Seed + 14))
 	perm := r.Perm(d.table.NumRows())
 	rowFold := conformal.FoldAssignments(perm, s.K)
-	// Fold models are independent; train them concurrently (deterministic:
-	// each fold has its own seed and output slot).
+	// Fold models are independent; train them on a bounded worker pool
+	// (deterministic: each fold has its own seed and output slot, so results
+	// do not depend on which worker trains which fold).
 	kit.foldModels = make([]cardpi.Estimator, s.K)
-	errs := make([]error, s.K)
-	var wg sync.WaitGroup
-	for f := 0; f < s.K; f++ {
+	err = par.ForEach(s.K, func(f int) error {
 		var rows []int
 		for i, rf := range rowFold {
 			if rf != f {
 				rows = append(rows, i)
 			}
 		}
-		wg.Add(1)
-		go func(f int, rows []int) {
-			defer wg.Done()
-			sub := d.table.SelectRows(rows)
-			c := cfg
-			c.Seed = s.Seed + 15 + int64(f)
-			fm, err := naru.Train(sub, c)
-			if err != nil {
-				errs[f] = err
-				return
-			}
-			kit.foldModels[f] = fm
-		}(f, rows)
-	}
-	wg.Wait()
-	for _, err := range errs {
+		sub := d.table.SelectRows(rows)
+		c := cfg
+		c.Seed = s.Seed + 15 + int64(f)
+		fm, err := naru.Train(sub, c)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		kit.foldModels[f] = fm
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return kit, nil
 }

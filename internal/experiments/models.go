@@ -121,7 +121,7 @@ func Models(s Scale) (*Report, error) {
 	if err := add("histogram-ext", histogram.NewSingle(d.table, histogram.Config{ExtendedPairs: 5})); err != nil {
 		return nil, err
 	}
-	sampler, err := sampling.New(d.table, maxInt(200, s.Rows/20), s.Seed+95)
+	sampler, err := sampling.New(d.table, max(200, s.Rows/20), s.Seed+95)
 	if err != nil {
 		return nil, err
 	}

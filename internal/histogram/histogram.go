@@ -184,7 +184,7 @@ func (st *columnStats) rangeSelectivity(lo, hi int64) float64 {
 	}
 	for i := 0; i+1 < len(st.bounds); i++ {
 		bLo, bHi := st.bounds[i], st.bounds[i+1] // [bLo, bHi)
-		oLo, oHi := maxI(lo, bLo), minI(hi+1, bHi)
+		oLo, oHi := max(lo, bLo), min(hi+1, bHi)
 		if oHi <= oLo {
 			continue
 		}
@@ -195,20 +195,6 @@ func (st *columnStats) rangeSelectivity(lo, hi int64) float64 {
 		sel = 1
 	}
 	return sel
-}
-
-func maxI(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func minI(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // Selectivity estimates a conjunction under attribute value independence,

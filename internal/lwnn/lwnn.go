@@ -15,6 +15,7 @@ import (
 	"cardpi/internal/estimator"
 	"cardpi/internal/histogram"
 	"cardpi/internal/nn"
+	"cardpi/internal/par"
 	"cardpi/internal/sampling"
 	"cardpi/internal/workload"
 )
@@ -27,6 +28,9 @@ type Config struct {
 	Epochs    int
 	BatchSize int
 	LR        float64
+	// Workers selects nn.Fit's data-parallel kernel (see nn.TrainConfig);
+	// 0 keeps the sequential path.
+	Workers int
 	// SampleSize is the row-sample size for the sampling feature.
 	SampleSize int
 	// Seed makes initialisation and training deterministic.
@@ -116,17 +120,22 @@ func train(t *dataset.Table, wl *workload.Workload, loss nn.Loss, name string, c
 	if err != nil {
 		return nil, err
 	}
+	// Featurisation is per-query independent and read-only over the table
+	// statistics; spread it over the worker pool.
 	X := make([][]float64, len(wl.Queries))
 	y := make([]float64, len(wl.Queries))
-	for i, lq := range wl.Queries {
+	par.ForEach(len(wl.Queries), func(i int) error {
+		lq := wl.Queries[i]
 		X[i] = features.Vector(lq.Query)
 		y[i] = estimator.LogSel(lq.Sel)
-	}
+		return nil
+	})
 	sizes := append([]int{features.Dim()}, cfg.Hidden...)
 	sizes = append(sizes, 1)
 	net := nn.NewNet(rand.New(rand.NewSource(cfg.Seed)), sizes...)
 	if _, err := nn.Fit(net, X, y, loss, nn.TrainConfig{
 		Epochs: cfg.Epochs, BatchSize: cfg.BatchSize, LR: cfg.LR, Seed: cfg.Seed + 1,
+		Workers: cfg.Workers,
 	}); err != nil {
 		return nil, err
 	}

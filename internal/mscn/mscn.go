@@ -16,6 +16,7 @@ import (
 	"cardpi/internal/dataset"
 	"cardpi/internal/estimator"
 	"cardpi/internal/nn"
+	"cardpi/internal/par"
 	"cardpi/internal/workload"
 )
 
@@ -300,16 +301,19 @@ func train(f *Featurizer, wl *workload.Workload, loss nn.Loss, name string, cfg 
 		hidden:   cfg.Hidden,
 	}
 
-	// Pre-featurise the workload once.
+	// Pre-featurise the workload once; SetElements only reads the featurizer
+	// and writes fresh per-call buffers, so queries featurise concurrently.
 	type sample struct {
 		tables, preds [][]float64
 		y             float64
 	}
 	samples := make([]sample, len(wl.Queries))
-	for i, lq := range wl.Queries {
+	par.ForEach(len(wl.Queries), func(i int) error {
+		lq := wl.Queries[i]
 		tf, pf := f.SetElements(lq.Query)
 		samples[i] = sample{tables: tf, preds: pf, y: estimator.LogSel(lq.Sel)}
-	}
+		return nil
+	})
 
 	opt := nn.NewAdam(cfg.LR, m.predNet, m.tableNet, m.outNet)
 	trainRng := rand.New(rand.NewSource(cfg.Seed + 1))

@@ -193,6 +193,7 @@ func Train(t *dataset.Table, cfg Config) (*Model, error) {
 	if rows <= 0 || rows > n {
 		rows = n
 	}
+	ts := m.newTrainScratch()
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		perm := trainRng.Perm(n)[:rows]
 		for start := 0; start < rows; start += cfg.BatchSize {
@@ -201,7 +202,7 @@ func Train(t *dataset.Table, cfg Config) (*Model, error) {
 				end = rows
 			}
 			for _, ri := range perm[start:end] {
-				m.trainRow(ri)
+				m.trainRow(ri, ts)
 			}
 			opt.Step(end - start)
 		}
@@ -209,15 +210,45 @@ func Train(t *dataset.Table, cfg Config) (*Model, error) {
 	return m, nil
 }
 
+// trainScratch holds the reusable buffers of the training hot loop: one
+// nn.Scratch per per-column head, the shared prefix vector, the gradient
+// buffer (sized for the largest vocabulary), and the constant first-column
+// input. With it, trainRow performs zero steady-state heap allocations.
+type trainScratch struct {
+	scratch []*nn.Scratch
+	prefix  []float64
+	grad    []float64
+	one     []float64
+}
+
+func (m *Model) newTrainScratch() *trainScratch {
+	ts := &trainScratch{one: []float64{1}}
+	maxVocab := 0
+	for ci, net := range m.nets {
+		ts.scratch = append(ts.scratch, net.NewScratch())
+		maxVocab = max(maxVocab, m.codecs[ci].vocab)
+	}
+	ts.prefix = m.encodePrefix(nil)
+	ts.grad = make([]float64, maxVocab)
+	return ts
+}
+
 // trainRow accumulates gradients of the row's negative log-likelihood.
-func (m *Model) trainRow(ri int) {
-	prefix := m.encodePrefix(nil)
+func (m *Model) trainRow(ri int, ts *trainScratch) {
+	prefix := ts.prefix
+	for i := range prefix {
+		prefix[i] = 0
+	}
 	for ci := range m.codecs {
-		in := m.netInput(prefix, ci)
-		logits, cache := m.nets[ci].Forward(in)
+		in := ts.one
+		if m.prefix[ci] > 0 {
+			in = prefix[:m.prefix[ci]]
+		}
+		logits := m.nets[ci].ForwardScratch(in, ts.scratch[ci])
 		target := m.codecs[ci].code(m.table.Cols[ci].Values[ri])
-		_, grad := nn.SoftmaxCrossEntropy(logits, target)
-		m.nets[ci].Backward(cache, grad)
+		grad := ts.grad[:len(logits)]
+		nn.SoftmaxCrossEntropyTo(logits, target, grad)
+		m.nets[ci].BackwardScratch(ts.scratch[ci], grad)
 		prefix[m.prefix[ci]+target] = 1
 	}
 }

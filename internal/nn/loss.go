@@ -95,26 +95,38 @@ func (l PinballLoss) Name() string { return "pinball" }
 // logits (softmax(logits) - onehot(target)). Used by the Naru-style
 // autoregressive model's per-column output heads.
 func SoftmaxCrossEntropy(logits []float64, target int) (float64, []float64) {
-	probs := Softmax(logits)
 	grad := make([]float64, len(logits))
-	copy(grad, probs)
+	return SoftmaxCrossEntropyTo(logits, target, grad), grad
+}
+
+// SoftmaxCrossEntropyTo is SoftmaxCrossEntropy writing the gradient into the
+// caller's buffer (len(grad) == len(logits)); it performs no allocations.
+func SoftmaxCrossEntropyTo(logits []float64, target int, grad []float64) float64 {
+	SoftmaxTo(logits, grad)
+	p := grad[target]
 	grad[target] -= 1
-	p := probs[target]
 	if p < 1e-12 {
 		p = 1e-12
 	}
-	return -math.Log(p), grad
+	return -math.Log(p)
 }
 
 // Softmax returns the softmax distribution of the logits, computed stably.
 func Softmax(logits []float64) []float64 {
+	out := make([]float64, len(logits))
+	SoftmaxTo(logits, out)
+	return out
+}
+
+// SoftmaxTo writes the softmax distribution of the logits into out
+// (len(out) == len(logits)), computed stably with no allocations.
+func SoftmaxTo(logits, out []float64) {
 	max := math.Inf(-1)
 	for _, v := range logits {
 		if v > max {
 			max = v
 		}
 	}
-	out := make([]float64, len(logits))
 	var sum float64
 	for i, v := range logits {
 		e := math.Exp(v - max)
@@ -124,5 +136,4 @@ func Softmax(logits []float64) []float64 {
 	for i := range out {
 		out[i] /= sum
 	}
-	return out
 }

@@ -10,6 +10,13 @@
 // ZeroGrad, which lets composite models (for example MSCN's shared per-set
 // networks with average pooling) run several forward/backward passes per
 // example before a single optimizer step.
+//
+// Two execution styles coexist. The cache-allocating Net.Forward/Backward
+// pair supports composite models that hold many in-flight caches at once.
+// The Scratch-based pair (ForwardScratch/BackwardScratch) reuses
+// preallocated activation and gradient buffers for the one-forward-one-
+// backward-per-example shape of Fit, so the steady-state training hot path
+// performs zero heap allocations.
 package nn
 
 import (
@@ -44,9 +51,9 @@ func NewDense(r *rand.Rand, in, out int) *Dense {
 	return d
 }
 
-// Forward computes Wx+b.
-func (d *Dense) Forward(x []float64) []float64 {
-	out := make([]float64, d.Out)
+// Forward computes Wx+b into out, which must have length d.Out. It performs
+// no heap allocations.
+func (d *Dense) Forward(x, out []float64) {
 	for o := 0; o < d.Out; o++ {
 		s := d.B[o]
 		row := d.W[o*d.In : (o+1)*d.In]
@@ -55,28 +62,36 @@ func (d *Dense) Forward(x []float64) []float64 {
 		}
 		out[o] = s
 	}
-	return out
 }
 
-// Backward accumulates parameter gradients given the layer input x and the
-// gradient of the loss with respect to the layer output, and returns the
-// gradient with respect to x.
-func (d *Dense) Backward(x, gradOut []float64) []float64 {
-	gradIn := make([]float64, d.In)
+// Backward accumulates parameter gradients into the layer's own
+// accumulators given the layer input x and the gradient of the loss with
+// respect to the layer output, and writes the gradient with respect to x
+// into gradIn (length d.In). It performs no heap allocations.
+func (d *Dense) Backward(x, gradOut, gradIn []float64) {
+	d.BackwardTo(x, gradOut, gradIn, d.gW, d.gB)
+}
+
+// BackwardTo is Backward with explicit gradient accumulators, so callers
+// can direct per-example gradients into private buffers (the data-parallel
+// Fit kernel) instead of the layer's shared ones.
+func (d *Dense) BackwardTo(x, gradOut, gradIn, gW, gB []float64) {
+	for i := range gradIn {
+		gradIn[i] = 0
+	}
 	for o := 0; o < d.Out; o++ {
 		g := gradOut[o]
 		if g == 0 {
 			continue
 		}
-		d.gB[o] += g
+		gB[o] += g
 		row := d.W[o*d.In : (o+1)*d.In]
-		grow := d.gW[o*d.In : (o+1)*d.In]
+		grow := gW[o*d.In : (o+1)*d.In]
 		for i, xi := range x {
 			grow[i] += g * xi
 			gradIn[i] += g * row[i]
 		}
 	}
-	return gradIn
 }
 
 // Net is a multilayer perceptron with ReLU on hidden layers and a linear
@@ -106,12 +121,16 @@ type Cache struct {
 }
 
 // Forward runs the net on x and returns the output plus a cache for Backward.
+// Buffers are freshly allocated, so any number of caches can be held at once
+// (composite models run several forward passes before one backward sweep);
+// for the allocation-free single-cache path use ForwardScratch.
 func (n *Net) Forward(x []float64) ([]float64, *Cache) {
 	c := &Cache{}
 	cur := x
 	for li, l := range n.Layers {
 		c.inputs = append(c.inputs, cur)
-		z := l.Forward(cur)
+		z := make([]float64, l.Out)
+		l.Forward(cur, z)
 		c.preact = append(c.preact, z)
 		if li < len(n.Layers)-1 {
 			a := make([]float64, len(z))
@@ -157,9 +176,144 @@ func (n *Net) Backward(c *Cache, gradOut []float64) []float64 {
 			}
 			grad = masked
 		}
-		grad = n.Layers[li].Backward(c.inputs[li], grad)
+		gradIn := make([]float64, n.Layers[li].In)
+		n.Layers[li].Backward(c.inputs[li], grad, gradIn)
+		grad = gradIn
 	}
 	return grad
+}
+
+// Scratch holds the reusable activation and gradient buffers for one
+// in-flight forward/backward pair on one network. A Scratch must not be
+// shared between concurrent goroutines; the data-parallel trainer keeps one
+// per worker.
+type Scratch struct {
+	// pre[l] is the pre-activation output buffer of layer l; act[l] its
+	// post-ReLU activation (nil for the linear output layer).
+	pre, act [][]float64
+	// grad[l] is the buffer for the gradient with respect to layer l's input.
+	grad  [][]float64
+	cache Cache
+}
+
+// NewScratch allocates scratch buffers matching the net's architecture.
+func (n *Net) NewScratch() *Scratch {
+	s := &Scratch{
+		pre:  make([][]float64, len(n.Layers)),
+		act:  make([][]float64, len(n.Layers)),
+		grad: make([][]float64, len(n.Layers)),
+	}
+	for li, l := range n.Layers {
+		s.pre[li] = make([]float64, l.Out)
+		if li < len(n.Layers)-1 {
+			s.act[li] = make([]float64, l.Out)
+		}
+		s.grad[li] = make([]float64, l.In)
+	}
+	s.cache.inputs = make([][]float64, len(n.Layers))
+	s.cache.preact = make([][]float64, len(n.Layers))
+	return s
+}
+
+// ForwardScratch runs the net on x reusing the scratch buffers; the
+// returned output aliases the scratch and stays valid until the next
+// ForwardScratch call. Zero heap allocations in steady state. Values are
+// identical to Forward.
+func (n *Net) ForwardScratch(x []float64, s *Scratch) []float64 {
+	cur := x
+	for li, l := range n.Layers {
+		s.cache.inputs[li] = cur
+		z := s.pre[li]
+		l.Forward(cur, z)
+		s.cache.preact[li] = z
+		if li < len(n.Layers)-1 {
+			a := s.act[li]
+			for i, v := range z {
+				if v > 0 {
+					a[i] = v
+				} else {
+					a[i] = 0
+				}
+			}
+			cur = a
+		} else {
+			cur = z
+		}
+	}
+	return cur
+}
+
+// BackwardScratch accumulates gradients of the pass recorded in s into the
+// layers' own accumulators. gradOut is the gradient of the loss with respect
+// to the network output. Zero heap allocations; values are identical to
+// Backward.
+func (n *Net) BackwardScratch(s *Scratch, gradOut []float64) {
+	n.backwardScratch(s, gradOut, nil)
+}
+
+// BackwardScratchTo is BackwardScratch writing into g instead of the
+// layers' shared accumulators.
+func (n *Net) BackwardScratchTo(s *Scratch, gradOut []float64, g *Grads) {
+	n.backwardScratch(s, gradOut, g)
+}
+
+func (n *Net) backwardScratch(s *Scratch, gradOut []float64, g *Grads) {
+	grad := gradOut
+	for li := len(n.Layers) - 1; li >= 0; li-- {
+		if li < len(n.Layers)-1 {
+			// grad points at s.grad[li+1], owned by this scratch: the ReLU
+			// mask can be applied in place.
+			z := s.cache.preact[li]
+			for i := range grad {
+				if z[i] <= 0 {
+					grad[i] = 0
+				}
+			}
+		}
+		l := n.Layers[li]
+		gW, gB := l.gW, l.gB
+		if g != nil {
+			gW, gB = g.gW[li], g.gB[li]
+		}
+		l.BackwardTo(s.cache.inputs[li], grad, s.grad[li], gW, gB)
+		grad = s.grad[li]
+	}
+}
+
+// Grads is a standalone gradient accumulator mirroring a net's parameters,
+// backed by one flat buffer so reductions and optimizer updates can be
+// partitioned by element range.
+type Grads struct {
+	flat   []float64
+	gW, gB [][]float64
+}
+
+// NewGrads allocates a zeroed accumulator for the net's architecture.
+func (n *Net) NewGrads() *Grads {
+	total := 0
+	for _, l := range n.Layers {
+		total += len(l.W) + len(l.B)
+	}
+	g := &Grads{flat: make([]float64, total)}
+	off := 0
+	for _, l := range n.Layers {
+		g.gW = append(g.gW, g.flat[off:off+len(l.W)])
+		off += len(l.W)
+		g.gB = append(g.gB, g.flat[off:off+len(l.B)])
+		off += len(l.B)
+	}
+	return g
+}
+
+// Flat exposes the underlying buffer (all layers' gW then gB in layer
+// order), for element-partitioned reductions.
+func (g *Grads) Flat() []float64 { return g.flat }
+
+// Reset zeroes the accumulator.
+func (g *Grads) Reset() {
+	for i := range g.flat {
+		g.flat[i] = 0
+	}
 }
 
 // ZeroGrad clears all accumulated gradients.

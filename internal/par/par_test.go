@@ -1,0 +1,126 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapPreservesOrderAndItems(t *testing.T) {
+	p := NewPool(4)
+	const n = 1000
+	out, err := Map(p, n, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != n {
+		t.Fatalf("got %d results, want %d", len(out), n)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapFirstErrorByIndexAndNoLostItems(t *testing.T) {
+	p := NewPool(8)
+	const n = 500
+	var processed atomic.Int64
+	sentinel := errors.New("boom")
+	out, err := Map(p, n, func(i int) (int, error) {
+		processed.Add(1)
+		// Items 100, 37 and 400 fail; the reported error must be item 37's.
+		if i == 100 || i == 37 || i == 400 {
+			return 0, fmt.Errorf("item %d: %w", i, sentinel)
+		}
+		return i + 1, nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if !errors.Is(err, sentinel) || err.Error() != "item 37: boom" {
+		t.Fatalf("expected lowest-index error (item 37), got %v", err)
+	}
+	if got := processed.Load(); got != n {
+		t.Fatalf("processed %d items, want all %d despite errors", got, n)
+	}
+	for i, v := range out {
+		if i == 100 || i == 37 || i == 400 {
+			if v != 0 {
+				t.Fatalf("failed item %d slot = %d, want zero value", i, v)
+			}
+			continue
+		}
+		if v != i+1 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i+1)
+		}
+	}
+}
+
+func TestForEachBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers)
+	var cur, peak atomic.Int64
+	err := p.ForEach(200, func(int) error {
+		c := cur.Add(1)
+		for {
+			old := peak.Load()
+			if c <= old || peak.CompareAndSwap(old, c) {
+				break
+			}
+		}
+		defer cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > workers {
+		t.Fatalf("observed %d concurrent items, pool bound is %d", got, workers)
+	}
+}
+
+func TestForEachWorkerIndexIsExclusive(t *testing.T) {
+	const workers = 5
+	p := NewPool(workers)
+	busy := make([]atomic.Bool, workers)
+	err := p.ForEachWorker(500, func(w, i int) error {
+		if w < 0 || w >= workers {
+			return fmt.Errorf("worker index %d out of range", w)
+		}
+		if !busy[w].CompareAndSwap(false, true) {
+			return fmt.Errorf("worker %d active twice concurrently", w)
+		}
+		defer busy[w].Store(false)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialDegenerateCases(t *testing.T) {
+	p := NewPool(1)
+	if err := p.ForEach(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatalf("n=0 should be a no-op, got %v", err)
+	}
+	var seen []int
+	err := p.ForEach(4, func(i int) error {
+		seen = append(seen, i)
+		if i == 1 {
+			return fmt.Errorf("item %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "item 1" {
+		t.Fatalf("want first error from item 1, got %v", err)
+	}
+	if len(seen) != 4 {
+		t.Fatalf("sequential pool must still run all items, ran %d", len(seen))
+	}
+	if NewPool(0).Workers() < 1 {
+		t.Fatal("default pool must have at least one worker")
+	}
+}

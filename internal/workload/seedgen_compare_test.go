@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"cardpi/internal/dataset"
+)
+
+// generateSerialReference is the seed repository's all-serial generator loop,
+// preserved verbatim; TestGenerateMatchesSerialReference pins the batched
+// parallel Generate to its output byte for byte.
+func generateSerialReference(t *dataset.Table, cfg Config) (*Workload, error) {
+	cfg = cfg.withDefaults()
+	cols, err := selectColumns(t, cfg.Columns)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxPreds > len(cols) {
+		cfg.MaxPreds = len(cols)
+	}
+	if cfg.MinPreds > cfg.MaxPreds {
+		cfg.MinPreds = cfg.MaxPreds
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	n := t.NumRows()
+	seen := make(map[string]struct{}, cfg.Count)
+	out := make([]Labeled, 0, cfg.Count)
+	attempts := 0
+	maxAttempts := cfg.Count*200 + 1000
+	for len(out) < cfg.Count && attempts < maxAttempts {
+		attempts++
+		k := cfg.MinPreds + r.Intn(cfg.MaxPreds-cfg.MinPreds+1)
+		picked := r.Perm(len(cols))[:k]
+		anchor := r.Intn(n)
+		preds := make([]dataset.Predicate, 0, k)
+		for _, ci := range picked {
+			preds = append(preds, makePredicate(r, cols[ci], anchor, cfg))
+		}
+		q := Query{Preds: preds}
+		key := q.Key()
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		card, err := t.Count(preds)
+		if err != nil {
+			return nil, err
+		}
+		sel := float64(card) / float64(n)
+		if cfg.MaxSelectivity > 0 && sel > cfg.MaxSelectivity {
+			continue
+		}
+		if sel < cfg.MinSelectivity {
+			continue
+		}
+		seen[key] = struct{}{}
+		out = append(out, Labeled{Query: q, Card: card, Sel: sel, Norm: int64(n)})
+	}
+	return &Workload{Queries: out, Table: t, NormN: int64(n)}, nil
+}
+
+func TestGenerateMatchesSerialReference(t *testing.T) {
+	tb, err := dataset.GenerateCensus(dataset.GenConfig{Rows: 4000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{
+		{Count: 150, Seed: 5},
+		{Count: 100, Seed: 9, MaxSelectivity: 0.1},
+		{Count: 60, Seed: 2, MinPreds: 2, MaxPreds: 3, MinSelectivity: 0.0001},
+	} {
+		got, err := Generate(tb, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := generateSerialReference(tb, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Queries) != len(want.Queries) {
+			t.Fatalf("cfg %+v: %d queries != serial %d", cfg, len(got.Queries), len(want.Queries))
+		}
+		for i := range got.Queries {
+			g, w := got.Queries[i], want.Queries[i]
+			if g.Query.Key() != w.Query.Key() || g.Card != w.Card || g.Sel != w.Sel || g.Norm != w.Norm {
+				t.Fatalf("cfg %+v query %d: parallel %+v != serial %+v", cfg, i, g, w)
+			}
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"cardpi/internal/dataset"
+	"cardpi/internal/par"
 )
 
 // Query is a conjunctive query: either single-table (Preds over the base
@@ -148,33 +149,61 @@ func Generate(t *dataset.Table, cfg Config) (*Workload, error) {
 	out := make([]Labeled, 0, cfg.Count)
 	attempts := 0
 	maxAttempts := cfg.Count*200 + 1000
+
+	// Candidate queries are drawn serially from the seeded RNG — the draws
+	// never depend on labels, so the candidate sequence is exactly the one
+	// the all-serial loop produced. Truth labeling (t.Count, the dominant
+	// cost) then runs on a bounded worker pool over each batch, and
+	// accept/dedupe decisions replay serially in candidate order: the
+	// resulting workload is byte-identical to the serial generator's for
+	// every seed, whatever the worker count.
+	type candidate struct {
+		q    Query
+		key  string
+		card int64
+		err  error
+	}
 	for len(out) < cfg.Count && attempts < maxAttempts {
-		attempts++
-		k := cfg.MinPreds + r.Intn(cfg.MaxPreds-cfg.MinPreds+1)
-		picked := r.Perm(len(cols))[:k]
-		anchor := r.Intn(n)
-		preds := make([]dataset.Predicate, 0, k)
-		for _, ci := range picked {
-			preds = append(preds, makePredicate(r, cols[ci], anchor, cfg))
+		batch := min(max(cfg.Count-len(out), 64), maxAttempts-attempts)
+		cands := make([]candidate, batch)
+		for b := range cands {
+			attempts++
+			k := cfg.MinPreds + r.Intn(cfg.MaxPreds-cfg.MinPreds+1)
+			picked := r.Perm(len(cols))[:k]
+			anchor := r.Intn(n)
+			preds := make([]dataset.Predicate, 0, k)
+			for _, ci := range picked {
+				preds = append(preds, makePredicate(r, cols[ci], anchor, cfg))
+			}
+			cands[b].q = Query{Preds: preds}
 		}
-		q := Query{Preds: preds}
-		key := q.Key()
-		if _, dup := seen[key]; dup {
-			continue
+		par.ForEach(len(cands), func(b int) error {
+			c := &cands[b]
+			c.key = c.q.Key()
+			c.card, c.err = t.Count(c.q.Preds)
+			return nil
+		})
+		for b := range cands {
+			if len(out) == cfg.Count {
+				break
+			}
+			c := &cands[b]
+			if _, dup := seen[c.key]; dup {
+				continue
+			}
+			if c.err != nil {
+				return nil, c.err
+			}
+			sel := float64(c.card) / float64(n)
+			if cfg.MaxSelectivity > 0 && sel > cfg.MaxSelectivity {
+				continue
+			}
+			if sel < cfg.MinSelectivity {
+				continue
+			}
+			seen[c.key] = struct{}{}
+			out = append(out, Labeled{Query: c.q, Card: c.card, Sel: sel, Norm: int64(n)})
 		}
-		card, err := t.Count(preds)
-		if err != nil {
-			return nil, err
-		}
-		sel := float64(card) / float64(n)
-		if cfg.MaxSelectivity > 0 && sel > cfg.MaxSelectivity {
-			continue
-		}
-		if sel < cfg.MinSelectivity {
-			continue
-		}
-		seen[key] = struct{}{}
-		out = append(out, Labeled{Query: q, Card: card, Sel: sel, Norm: int64(n)})
 	}
 	if len(out) < cfg.Count {
 		return nil, fmt.Errorf("workload: generated only %d of %d queries after %d attempts; relax selectivity bounds",

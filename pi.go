@@ -27,11 +27,11 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
-	"sync"
 
 	"cardpi/internal/conformal"
 	"cardpi/internal/estimator"
 	"cardpi/internal/gbm"
+	"cardpi/internal/par"
 	"cardpi/internal/workload"
 )
 
@@ -416,48 +416,39 @@ func WrapJackknifeCV(train TrainFunc, wl *workload.Workload, k int, alpha float6
 	perm := r.Perm(len(wl.Queries))
 	foldOf := conformal.FoldAssignments(perm, k)
 
-	// The K fold models and the full model are independent; train them
-	// concurrently. Each training is seeded per fold, so the result is
-	// identical to the sequential order.
+	// The K fold models and the full model are independent; train them on a
+	// bounded worker pool (item k is the full model). Each training is seeded
+	// per fold, so the result is identical to the sequential order no matter
+	// how items land on workers, and a K of 50 no longer launches 51
+	// simultaneous trainings on a 4-core box.
 	folds := make([]Estimator, k)
-	errs := make([]error, k+1)
 	var full Estimator
-	var wg sync.WaitGroup
-	for f := 0; f < k; f++ {
+	err := par.ForEach(k+1, func(f int) error {
+		if f == k {
+			m, err := train(wl, seed)
+			if err != nil {
+				return fmt.Errorf("cardpi: training full model: %w", err)
+			}
+			full = m
+			return nil
+		}
 		var sub []workload.Labeled
 		for i, lq := range wl.Queries {
 			if foldOf[i] != f {
 				sub = append(sub, lq)
 			}
 		}
-		wg.Add(1)
-		go func(f int, sub []workload.Labeled) {
-			defer wg.Done()
-			m, err := train(&workload.Workload{
-				Queries: sub, Table: wl.Table, Schema: wl.Schema, NormN: wl.NormN,
-			}, seed+int64(f)+1)
-			if err != nil {
-				errs[f] = fmt.Errorf("cardpi: training fold %d: %w", f, err)
-				return
-			}
-			folds[f] = m
-		}(f, sub)
-	}
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		m, err := train(wl, seed)
+		m, err := train(&workload.Workload{
+			Queries: sub, Table: wl.Table, Schema: wl.Schema, NormN: wl.NormN,
+		}, seed+int64(f)+1)
 		if err != nil {
-			errs[k] = fmt.Errorf("cardpi: training full model: %w", err)
-			return
+			return fmt.Errorf("cardpi: training fold %d: %w", f, err)
 		}
-		full = m
-	}()
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+		folds[f] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	oof := make([]float64, len(wl.Queries))
