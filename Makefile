@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json experiments experiments-small fmt vet cover clean
+.PHONY: all build test race bench bench-json experiments experiments-small fmt vet cover clean serve serve-smoke
 
 all: build test
 
@@ -32,6 +32,15 @@ experiments:
 
 experiments-small:
 	$(GO) run ./cmd/cardpi-bench -experiment all -scale small
+
+# Run the instrumented demo service (see OBSERVABILITY.md for endpoints).
+serve:
+	$(GO) run ./cmd/cardpi serve
+
+# Boot `cardpi serve` on a small dataset, curl /estimate and /metrics once,
+# and assert a 200 plus the documented cardpi_ metric families.
+serve-smoke:
+	bash scripts/serve-smoke.sh
 
 fmt:
 	gofmt -w .

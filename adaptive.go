@@ -2,10 +2,62 @@ package cardpi
 
 import (
 	"fmt"
+	"math"
+	"sort"
+	"sync"
 
 	"cardpi/internal/conformal"
+	"cardpi/internal/obs"
 	"cardpi/internal/workload"
 )
+
+// telemetryWindow is the number of recent observations the rolling
+// coverage/width telemetry aggregates over (a fixed ring, so recording
+// never allocates).
+const telemetryWindow = 512
+
+// ring is a fixed-size float64 ring buffer for rolling telemetry. Writes
+// never allocate; snapshot copies out the live prefix for scrape-time
+// aggregation.
+type ring struct {
+	buf [telemetryWindow]float64
+	n   int // total writes ever; live count is min(n, len(buf))
+}
+
+func (r *ring) add(v float64) {
+	r.buf[r.n%len(r.buf)] = v
+	r.n++
+}
+
+func (r *ring) len() int {
+	return min(r.n, len(r.buf))
+}
+
+func (r *ring) mean() float64 {
+	k := r.len()
+	if k == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for i := 0; i < k; i++ {
+		s += r.buf[i]
+	}
+	return s / float64(k)
+}
+
+// p99 returns the nearest-rank 99th percentile of the live window
+// (scrape-time only: it copies and sorts).
+func (r *ring) p99() float64 {
+	k := r.len()
+	if k == 0 {
+		return math.NaN()
+	}
+	tmp := make([]float64, k)
+	copy(tmp, r.buf[:k])
+	sort.Float64s(tmp)
+	idx := min((99*k+99)/100, k) - 1
+	return tmp[idx]
+}
 
 // Adaptive is a production-oriented wrapper combining three mechanisms the
 // paper discusses (Section IV): online calibration (every executed query's
@@ -13,18 +65,37 @@ import (
 // tracks the live workload), optional sliding-window calibration, and
 // martingale-based exchangeability monitoring that flags workload drift
 // before the coverage guarantee silently erodes.
+//
+// All inputs and outputs are in normalised selectivity units ([0, 1]); use
+// CardinalityInterval to convert an interval to row counts. Unlike the
+// static wrappers, Adaptive is mutable — it guards its calibration state
+// with a mutex, so Interval, Observe, and every accessor are safe for
+// concurrent use from multiple goroutines.
 type Adaptive struct {
+	mu     sync.Mutex
 	model  Estimator
 	online *conformal.Online
 	mart   *conformal.PowerMartingale
 	score  conformal.Score
 	// significance is the drift-alarm level (Ville threshold 1/significance).
 	significance float64
+
+	// Rolling telemetry: hits holds 0/1 coverage outcomes from Observe
+	// (did the pre-update interval contain the truth); widths holds the
+	// widths of intervals produced by Interval.
+	hits    ring
+	widths  ring
+	alarmed bool // last drift-alarm state, for edge-triggered counting
+
+	// Optional metric instruments (nil when AdaptiveConfig.Metrics is nil).
+	obsTotal    *obs.Counter
+	alarmsTotal *obs.Counter
+	widthHist   *obs.Histogram
 }
 
 // AdaptiveConfig configures NewAdaptive.
 type AdaptiveConfig struct {
-	// Alpha is the miscoverage level.
+	// Alpha is the miscoverage level: intervals target coverage 1−Alpha.
 	Alpha float64
 	// Window keeps only the most recent scores (0 = unbounded growth).
 	Window int
@@ -32,10 +103,17 @@ type AdaptiveConfig struct {
 	Significance float64
 	// Seed drives the martingale's tie-breaking.
 	Seed int64
+	// Metrics, when non-nil, registers the adaptive telemetry —
+	// cardpi_adaptive_* gauges, counters, and the interval-width
+	// histogram — on the given registry, labeled with this wrapper's
+	// model name. See OBSERVABILITY.md for the full series list.
+	Metrics *obs.Registry
 }
 
 // NewAdaptive builds an adaptive PI around a model, seeded with an initial
-// calibration workload.
+// calibration workload. With cfg.Metrics set, the drift and coverage
+// telemetry is live from the first Observe (including the seeding pass over
+// the initial workload).
 func NewAdaptive(model Estimator, initial *workload.Workload, score conformal.Score, cfg AdaptiveConfig) (*Adaptive, error) {
 	if cfg.Alpha <= 0 || cfg.Alpha >= 1 {
 		return nil, fmt.Errorf("cardpi: alpha must be in (0,1), got %v", cfg.Alpha)
@@ -55,53 +133,150 @@ func NewAdaptive(model Estimator, initial *workload.Workload, score conformal.Sc
 		model: model, online: online, mart: mart,
 		score: score, significance: cfg.Significance,
 	}
+	if cfg.Metrics != nil {
+		a.registerMetrics(cfg.Metrics)
+	}
 	if initial != nil {
 		for _, lq := range initial.Queries {
 			a.Observe(lq.Query, lq.Sel)
 		}
 	}
-	if a.online.Len() == 0 {
+	if a.CalibrationSize() == 0 {
 		return nil, fmt.Errorf("cardpi: adaptive PI needs a non-empty initial calibration set")
 	}
 	return a, nil
 }
 
+// registerMetrics publishes the adaptive telemetry on reg, labeled by model
+// name. Gauge callbacks lock the wrapper's mutex, so scrapes are consistent
+// with concurrent Observe/Interval traffic.
+func (a *Adaptive) registerMetrics(reg *obs.Registry) {
+	model := obs.L("model", a.model.Name())
+	a.obsTotal = reg.Counter("cardpi_adaptive_observations_total",
+		"True selectivities fed back via Adaptive.Observe.", model)
+	a.alarmsTotal = reg.Counter("cardpi_adaptive_drift_alarms_total",
+		"Drift-alarm activations: transitions of the martingale statistic across the Ville threshold.", model)
+	a.widthHist = reg.Histogram("cardpi_adaptive_interval_width",
+		"Widths of intervals produced by Adaptive.Interval, in normalised selectivity units.",
+		obs.WidthBuckets, model)
+	reg.GaugeFunc("cardpi_adaptive_coverage",
+		"Rolling empirical coverage over the last observations (target is 1-alpha).",
+		func() float64 { a.mu.Lock(); defer a.mu.Unlock(); return a.hits.mean() }, model)
+	reg.GaugeFunc("cardpi_adaptive_width_mean",
+		"Rolling mean interval width in normalised selectivity units.",
+		func() float64 { a.mu.Lock(); defer a.mu.Unlock(); return a.widths.mean() }, model)
+	reg.GaugeFunc("cardpi_adaptive_width_p99",
+		"Rolling p99 interval width in normalised selectivity units.",
+		func() float64 { a.mu.Lock(); defer a.mu.Unlock(); return a.widths.p99() }, model)
+	reg.GaugeFunc("cardpi_adaptive_calibration_size",
+		"Scores currently in the online calibration set.",
+		func() float64 { return float64(a.CalibrationSize()) }, model)
+	reg.GaugeFunc("cardpi_adaptive_drift_statistic",
+		"Running maximum of the restarted log power martingale (drift evidence).",
+		func() float64 { return a.DriftStatistic() }, model)
+	reg.GaugeFunc("cardpi_adaptive_drift_threshold",
+		"Ville rejection threshold log(1/significance); an alarm fires when the drift statistic crosses it.",
+		func() float64 { return math.Log(1 / a.significance) }, model)
+}
+
 // Name implements PI.
 func (a *Adaptive) Name() string { return "adaptive/" + a.model.Name() }
 
-// Interval implements PI against the current calibration state.
+// Interval implements PI against the current calibration state: a
+// selectivity interval in [0, 1]. Safe for concurrent use; with metrics
+// enabled the produced width also feeds the rolling width telemetry.
+// Recording adds zero heap allocations per call.
 func (a *Adaptive) Interval(q workload.Query) (Interval, error) {
-	iv, err := a.online.Interval(a.model.EstimateSelectivity(q))
+	pred := a.model.EstimateSelectivity(q)
+	a.mu.Lock()
+	iv, err := a.online.Interval(pred)
 	if err != nil {
+		a.mu.Unlock()
 		return Interval{}, err
 	}
-	return clip(iv), nil
+	iv = clip(iv)
+	a.widths.add(iv.Hi - iv.Lo)
+	a.mu.Unlock()
+	if a.widthHist != nil {
+		a.widthHist.Observe(iv.Hi - iv.Lo)
+	}
+	return iv, nil
 }
 
-// Observe feeds back a query's true selectivity after execution: the
-// calibration set and the drift monitor are both updated.
+// Observe feeds back a query's true selectivity (in [0, 1]) after
+// execution: the calibration set, the drift monitor, and the rolling
+// coverage telemetry are all updated. Safe for concurrent use.
 func (a *Adaptive) Observe(q workload.Query, trueSel float64) {
 	pred := a.model.EstimateSelectivity(q)
+	var alarmEdge bool
+	a.mu.Lock()
+	// Score the pre-update interval against the truth first: that is the
+	// interval a caller would actually have been served for this query, so
+	// its hit/miss is the honest rolling-coverage sample.
+	if a.online.Len() > 0 {
+		if iv, err := a.online.Interval(pred); err == nil {
+			hit := 0.0
+			if clip(iv).Contains(trueSel) {
+				hit = 1.0
+			}
+			a.hits.add(hit)
+		}
+	}
 	a.online.Add(pred, trueSel)
 	a.mart.Observe(a.score.Of(pred, trueSel))
+	if rej := a.mart.Rejects(a.significance); rej && !a.alarmed {
+		a.alarmed = true
+		alarmEdge = true
+	}
+	a.mu.Unlock()
+	if a.obsTotal != nil {
+		a.obsTotal.Inc()
+	}
+	if alarmEdge && a.alarmsTotal != nil {
+		a.alarmsTotal.Inc()
+	}
 }
 
 // Drifted reports whether the exchangeability monitor has fired: the score
 // stream is no longer consistent with the calibration distribution, so the
 // coverage guarantee is suspect and recalibration (or model retraining) is
-// warranted.
-func (a *Adaptive) Drifted() bool { return a.mart.Rejects(a.significance) }
+// warranted. Safe for concurrent use.
+func (a *Adaptive) Drifted() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.mart.Rejects(a.significance)
+}
 
 // DriftStatistic exposes the running maximum of the restarted log
-// martingale for dashboards/alerts.
-func (a *Adaptive) DriftStatistic() float64 { return a.mart.MaxLogValue() }
+// martingale for dashboards/alerts; compare against log(1/significance).
+// Safe for concurrent use.
+func (a *Adaptive) DriftStatistic() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.mart.MaxLogValue()
+}
 
-// CalibrationSize returns the number of scores currently calibrating.
-func (a *Adaptive) CalibrationSize() int { return a.online.Len() }
+// CalibrationSize returns the number of scores currently calibrating. Safe
+// for concurrent use.
+func (a *Adaptive) CalibrationSize() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.online.Len()
+}
+
+// RollingCoverage returns the empirical coverage over the most recent
+// observations (up to the telemetry window), or NaN before the first
+// Observe. Target is 1−alpha. Safe for concurrent use.
+func (a *Adaptive) RollingCoverage() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.hits.mean()
+}
 
 // CardinalityInterval converts a selectivity interval into cardinality
-// units for a query whose normalisation constant (table size or unfiltered
-// join size) is norm, clipping to [0, norm] as the paper does.
+// units (row counts) for a query whose normalisation constant (table size
+// or unfiltered join size) is norm, clipping to [0, norm] as the paper
+// does.
 func CardinalityInterval(iv Interval, norm int64) Interval {
 	n := float64(norm)
 	return Interval{Lo: iv.Lo * n, Hi: iv.Hi * n}.Clip(0, n)

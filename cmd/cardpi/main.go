@@ -9,6 +9,19 @@
 //	    "model_year BETWEEN 60 AND 80"
 //
 // With no query arguments it reads one query per line from stdin.
+//
+// Not every method works with every model: cqr retrains the model family
+// with a pinball loss, so it needs a trainable supervised model (mscn or
+// lwnn); the other methods (s-cp, lw-s-cp, lcp, mondrian) wrap any model.
+// Invalid combinations fail fast with an explanation before any training
+// starts.
+//
+// The serve subcommand turns the demo into a long-running HTTP service with
+// Prometheus metrics and pprof (see OBSERVABILITY.md):
+//
+//	cardpi serve -addr :8080 -dataset dmv -model spn -method s-cp
+//	curl 'localhost:8080/estimate?q=state+%3D+3'
+//	curl localhost:8080/metrics
 package main
 
 import (
@@ -32,18 +45,39 @@ import (
 	"cardpi/internal/workload"
 )
 
+const comboHelp = `model x method compatibility:
+  s-cp, lw-s-cp, lcp, mondrian   any model (spn | mscn | lwnn | naru | histogram)
+  cqr                            mscn | lwnn only (retrains the model with a
+                                 pinball loss; spn/naru/histogram have no
+                                 trainable quantile variant)`
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := runServe(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "cardpi serve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	var (
 		dsName  = flag.String("dataset", "dmv", "dataset: dmv | census | forest | power (or job | dsb with -join)")
 		rows    = flag.Int("rows", 20000, "dataset rows")
 		model   = flag.String("model", "spn", "estimator: spn | mscn | lwnn | naru | histogram")
-		method  = flag.String("method", "s-cp", "PI method: s-cp | lw-s-cp | lcp | mondrian")
+		method  = flag.String("method", "s-cp", "PI method: s-cp | lw-s-cp | lcp | mondrian | cqr (cqr: mscn/lwnn only)")
 		alpha   = flag.Float64("alpha", 0.1, "miscoverage level (coverage = 1-alpha)")
 		queries = flag.Int("queries", 2000, "training+calibration workload size")
 		seed    = flag.Int64("seed", 1, "random seed")
 		join    = flag.Bool("join", false, "multi-table mode: SPJ queries over a star schema (histogram estimator, Mondrian PI)")
 		csvPath = flag.String("csv", "", "load the table from a CSV file instead of generating one (string columns are dictionary-encoded; use 'value' literals in queries)")
 	)
+	flag.Usage = func() {
+		out := flag.CommandLine.Output()
+		fmt.Fprintf(out, "usage: %s [flags] [\"query\" ...]\n", os.Args[0])
+		fmt.Fprintf(out, "       %s serve [flags]   (run 'cardpi serve -h' for the serving flags)\n\n", os.Args[0])
+		flag.PrintDefaults()
+		fmt.Fprintf(out, "\n%s\n", comboHelp)
+	}
 	flag.Parse()
 
 	var err error
@@ -56,6 +90,35 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cardpi: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+var knownModels = map[string]bool{
+	"spn": true, "mscn": true, "lwnn": true, "naru": true, "histogram": true,
+}
+
+// pinballModels are the model families with a quantile (pinball-loss)
+// training mode, the prerequisite for CQR.
+var pinballModels = map[string]bool{"mscn": true, "lwnn": true}
+
+var knownMethods = map[string]bool{
+	"s-cp": true, "lw-s-cp": true, "lcp": true, "mondrian": true, "cqr": true,
+}
+
+// validateCombo rejects unknown names and invalid model x method pairs with
+// an actionable message, before any data generation or training runs.
+func validateCombo(model, method string) error {
+	model, method = strings.ToLower(model), strings.ToLower(method)
+	if !knownModels[model] {
+		return fmt.Errorf("unknown model %q (want spn | mscn | lwnn | naru | histogram)", model)
+	}
+	if !knownMethods[method] {
+		return fmt.Errorf("unknown method %q (want s-cp | lw-s-cp | lcp | mondrian | cqr)", method)
+	}
+	if method == "cqr" && !pinballModels[model] {
+		return fmt.Errorf("method \"cqr\" requires a model trainable with a pinball loss (mscn or lwnn), got %q; "+
+			"pick -model mscn or -model lwnn, or a conformal method (s-cp, lw-s-cp, lcp, mondrian) that wraps any model", model)
+	}
+	return nil
 }
 
 // runJoins answers SPJ COUNT(*) queries over a star schema with
@@ -137,18 +200,34 @@ func runJoins(dsName string, alpha float64, rows, queries int, seed int64, args 
 	return sc.Err()
 }
 
-func run(dsName, csvPath, modelName, method string, alpha float64, rows, queries int, seed int64, args []string) error {
+// demoSetup is everything run and serve share: the table, the trained
+// model, and the calibrated PI wrapper.
+type demoSetup struct {
+	tab   *dataset.Table
+	model cardpi.Estimator
+	pi    cardpi.PI
+	train *workload.Workload
+	cal   *workload.Workload
+}
+
+// buildSetup loads/generates the table, generates and splits the workload,
+// trains the model, and calibrates the PI method. It validates the
+// model x method combination before doing any of that.
+func buildSetup(dsName, csvPath, modelName, method string, alpha float64, rows, queries int, seed int64) (*demoSetup, error) {
+	if err := validateCombo(modelName, method); err != nil {
+		return nil, err
+	}
 	var tab *dataset.Table
 	if csvPath != "" {
 		fmt.Fprintf(os.Stderr, "loading %s...\n", csvPath)
 		f, err := os.Open(csvPath)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		defer f.Close()
 		tab, err = dataset.FromCSV(strings.TrimSuffix(filepath.Base(csvPath), ".csv"), f)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Fprintf(os.Stderr, "loaded %d rows, %d columns\n", tab.NumRows(), tab.NumCols())
 	} else {
@@ -157,55 +236,105 @@ func run(dsName, csvPath, modelName, method string, alpha float64, rows, queries
 			"forest": dataset.GenerateForest, "power": dataset.GeneratePower,
 		}[strings.ToLower(dsName)]
 		if gen == nil {
-			return fmt.Errorf("unknown dataset %q", dsName)
+			return nil, fmt.Errorf("unknown dataset %q (want dmv | census | forest | power)", dsName)
 		}
 		fmt.Fprintf(os.Stderr, "generating %s (%d rows)...\n", dsName, rows)
 		var err error
 		tab, err = gen(dataset.GenConfig{Rows: rows, Seed: seed})
 		if err != nil {
-			return err
+			return nil, err
 		}
 	}
 	wl, err := workload.Generate(tab, workload.Config{
 		Count: queries, Seed: seed + 1, MinPreds: 1, MaxPreds: 4,
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	parts, err := wl.Split(seed+2, 0.6, 0.4)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	train, cal := parts[0], parts[1]
 
 	fmt.Fprintf(os.Stderr, "training %s...\n", modelName)
 	m, err := buildModel(modelName, tab, train, seed)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
 	fmt.Fprintf(os.Stderr, "calibrating %s at coverage %.2f...\n", method, 1-alpha)
+	pi, err := buildPI(method, modelName, m, tab, train, cal, alpha, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &demoSetup{tab: tab, model: m, pi: pi, train: train, cal: cal}, nil
+}
+
+// buildPI calibrates the chosen method around the trained model. The combo
+// has already been validated, so cqr only sees pinball-capable models.
+func buildPI(method, modelName string, m cardpi.Estimator, tab *dataset.Table,
+	train, cal *workload.Workload, alpha float64, seed int64) (cardpi.PI, error) {
 	feat := estimator.NewFeaturizer(tab)
 	ff := func(q workload.Query) []float64 { return feat.Featurize(q) }
-	var pi cardpi.PI
 	switch strings.ToLower(method) {
 	case "s-cp":
-		pi, err = cardpi.WrapSplitCP(m, cal, conformal.ResidualScore{}, alpha)
+		return cardpi.WrapSplitCP(m, cal, conformal.ResidualScore{}, alpha)
 	case "lw-s-cp":
-		pi, err = cardpi.WrapLocallyWeighted(m, train, cal, ff, conformal.ResidualScore{}, alpha,
+		return cardpi.WrapLocallyWeighted(m, train, cal, ff, conformal.ResidualScore{}, alpha,
 			gbm.Config{NumTrees: 60, MaxDepth: 4, Seed: seed + 3})
 	case "lcp":
-		pi, err = cardpi.WrapLocalized(m, cal, ff, conformal.ResidualScore{}, alpha, len(cal.Queries)/4)
+		return cardpi.WrapLocalized(m, cal, ff, conformal.ResidualScore{}, alpha, len(cal.Queries)/4)
 	case "mondrian":
-		pi, err = cardpi.WrapMondrian(m, cal, func(q workload.Query) string {
+		return cardpi.WrapMondrian(m, cal, func(q workload.Query) string {
 			return fmt.Sprintf("%d-preds", len(q.Preds))
 		}, conformal.ResidualScore{}, alpha, 20)
+	case "cqr":
+		qlo, qhi, err := buildQuantileModels(modelName, tab, train, alpha, seed)
+		if err != nil {
+			return nil, err
+		}
+		return cardpi.WrapCQR(qlo, qhi, cal, alpha)
 	default:
-		return fmt.Errorf("unknown method %q", method)
+		return nil, fmt.Errorf("unknown method %q", method)
 	}
+}
+
+// buildQuantileModels trains the τ=α/2 and τ=1−α/2 pinball-loss variants of
+// the model family for CQR.
+func buildQuantileModels(modelName string, tab *dataset.Table, train *workload.Workload,
+	alpha float64, seed int64) (lo, hi cardpi.Estimator, err error) {
+	switch strings.ToLower(modelName) {
+	case "mscn":
+		f := mscn.NewSingleFeaturizer(tab)
+		cfg := mscn.Config{Epochs: 25, Seed: seed + 10}
+		if lo, err = mscn.TrainQuantile(f, train, alpha/2, cfg); err != nil {
+			return nil, nil, err
+		}
+		if hi, err = mscn.TrainQuantile(f, train, 1-alpha/2, cfg); err != nil {
+			return nil, nil, err
+		}
+		return lo, hi, nil
+	case "lwnn":
+		cfg := lwnn.Config{Epochs: 30, Seed: seed + 10}
+		if lo, err = lwnn.TrainQuantile(tab, train, alpha/2, cfg); err != nil {
+			return nil, nil, err
+		}
+		if hi, err = lwnn.TrainQuantile(tab, train, 1-alpha/2, cfg); err != nil {
+			return nil, nil, err
+		}
+		return lo, hi, nil
+	default:
+		return nil, nil, fmt.Errorf("model %q has no pinball-loss variant (cqr needs mscn or lwnn)", modelName)
+	}
+}
+
+func run(dsName, csvPath, modelName, method string, alpha float64, rows, queries int, seed int64, args []string) error {
+	s, err := buildSetup(dsName, csvPath, modelName, method, alpha, rows, queries, seed)
 	if err != nil {
 		return err
 	}
+	tab, m, pi := s.tab, s.model, s.pi
 
 	answer := func(line string) {
 		q, err := workload.ParseQuery(tab, line)

@@ -1,0 +1,215 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cardpi"
+	"cardpi/internal/conformal"
+	"cardpi/internal/dataset"
+	"cardpi/internal/obs"
+	"cardpi/internal/workload"
+)
+
+// runServe implements `cardpi serve`: the demo pipeline (dataset → model →
+// calibrated PI) behind a long-running HTTP server with
+//
+//	GET /estimate?q=...  point estimate + prediction interval as JSON
+//	GET /metrics         Prometheus text format (see OBSERVABILITY.md)
+//	GET /healthz         liveness probe
+//	/debug/pprof/        the standard pprof handlers
+//
+// Every /estimate answer is also fed back into a cardpi.Adaptive monitor
+// (the demo owns the ground-truth oracle, standing in for the executor's
+// actual row counts), so the drift/coverage telemetry is live from the
+// first request. The server shuts down gracefully on SIGINT/SIGTERM.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("cardpi serve", flag.ExitOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:8080", "listen address for /estimate, /metrics, and /debug/pprof")
+		dsName  = fs.String("dataset", "dmv", "dataset: dmv | census | forest | power")
+		rows    = fs.Int("rows", 20000, "dataset rows")
+		model   = fs.String("model", "spn", "estimator: spn | mscn | lwnn | naru | histogram")
+		method  = fs.String("method", "s-cp", "PI method: s-cp | lw-s-cp | lcp | mondrian | cqr (cqr: mscn/lwnn only)")
+		alpha   = fs.Float64("alpha", 0.1, "miscoverage level (coverage = 1-alpha)")
+		queries = fs.Int("queries", 2000, "training+calibration workload size")
+		seed    = fs.Int64("seed", 1, "random seed")
+		window  = fs.Int("window", 2000, "adaptive monitor's sliding calibration window (0 = unbounded)")
+		csvPath = fs.String("csv", "", "load the table from a CSV file instead of generating one")
+		drain   = fs.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
+	)
+	fs.Usage = func() {
+		out := fs.Output()
+		fmt.Fprintf(out, "usage: %s serve [flags]\n\n", os.Args[0])
+		fs.PrintDefaults()
+		fmt.Fprintf(out, "\n%s\n", comboHelp)
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q (serve takes queries over HTTP, not argv)", fs.Args())
+	}
+
+	setup, err := buildSetup(*dsName, *csvPath, *model, *method, *alpha, *rows, *queries, *seed)
+	if err != nil {
+		return err
+	}
+	srv, err := newServer(setup, *alpha, *window, *seed)
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.mux()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "serving %s/%s on http://%s (endpoints: /estimate /metrics /healthz /debug/pprof/)\n",
+			*model, *method, *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "shutting down...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("graceful shutdown: %w", err)
+	}
+	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// server holds the serving state: the instrumented PI answering requests
+// and the adaptive monitor fed by every answered query.
+type server struct {
+	tab      *dataset.Table
+	model    cardpi.Estimator
+	pi       cardpi.PI
+	adaptive *cardpi.Adaptive
+}
+
+// newServer instruments the calibrated PI on the default registry and
+// builds the adaptive drift monitor, seeded with the calibration workload.
+func newServer(s *demoSetup, alpha float64, window int, seed int64) (*server, error) {
+	adaptive, err := cardpi.NewAdaptive(s.model, s.cal, conformal.ResidualScore{}, cardpi.AdaptiveConfig{
+		Alpha:   alpha,
+		Window:  window,
+		Seed:    seed + 100,
+		Metrics: obs.Default(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &server{
+		tab:      s.tab,
+		model:    s.model,
+		pi:       cardpi.Instrument(s.pi, obs.Default()),
+		adaptive: adaptive,
+	}, nil
+}
+
+// mux wires the four endpoint groups.
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /estimate", s.handleEstimate)
+	mux.Handle("GET /metrics", obs.Default().Handler())
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// estimateResponse is the JSON answer of /estimate. Selectivity fields are
+// normalised to [0, 1]; row fields are cardinalities in [0, table rows].
+type estimateResponse struct {
+	Query    string  `json:"query"`
+	Method   string  `json:"method"`
+	EstSel   float64 `json:"estimate_selectivity"`
+	EstRows  float64 `json:"estimate_rows"`
+	LoSel    float64 `json:"interval_lo_selectivity"`
+	HiSel    float64 `json:"interval_hi_selectivity"`
+	LoRows   float64 `json:"interval_lo_rows"`
+	HiRows   float64 `json:"interval_hi_rows"`
+	TrueRows int64   `json:"true_rows"`
+	Covered  bool    `json:"covered"`
+	Drifted  bool    `json:"drifted"`
+	RollCov  float64 `json:"rolling_coverage"`
+}
+
+func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	line := r.URL.Query().Get("q")
+	if line == "" {
+		httpError(w, http.StatusBadRequest, "missing query parameter q, e.g. /estimate?q=state+%%3D+3")
+		return
+	}
+	q, err := workload.ParseQuery(s.tab, line)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parse %q: %v", line, err)
+		return
+	}
+	iv, err := s.pi.Interval(q)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "interval: %v", err)
+		return
+	}
+	truth, err := s.tab.Count(q.Preds)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "ground truth: %v", err)
+		return
+	}
+	n := int64(s.tab.NumRows())
+	trueSel := float64(truth) / float64(n)
+	// Feed the executed query back: this is the online-calibration loop of
+	// the paper's Section IV, and it drives the drift/coverage telemetry.
+	s.adaptive.Observe(q, trueSel)
+
+	cardIv := cardpi.CardinalityInterval(iv, n)
+	resp := estimateResponse{
+		Query:    line,
+		Method:   s.pi.Name(),
+		EstSel:   s.model.EstimateSelectivity(q),
+		LoSel:    iv.Lo,
+		HiSel:    iv.Hi,
+		LoRows:   cardIv.Lo,
+		HiRows:   cardIv.Hi,
+		TrueRows: truth,
+		Covered:  cardIv.Contains(float64(truth)),
+		Drifted:  s.adaptive.Drifted(),
+		RollCov:  s.adaptive.RollingCoverage(),
+	}
+	resp.EstRows = resp.EstSel * float64(n)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

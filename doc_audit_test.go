@@ -1,0 +1,131 @@
+package cardpi
+
+import (
+	"fmt"
+	"go/ast"
+	"go/doc"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+// TestPublicSurfaceIsDocumented enforces the godoc contract on the packages
+// that form the library's public surface: the root cardpi package and
+// internal/conformal (the algorithmic core users read when auditing the
+// guarantees). Every exported type, function, method, and struct field must
+// carry a doc comment; CI fails on new undocumented exports. The content
+// convention — state the units (normalised selectivity vs. cardinality/rows)
+// and the concurrency contract — is reviewed by humans, but presence is
+// enforced here.
+func TestPublicSurfaceIsDocumented(t *testing.T) {
+	for dir, importPath := range map[string]string{
+		".":                  "cardpi",
+		"internal/conformal": "cardpi/internal/conformal",
+	} {
+		missing, err := undocumentedExports(dir, importPath)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, m := range missing {
+			t.Errorf("%s: %s is exported but has no doc comment", importPath, m)
+		}
+	}
+}
+
+// undocumentedExports parses the package in dir (tests excluded) and
+// returns the exported declarations lacking a doc comment.
+func undocumentedExports(dir, importPath string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	for _, pkg := range pkgs {
+		d := doc.New(pkg, importPath, 0)
+		if strings.TrimSpace(d.Doc) == "" {
+			missing = append(missing, "package "+d.Name)
+		}
+		for _, f := range d.Funcs {
+			if strings.TrimSpace(f.Doc) == "" {
+				missing = append(missing, "func "+f.Name)
+			}
+		}
+		for _, v := range append(append([]*doc.Value(nil), d.Consts...), d.Vars...) {
+			if strings.TrimSpace(v.Doc) == "" {
+				missing = append(missing, "const/var group "+strings.Join(v.Names, ","))
+			}
+		}
+		for _, typ := range d.Types {
+			if strings.TrimSpace(typ.Doc) == "" {
+				missing = append(missing, "type "+typ.Name)
+			}
+			for _, f := range typ.Funcs {
+				if strings.TrimSpace(f.Doc) == "" {
+					missing = append(missing, "func "+f.Name)
+				}
+			}
+			for _, m := range typ.Methods {
+				if strings.TrimSpace(m.Doc) == "" {
+					missing = append(missing, fmt.Sprintf("method (%s).%s", typ.Name, m.Name))
+				}
+			}
+			for _, v := range append(append([]*doc.Value(nil), typ.Consts...), typ.Vars...) {
+				if strings.TrimSpace(v.Doc) == "" {
+					missing = append(missing, "const/var group "+strings.Join(v.Names, ","))
+				}
+			}
+			missing = append(missing, undocumentedFields(typ)...)
+		}
+	}
+	return missing, nil
+}
+
+// undocumentedFields reports exported struct fields of an exported type
+// that carry neither a doc comment nor a trailing line comment.
+func undocumentedFields(typ *doc.Type) []string {
+	var missing []string
+	for _, spec := range typ.Decl.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			if field.Doc.Text() != "" || field.Comment.Text() != "" {
+				continue
+			}
+			for _, name := range field.Names {
+				if name.IsExported() {
+					missing = append(missing, fmt.Sprintf("field %s.%s", typ.Name, name.Name))
+				}
+			}
+			// Exported embedded fields without names.
+			if len(field.Names) == 0 {
+				if id := embeddedName(field.Type); id != "" && ast.IsExported(id) {
+					missing = append(missing, fmt.Sprintf("embedded field %s.%s", typ.Name, id))
+				}
+			}
+		}
+	}
+	return missing
+}
+
+func embeddedName(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return embeddedName(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cardpi/internal/conformal"
+	"cardpi/internal/obs"
 	"cardpi/internal/par"
 	"cardpi/internal/workload"
 )
@@ -16,11 +17,20 @@ import (
 // MeanPITime and P99PITime describe the per-call latency distribution
 // rather than an average smeared over the whole loop.
 type Evaluation struct {
-	Name       string
-	Coverage   float64
-	Widths     conformal.WidthStats
+	// Name is the evaluated method's PI.Name() (e.g. "s-cp/spn").
+	Name string
+	// Coverage is the empirical fraction of test queries whose true
+	// selectivity fell inside the interval (target: 1-alpha).
+	Coverage float64
+	// Widths summarises the interval-width distribution in normalised
+	// selectivity units.
+	Widths conformal.WidthStats
+	// MeanPITime and P99PITime are the mean and nearest-rank 99th
+	// percentile of per-call Interval wall time; see EXPERIMENTS.md
+	// ("Reading the numbers") for how to interpret them.
 	MeanPITime time.Duration
-	P99PITime  time.Duration
+	// P99PITime is the per-call p99 latency companion to MeanPITime.
+	P99PITime time.Duration
 	// Intervals are the per-query intervals, aligned with the workload.
 	Intervals []Interval
 }
@@ -29,9 +39,23 @@ type Evaluation struct {
 // dispatched across a bounded worker pool — every PI implementation in this
 // package is safe for concurrent Interval calls — and Intervals stays in
 // workload order regardless of scheduling.
+//
+// Evaluate also publishes its results on the process-wide obs registry
+// (obs.Default()), labeled by the method's Name(): a run counter, the latest
+// coverage and mean width as gauges, and every per-query latency into the
+// cardpi_pi_latency_seconds histogram — unless pi is already Instrumented,
+// in which case the wrapper records latencies itself and Evaluate skips the
+// histogram to avoid double counting.
 func Evaluate(pi PI, test *workload.Workload) (*Evaluation, error) {
 	if test == nil || len(test.Queries) == 0 {
 		return nil, fmt.Errorf("cardpi: empty test workload")
+	}
+	method := obs.L("method", pi.Name())
+	reg := obs.Default()
+	var lat *obs.Histogram
+	if _, instrumented := pi.(*Instrumented); !instrumented {
+		lat = reg.Histogram("cardpi_pi_latency_seconds",
+			"Per-call PI.Interval latency in seconds, by method.", obs.LatencyBuckets, method)
 	}
 	intervals := make([]Interval, len(test.Queries))
 	truths := make([]float64, len(test.Queries))
@@ -41,6 +65,9 @@ func Evaluate(pi PI, test *workload.Workload) (*Evaluation, error) {
 		qStart := time.Now()
 		iv, err := pi.Interval(lq.Query)
 		times[i] = time.Since(qStart)
+		if lat != nil {
+			lat.Observe(times[i].Seconds())
+		}
 		if err != nil {
 			return err
 		}
@@ -59,6 +86,12 @@ func Evaluate(pi PI, test *workload.Workload) (*Evaluation, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg.Counter("cardpi_evaluate_runs_total",
+		"Completed Evaluate runs, by method.", method).Inc()
+	reg.Gauge("cardpi_evaluate_coverage",
+		"Empirical coverage of the most recent Evaluate run, by method.", method).Set(cov)
+	reg.Gauge("cardpi_evaluate_width_mean",
+		"Mean interval width (normalised selectivity) of the most recent Evaluate run, by method.", method).Set(widths.Mean)
 	mean, p99 := latencyStats(times)
 	return &Evaluation{
 		Name:       pi.Name(),

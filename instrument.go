@@ -1,0 +1,67 @@
+package cardpi
+
+import (
+	"time"
+
+	"cardpi/internal/obs"
+	"cardpi/internal/workload"
+)
+
+// Instrumented decorates a PI with observability: per-method call and error
+// counters and a latency histogram, published on an obs.Registry under the
+// metric families
+//
+//	cardpi_pi_calls_total{method=...}
+//	cardpi_pi_errors_total{method=...}
+//	cardpi_pi_latency_seconds{method=...}   (histogram)
+//
+// where method is the wrapped PI's Name() (e.g. "s-cp/spn"). Recording is
+// allocation-free — three atomic operations around the inner Interval call —
+// so wrapping does not disturb the hot path (see BenchmarkInstrumentedInterval).
+// Instrumented is safe for concurrent use whenever the wrapped PI is; every
+// PI in this package is safe for concurrent Interval calls.
+type Instrumented struct {
+	pi    PI
+	calls *obs.Counter
+	errs  *obs.Counter
+	lat   *obs.Histogram
+}
+
+// Instrument wraps pi with metric recording on reg (obs.Default() is the
+// registry `cardpi serve` exposes). The metric instruments are resolved once
+// here, never on the per-query path. Wrapping an already-Instrumented PI
+// returns it unchanged rather than double-counting.
+func Instrument(pi PI, reg *obs.Registry) *Instrumented {
+	if in, ok := pi.(*Instrumented); ok {
+		return in
+	}
+	method := obs.L("method", pi.Name())
+	return &Instrumented{
+		pi:    pi,
+		calls: reg.Counter("cardpi_pi_calls_total", "PI.Interval calls by method.", method),
+		errs:  reg.Counter("cardpi_pi_errors_total", "PI.Interval calls that returned an error, by method.", method),
+		lat: reg.Histogram("cardpi_pi_latency_seconds",
+			"Per-call PI.Interval latency in seconds, by method.", obs.LatencyBuckets, method),
+	}
+}
+
+// Name implements PI; it reports the wrapped method's name so instrumented
+// and bare wrappers are interchangeable in reports.
+func (in *Instrumented) Name() string { return in.pi.Name() }
+
+// Interval implements PI: it delegates to the wrapped method and records
+// the call count, latency, and error count. Units of the returned interval
+// are unchanged (normalised selectivity in [0, 1]).
+func (in *Instrumented) Interval(q workload.Query) (Interval, error) {
+	start := time.Now()
+	iv, err := in.pi.Interval(q)
+	in.lat.Observe(time.Since(start).Seconds())
+	in.calls.Inc()
+	if err != nil {
+		in.errs.Inc()
+	}
+	return iv, err
+}
+
+// Unwrap returns the underlying PI.
+func (in *Instrumented) Unwrap() PI { return in.pi }

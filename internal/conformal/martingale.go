@@ -21,6 +21,8 @@ import (
 // statistic; the Ville bound is exact for the raw martingale and a close
 // approximation for the restarted one.
 type PowerMartingale struct {
+	// Epsilon is the betting exponent in (0, 1); smaller values bet more
+	// aggressively on small p-values (0.1 is the usual default).
 	Epsilon float64
 	rng     *rand.Rand
 

@@ -23,8 +23,13 @@ func Coverage(intervals []Interval, truths []float64) (float64, error) {
 	return float64(hit) / float64(len(intervals)), nil
 }
 
-// WidthStats summarises the distribution of interval widths.
+// WidthStats summarises the distribution of interval widths, in the same
+// units as the intervals themselves (normalised selectivity in this
+// repository, so all fields lie in [0, 1] after clipping).
 type WidthStats struct {
+	// Mean, Median, P90, P95, P99, and Max are the named summary
+	// statistics of the width distribution; infinite widths count toward
+	// Max but are excluded from Mean.
 	Mean, Median, P90, P95, P99, Max float64
 }
 

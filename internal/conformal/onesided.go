@@ -10,9 +10,14 @@ import "fmt"
 // tail.
 
 // UpperBound is an additive one-sided bound: P(y <= pred + Delta) >= 1-alpha
-// under exchangeability.
+// under exchangeability. Immutable after calibration, so safe for
+// concurrent use.
 type UpperBound struct {
+	// Delta is the calibrated additive margin, in normalised selectivity
+	// units.
 	Delta float64
+	// Alpha is the one-sided miscoverage level the margin was calibrated
+	// at.
 	Alpha float64
 }
 
@@ -41,8 +46,12 @@ func (u *UpperBound) Bound(pred float64) float64 { return pred + u.Delta }
 // cardinalities spanning orders of magnitude (the construction Table 1's
 // per-template optimizer injection uses).
 type UpperFactor struct {
+	// Factor is the calibrated multiplicative margin (>= 0, unitless):
+	// the bound is pred * Factor in selectivity units.
 	Factor float64
-	Alpha  float64
+	// Alpha is the one-sided miscoverage level the factor was calibrated
+	// at.
+	Alpha float64
 }
 
 // CalibrateUpperFactor computes the conformal quantile of the ratios

@@ -72,8 +72,13 @@ func LowerQuantile(scores []float64, alpha float64) (float64, error) {
 	return sorted[k-1], nil
 }
 
-// Interval is a prediction interval [Lo, Hi].
+// Interval is a prediction interval [Lo, Hi]. Plain data, safe to copy and
+// to read concurrently. In this repository intervals are in normalised
+// selectivity units ([0, 1]) unless explicitly converted to cardinalities
+// (row counts) with cardpi.CardinalityInterval.
 type Interval struct {
+	// Lo and Hi are the closed endpoints, in the units of the score that
+	// calibrated them (normalised selectivity throughout this repository).
 	Lo, Hi float64
 }
 

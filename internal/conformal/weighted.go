@@ -64,6 +64,8 @@ func WeightedQuantile(scores, weights []float64, testWeight, alpha float64) (flo
 // WeightedSplitCP is a calibrated weighted split conformal predictor. The
 // threshold depends on the test point's weight, so it is computed per query.
 type WeightedSplitCP struct {
+	// Alpha is the miscoverage level: intervals target coverage 1-Alpha
+	// under the estimated covariate shift.
 	Alpha float64
 
 	score   Score

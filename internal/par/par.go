@@ -18,6 +18,20 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"cardpi/internal/obs"
+)
+
+// Pool telemetry, registered on the process-wide obs registry. Recording is
+// one atomic op per event, so the per-item cost is negligible next to the
+// work items themselves (interval production, fold training, labeling).
+var (
+	tasksTotal = obs.Default().Counter("cardpi_par_tasks_total",
+		"Work items executed by the internal/par bounded worker pool.")
+	queueDepth = obs.Default().IntGauge("cardpi_par_queue_depth",
+		"Work items submitted to the pool and not yet finished (queued + running).")
+	firstErrors = obs.Default().Counter("cardpi_par_first_errors_total",
+		"Pool batches (ForEach/Map calls) that completed with at least one failing item.")
 )
 
 // Pool bounds the number of goroutines used by ForEach and Map. The zero
@@ -52,6 +66,7 @@ func (p *Pool) ForEachWorker(n int, fn func(worker, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	queueDepth.Add(int64(n))
 	w := p.workers
 	if w > n {
 		w = n
@@ -61,9 +76,15 @@ func (p *Pool) ForEachWorker(n int, fn func(worker, i int) error) error {
 		var firstErr error
 		firstIdx := -1
 		for i := 0; i < n; i++ {
-			if err := fn(0, i); err != nil && firstIdx < 0 {
+			err := fn(0, i)
+			tasksTotal.Inc()
+			queueDepth.Add(-1)
+			if err != nil && firstIdx < 0 {
 				firstIdx, firstErr = i, err
 			}
+		}
+		if firstErr != nil {
+			firstErrors.Inc()
 		}
 		return firstErr
 	}
@@ -83,7 +104,10 @@ func (p *Pool) ForEachWorker(n int, fn func(worker, i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := fn(wi, i); err != nil {
+				err := fn(wi, i)
+				tasksTotal.Inc()
+				queueDepth.Add(-1)
+				if err != nil {
 					mu.Lock()
 					if firstIdx < 0 || i < firstIdx {
 						firstIdx, firstErr = i, err
@@ -94,6 +118,9 @@ func (p *Pool) ForEachWorker(n int, fn func(worker, i int) error) error {
 		}(wi)
 	}
 	wg.Wait()
+	if firstErr != nil {
+		firstErrors.Inc()
+	}
 	return firstErr
 }
 

@@ -124,3 +124,43 @@ func TestSequentialDegenerateCases(t *testing.T) {
 		t.Fatal("default pool must have at least one worker")
 	}
 }
+
+func TestPoolMetricsDeltas(t *testing.T) {
+	// The pool's metrics are process-wide counters on the default obs
+	// registry, so assert deltas rather than absolute values.
+	tasksBefore := tasksTotal.Value()
+	errsBefore := firstErrors.Value()
+	depthBefore := queueDepth.Value()
+
+	p := NewPool(4)
+	const n = 257
+	err := p.ForEach(n, func(i int) error {
+		if i == 100 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected the injected error")
+	}
+	if got := tasksTotal.Value() - tasksBefore; got != n {
+		t.Fatalf("tasksTotal delta = %d, want %d", got, n)
+	}
+	if got := firstErrors.Value() - errsBefore; got != 1 {
+		t.Fatalf("firstErrors delta = %d, want 1", got)
+	}
+	if got := queueDepth.Value(); got != depthBefore {
+		t.Fatalf("queueDepth = %d after completion, want %d", got, depthBefore)
+	}
+
+	// Error-free sequential batch: only tasksTotal moves.
+	if err := NewPool(1).ForEach(3, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := firstErrors.Value() - errsBefore; got != 1 {
+		t.Fatalf("firstErrors delta after clean batch = %d, want still 1", got)
+	}
+	if got := tasksTotal.Value() - tasksBefore; got != n+3 {
+		t.Fatalf("tasksTotal delta = %d, want %d", got, n+3)
+	}
+}

@@ -35,15 +35,27 @@ import (
 	"cardpi/internal/workload"
 )
 
-// Interval is a selectivity prediction interval.
+// Interval is a selectivity prediction interval: both endpoints are
+// normalised selectivities in [0, 1]. Convert to cardinality (row count)
+// units with CardinalityInterval.
 type Interval = conformal.Interval
 
-// Estimator is any black-box selectivity estimator.
+// Estimator is any black-box selectivity estimator: EstimateSelectivity
+// returns a normalised selectivity in [0, 1] (the estimated cardinality
+// divided by the table or join size). Estimators must be safe for
+// concurrent EstimateSelectivity calls — every model in this repository is.
 type Estimator = estimator.Estimator
 
-// PI produces a prediction interval for each query.
+// PI produces a prediction interval for each query, in normalised
+// selectivity units. Every wrapper constructed by this package is safe for
+// concurrent Interval calls: the static wrappers (SplitCP, LocallyWeighted,
+// CQR, Localized, Weighted, Mondrian, JackknifeCV) are immutable after
+// calibration, and Adaptive guards its mutable state with a mutex.
 type PI interface {
+	// Name identifies the method and model, e.g. "s-cp/spn".
 	Name() string
+	// Interval returns the query's prediction interval in normalised
+	// selectivity units ([0, 1] after clipping).
 	Interval(q workload.Query) (Interval, error)
 }
 

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# serve-smoke.sh — start `cardpi serve` on a small synthetic dataset, hit
+# /estimate and /metrics once, and assert HTTP 200 plus at least one
+# `cardpi_` metric series. Run via `make serve-smoke`; CI runs it on every
+# push so the serving stack can't silently rot.
+set -euo pipefail
+
+ADDR="${SMOKE_ADDR:-127.0.0.1:18080}"
+BIN="$(mktemp -d)/cardpi"
+LOG="$(mktemp)"
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -f "$BIN" "$LOG"' EXIT
+
+go build -o "$BIN" ./cmd/cardpi
+
+"$BIN" serve -addr "$ADDR" -rows 2000 -queries 300 -model histogram -method s-cp >"$LOG" 2>&1 &
+SERVE_PID=$!
+
+# Wait for readiness: model training takes a moment at this scale.
+for _ in $(seq 1 100); do
+  if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "serve-smoke: server exited early:" >&2
+    cat "$LOG" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+
+echo "serve-smoke: GET /estimate"
+curl -fsS "http://$ADDR/estimate?q=state+%3D+3" | tee /dev/stderr | grep -q '"covered"'
+
+echo "serve-smoke: GET /metrics"
+METRICS="$(curl -fsS "http://$ADDR/metrics")"
+SERIES="$(printf '%s\n' "$METRICS" | grep -c '^cardpi_')"
+if [ "$SERIES" -lt 1 ]; then
+  echo "serve-smoke: no cardpi_ series in /metrics" >&2
+  exit 1
+fi
+# The documented series families must all be present (OBSERVABILITY.md).
+for family in cardpi_pi_calls_total cardpi_pi_latency_seconds \
+  cardpi_adaptive_coverage cardpi_adaptive_width_mean \
+  cardpi_adaptive_drift_statistic cardpi_adaptive_drift_alarms_total \
+  cardpi_par_tasks_total cardpi_par_queue_depth; do
+  if ! printf '%s\n' "$METRICS" | grep -q "^$family"; then
+    echo "serve-smoke: missing metric family $family" >&2
+    exit 1
+  fi
+done
+
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID"
+echo "serve-smoke: OK ($SERIES cardpi_ series)"
