@@ -77,6 +77,10 @@ type Adaptive struct {
 	online *conformal.Online
 	mart   *conformal.PowerMartingale
 	score  conformal.Score
+	// alpha and window are kept for Recalibrate, which rebuilds the online
+	// calibration state with the original configuration.
+	alpha  float64
+	window int
 	// significance is the drift-alarm level (Ville threshold 1/significance).
 	significance float64
 
@@ -88,9 +92,11 @@ type Adaptive struct {
 	alarmed bool // last drift-alarm state, for edge-triggered counting
 
 	// Optional metric instruments (nil when AdaptiveConfig.Metrics is nil).
-	obsTotal    *obs.Counter
-	alarmsTotal *obs.Counter
-	widthHist   *obs.Histogram
+	obsTotal     *obs.Counter
+	alarmsTotal  *obs.Counter
+	droppedTotal *obs.Counter
+	recalTotal   *obs.Counter
+	widthHist    *obs.Histogram
 }
 
 // AdaptiveConfig configures NewAdaptive.
@@ -131,7 +137,8 @@ func NewAdaptive(model Estimator, initial *workload.Workload, score conformal.Sc
 	}
 	a := &Adaptive{
 		model: model, online: online, mart: mart,
-		score: score, significance: cfg.Significance,
+		score: score, alpha: cfg.Alpha, window: cfg.Window,
+		significance: cfg.Significance,
 	}
 	if cfg.Metrics != nil {
 		a.registerMetrics(cfg.Metrics)
@@ -156,6 +163,10 @@ func (a *Adaptive) registerMetrics(reg *obs.Registry) {
 		"True selectivities fed back via Adaptive.Observe.", model)
 	a.alarmsTotal = reg.Counter("cardpi_adaptive_drift_alarms_total",
 		"Drift-alarm activations: transitions of the martingale statistic across the Ville threshold.", model)
+	a.droppedTotal = reg.Counter("cardpi_adaptive_dropped_observations_total",
+		"Observations dropped because the prediction or truth was NaN/Inf.", model)
+	a.recalTotal = reg.Counter("cardpi_adaptive_recalibrations_total",
+		"Recalibrate calls: drift-alarm acknowledgements that reset the monitor.", model)
 	a.widthHist = reg.Histogram("cardpi_adaptive_interval_width",
 		"Widths of intervals produced by Adaptive.Interval, in normalised selectivity units.",
 		obs.WidthBuckets, model)
@@ -205,9 +216,17 @@ func (a *Adaptive) Interval(q workload.Query) (Interval, error) {
 
 // Observe feeds back a query's true selectivity (in [0, 1]) after
 // execution: the calibration set, the drift monitor, and the rolling
-// coverage telemetry are all updated. Safe for concurrent use.
+// coverage telemetry are all updated. Non-finite predictions or truths (a
+// diverged model, a corrupt oracle) are dropped rather than poisoning the
+// calibration scores. Safe for concurrent use.
 func (a *Adaptive) Observe(q workload.Query, trueSel float64) {
 	pred := a.model.EstimateSelectivity(q)
+	if math.IsNaN(pred) || math.IsInf(pred, 0) || math.IsNaN(trueSel) || math.IsInf(trueSel, 0) {
+		if a.droppedTotal != nil {
+			a.droppedTotal.Inc()
+		}
+		return
+	}
 	var alarmEdge bool
 	a.mu.Lock()
 	// Score the pre-update interval against the truth first: that is the
@@ -245,6 +264,41 @@ func (a *Adaptive) Drifted() bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.mart.Rejects(a.significance)
+}
+
+// Recalibrate acknowledges a drift alarm: it resets the exchangeability
+// monitor and the edge-triggered alarm latch, and — when wl is non-nil —
+// replaces the calibration scores with fresh labeled queries (selectivities
+// in [0, 1]) scored against the current model, exactly as NewAdaptive's
+// seeding pass does. With wl nil only the drift monitor resets and the
+// existing calibration scores are kept. After a successful Recalibrate the
+// alarm can fire again on renewed drift (the alarm counter is
+// edge-triggered per drift episode). Safe for concurrent use.
+func (a *Adaptive) Recalibrate(wl *workload.Workload) error {
+	a.mu.Lock()
+	if wl != nil {
+		online, err := conformal.NewOnline(a.score, a.alpha, a.window)
+		if err != nil {
+			a.mu.Unlock()
+			return err
+		}
+		a.online = online
+	}
+	a.mart.Reset()
+	a.alarmed = false
+	a.mu.Unlock()
+	if wl != nil {
+		for _, lq := range wl.Queries {
+			a.Observe(lq.Query, lq.Sel)
+		}
+	}
+	if a.CalibrationSize() == 0 {
+		return fmt.Errorf("cardpi: recalibration left an empty calibration set")
+	}
+	if a.recalTotal != nil {
+		a.recalTotal.Inc()
+	}
+	return nil
 }
 
 // DriftStatistic exposes the running maximum of the restarted log

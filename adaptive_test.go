@@ -5,6 +5,8 @@ import (
 
 	"cardpi/internal/conformal"
 	"cardpi/internal/dataset"
+	"cardpi/internal/faultinject"
+	"cardpi/internal/obs"
 	"cardpi/internal/workload"
 )
 
@@ -97,5 +99,83 @@ func TestCardinalityInterval(t *testing.T) {
 	clipped := CardinalityInterval(Interval{Lo: -0.5, Hi: 2}, 1000)
 	if clipped.Lo != 0 || clipped.Hi != 1000 {
 		t.Fatalf("clipped = %+v", clipped)
+	}
+}
+
+// TestAdaptiveDriftAlarmEdgeTriggered drives the drift monitor with a
+// deterministic stale-calibration fault (the model's predictions shift by a
+// constant bias mid-stream) and pins the alarm contract: the alarm counter
+// increments exactly once per drift episode no matter how long the drift
+// persists, Recalibrate resets the monitor and the latch, and a later,
+// distinct episode fires the alarm again.
+func TestAdaptiveDriftAlarmEdgeTriggered(t *testing.T) {
+	model, _, _, cal, test := fixture(t)
+	// Faults start only after NewAdaptive's seeding pass (one
+	// EstimateSelectivity call per calibration query), so calibration is
+	// clean and the live stream is stale — the drift scenario.
+	plan := faultinject.MustPlan(faultinject.Spec{
+		Seed: 7, Stale: 1, Bias: 0.4, After: uint64(len(cal.Queries)),
+	})
+	faulty := faultinject.WrapEstimator(model, plan)
+	reg := obs.NewRegistry()
+	a, err := NewAdaptive(faulty, cal, conformal.ResidualScore{},
+		AdaptiveConfig{Alpha: 0.1, Seed: 5, Significance: 0.01, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarms := reg.Counter("cardpi_adaptive_drift_alarms_total", "", obs.L("model", faulty.Name()))
+	recals := reg.Counter("cardpi_adaptive_recalibrations_total", "", obs.L("model", faulty.Name()))
+	if alarms.Value() != 0 {
+		t.Fatalf("alarm fired during clean seeding: %d", alarms.Value())
+	}
+
+	// Episode 1: the stale model serves biased predictions against honest
+	// truths. The alarm must fire — and fire exactly once, even though the
+	// drift persists for the whole phase.
+	phase1 := test.Queries[:200]
+	for _, lq := range phase1 {
+		a.Observe(lq.Query, lq.Sel)
+	}
+	if !a.Drifted() {
+		t.Fatalf("stale-calibration fault not detected; stat %v", a.DriftStatistic())
+	}
+	if got := alarms.Value(); got != 1 {
+		t.Fatalf("alarm counter = %d after a single persistent drift episode, want 1", got)
+	}
+	if plan.Injected(faultinject.Stale) == 0 {
+		t.Fatal("fault plan never injected a stale estimate")
+	}
+
+	// Recalibrate against the (still biased) model: scores become
+	// exchangeable again, the monitor and latch reset, the alarm stays at 1.
+	if err := a.Recalibrate(cal); err != nil {
+		t.Fatal(err)
+	}
+	if a.Drifted() {
+		t.Fatal("monitor still alarmed after Recalibrate")
+	}
+	if got := recals.Value(); got != 1 {
+		t.Fatalf("recalibration counter = %d, want 1", got)
+	}
+	for _, lq := range test.Queries[200:260] {
+		a.Observe(lq.Query, lq.Sel)
+	}
+	if a.Drifted() {
+		t.Fatalf("false alarm on a consistent post-recalibration stream; stat %v", a.DriftStatistic())
+	}
+	if got := alarms.Value(); got != 1 {
+		t.Fatalf("alarm counter = %d on a quiet stream, want still 1", got)
+	}
+
+	// Episode 2: a genuinely new drift (inverted truths) re-arms the edge
+	// trigger — the counter moves to exactly 2.
+	for _, lq := range test.Queries[260:] {
+		a.Observe(lq.Query, 1-lq.Sel)
+	}
+	if !a.Drifted() {
+		t.Fatalf("second drift episode not detected; stat %v", a.DriftStatistic())
+	}
+	if got := alarms.Value(); got != 2 {
+		t.Fatalf("alarm counter = %d after a second episode, want 2", got)
 	}
 }

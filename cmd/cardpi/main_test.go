@@ -82,7 +82,7 @@ func serveFixture(t *testing.T) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := newServer(setup, 0.1, 500, 1)
+	srv, err := newServer(setup, serveOpts{alpha: 0.1, window: 500, seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,8 +106,11 @@ func TestServeEstimateAndMetrics(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
 		t.Fatal(err)
 	}
-	if er.Method != "s-cp/histogram" {
+	if er.Method != "resilient/s-cp/histogram" {
 		t.Fatalf("method = %q", er.Method)
+	}
+	if er.ServedBy != "primary" || er.Degraded {
+		t.Fatalf("healthy chain served by %q (degraded=%v), want primary", er.ServedBy, er.Degraded)
 	}
 	if !(er.LoSel <= er.HiSel && er.LoSel >= 0 && er.HiSel <= 1) {
 		t.Fatalf("malformed selectivity interval [%v, %v]", er.LoSel, er.HiSel)

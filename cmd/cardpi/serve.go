@@ -6,27 +6,43 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"cardpi"
 	"cardpi/internal/conformal"
 	"cardpi/internal/dataset"
+	"cardpi/internal/histogram"
 	"cardpi/internal/obs"
 	"cardpi/internal/workload"
 )
 
+// maxQueryBytes bounds the q parameter: real predicates are tens of bytes,
+// so anything beyond this is garbage (or abuse) and is rejected before
+// parsing.
+const maxQueryBytes = 4096
+
 // runServe implements `cardpi serve`: the demo pipeline (dataset → model →
-// calibrated PI) behind a long-running HTTP server with
+// calibrated PI) behind a long-running, fault-tolerant HTTP server with
 //
 //	GET /estimate?q=...  point estimate + prediction interval as JSON
 //	GET /metrics         Prometheus text format (see OBSERVABILITY.md)
 //	GET /healthz         liveness probe
 //	/debug/pprof/        the standard pprof handlers
+//
+// Every /estimate request runs under a deadline (-timeout) through a
+// cardpi.Resilient fallback chain (learned PI → histogram split-CP →
+// fail-safe [0, 1], see RELIABILITY.md), behind bounded admission control:
+// at most -max-inflight requests execute concurrently, at most -max-queue
+// wait for a slot, and everything beyond that is shed with 429 and a
+// Retry-After header. Well-formed requests never see a 5xx — degraded
+// answers widen instead of failing.
 //
 // Every /estimate answer is also fed back into a cardpi.Adaptive monitor
 // (the demo owns the ground-truth oracle, standing in for the executor's
@@ -46,6 +62,12 @@ func runServe(args []string) error {
 		window  = fs.Int("window", 2000, "adaptive monitor's sliding calibration window (0 = unbounded)")
 		csvPath = fs.String("csv", "", "load the table from a CSV file instead of generating one")
 		drain   = fs.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
+
+		timeout     = fs.Duration("timeout", 2*time.Second, "per-request deadline for /estimate")
+		maxInflight = fs.Int("max-inflight", 64, "maximum concurrently executing /estimate requests")
+		maxQueue    = fs.Int("max-queue", 128, "maximum /estimate requests waiting for an execution slot; beyond this the server sheds with 429")
+		brFailures  = fs.Int("breaker-failures", 5, "consecutive primary-PI failures that trip the circuit breaker open")
+		brOpen      = fs.Duration("breaker-open", 5*time.Second, "how long an open breaker rejects the primary before probing it again")
 	)
 	fs.Usage = func() {
 		out := fs.Output()
@@ -64,7 +86,12 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv, err := newServer(setup, *alpha, *window, *seed)
+	srv, err := newServer(setup, serveOpts{
+		alpha: *alpha, window: *window, seed: *seed,
+		timeout: *timeout, maxInflight: *maxInflight, maxQueue: *maxQueue,
+		breakerFailures: *brFailures, breakerOpen: *brOpen,
+		metrics: obs.Default(),
+	})
 	if err != nil {
 		return err
 	}
@@ -97,40 +124,123 @@ func runServe(args []string) error {
 	return nil
 }
 
-// server holds the serving state: the instrumented PI answering requests
-// and the adaptive monitor fed by every answered query.
-type server struct {
-	tab      *dataset.Table
-	model    cardpi.Estimator
-	pi       cardpi.PI
-	adaptive *cardpi.Adaptive
+// serveOpts carries the serving knobs from flags into newServer; tests
+// construct it directly with tight limits to exercise shedding and
+// deadlines deterministically.
+type serveOpts struct {
+	alpha           float64
+	window          int
+	seed            int64
+	timeout         time.Duration
+	maxInflight     int
+	maxQueue        int
+	breakerFailures int
+	breakerOpen     time.Duration
+	metrics         *obs.Registry
 }
 
-// newServer instruments the calibrated PI on the default registry and
-// builds the adaptive drift monitor, seeded with the calibration workload.
-func newServer(s *demoSetup, alpha float64, window int, seed int64) (*server, error) {
+// server holds the serving state: the resilient PI chain answering requests,
+// the adaptive monitor fed by every answered query, and the admission
+// control that bounds concurrency.
+type server struct {
+	tab       *dataset.Table
+	model     cardpi.Estimator
+	resilient *cardpi.Resilient
+	adaptive  *cardpi.Adaptive
+	timeout   time.Duration
+
+	// Admission control: sem holds the execution slots; waiters counts
+	// requests queued for a slot, bounded by maxQueue.
+	sem      chan struct{}
+	waiters  atomic.Int64
+	maxQueue int64
+
+	reqOK          *obs.Counter
+	reqBad         *obs.Counter
+	reqShed        *obs.Counter
+	shed           *obs.Counter
+	inflight       *obs.IntGauge
+	lat            *obs.Histogram
+	metricsHandler http.Handler
+}
+
+// newServer assembles the fault-tolerant serving chain around the
+// calibrated PI:
+//
+//	Resilient( Instrument(primary), fallback: histogram split-CP, failsafe: [0,1] )
+//
+// The primary keeps its Instrumented wrapper so the cardpi_pi_* families
+// stay live; the fallback is a split-CP interval around a plain histogram
+// estimator calibrated at alpha/2 — cheap, allocation-light, and with no
+// failure modes of its own — so a sick primary degrades to wider intervals
+// rather than errors. The adaptive drift monitor is seeded with the
+// calibration workload, exactly as before.
+func newServer(s *demoSetup, o serveOpts) (*server, error) {
+	if o.metrics == nil {
+		o.metrics = obs.Default()
+	}
+	if o.maxInflight <= 0 {
+		o.maxInflight = 64
+	}
+	if o.timeout <= 0 {
+		o.timeout = 2 * time.Second
+	}
 	adaptive, err := cardpi.NewAdaptive(s.model, s.cal, conformal.ResidualScore{}, cardpi.AdaptiveConfig{
-		Alpha:   alpha,
-		Window:  window,
-		Seed:    seed + 100,
-		Metrics: obs.Default(),
+		Alpha:   o.alpha,
+		Window:  o.window,
+		Seed:    o.seed + 100,
+		Metrics: o.metrics,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &server{
-		tab:      s.tab,
-		model:    s.model,
-		pi:       cardpi.Instrument(s.pi, obs.Default()),
-		adaptive: adaptive,
-	}, nil
+	fbModel := histogram.NewSingle(s.tab, histogram.Config{})
+	fallback, err := cardpi.WrapSplitCP(fbModel, s.cal, conformal.ResidualScore{}, o.alpha/2)
+	if err != nil {
+		return nil, err
+	}
+	resilient, err := cardpi.NewResilient(cardpi.Instrument(s.pi, o.metrics), cardpi.ResilientConfig{
+		Fallbacks:        []cardpi.PI{fallback},
+		FailureThreshold: o.breakerFailures,
+		OpenFor:          o.breakerOpen,
+		Metrics:          o.metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv := &server{
+		tab:       s.tab,
+		model:     s.model,
+		resilient: resilient,
+		adaptive:  adaptive,
+		timeout:   o.timeout,
+		sem:       make(chan struct{}, o.maxInflight),
+		maxQueue:  int64(o.maxQueue),
+	}
+	// Resolve (and thereby pre-create, so /metrics shows the families at 0
+	// before any traffic) the serving instruments.
+	srv.reqOK = o.metrics.Counter("cardpi_serve_requests_total",
+		"Completed /estimate requests by response class.", obs.L("class", "ok"))
+	srv.reqBad = o.metrics.Counter("cardpi_serve_requests_total",
+		"Completed /estimate requests by response class.", obs.L("class", "bad_request"))
+	srv.reqShed = o.metrics.Counter("cardpi_serve_requests_total",
+		"Completed /estimate requests by response class.", obs.L("class", "shed"))
+	srv.shed = o.metrics.Counter("cardpi_serve_shed_total",
+		"Requests rejected by admission control (429 + Retry-After).")
+	srv.inflight = o.metrics.IntGauge("cardpi_serve_inflight",
+		"/estimate requests currently holding an execution slot.")
+	srv.lat = o.metrics.Histogram("cardpi_serve_request_seconds",
+		"End-to-end /estimate latency in seconds, admission wait included.", obs.LatencyBuckets)
+	srv.metricsHandler = o.metrics.Handler()
+	return srv, nil
 }
 
-// mux wires the four endpoint groups.
-func (s *server) mux() *http.ServeMux {
+// mux wires the four endpoint groups. Request bodies are irrelevant to every
+// endpoint (queries travel in the URL), so they are capped hard.
+func (s *server) mux() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /estimate", s.handleEstimate)
-	mux.Handle("GET /metrics", obs.Default().Handler())
+	mux.Handle("GET /metrics", s.metricsHandler)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -140,14 +250,42 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
+	return http.MaxBytesHandler(mux, maxQueryBytes)
+}
+
+// admit implements load shedding: take an execution slot immediately if one
+// is free; otherwise join the bounded wait queue until a slot frees or the
+// request context dies. Returns a release func and true on admission, or
+// (nil, false) when the request must be shed.
+func (s *server) admit(ctx context.Context) (release func(), ok bool) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	default:
+	}
+	if s.waiters.Add(1) > s.maxQueue {
+		s.waiters.Add(-1)
+		return nil, false
+	}
+	defer s.waiters.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	case <-ctx.Done():
+		return nil, false
+	}
 }
 
 // estimateResponse is the JSON answer of /estimate. Selectivity fields are
 // normalised to [0, 1]; row fields are cardinalities in [0, table rows].
+// ServedBy names the chain stage that produced the interval ("primary",
+// "fallback-N", or "failsafe"); Degraded is true whenever it was not the
+// primary.
 type estimateResponse struct {
 	Query    string  `json:"query"`
 	Method   string  `json:"method"`
+	ServedBy string  `json:"served_by"`
+	Degraded bool    `json:"degraded"`
 	EstSel   float64 `json:"estimate_selectivity"`
 	EstRows  float64 `json:"estimate_rows"`
 	LoSel    float64 `json:"interval_lo_selectivity"`
@@ -161,55 +299,151 @@ type estimateResponse struct {
 }
 
 func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
-	line := r.URL.Query().Get("q")
+	start := time.Now()
+	release, ok := s.admit(r.Context())
+	if !ok {
+		s.shed.Inc()
+		s.reqShed.Inc()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "overloaded",
+			"server at capacity; retry after the indicated delay")
+		return
+	}
+	defer release()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	defer func() { s.lat.Observe(time.Since(start).Seconds()) }()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+
+	values := r.URL.Query()
+	if !values.Has("q") {
+		s.reqBad.Inc()
+		httpError(w, http.StatusBadRequest, "missing_query",
+			"missing query parameter q, e.g. /estimate?q=state+%%3D+3")
+		return
+	}
+	line := values.Get("q")
 	if line == "" {
-		httpError(w, http.StatusBadRequest, "missing query parameter q, e.g. /estimate?q=state+%%3D+3")
+		s.reqBad.Inc()
+		httpError(w, http.StatusBadRequest, "empty_query", "query parameter q is empty")
+		return
+	}
+	if len(line) > maxQueryBytes {
+		s.reqBad.Inc()
+		httpError(w, http.StatusBadRequest, "query_too_long",
+			"query parameter q exceeds %d bytes", maxQueryBytes)
 		return
 	}
 	q, err := workload.ParseQuery(s.tab, line)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "parse %q: %v", line, err)
+		s.reqBad.Inc()
+		httpError(w, http.StatusBadRequest, "parse_error", "parse %q: %v", line, err)
 		return
 	}
-	iv, err := s.pi.Interval(q)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "interval: %v", err)
-		return
-	}
-	truth, err := s.tab.Count(q.Preds)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "ground truth: %v", err)
-		return
-	}
+
+	// The resilient chain never fails: a sick primary degrades through the
+	// fallback stages down to the fail-safe full-domain interval.
+	iv, depth := s.resilient.IntervalDepthCtx(ctx, q)
+
+	// The demo owns the oracle, so it can score itself; a panicking or
+	// erroring model/oracle degrades the telemetry fields, never the reply.
+	truth, truthOK := s.groundTruth(q)
 	n := int64(s.tab.NumRows())
-	trueSel := float64(truth) / float64(n)
-	// Feed the executed query back: this is the online-calibration loop of
-	// the paper's Section IV, and it drives the drift/coverage telemetry.
-	s.adaptive.Observe(q, trueSel)
+	est := s.safeEstimate(q)
+	if truthOK {
+		s.safeObserve(q, float64(truth)/float64(n))
+	}
 
 	cardIv := cardpi.CardinalityInterval(iv, n)
 	resp := estimateResponse{
 		Query:    line,
-		Method:   s.pi.Name(),
-		EstSel:   s.model.EstimateSelectivity(q),
+		Method:   s.resilient.Name(),
+		ServedBy: s.stageName(depth),
+		Degraded: depth > 0,
+		EstSel:   est,
+		EstRows:  est * float64(n),
 		LoSel:    iv.Lo,
 		HiSel:    iv.Hi,
 		LoRows:   cardIv.Lo,
 		HiRows:   cardIv.Hi,
-		TrueRows: truth,
-		Covered:  cardIv.Contains(float64(truth)),
+		TrueRows: -1,
 		Drifted:  s.adaptive.Drifted(),
 		RollCov:  s.adaptive.RollingCoverage(),
 	}
-	resp.EstRows = resp.EstSel * float64(n)
+	if truthOK {
+		resp.TrueRows = truth
+		resp.Covered = cardIv.Contains(float64(truth))
+	}
+	s.reqOK.Inc()
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(resp)
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+// stageName renders a fallback depth for the served_by field.
+func (s *server) stageName(depth int) string {
+	switch {
+	case depth == 0:
+		return "primary"
+	case depth >= s.resilient.FailsafeDepth():
+		return "failsafe"
+	default:
+		return fmt.Sprintf("fallback-%d", depth)
+	}
+}
+
+// groundTruth counts the true rows, absorbing oracle errors and panics —
+// the reply then just omits the self-scoring fields.
+func (s *server) groundTruth(q workload.Query) (truth int64, ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	t, err := s.tab.Count(q.Preds)
+	if err != nil {
+		return 0, false
+	}
+	return t, true
+}
+
+// safeEstimate is the model's point estimate with panics and non-finite
+// values absorbed: a down or NaN-spewing model yields the sentinel -1
+// (encoding/json cannot marshal NaN/Inf, and the interval fields are what
+// callers should trust anyway).
+func (s *server) safeEstimate(q workload.Query) (est float64) {
+	defer func() {
+		if recover() != nil {
+			est = -1
+		}
+	}()
+	est = s.model.EstimateSelectivity(q)
+	if math.IsNaN(est) || math.IsInf(est, 0) {
+		est = -1
+	}
+	return est
+}
+
+// safeObserve feeds the adaptive monitor, absorbing model panics (Observe
+// itself already drops non-finite inputs).
+func (s *server) safeObserve(q workload.Query, trueSel float64) {
+	defer func() { _ = recover() }()
+	s.adaptive.Observe(q, trueSel)
+}
+
+// httpError writes a structured JSON error: {"error": {"code", "message"}}.
+// Machine-readable codes let clients branch without parsing prose.
+func httpError(w http.ResponseWriter, status int, code, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.WriteHeader(status)
+	type errBody struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	}
+	_ = json.NewEncoder(w).Encode(map[string]errBody{
+		"error": {Code: code, Message: fmt.Sprintf(format, args...)},
+	})
 }

@@ -1,0 +1,282 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cardpi"
+	"cardpi/internal/conformal"
+	"cardpi/internal/dataset"
+	"cardpi/internal/faultinject"
+	"cardpi/internal/histogram"
+	"cardpi/internal/obs"
+	"cardpi/internal/workload"
+)
+
+// smallSetup builds a light demoSetup (histogram model, s-cp) directly, so
+// serve tests can swap in faulty or blocking PIs without retraining.
+func smallSetup(t *testing.T) *demoSetup {
+	t.Helper()
+	tab, err := dataset.GenerateDMV(dataset.GenConfig{Rows: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.Generate(tab, workload.Config{Count: 400, Seed: 2, MinPreds: 1, MaxPreds: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := wl.Split(3, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, cal := parts[0], parts[1]
+	m := histogram.NewSingle(tab, histogram.Config{})
+	pi, err := cardpi.WrapSplitCP(m, cal, conformal.ResidualScore{}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &demoSetup{tab: tab, model: m, pi: pi, train: train, cal: cal}
+}
+
+// startServer spins the handler stack on httptest with a private registry.
+func startServer(t *testing.T, setup *demoSetup, o serveOpts) (*httptest.Server, *server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	o.metrics = reg
+	if o.alpha == 0 {
+		o.alpha = 0.1
+	}
+	srv, err := newServer(setup, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(ts.Close)
+	return ts, srv, reg
+}
+
+// errorBody mirrors httpError's structured JSON shape.
+type errorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func TestServeValidationStructuredErrors(t *testing.T) {
+	ts, _, _ := startServer(t, smallSetup(t), serveOpts{})
+	longQ := strings.Repeat("a", maxQueryBytes+1)
+	cases := []struct {
+		name, path, code string
+	}{
+		{"missing q", "/estimate", "missing_query"},
+		{"empty q", "/estimate?q=", "empty_query"},
+		{"oversized q", "/estimate?q=" + longQ, "query_too_long"},
+		{"unparsable q", "/estimate?q=definitely+not+sql", "parse_error"},
+		{"unknown column", "/estimate?q=no_such_column+%3D+1", "parse_error"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, err := http.Get(ts.URL + c.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400", resp.StatusCode)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("Content-Type = %q", ct)
+			}
+			var eb errorBody
+			if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+				t.Fatalf("error body is not structured JSON: %v", err)
+			}
+			if eb.Error.Code != c.code {
+				t.Fatalf("error code = %q, want %q", eb.Error.Code, c.code)
+			}
+			if eb.Error.Message == "" {
+				t.Fatal("error message is empty")
+			}
+		})
+	}
+}
+
+// blockingPI parks inside Interval until released (or the context dies),
+// signalling entry — the deterministic way to hold an execution slot.
+type blockingPI struct {
+	inner   cardpi.PI
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingPI) Name() string { return b.inner.Name() }
+func (b *blockingPI) Interval(q workload.Query) (cardpi.Interval, error) {
+	return b.IntervalCtx(context.Background(), q)
+}
+func (b *blockingPI) IntervalCtx(ctx context.Context, q workload.Query) (cardpi.Interval, error) {
+	select {
+	case b.entered <- struct{}{}:
+	default:
+	}
+	select {
+	case <-b.release:
+	case <-ctx.Done():
+		return cardpi.Interval{}, ctx.Err()
+	}
+	return b.inner.Interval(q)
+}
+
+func TestServeShedsWhenSaturated(t *testing.T) {
+	setup := smallSetup(t)
+	bp := &blockingPI{inner: setup.pi, entered: make(chan struct{}, 1), release: make(chan struct{})}
+	setup.pi = bp
+	ts, _, reg := startServer(t, setup, serveOpts{
+		maxInflight: 1, maxQueue: 0, timeout: 5 * time.Second,
+	})
+
+	// Request 1 occupies the single execution slot.
+	type result struct {
+		code int
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/estimate?q=state+%3D+3")
+		if err != nil {
+			done <- result{0, err}
+			return
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		done <- result{resp.StatusCode, nil}
+	}()
+	select {
+	case <-bp.entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("first request never reached the PI")
+	}
+
+	// With the slot held and a zero-length queue, request 2 must be shed.
+	resp, err := http.Get(ts.URL + "/estimate?q=state+%3D+3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated server returned %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without a Retry-After header")
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Error.Code != "overloaded" {
+		t.Fatalf("shed body = %+v, %v; want code overloaded", eb, err)
+	}
+	if got := reg.Counter("cardpi_serve_shed_total", "").Value(); got != 1 {
+		t.Fatalf("cardpi_serve_shed_total = %d, want 1", got)
+	}
+
+	// Releasing the slot lets request 1 finish normally.
+	close(bp.release)
+	r := <-done
+	if r.err != nil || r.code != http.StatusOK {
+		t.Fatalf("blocked request finished with %d, %v; want 200", r.code, r.err)
+	}
+}
+
+// TestServeChaosNo5xx is the serving half of the acceptance chaos test: with
+// deterministic mixed faults injected into both the PI chain (20%:
+// error/panic/latency/NaN) and the point-estimate model (NaN + panics), every
+// well-formed request gets a 200 with a finite, ordered, in-domain interval,
+// and the degradation is observable on /metrics.
+func TestServeChaosNo5xx(t *testing.T) {
+	setup := smallSetup(t)
+	piPlan := faultinject.MustPlan(faultinject.Spec{
+		Seed: 17, Error: 0.05, Panic: 0.05, Latency: 0.05, NaN: 0.05,
+		Delay: time.Millisecond,
+	})
+	setup.pi = faultinject.WrapPI(setup.pi, piPlan)
+	// Model faults start after the adaptive monitor's seeding pass (one
+	// estimate per calibration query), so setup stays clean and only live
+	// traffic sees them.
+	modelPlan := faultinject.MustPlan(faultinject.Spec{
+		Seed: 23, NaN: 0.1, Panic: 0.1, After: uint64(len(setup.cal.Queries)),
+	})
+	setup.model = faultinject.WrapEstimator(setup.model, modelPlan)
+	ts, srv, _ := startServer(t, setup, serveOpts{timeout: time.Second})
+
+	const n = 300
+	degraded := 0
+	for i := 0; i < n; i++ {
+		resp, err := http.Get(ts.URL + "/estimate?q=state+%3D+3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			t.Fatalf("request %d: status %d under faults (body %s), want 200", i, resp.StatusCode, body)
+		}
+		var er estimateResponse
+		err = json.NewDecoder(resp.Body).Decode(&er)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("request %d: undecodable body: %v", i, err)
+		}
+		for _, v := range []float64{er.LoSel, er.HiSel, er.LoRows, er.HiRows} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("request %d: non-finite interval field in %+v", i, er)
+			}
+		}
+		if er.LoSel > er.HiSel || er.LoSel < 0 || er.HiSel > 1 {
+			t.Fatalf("request %d: malformed interval [%v, %v]", i, er.LoSel, er.HiSel)
+		}
+		if er.Degraded {
+			degraded++
+		}
+	}
+	if degraded == 0 {
+		t.Fatal("300 requests at 20% fault rate never degraded — faults not reaching the chain")
+	}
+	for _, k := range []faultinject.Kind{faultinject.Error, faultinject.Panic, faultinject.Latency, faultinject.NaN} {
+		if piPlan.Injected(k) == 0 {
+			t.Fatalf("PI fault plan never injected %v", k)
+		}
+	}
+
+	// The degradation must be visible on /metrics.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	name := srv.resilient.Name()
+	for _, want := range []string{
+		fmt.Sprintf(`cardpi_serve_requests_total{class="ok"} %d`, n),
+		`cardpi_serve_shed_total 0`,
+		`cardpi_serve_inflight 0`,
+		`cardpi_serve_request_seconds_bucket`,
+		fmt.Sprintf(`cardpi_resilient_calls_total{pi="%s"} %d`, name, n),
+		fmt.Sprintf(`cardpi_resilient_served_total{pi="%s",stage="1"}`, name),
+		fmt.Sprintf(`cardpi_resilient_recovered_panics_total{pi="%s"}`, name),
+		fmt.Sprintf(`cardpi_resilient_breaker_state{pi="%s"}`, name),
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

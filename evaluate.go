@@ -1,6 +1,7 @@
 package cardpi
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -47,6 +48,14 @@ type Evaluation struct {
 // in which case the wrapper records latencies itself and Evaluate skips the
 // histogram to avoid double counting.
 func Evaluate(pi PI, test *workload.Workload) (*Evaluation, error) {
+	return EvaluateCtx(context.Background(), pi, test)
+}
+
+// EvaluateCtx is Evaluate under a context: each per-query Interval call goes
+// through the IntervalCtx shim (context-aware PIs see the deadline), workers
+// stop dispatching once ctx is cancelled, and the evaluation returns
+// ctx.Err(). Units and metrics behaviour match Evaluate.
+func EvaluateCtx(ctx context.Context, pi PI, test *workload.Workload) (*Evaluation, error) {
 	if test == nil || len(test.Queries) == 0 {
 		return nil, fmt.Errorf("cardpi: empty test workload")
 	}
@@ -61,9 +70,12 @@ func Evaluate(pi PI, test *workload.Workload) (*Evaluation, error) {
 	truths := make([]float64, len(test.Queries))
 	times := make([]time.Duration, len(test.Queries))
 	err := par.ForEach(len(test.Queries), func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		lq := test.Queries[i]
 		qStart := time.Now()
-		iv, err := pi.Interval(lq.Query)
+		iv, err := IntervalCtx(ctx, pi, lq.Query)
 		times[i] = time.Since(qStart)
 		if lat != nil {
 			lat.Observe(times[i].Seconds())

@@ -1,6 +1,7 @@
 package cardpi
 
 import (
+	"context"
 	"time"
 
 	"cardpi/internal/obs"
@@ -55,6 +56,21 @@ func (in *Instrumented) Name() string { return in.pi.Name() }
 func (in *Instrumented) Interval(q workload.Query) (Interval, error) {
 	start := time.Now()
 	iv, err := in.pi.Interval(q)
+	in.lat.Observe(time.Since(start).Seconds())
+	in.calls.Inc()
+	if err != nil {
+		in.errs.Inc()
+	}
+	return iv, err
+}
+
+// IntervalCtx implements ContextPI: it forwards the context to the wrapped
+// PI (via the IntervalCtx shim, so plain PIs keep working) and records the
+// same call/latency/error metrics as Interval. Cancellations and deadline
+// expiries count as errors.
+func (in *Instrumented) IntervalCtx(ctx context.Context, q workload.Query) (Interval, error) {
+	start := time.Now()
+	iv, err := IntervalCtx(ctx, in.pi, q)
 	in.lat.Observe(time.Since(start).Seconds())
 	in.calls.Inc()
 	if err != nil {

@@ -76,6 +76,18 @@ func (m *PowerMartingale) Observe(score float64) float64 {
 	return p
 }
 
+// Reset clears the observed score history and every detection statistic,
+// restarting the martingale from scratch — the acknowledgement step after a
+// drift alarm has been acted on (recalibration or retraining). The
+// tie-breaking RNG keeps its stream, so a Reset does not replay the same
+// randomisation.
+func (m *PowerMartingale) Reset() {
+	m.past = m.past[:0]
+	m.logM = 0
+	m.cusum = 0
+	m.maxCusum = 0
+}
+
 // LogValue returns the current log value of the raw power martingale.
 func (m *PowerMartingale) LogValue() float64 { return m.logM }
 

@@ -89,17 +89,34 @@ func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
 func (iv Interval) Contains(y float64) bool { return y >= iv.Lo && y <= iv.Hi }
 
 // Clip restricts the interval to [lo, hi] — the paper clips cardinality
-// intervals to [0, N], the minimum and maximum possible cardinalities.
+// intervals to [0, N], the minimum and maximum possible cardinalities — and
+// normalises malformed endpoints instead of propagating them: a NaN endpoint
+// widens conservatively to the corresponding domain bound (NaN carries no
+// information, so the only safe reading is "anywhere in the domain"), and
+// inverted finite bounds (Lo > Hi, e.g. from a diverged quantile pair) are
+// swapped. The result is always finite and ordered with lo <= Lo <= Hi <= hi.
 func (iv Interval) Clip(lo, hi float64) Interval {
 	out := iv
+	if math.IsNaN(out.Lo) {
+		out.Lo = lo
+	}
+	if math.IsNaN(out.Hi) {
+		out.Hi = hi
+	}
+	if out.Lo > out.Hi {
+		out.Lo, out.Hi = out.Hi, out.Lo
+	}
 	if out.Lo < lo {
 		out.Lo = lo
+	}
+	if out.Lo > hi {
+		out.Lo = hi
 	}
 	if out.Hi > hi {
 		out.Hi = hi
 	}
-	if out.Lo > out.Hi {
-		out.Lo = out.Hi
+	if out.Hi < lo {
+		out.Hi = lo
 	}
 	return out
 }

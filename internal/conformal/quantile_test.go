@@ -89,6 +89,40 @@ func TestIntervalMethods(t *testing.T) {
 	}
 }
 
+// TestClipNormalizesMalformedEndpoints pins the sanitization contract: Clip
+// never propagates NaN, never returns an inverted or out-of-domain interval,
+// and widens conservatively (to the domain bound) when an endpoint carries
+// no information.
+func TestClipNormalizesMalformedEndpoints(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name     string
+		in, want Interval
+	}{
+		{"inside", Interval{Lo: 0.2, Hi: 0.4}, Interval{Lo: 0.2, Hi: 0.4}},
+		{"clamps both ends", Interval{Lo: -1, Hi: 9}, Interval{Lo: 0, Hi: 1}},
+		{"above domain collapses", Interval{Lo: 8, Hi: 9}, Interval{Lo: 1, Hi: 1}},
+		{"below domain collapses", Interval{Lo: -9, Hi: -8}, Interval{Lo: 0, Hi: 0}},
+		{"inverted bounds swap", Interval{Lo: 0.8, Hi: 0.2}, Interval{Lo: 0.2, Hi: 0.8}},
+		{"inverted and out of domain", Interval{Lo: 2, Hi: -1}, Interval{Lo: 0, Hi: 1}},
+		{"NaN lo widens to domain min", Interval{Lo: nan, Hi: 0.3}, Interval{Lo: 0, Hi: 0.3}},
+		{"NaN hi widens to domain max", Interval{Lo: 0.3, Hi: nan}, Interval{Lo: 0.3, Hi: 1}},
+		{"NaN both is the full domain", Interval{Lo: nan, Hi: nan}, Interval{Lo: 0, Hi: 1}},
+		{"+Inf hi clamps", Interval{Lo: 0.1, Hi: inf}, Interval{Lo: 0.1, Hi: 1}},
+		{"-Inf lo clamps", Interval{Lo: -inf, Hi: 0.1}, Interval{Lo: 0, Hi: 0.1}},
+		{"Inf inverted normalises", Interval{Lo: inf, Hi: -inf}, Interval{Lo: 0, Hi: 1}},
+	}
+	for _, tc := range cases {
+		got := tc.in.Clip(0, 1)
+		if got != tc.want {
+			t.Errorf("%s: Clip(%+v) = %+v, want %+v", tc.name, tc.in, got, tc.want)
+		}
+		if math.IsNaN(got.Lo) || math.IsNaN(got.Hi) || got.Lo > got.Hi || got.Lo < 0 || got.Hi > 1 {
+			t.Errorf("%s: Clip(%+v) = %+v is not finite/ordered/in-domain", tc.name, tc.in, got)
+		}
+	}
+}
+
 // Property: for every score type, the interval built from a (pred, truth)
 // pair's own score always contains the truth — the inversion identity that
 // makes conformal calibration valid.

@@ -23,6 +23,7 @@
 package cardpi
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -57,6 +58,59 @@ type PI interface {
 	// Interval returns the query's prediction interval in normalised
 	// selectivity units ([0, 1] after clipping).
 	Interval(q workload.Query) (Interval, error)
+}
+
+// ContextPI is the context-aware extension of PI, implemented by wrappers
+// that honour cancellation and deadlines (Resilient, Instrumented, and any
+// faultinject decorator). IntervalCtx must return promptly once ctx is done;
+// interval units are unchanged (normalised selectivity in [0, 1]). Plain PIs
+// remain fully supported — call sites use the IntervalCtx package function,
+// which shims ctx for implementations that predate this interface.
+type ContextPI interface {
+	PI
+	// IntervalCtx is Interval under a context: it returns ctx.Err() (and a
+	// zero interval) when the context is cancelled or past its deadline.
+	IntervalCtx(ctx context.Context, q workload.Query) (Interval, error)
+}
+
+// IntervalCtx invokes pi with the context when the implementation supports
+// it, and otherwise falls back to a pre-call cancellation check followed by
+// the plain Interval — the compatibility shim that lets deadline-aware
+// callers (the serve path, EvaluateCtx) consume every existing PI unchanged.
+// The shim adds no heap allocations. Safe for concurrent use whenever pi is.
+func IntervalCtx(ctx context.Context, pi PI, q workload.Query) (Interval, error) {
+	if cp, ok := pi.(ContextPI); ok {
+		return cp.IntervalCtx(ctx, q)
+	}
+	if err := ctx.Err(); err != nil {
+		return Interval{}, err
+	}
+	return pi.Interval(q)
+}
+
+// ContextEstimator is the context-aware extension of Estimator for models
+// whose inference can honour cancellation (remote backends, injected-latency
+// test doubles). EstimateCtx returns a normalised selectivity in [0, 1] or
+// ctx.Err() once the context is done.
+type ContextEstimator interface {
+	Estimator
+	// EstimateCtx is EstimateSelectivity under a context.
+	EstimateCtx(ctx context.Context, q workload.Query) (float64, error)
+}
+
+// EstimateCtx invokes the model with the context when supported, shimming a
+// pre-call cancellation check around plain estimators otherwise. The
+// returned selectivity is in [0, 1] (whatever the model produced — callers
+// needing guarantees sanitize downstream). Safe for concurrent use whenever
+// m is; adds no heap allocations.
+func EstimateCtx(ctx context.Context, m Estimator, q workload.Query) (float64, error) {
+	if cm, ok := m.(ContextEstimator); ok {
+		return cm.EstimateCtx(ctx, q)
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return m.EstimateSelectivity(q), nil
 }
 
 // clip bounds an interval to the feasible selectivity range.

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # serve-smoke.sh — start `cardpi serve` on a small synthetic dataset, hit
-# /estimate and /metrics once, and assert HTTP 200 plus at least one
-# `cardpi_` metric series. Run via `make serve-smoke`; CI runs it on every
-# push so the serving stack can't silently rot.
+# /estimate and /metrics, and assert HTTP 200 plus the documented `cardpi_`
+# metric families. Run via `make serve-smoke`; CI runs it on every push so
+# the serving stack can't silently rot.
 set -euo pipefail
 
 ADDR="${SMOKE_ADDR:-127.0.0.1:18080}"
@@ -15,9 +15,14 @@ go build -o "$BIN" ./cmd/cardpi
 "$BIN" serve -addr "$ADDR" -rows 2000 -queries 300 -model histogram -method s-cp >"$LOG" 2>&1 &
 SERVE_PID=$!
 
-# Wait for readiness: model training takes a moment at this scale.
-for _ in $(seq 1 100); do
-  if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+# Wait for readiness with bounded exponential backoff: model training takes
+# a moment at this scale, but a wedged server must fail the probe quickly
+# rather than hang CI.
+DELAY=0.1
+READY=0
+for _ in $(seq 1 12); do
+  if curl -fsS --max-time 2 "http://$ADDR/healthz" >/dev/null 2>&1; then
+    READY=1
     break
   fi
   if ! kill -0 "$SERVE_PID" 2>/dev/null; then
@@ -25,11 +30,25 @@ for _ in $(seq 1 100); do
     cat "$LOG" >&2
     exit 1
   fi
-  sleep 0.2
+  sleep "$DELAY"
+  DELAY="$(awk -v d="$DELAY" 'BEGIN { printf "%.2f", (d * 2 > 3) ? 3 : d * 2 }')"
 done
+if [ "$READY" -ne 1 ]; then
+  echo "serve-smoke: health probe never succeeded:" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
 
 echo "serve-smoke: GET /estimate"
 curl -fsS "http://$ADDR/estimate?q=state+%3D+3" | tee /dev/stderr | grep -q '"covered"'
+
+echo "serve-smoke: malformed input must 400 with a structured error"
+BAD_CODE="$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/estimate")"
+if [ "$BAD_CODE" != "400" ]; then
+  echo "serve-smoke: missing-q request returned $BAD_CODE, want 400" >&2
+  exit 1
+fi
+curl -s "http://$ADDR/estimate" | grep -q '"code"'
 
 echo "serve-smoke: GET /metrics"
 METRICS="$(curl -fsS "http://$ADDR/metrics")"
@@ -38,11 +57,17 @@ if [ "$SERIES" -lt 1 ]; then
   echo "serve-smoke: no cardpi_ series in /metrics" >&2
   exit 1
 fi
-# The documented series families must all be present (OBSERVABILITY.md).
+# The documented series families must all be present (OBSERVABILITY.md),
+# including the reliability layer's breaker/fallback/shedding telemetry
+# (RELIABILITY.md).
 for family in cardpi_pi_calls_total cardpi_pi_latency_seconds \
   cardpi_adaptive_coverage cardpi_adaptive_width_mean \
   cardpi_adaptive_drift_statistic cardpi_adaptive_drift_alarms_total \
-  cardpi_par_tasks_total cardpi_par_queue_depth; do
+  cardpi_par_tasks_total cardpi_par_queue_depth \
+  cardpi_serve_requests_total cardpi_serve_shed_total \
+  cardpi_serve_inflight cardpi_serve_request_seconds \
+  cardpi_resilient_calls_total cardpi_resilient_served_total \
+  cardpi_resilient_breaker_state; do
   if ! printf '%s\n' "$METRICS" | grep -q "^$family"; then
     echo "serve-smoke: missing metric family $family" >&2
     exit 1
