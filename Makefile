@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json experiments experiments-small fmt vet cover clean serve serve-smoke
+.PHONY: all build test race bench bench-json experiments experiments-small fmt vet cover clean serve serve-smoke train-demo
 
 all: build test
 
@@ -37,6 +37,13 @@ experiments-small:
 serve:
 	$(GO) run ./cmd/cardpi serve
 
+# Train a demo artifact bundle and print its provenance manifest; serve it
+# afterwards with `go run ./cmd/cardpi serve -artifact model.cpi`
+# (see the artifact-format section of DESIGN.md).
+train-demo:
+	$(GO) run ./cmd/cardpi train -dataset dmv -model spn -method s-cp -out model.cpi
+	$(GO) run ./cmd/cardpi inspect model.cpi
+
 # Boot `cardpi serve` on a small dataset, curl /estimate and /metrics once,
 # and assert a 200 plus the documented cardpi_ metric families.
 serve-smoke:
@@ -53,3 +60,4 @@ cover:
 
 clean:
 	$(GO) clean ./...
+	rm -f model.cpi

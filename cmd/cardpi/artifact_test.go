@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cardpi/internal/pipeline"
+)
+
+// trainTestArtifact runs the real `cardpi train` entry point into a temp
+// file and returns the artifact path.
+func trainTestArtifact(t *testing.T) string {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "model.cpi")
+	err := runTrain([]string{
+		"-dataset", "census", "-rows", "2000", "-queries", "300",
+		"-model", "histogram", "-method", "s-cp", "-seed", "1", "-out", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestTrainInspectServeArtifact is the lifecycle test: train writes a
+// loadable bundle, inspect parses it, and serve answers from it without
+// running any training code path.
+func TestTrainInspectServeArtifact(t *testing.T) {
+	out := trainTestArtifact(t)
+
+	// No stray temp file left behind by the atomic write.
+	if _, err := os.Stat(out + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("train left its temp file behind: %v", err)
+	}
+	if err := runInspect([]string{out}); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	if err := runInspect([]string{"-json", out}); err != nil {
+		t.Fatalf("inspect -json: %v", err)
+	}
+
+	trained := 0
+	pipeline.OnTrain = func(string) { trained++ }
+	setup, man, err := loadArtifactSetup(out, pipeline.LoadOptions{})
+	pipeline.OnTrain = nil
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trained != 0 {
+		t.Fatalf("loading the artifact ran %d training code paths, want 0", trained)
+	}
+	if setup.Train != nil {
+		t.Fatal("artifact setup carries a training split")
+	}
+
+	src := &modelSource{origin: "artifact", model: man.Model, method: man.Method, artifact: out, man: man}
+	ts, _, _ := startServer(t, setup, serveOpts{alpha: man.Alpha, seed: man.Seed, source: src})
+
+	// /healthz reports the artifact provenance.
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var h healthResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.ModelSource != "artifact" || h.Model != "histogram" || h.Method != "s-cp" {
+		t.Fatalf("/healthz = %+v, want artifact histogram/s-cp", h)
+	}
+	if h.Artifact == nil || h.Artifact.Path != out || h.Artifact.Dataset != "census" ||
+		h.Artifact.Rows != 2000 || h.Artifact.Seed != 1 ||
+		h.Artifact.SchemaVersion != pipeline.SchemaVersion ||
+		h.Artifact.TableFingerprint != man.TableFingerprint {
+		t.Fatalf("/healthz artifact block %+v does not match manifest %+v", h.Artifact, man)
+	}
+
+	// The server answers real queries from the loaded model.
+	eresp, err := http.Get(ts.URL + "/estimate?q=age+%3D+3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eresp.Body.Close()
+	if eresp.StatusCode != http.StatusOK {
+		t.Fatalf("/estimate from artifact: status %d", eresp.StatusCode)
+	}
+	var er estimateResponse
+	if err := json.NewDecoder(eresp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if er.ServedBy != "primary" {
+		t.Fatalf("artifact-backed server served by %q, want primary", er.ServedBy)
+	}
+
+	// The provenance gauge is exported with the manifest's labels.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `cardpi_serve_artifact_info{model="histogram",method="s-cp",dataset="census",schema_version="1",seed="1"} 1`
+	if !strings.Contains(string(body), want) {
+		t.Fatalf("/metrics missing %q", want)
+	}
+}
+
+// TestServeArtifactExpectations covers the -model/-method expectation path:
+// a wrong expectation must fail closed with the provenance mismatch error.
+func TestServeArtifactExpectations(t *testing.T) {
+	out := trainTestArtifact(t)
+	if _, _, err := loadArtifactSetup(out, pipeline.LoadOptions{ExpectModel: "mscn"}); !errors.Is(err, pipeline.ErrMismatch) {
+		t.Fatalf("wrong ExpectModel: err = %v, want ErrMismatch", err)
+	}
+	if _, _, err := loadArtifactSetup(out, pipeline.LoadOptions{ExpectModel: "histogram", ExpectMethod: "s-cp"}); err != nil {
+		t.Fatalf("matching expectations rejected: %v", err)
+	}
+}
+
+// TestArtifactFlagConflicts pins which serve flags are frozen by -artifact
+// and which stay usable.
+func TestArtifactFlagConflicts(t *testing.T) {
+	newFS := func() *flag.FlagSet {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		for _, name := range []string{"artifact", "dataset", "model", "method", "csv", "addr"} {
+			fs.String(name, "", "")
+		}
+		fs.Int("rows", 0, "")
+		fs.Int("queries", 0, "")
+		fs.Int64("seed", 0, "")
+		fs.Float64("alpha", 0, "")
+		return fs
+	}
+	for _, c := range []struct {
+		args    []string
+		wantErr bool
+	}{
+		{[]string{"-artifact", "m.cpi"}, false},
+		{[]string{"-artifact", "m.cpi", "-model", "spn", "-method", "s-cp"}, false},
+		{[]string{"-artifact", "m.cpi", "-csv", "t.csv", "-addr", ":0"}, false},
+		{[]string{"-artifact", "m.cpi", "-rows", "500"}, true},
+		{[]string{"-artifact", "m.cpi", "-dataset", "dmv"}, true},
+		{[]string{"-artifact", "m.cpi", "-seed", "7"}, true},
+		{[]string{"-artifact", "m.cpi", "-alpha", "0.2"}, true},
+		{[]string{"-artifact", "m.cpi", "-queries", "100"}, true},
+	} {
+		fs := newFS()
+		if err := fs.Parse(c.args); err != nil {
+			t.Fatal(err)
+		}
+		err := artifactFlagConflicts(fs)
+		if (err != nil) != c.wantErr {
+			t.Errorf("args %v: conflict err = %v, want error=%v", c.args, err, c.wantErr)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"cardpi/internal/pipeline"
+)
+
+// runInspect implements `cardpi inspect`: print an artifact's provenance
+// manifest without loading the table, the model, or any calibration bytes —
+// it reads only the header and the first (manifest) section, so it is safe
+// and fast on arbitrarily large bundles.
+func runInspect(args []string) error {
+	fs := flag.NewFlagSet("cardpi inspect", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "print the raw manifest JSON instead of the human summary")
+	fs.Usage = func() {
+		o := fs.Output()
+		fmt.Fprintf(o, "usage: %s inspect [-json] model.cpi\n\n", os.Args[0])
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("want exactly one artifact path, got %d arguments", fs.NArg())
+	}
+	path := fs.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	man, err := pipeline.ReadManifest(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(man)
+	}
+	fmt.Printf("%s: cardpi artifact\n", path)
+	printManifest(os.Stdout, man)
+	return nil
+}

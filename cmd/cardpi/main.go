@@ -16,12 +16,20 @@
 // Invalid combinations fail fast with an explanation before any training
 // starts.
 //
-// The serve subcommand turns the demo into a long-running HTTP service with
-// Prometheus metrics and pprof (see OBSERVABILITY.md):
+// The train/inspect/serve subcommands split the lifecycle: train freezes a
+// trained estimator plus its calibration state into a versioned artifact
+// bundle, inspect prints an artifact's provenance manifest, and serve
+// answers queries over HTTP — either training in-process (the original
+// behavior) or loading an artifact and skipping every training step:
 //
-//	cardpi serve -addr :8080 -dataset dmv -model spn -method s-cp
+//	cardpi train -dataset dmv -model spn -method s-cp -out model.cpi
+//	cardpi inspect model.cpi
+//	cardpi serve -addr :8080 -artifact model.cpi
 //	curl 'localhost:8080/estimate?q=state+%3D+3'
 //	curl localhost:8080/metrics
+//
+// See DESIGN.md for the artifact format and OBSERVABILITY.md for the
+// metrics.
 package main
 
 import (
@@ -29,42 +37,38 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"strings"
 
 	"cardpi"
 	"cardpi/internal/conformal"
 	"cardpi/internal/dataset"
-	"cardpi/internal/estimator"
-	"cardpi/internal/gbm"
 	"cardpi/internal/histogram"
-	"cardpi/internal/lwnn"
-	"cardpi/internal/mscn"
-	"cardpi/internal/naru"
-	"cardpi/internal/spn"
+	"cardpi/internal/pipeline"
 	"cardpi/internal/workload"
 )
 
-const comboHelp = `model x method compatibility:
-  s-cp, lw-s-cp, lcp, mondrian   any model (spn | mscn | lwnn | naru | histogram)
-  cqr                            mscn | lwnn only (retrains the model with a
-                                 pinball loss; spn/naru/histogram have no
-                                 trainable quantile variant)`
-
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "serve" {
-		if err := runServe(os.Args[2:]); err != nil {
-			fmt.Fprintf(os.Stderr, "cardpi serve: %v\n", err)
-			os.Exit(1)
+	if len(os.Args) > 1 {
+		sub := os.Args[1]
+		run := map[string]func([]string) error{
+			"serve":   runServe,
+			"train":   runTrain,
+			"inspect": runInspect,
+		}[sub]
+		if run != nil {
+			if err := run(os.Args[2:]); err != nil {
+				fmt.Fprintf(os.Stderr, "cardpi %s: %v\n", sub, err)
+				os.Exit(1)
+			}
+			return
 		}
-		return
 	}
 
 	var (
 		dsName  = flag.String("dataset", "dmv", "dataset: dmv | census | forest | power (or job | dsb with -join)")
 		rows    = flag.Int("rows", 20000, "dataset rows")
-		model   = flag.String("model", "spn", "estimator: spn | mscn | lwnn | naru | histogram")
-		method  = flag.String("method", "s-cp", "PI method: s-cp | lw-s-cp | lcp | mondrian | cqr (cqr: mscn/lwnn only)")
+		model   = flag.String("model", "spn", "estimator: "+pipeline.ModelNames())
+		method  = flag.String("method", "s-cp", "PI method: "+pipeline.MethodNames())
 		alpha   = flag.Float64("alpha", 0.1, "miscoverage level (coverage = 1-alpha)")
 		queries = flag.Int("queries", 2000, "training+calibration workload size")
 		seed    = flag.Int64("seed", 1, "random seed")
@@ -74,9 +78,11 @@ func main() {
 	flag.Usage = func() {
 		out := flag.CommandLine.Output()
 		fmt.Fprintf(out, "usage: %s [flags] [\"query\" ...]\n", os.Args[0])
-		fmt.Fprintf(out, "       %s serve [flags]   (run 'cardpi serve -h' for the serving flags)\n\n", os.Args[0])
+		fmt.Fprintf(out, "       %s train [flags] -out model.cpi    (run 'cardpi train -h')\n", os.Args[0])
+		fmt.Fprintf(out, "       %s inspect model.cpi               (run 'cardpi inspect -h')\n", os.Args[0])
+		fmt.Fprintf(out, "       %s serve [flags]                   (run 'cardpi serve -h')\n\n", os.Args[0])
 		flag.PrintDefaults()
-		fmt.Fprintf(out, "\n%s\n", comboHelp)
+		fmt.Fprintf(out, "\n%s\n", pipeline.ComboHelp())
 	}
 	flag.Parse()
 
@@ -84,7 +90,11 @@ func main() {
 	if *join {
 		err = runJoins(*dsName, *alpha, *rows, *queries, *seed, flag.Args())
 	} else {
-		err = run(*dsName, *csvPath, *model, *method, *alpha, *rows, *queries, *seed, flag.Args())
+		err = run(pipeline.Config{
+			Dataset: *dsName, CSVPath: *csvPath, Model: *model, Method: *method,
+			Alpha: *alpha, Rows: *rows, Queries: *queries, Seed: *seed,
+			Logf: logStderr,
+		}, flag.Args())
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cardpi: %v\n", err)
@@ -92,33 +102,9 @@ func main() {
 	}
 }
 
-var knownModels = map[string]bool{
-	"spn": true, "mscn": true, "lwnn": true, "naru": true, "histogram": true,
-}
-
-// pinballModels are the model families with a quantile (pinball-loss)
-// training mode, the prerequisite for CQR.
-var pinballModels = map[string]bool{"mscn": true, "lwnn": true}
-
-var knownMethods = map[string]bool{
-	"s-cp": true, "lw-s-cp": true, "lcp": true, "mondrian": true, "cqr": true,
-}
-
-// validateCombo rejects unknown names and invalid model x method pairs with
-// an actionable message, before any data generation or training runs.
-func validateCombo(model, method string) error {
-	model, method = strings.ToLower(model), strings.ToLower(method)
-	if !knownModels[model] {
-		return fmt.Errorf("unknown model %q (want spn | mscn | lwnn | naru | histogram)", model)
-	}
-	if !knownMethods[method] {
-		return fmt.Errorf("unknown method %q (want s-cp | lw-s-cp | lcp | mondrian | cqr)", method)
-	}
-	if method == "cqr" && !pinballModels[model] {
-		return fmt.Errorf("method \"cqr\" requires a model trainable with a pinball loss (mscn or lwnn), got %q; "+
-			"pick -model mscn or -model lwnn, or a conformal method (s-cp, lw-s-cp, lcp, mondrian) that wraps any model", model)
-	}
-	return nil
+// logStderr is the pipeline progress logger of every subcommand.
+func logStderr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
 }
 
 // runJoins answers SPJ COUNT(*) queries over a star schema with
@@ -200,141 +186,14 @@ func runJoins(dsName string, alpha float64, rows, queries int, seed int64, args 
 	return sc.Err()
 }
 
-// demoSetup is everything run and serve share: the table, the trained
-// model, and the calibrated PI wrapper.
-type demoSetup struct {
-	tab   *dataset.Table
-	model cardpi.Estimator
-	pi    cardpi.PI
-	train *workload.Workload
-	cal   *workload.Workload
-}
-
-// buildSetup loads/generates the table, generates and splits the workload,
-// trains the model, and calibrates the PI method. It validates the
-// model x method combination before doing any of that.
-func buildSetup(dsName, csvPath, modelName, method string, alpha float64, rows, queries int, seed int64) (*demoSetup, error) {
-	if err := validateCombo(modelName, method); err != nil {
-		return nil, err
-	}
-	var tab *dataset.Table
-	if csvPath != "" {
-		fmt.Fprintf(os.Stderr, "loading %s...\n", csvPath)
-		f, err := os.Open(csvPath)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		tab, err = dataset.FromCSV(strings.TrimSuffix(filepath.Base(csvPath), ".csv"), f)
-		if err != nil {
-			return nil, err
-		}
-		fmt.Fprintf(os.Stderr, "loaded %d rows, %d columns\n", tab.NumRows(), tab.NumCols())
-	} else {
-		gen := map[string]func(dataset.GenConfig) (*dataset.Table, error){
-			"dmv": dataset.GenerateDMV, "census": dataset.GenerateCensus,
-			"forest": dataset.GenerateForest, "power": dataset.GeneratePower,
-		}[strings.ToLower(dsName)]
-		if gen == nil {
-			return nil, fmt.Errorf("unknown dataset %q (want dmv | census | forest | power)", dsName)
-		}
-		fmt.Fprintf(os.Stderr, "generating %s (%d rows)...\n", dsName, rows)
-		var err error
-		tab, err = gen(dataset.GenConfig{Rows: rows, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-	}
-	wl, err := workload.Generate(tab, workload.Config{
-		Count: queries, Seed: seed + 1, MinPreds: 1, MaxPreds: 4,
-	})
-	if err != nil {
-		return nil, err
-	}
-	parts, err := wl.Split(seed+2, 0.6, 0.4)
-	if err != nil {
-		return nil, err
-	}
-	train, cal := parts[0], parts[1]
-
-	fmt.Fprintf(os.Stderr, "training %s...\n", modelName)
-	m, err := buildModel(modelName, tab, train, seed)
-	if err != nil {
-		return nil, err
-	}
-
-	fmt.Fprintf(os.Stderr, "calibrating %s at coverage %.2f...\n", method, 1-alpha)
-	pi, err := buildPI(method, modelName, m, tab, train, cal, alpha, seed)
-	if err != nil {
-		return nil, err
-	}
-	return &demoSetup{tab: tab, model: m, pi: pi, train: train, cal: cal}, nil
-}
-
-// buildPI calibrates the chosen method around the trained model. The combo
-// has already been validated, so cqr only sees pinball-capable models.
-func buildPI(method, modelName string, m cardpi.Estimator, tab *dataset.Table,
-	train, cal *workload.Workload, alpha float64, seed int64) (cardpi.PI, error) {
-	feat := estimator.NewFeaturizer(tab)
-	ff := func(q workload.Query) []float64 { return feat.Featurize(q) }
-	switch strings.ToLower(method) {
-	case "s-cp":
-		return cardpi.WrapSplitCP(m, cal, conformal.ResidualScore{}, alpha)
-	case "lw-s-cp":
-		return cardpi.WrapLocallyWeighted(m, train, cal, ff, conformal.ResidualScore{}, alpha,
-			gbm.Config{NumTrees: 60, MaxDepth: 4, Seed: seed + 3})
-	case "lcp":
-		return cardpi.WrapLocalized(m, cal, ff, conformal.ResidualScore{}, alpha, len(cal.Queries)/4)
-	case "mondrian":
-		return cardpi.WrapMondrian(m, cal, func(q workload.Query) string {
-			return fmt.Sprintf("%d-preds", len(q.Preds))
-		}, conformal.ResidualScore{}, alpha, 20)
-	case "cqr":
-		qlo, qhi, err := buildQuantileModels(modelName, tab, train, alpha, seed)
-		if err != nil {
-			return nil, err
-		}
-		return cardpi.WrapCQR(qlo, qhi, cal, alpha)
-	default:
-		return nil, fmt.Errorf("unknown method %q", method)
-	}
-}
-
-// buildQuantileModels trains the τ=α/2 and τ=1−α/2 pinball-loss variants of
-// the model family for CQR.
-func buildQuantileModels(modelName string, tab *dataset.Table, train *workload.Workload,
-	alpha float64, seed int64) (lo, hi cardpi.Estimator, err error) {
-	switch strings.ToLower(modelName) {
-	case "mscn":
-		f := mscn.NewSingleFeaturizer(tab)
-		cfg := mscn.Config{Epochs: 25, Seed: seed + 10}
-		if lo, err = mscn.TrainQuantile(f, train, alpha/2, cfg); err != nil {
-			return nil, nil, err
-		}
-		if hi, err = mscn.TrainQuantile(f, train, 1-alpha/2, cfg); err != nil {
-			return nil, nil, err
-		}
-		return lo, hi, nil
-	case "lwnn":
-		cfg := lwnn.Config{Epochs: 30, Seed: seed + 10}
-		if lo, err = lwnn.TrainQuantile(tab, train, alpha/2, cfg); err != nil {
-			return nil, nil, err
-		}
-		if hi, err = lwnn.TrainQuantile(tab, train, 1-alpha/2, cfg); err != nil {
-			return nil, nil, err
-		}
-		return lo, hi, nil
-	default:
-		return nil, nil, fmt.Errorf("model %q has no pinball-loss variant (cqr needs mscn or lwnn)", modelName)
-	}
-}
-
-func run(dsName, csvPath, modelName, method string, alpha float64, rows, queries int, seed int64, args []string) error {
-	s, err := buildSetup(dsName, csvPath, modelName, method, alpha, rows, queries, seed)
+// run is the interactive single-table demo loop around a freshly built
+// pipeline setup.
+func run(cfg pipeline.Config, args []string) error {
+	s, err := pipeline.Build(cfg)
 	if err != nil {
 		return err
 	}
-	tab, m, pi := s.tab, s.model, s.pi
+	tab, m, pi := s.Table, s.Model, s.PI
 
 	answer := func(line string) {
 		q, err := workload.ParseQuery(tab, line)
@@ -379,21 +238,4 @@ func run(dsName, csvPath, modelName, method string, alpha float64, rows, queries
 		answer(line)
 	}
 	return sc.Err()
-}
-
-func buildModel(name string, tab *dataset.Table, train *workload.Workload, seed int64) (cardpi.Estimator, error) {
-	switch strings.ToLower(name) {
-	case "spn":
-		return spn.Train(tab, spn.Config{Seed: seed + 10})
-	case "mscn":
-		return mscn.Train(mscn.NewSingleFeaturizer(tab), train, mscn.Config{Epochs: 25, Seed: seed + 10})
-	case "lwnn":
-		return lwnn.Train(tab, train, lwnn.Config{Epochs: 30, Seed: seed + 10})
-	case "naru":
-		return naru.Train(tab, naru.Config{Seed: seed + 10})
-	case "histogram":
-		return histogram.NewSingle(tab, histogram.Config{}), nil
-	default:
-		return nil, fmt.Errorf("unknown model %q", name)
-	}
 }

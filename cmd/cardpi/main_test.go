@@ -7,48 +7,30 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"cardpi/internal/pipeline"
 )
 
-func TestValidateCombo(t *testing.T) {
-	cases := []struct {
-		model, method string
-		wantErr       string // "" = valid
-	}{
-		{"spn", "s-cp", ""},
-		{"spn", "lw-s-cp", ""},
-		{"SPN", "LW-S-CP", ""}, // case-insensitive, like the rest of the CLI
-		{"naru", "mondrian", ""},
-		{"histogram", "lcp", ""},
-		{"mscn", "cqr", ""},
-		{"lwnn", "cqr", ""},
-		{"spn", "cqr", "pinball"},
-		{"naru", "cqr", "pinball"},
-		{"histogram", "cqr", "pinball"},
-		{"bogus", "s-cp", "unknown model"},
-		{"spn", "bogus", "unknown method"},
-	}
-	for _, c := range cases {
-		err := validateCombo(c.model, c.method)
-		if c.wantErr == "" {
-			if err != nil {
-				t.Errorf("validateCombo(%q, %q) = %v, want valid", c.model, c.method, err)
-			}
-			continue
-		}
-		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
-			t.Errorf("validateCombo(%q, %q) = %v, want error containing %q", c.model, c.method, err, c.wantErr)
-		}
-	}
+// testBuild is the CLI tests' shorthand around pipeline.Build.
+func testBuild(dsName, csvPath, model, method string, alpha float64, rows, queries int, seed int64) (*pipeline.Setup, error) {
+	return pipeline.Build(pipeline.Config{
+		Dataset: dsName, CSVPath: csvPath, Model: model, Method: method,
+		Alpha: alpha, Rows: rows, Queries: queries, Seed: seed,
+	})
 }
 
-func TestBuildSetupRejectsInvalidComboBeforeTraining(t *testing.T) {
+func TestBuildRejectsInvalidComboBeforeTraining(t *testing.T) {
 	// An invalid combo must fail fast — before dataset generation or
 	// training — with the actionable message, not an opaque failure later.
-	_, err := buildSetup("dmv", "", "spn", "cqr", 0.1, 1000, 100, 1)
+	_, err := testBuild("dmv", "", "spn", "cqr", 0.1, 1000, 100, 1)
 	if err == nil || !strings.Contains(err.Error(), "pinball") {
 		t.Fatalf("want pinball-loss explanation, got %v", err)
 	}
-	_, err = buildSetup("nope", "", "spn", "s-cp", 0.1, 1000, 100, 1)
+	// Case-insensitive, like the rest of the CLI.
+	if err := pipeline.ValidateCombo("SPN", "LW-S-CP"); err != nil {
+		t.Fatalf("upper-case combo rejected: %v", err)
+	}
+	_, err = testBuild("nope", "", "spn", "s-cp", 0.1, 1000, 100, 1)
 	if err == nil || !strings.Contains(err.Error(), "unknown dataset") {
 		t.Fatalf("want unknown-dataset error, got %v", err)
 	}
@@ -58,14 +40,14 @@ func TestCQRBuildsWithPinballModel(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains two quantile networks")
 	}
-	s, err := buildSetup("dmv", "", "lwnn", "cqr", 0.1, 1500, 240, 1)
+	s, err := testBuild("dmv", "", "lwnn", "cqr", 0.1, 1500, 240, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := s.pi.Name(); !strings.HasPrefix(got, "cqr/") {
+	if got := s.PI.Name(); !strings.HasPrefix(got, "cqr/") {
 		t.Fatalf("pi name = %q, want cqr/*", got)
 	}
-	iv, err := s.pi.Interval(s.cal.Queries[0].Query)
+	iv, err := s.PI.Interval(s.Cal.Queries[0].Query)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +60,7 @@ func TestCQRBuildsWithPinballModel(t *testing.T) {
 // binding a real port.
 func serveFixture(t *testing.T) *httptest.Server {
 	t.Helper()
-	setup, err := buildSetup("dmv", "", "histogram", "s-cp", 0.1, 2000, 300, 1)
+	setup, err := testBuild("dmv", "", "histogram", "s-cp", 0.1, 2000, 300, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,14 +129,22 @@ func TestServeEstimateAndMetrics(t *testing.T) {
 		}
 	}
 
-	// Health endpoint for probes and the smoke test.
+	// Health endpoint for probes and the smoke test: JSON with the model's
+	// provenance. This fixture trains in-process, so no artifact block.
 	hresp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
-	hresp.Body.Close()
+	defer hresp.Body.Close()
 	if hresp.StatusCode != http.StatusOK {
 		t.Fatalf("/healthz status = %d", hresp.StatusCode)
+	}
+	var h healthResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.ModelSource != "trained" || h.Artifact != nil {
+		t.Fatalf("/healthz = %+v, want status ok, model_source trained, no artifact", h)
 	}
 }
 

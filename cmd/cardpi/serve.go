@@ -11,6 +11,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -20,6 +22,7 @@ import (
 	"cardpi/internal/dataset"
 	"cardpi/internal/histogram"
 	"cardpi/internal/obs"
+	"cardpi/internal/pipeline"
 	"cardpi/internal/workload"
 )
 
@@ -48,20 +51,28 @@ const maxQueryBytes = 4096
 // (the demo owns the ground-truth oracle, standing in for the executor's
 // actual row counts), so the drift/coverage telemetry is live from the
 // first request. The server shuts down gracefully on SIGINT/SIGTERM.
+//
+// With -artifact the server loads a bundle written by `cardpi train` instead
+// of training in-process: startup skips every training and calibration step,
+// the manifest supplies dataset/alpha/seed provenance, and -model/-method
+// (when given) act as expectations that must match the manifest. Flags that
+// would re-derive what the artifact froze (-dataset, -rows, -queries, -seed,
+// -alpha) conflict with -artifact and are rejected.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("cardpi serve", flag.ExitOnError)
 	var (
-		addr    = fs.String("addr", "127.0.0.1:8080", "listen address for /estimate, /metrics, and /debug/pprof")
-		dsName  = fs.String("dataset", "dmv", "dataset: dmv | census | forest | power")
-		rows    = fs.Int("rows", 20000, "dataset rows")
-		model   = fs.String("model", "spn", "estimator: spn | mscn | lwnn | naru | histogram")
-		method  = fs.String("method", "s-cp", "PI method: s-cp | lw-s-cp | lcp | mondrian | cqr (cqr: mscn/lwnn only)")
-		alpha   = fs.Float64("alpha", 0.1, "miscoverage level (coverage = 1-alpha)")
-		queries = fs.Int("queries", 2000, "training+calibration workload size")
-		seed    = fs.Int64("seed", 1, "random seed")
-		window  = fs.Int("window", 2000, "adaptive monitor's sliding calibration window (0 = unbounded)")
-		csvPath = fs.String("csv", "", "load the table from a CSV file instead of generating one")
-		drain   = fs.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address for /estimate, /metrics, and /debug/pprof")
+		artifact = fs.String("artifact", "", "serve a model bundle written by `cardpi train -out` instead of training in-process")
+		dsName   = fs.String("dataset", "dmv", "dataset: dmv | census | forest | power")
+		rows     = fs.Int("rows", 20000, "dataset rows")
+		model    = fs.String("model", "spn", "estimator: "+pipeline.ModelNames()+" (with -artifact: expected family)")
+		method   = fs.String("method", "s-cp", "PI method: "+pipeline.MethodNames()+" (with -artifact: expected method)")
+		alpha    = fs.Float64("alpha", 0.1, "miscoverage level (coverage = 1-alpha)")
+		queries  = fs.Int("queries", 2000, "training+calibration workload size")
+		seed     = fs.Int64("seed", 1, "random seed")
+		window   = fs.Int("window", 2000, "adaptive monitor's sliding calibration window (0 = unbounded)")
+		csvPath  = fs.String("csv", "", "load the table from a CSV file instead of generating one (with -artifact: the CSV the artifact was trained on)")
+		drain    = fs.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 
 		timeout     = fs.Duration("timeout", 2*time.Second, "per-request deadline for /estimate")
 		maxInflight = fs.Int("max-inflight", 64, "maximum concurrently executing /estimate requests")
@@ -73,7 +84,7 @@ func runServe(args []string) error {
 		out := fs.Output()
 		fmt.Fprintf(out, "usage: %s serve [flags]\n\n", os.Args[0])
 		fs.PrintDefaults()
-		fmt.Fprintf(out, "\n%s\n", comboHelp)
+		fmt.Fprintf(out, "\n%s\n", pipeline.ComboHelp())
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,15 +93,59 @@ func runServe(args []string) error {
 		return fmt.Errorf("unexpected arguments %q (serve takes queries over HTTP, not argv)", fs.Args())
 	}
 
-	setup, err := buildSetup(*dsName, *csvPath, *model, *method, *alpha, *rows, *queries, *seed)
-	if err != nil {
-		return err
+	var (
+		setup  *pipeline.Setup
+		src    *modelSource
+		alphaV = *alpha
+		seedV  = *seed
+		err    error
+	)
+	if *artifact != "" {
+		if err := artifactFlagConflicts(fs); err != nil {
+			return err
+		}
+		// -model/-method, when explicitly given, become load-time
+		// expectations: a manifest mismatch fails closed before any bytes
+		// of model state are decoded.
+		opts := pipeline.LoadOptions{CSVPath: *csvPath, Logf: logStderr}
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "model":
+				opts.ExpectModel = *model
+			case "method":
+				opts.ExpectMethod = *method
+			}
+		})
+		var man *pipeline.Manifest
+		setup, man, err = loadArtifactSetup(*artifact, opts)
+		if err != nil {
+			return err
+		}
+		alphaV, seedV = man.Alpha, man.Seed
+		src = &modelSource{
+			origin: "artifact", model: man.Model, method: man.Method,
+			artifact: *artifact, man: man,
+		}
+	} else {
+		setup, err = pipeline.Build(pipeline.Config{
+			Dataset: *dsName, CSVPath: *csvPath, Model: *model, Method: *method,
+			Alpha: *alpha, Rows: *rows, Queries: *queries, Seed: *seed,
+			Logf: logStderr,
+		})
+		if err != nil {
+			return err
+		}
+		src = &modelSource{
+			origin: "trained",
+			model:  strings.ToLower(*model), method: strings.ToLower(*method),
+		}
 	}
 	srv, err := newServer(setup, serveOpts{
-		alpha: *alpha, window: *window, seed: *seed,
+		alpha: alphaV, window: *window, seed: seedV,
 		timeout: *timeout, maxInflight: *maxInflight, maxQueue: *maxQueue,
 		breakerFailures: *brFailures, breakerOpen: *brOpen,
 		metrics: obs.Default(),
+		source:  src,
 	})
 	if err != nil {
 		return err
@@ -102,8 +157,9 @@ func runServe(args []string) error {
 
 	errCh := make(chan error, 1)
 	go func() {
+		logStderr("model source: %s", src.describe())
 		fmt.Fprintf(os.Stderr, "serving %s/%s on http://%s (endpoints: /estimate /metrics /healthz /debug/pprof/)\n",
-			*model, *method, *addr)
+			src.model, src.method, *addr)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -124,6 +180,62 @@ func runServe(args []string) error {
 	return nil
 }
 
+// artifactFlagConflicts rejects explicitly-set flags whose values an
+// artifact already froze: silently ignoring them would let `serve -artifact
+// m.cpi -rows 500` look like it honored -rows.
+func artifactFlagConflicts(fs *flag.FlagSet) error {
+	frozen := map[string]bool{
+		"dataset": true, "rows": true, "queries": true, "seed": true, "alpha": true,
+	}
+	var bad []string
+	fs.Visit(func(f *flag.Flag) {
+		if frozen[f.Name] {
+			bad = append(bad, "-"+f.Name)
+		}
+	})
+	if len(bad) > 0 {
+		return fmt.Errorf("%s conflict with -artifact: those values come from the artifact manifest "+
+			"(-model and -method act as expectations; -csv points at the table the artifact was trained on)",
+			strings.Join(bad, ", "))
+	}
+	return nil
+}
+
+// loadArtifactSetup opens and loads a bundle written by `cardpi train`.
+func loadArtifactSetup(path string, opts pipeline.LoadOptions) (*pipeline.Setup, *pipeline.Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	setup, man, err := pipeline.LoadBundle(f, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("load artifact %s: %w", path, err)
+	}
+	return setup, man, nil
+}
+
+// modelSource records where the serving model came from — trained in-process
+// or loaded from an artifact — for startup logging, /healthz, and the
+// cardpi_serve_artifact_info gauge.
+type modelSource struct {
+	origin   string // "trained" | "artifact"
+	model    string
+	method   string
+	artifact string             // bundle path, artifact origin only
+	man      *pipeline.Manifest // provenance, artifact origin only
+}
+
+// describe renders the one-line startup log of the model's provenance.
+func (ms *modelSource) describe() string {
+	if ms.origin != "artifact" {
+		return "trained in-process"
+	}
+	m := ms.man
+	return fmt.Sprintf("artifact %s (schema v%d, %s/%s, dataset %s/%s rows=%d queries=%d seed=%d alpha=%g)",
+		ms.artifact, m.SchemaVersion, m.Model, m.Method, m.Dataset, m.Source, m.Rows, m.Queries, m.Seed, m.Alpha)
+}
+
 // serveOpts carries the serving knobs from flags into newServer; tests
 // construct it directly with tight limits to exercise shedding and
 // deadlines deterministically.
@@ -137,6 +249,9 @@ type serveOpts struct {
 	breakerFailures int
 	breakerOpen     time.Duration
 	metrics         *obs.Registry
+	// source records the model's provenance; nil means trained in-process
+	// (tests that assemble a Setup by hand take this default).
+	source *modelSource
 }
 
 // server holds the serving state: the resilient PI chain answering requests,
@@ -148,6 +263,7 @@ type server struct {
 	resilient *cardpi.Resilient
 	adaptive  *cardpi.Adaptive
 	timeout   time.Duration
+	health    healthResponse
 
 	// Admission control: sem holds the execution slots; waiters counts
 	// requests queued for a slot, bounded by maxQueue.
@@ -174,8 +290,10 @@ type server struct {
 // estimator calibrated at alpha/2 — cheap, allocation-light, and with no
 // failure modes of its own — so a sick primary degrades to wider intervals
 // rather than errors. The adaptive drift monitor is seeded with the
-// calibration workload, exactly as before.
-func newServer(s *demoSetup, o serveOpts) (*server, error) {
+// calibration workload — when the setup came from an artifact, that is the
+// bundled calibration workload, so the monitor starts from the exact state
+// the training run froze.
+func newServer(s *pipeline.Setup, o serveOpts) (*server, error) {
 	if o.metrics == nil {
 		o.metrics = obs.Default()
 	}
@@ -185,7 +303,10 @@ func newServer(s *demoSetup, o serveOpts) (*server, error) {
 	if o.timeout <= 0 {
 		o.timeout = 2 * time.Second
 	}
-	adaptive, err := cardpi.NewAdaptive(s.model, s.cal, conformal.ResidualScore{}, cardpi.AdaptiveConfig{
+	if o.source == nil {
+		o.source = &modelSource{origin: "trained", model: s.Model.Name(), method: s.PI.Name()}
+	}
+	adaptive, err := cardpi.NewAdaptive(s.Model, s.Cal, conformal.ResidualScore{}, cardpi.AdaptiveConfig{
 		Alpha:   o.alpha,
 		Window:  o.window,
 		Seed:    o.seed + 100,
@@ -194,12 +315,12 @@ func newServer(s *demoSetup, o serveOpts) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
-	fbModel := histogram.NewSingle(s.tab, histogram.Config{})
-	fallback, err := cardpi.WrapSplitCP(fbModel, s.cal, conformal.ResidualScore{}, o.alpha/2)
+	fbModel := histogram.NewSingle(s.Table, histogram.Config{})
+	fallback, err := cardpi.WrapSplitCP(fbModel, s.Cal, conformal.ResidualScore{}, o.alpha/2)
 	if err != nil {
 		return nil, err
 	}
-	resilient, err := cardpi.NewResilient(cardpi.Instrument(s.pi, o.metrics), cardpi.ResilientConfig{
+	resilient, err := cardpi.NewResilient(cardpi.Instrument(s.PI, o.metrics), cardpi.ResilientConfig{
 		Fallbacks:        []cardpi.PI{fallback},
 		FailureThreshold: o.breakerFailures,
 		OpenFor:          o.breakerOpen,
@@ -209,13 +330,25 @@ func newServer(s *demoSetup, o serveOpts) (*server, error) {
 		return nil, err
 	}
 	srv := &server{
-		tab:       s.tab,
-		model:     s.model,
+		tab:       s.Table,
+		model:     s.Model,
 		resilient: resilient,
 		adaptive:  adaptive,
 		timeout:   o.timeout,
+		health:    healthFor(o.source),
 		sem:       make(chan struct{}, o.maxInflight),
 		maxQueue:  int64(o.maxQueue),
+	}
+	if ms := o.source; ms.origin == "artifact" {
+		// A constant-1 info gauge: the provenance travels in the labels, so
+		// dashboards can join serving metrics against the exact artifact.
+		o.metrics.IntGauge("cardpi_serve_artifact_info",
+			"Constant 1 when serving from an artifact; labels carry the bundle's provenance.",
+			obs.L("model", ms.man.Model), obs.L("method", ms.man.Method),
+			obs.L("dataset", ms.man.Dataset),
+			obs.L("schema_version", strconv.Itoa(ms.man.SchemaVersion)),
+			obs.L("seed", strconv.FormatInt(ms.man.Seed, 10)),
+		).Set(1)
 	}
 	// Resolve (and thereby pre-create, so /metrics shows the families at 0
 	// before any traffic) the serving instruments.
@@ -235,6 +368,46 @@ func newServer(s *demoSetup, o serveOpts) (*server, error) {
 	return srv, nil
 }
 
+// healthResponse is the JSON body of /healthz: liveness plus where the
+// serving model came from, so probes and smoke tests can assert the server
+// really is running the artifact (or the in-process training) they expect.
+type healthResponse struct {
+	Status      string        `json:"status"`
+	ModelSource string        `json:"model_source"` // "trained" | "artifact"
+	Model       string        `json:"model"`
+	Method      string        `json:"method"`
+	Artifact    *artifactInfo `json:"artifact,omitempty"`
+}
+
+// artifactInfo is the manifest provenance echoed on /healthz when serving
+// from a bundle.
+type artifactInfo struct {
+	Path             string  `json:"path"`
+	SchemaVersion    int     `json:"schema_version"`
+	Dataset          string  `json:"dataset"`
+	Source           string  `json:"source"`
+	Rows             int     `json:"rows"`
+	Queries          int     `json:"queries"`
+	Seed             int64   `json:"seed"`
+	Alpha            float64 `json:"alpha"`
+	TableFingerprint string  `json:"table_fingerprint"`
+}
+
+// healthFor freezes the /healthz payload at startup; nothing in it changes
+// while the server runs.
+func healthFor(ms *modelSource) healthResponse {
+	h := healthResponse{Status: "ok", ModelSource: ms.origin, Model: ms.model, Method: ms.method}
+	if ms.origin == "artifact" {
+		m := ms.man
+		h.Artifact = &artifactInfo{
+			Path: ms.artifact, SchemaVersion: m.SchemaVersion,
+			Dataset: m.Dataset, Source: m.Source, Rows: m.Rows, Queries: m.Queries,
+			Seed: m.Seed, Alpha: m.Alpha, TableFingerprint: m.TableFingerprint,
+		}
+	}
+	return h
+}
+
 // mux wires the four endpoint groups. Request bodies are irrelevant to every
 // endpoint (queries travel in the URL), so they are capped hard.
 func (s *server) mux() http.Handler {
@@ -242,8 +415,11 @@ func (s *server) mux() http.Handler {
 	mux.HandleFunc("GET /estimate", s.handleEstimate)
 	mux.Handle("GET /metrics", s.metricsHandler)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.health)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

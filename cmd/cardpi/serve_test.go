@@ -18,12 +18,13 @@ import (
 	"cardpi/internal/faultinject"
 	"cardpi/internal/histogram"
 	"cardpi/internal/obs"
+	"cardpi/internal/pipeline"
 	"cardpi/internal/workload"
 )
 
-// smallSetup builds a light demoSetup (histogram model, s-cp) directly, so
-// serve tests can swap in faulty or blocking PIs without retraining.
-func smallSetup(t *testing.T) *demoSetup {
+// smallSetup builds a light pipeline.Setup (histogram model, s-cp) directly,
+// so serve tests can swap in faulty or blocking PIs without retraining.
+func smallSetup(t *testing.T) *pipeline.Setup {
 	t.Helper()
 	tab, err := dataset.GenerateDMV(dataset.GenConfig{Rows: 2000, Seed: 1})
 	if err != nil {
@@ -43,11 +44,11 @@ func smallSetup(t *testing.T) *demoSetup {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &demoSetup{tab: tab, model: m, pi: pi, train: train, cal: cal}
+	return &pipeline.Setup{Table: tab, Model: m, PI: pi, Train: train, Cal: cal}
 }
 
 // startServer spins the handler stack on httptest with a private registry.
-func startServer(t *testing.T, setup *demoSetup, o serveOpts) (*httptest.Server, *server, *obs.Registry) {
+func startServer(t *testing.T, setup *pipeline.Setup, o serveOpts) (*httptest.Server, *server, *obs.Registry) {
 	t.Helper()
 	reg := obs.NewRegistry()
 	o.metrics = reg
@@ -137,8 +138,8 @@ func (b *blockingPI) IntervalCtx(ctx context.Context, q workload.Query) (cardpi.
 
 func TestServeShedsWhenSaturated(t *testing.T) {
 	setup := smallSetup(t)
-	bp := &blockingPI{inner: setup.pi, entered: make(chan struct{}, 1), release: make(chan struct{})}
-	setup.pi = bp
+	bp := &blockingPI{inner: setup.PI, entered: make(chan struct{}, 1), release: make(chan struct{})}
+	setup.PI = bp
 	ts, _, reg := startServer(t, setup, serveOpts{
 		maxInflight: 1, maxQueue: 0, timeout: 5 * time.Second,
 	})
@@ -204,14 +205,14 @@ func TestServeChaosNo5xx(t *testing.T) {
 		Seed: 17, Error: 0.05, Panic: 0.05, Latency: 0.05, NaN: 0.05,
 		Delay: time.Millisecond,
 	})
-	setup.pi = faultinject.WrapPI(setup.pi, piPlan)
+	setup.PI = faultinject.WrapPI(setup.PI, piPlan)
 	// Model faults start after the adaptive monitor's seeding pass (one
 	// estimate per calibration query), so setup stays clean and only live
 	// traffic sees them.
 	modelPlan := faultinject.MustPlan(faultinject.Spec{
-		Seed: 23, NaN: 0.1, Panic: 0.1, After: uint64(len(setup.cal.Queries)),
+		Seed: 23, NaN: 0.1, Panic: 0.1, After: uint64(len(setup.Cal.Queries)),
 	})
-	setup.model = faultinject.WrapEstimator(setup.model, modelPlan)
+	setup.Model = faultinject.WrapEstimator(setup.Model, modelPlan)
 	ts, srv, _ := startServer(t, setup, serveOpts{timeout: time.Second})
 
 	const n = 300

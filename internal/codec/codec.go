@@ -1,0 +1,392 @@
+// Package codec is the shared binary serialization substrate for model and
+// calibration artifacts. Every on-disk format in this repository — the four
+// neural model checkpoints (nn, mscn, naru, lwnn), the SPN/GBM/histogram
+// estimators, the conformal calibration states, and the pipeline's artifact
+// bundle — is written through the same two primitives:
+//
+//   - Writer / Reader: sticky-error encoders for fixed-width little-endian
+//     integers, IEEE-754 float64s, and length-prefixed strings/slices, with
+//     hard upper bounds on every decoded length so corrupt or hostile input
+//     fails fast instead of allocating gigabytes.
+//   - WriteSection / ReadSection: a named, length-prefixed, CRC-32
+//     checksummed framing for composing independently decodable payloads
+//     into one stream (the artifact bundle's container format).
+//
+// The sticky-error style means call sites check one error at the end of a
+// batch of reads/writes rather than after every primitive; the first failure
+// wins and every subsequent call is a no-op.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Decode-time sanity bounds. They exist to reject corrupt length prefixes
+// before allocation, not to constrain legitimate models; every bound is far
+// above anything the repository produces.
+const (
+	// MaxSliceLen bounds any single decoded slice length.
+	MaxSliceLen = 1 << 28
+	// MaxStringLen bounds any single decoded string length.
+	MaxStringLen = 1 << 20
+	// MaxSectionBytes bounds a single section payload (1 GiB).
+	MaxSectionBytes = 1 << 30
+)
+
+// ErrChecksum reports a section whose payload does not match its stored
+// CRC-32 — the artifact bytes were corrupted after writing.
+var ErrChecksum = errors.New("codec: section checksum mismatch")
+
+// ErrTruncated reports input that ended mid-structure — the artifact file
+// was cut short (partial download, interrupted write).
+var ErrTruncated = errors.New("codec: truncated input")
+
+// Writer is a sticky-error binary encoder: after the first underlying write
+// error every subsequent method is a no-op, so a batch of fields can be
+// written unconditionally and checked once via Err. Not safe for concurrent
+// use.
+type Writer struct {
+	w   io.Writer
+	n   int64
+	err error
+	buf [8]byte
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Err returns the first error encountered, or nil.
+func (w *Writer) Err() error { return w.err }
+
+// Len returns the number of bytes successfully written.
+func (w *Writer) Len() int64 { return w.n }
+
+// Fail records err (if no earlier error is pending) and returns it.
+func (w *Writer) Fail(err error) error {
+	if w.err == nil {
+		w.err = err
+	}
+	return w.err
+}
+
+func (w *Writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	k, err := w.w.Write(p)
+	w.n += int64(k)
+	w.err = err
+}
+
+// Raw writes p verbatim.
+func (w *Writer) Raw(p []byte) { w.write(p) }
+
+// U8 writes one byte.
+func (w *Writer) U8(v uint8) {
+	w.buf[0] = v
+	w.write(w.buf[:1])
+}
+
+// U32 writes a little-endian uint32.
+func (w *Writer) U32(v uint32) {
+	binary.LittleEndian.PutUint32(w.buf[:4], v)
+	w.write(w.buf[:4])
+}
+
+// U64 writes a little-endian uint64.
+func (w *Writer) U64(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:8], v)
+	w.write(w.buf[:8])
+}
+
+// I64 writes a little-endian int64 (two's complement).
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// F64 writes an IEEE-754 little-endian float64.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bool writes a single 0/1 byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// String writes a u32 length prefix followed by the raw bytes.
+func (w *Writer) String(s string) {
+	w.U32(uint32(len(s)))
+	if w.err == nil {
+		k, err := io.WriteString(w.w, s)
+		w.n += int64(k)
+		w.err = err
+	}
+}
+
+// F64s writes a u32 length prefix followed by the values.
+func (w *Writer) F64s(v []float64) {
+	w.U32(uint32(len(v)))
+	for _, x := range v {
+		w.F64(x)
+	}
+}
+
+// I64s writes a u32 length prefix followed by the values.
+func (w *Writer) I64s(v []int64) {
+	w.U32(uint32(len(v)))
+	for _, x := range v {
+		w.I64(x)
+	}
+}
+
+// Ints writes a u32 length prefix followed by the values as int64.
+func (w *Writer) Ints(v []int) {
+	w.U32(uint32(len(v)))
+	for _, x := range v {
+		w.I64(int64(x))
+	}
+}
+
+// Reader is the sticky-error decoder matching Writer. Every length-decoding
+// method takes an explicit upper bound; exceeding it (a corrupt prefix)
+// poisons the reader with a descriptive error. Not safe for concurrent use.
+type Reader struct {
+	r   io.Reader
+	n   int64
+	err error
+	buf [8]byte
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Err returns the first error encountered, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Len returns the number of bytes successfully read.
+func (r *Reader) Len() int64 { return r.n }
+
+// Fail records err (if no earlier error is pending) and returns it.
+func (r *Reader) Fail(err error) error {
+	if r.err == nil {
+		r.err = err
+	}
+	return r.err
+}
+
+// Failf is Fail with fmt.Errorf formatting.
+func (r *Reader) Failf(format string, args ...any) error {
+	return r.Fail(fmt.Errorf(format, args...))
+}
+
+func (r *Reader) read(p []byte) {
+	if r.err != nil {
+		return
+	}
+	k, err := io.ReadFull(r.r, p)
+	r.n += int64(k)
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		err = fmt.Errorf("%w (wanted %d more bytes at offset %d)", ErrTruncated, len(p)-k, r.n)
+	}
+	r.err = err
+}
+
+// Raw fills p verbatim.
+func (r *Reader) Raw(p []byte) { r.read(p) }
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	r.read(r.buf[:1])
+	if r.err != nil {
+		return 0
+	}
+	return r.buf[0]
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	r.read(r.buf[:4])
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(r.buf[:4])
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	r.read(r.buf[:8])
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(r.buf[:8])
+}
+
+// I64 reads a little-endian int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// F64 reads an IEEE-754 little-endian float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bool reads a 0/1 byte; any other value poisons the reader.
+func (r *Reader) Bool() bool {
+	switch r.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		if r.err == nil {
+			r.Failf("codec: invalid bool byte at offset %d", r.n)
+		}
+		return false
+	}
+}
+
+// length decodes a u32 length prefix bounded by max.
+func (r *Reader) length(what string, max int) int {
+	n := r.U32()
+	if r.err != nil {
+		return 0
+	}
+	if int64(n) > int64(max) {
+		r.Failf("codec: implausible %s length %d (limit %d)", what, n, max)
+		return 0
+	}
+	return int(n)
+}
+
+// String reads a length-prefixed string of at most max bytes.
+func (r *Reader) String(max int) string {
+	n := r.length("string", max)
+	if r.err != nil || n == 0 {
+		return ""
+	}
+	b := make([]byte, n)
+	r.read(b)
+	if r.err != nil {
+		return ""
+	}
+	return string(b)
+}
+
+// F64s reads a length-prefixed float64 slice of at most max elements.
+// A zero length yields a nil slice.
+func (r *Reader) F64s(max int) []float64 {
+	n := r.length("slice", max)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.F64()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return v
+}
+
+// I64s reads a length-prefixed int64 slice of at most max elements.
+func (r *Reader) I64s(max int) []int64 {
+	n := r.length("slice", max)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = r.I64()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return v
+}
+
+// Ints reads a length-prefixed int slice of at most max elements.
+func (r *Reader) Ints(max int) []int {
+	n := r.length("slice", max)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	v := make([]int, n)
+	for i := range v {
+		v[i] = int(r.I64())
+	}
+	if r.err != nil {
+		return nil
+	}
+	return v
+}
+
+// Section framing. Layout of one section:
+//
+//	nameLen:u32 | name | payloadLen:u64 | payload | crc32(payload):u32
+//
+// The CRC-32 (IEEE polynomial) covers the payload bytes only; name and
+// lengths are implicitly validated by the parse. Sections are the container
+// format of the artifact bundle: each logical part (manifest, model weights,
+// calibration state, calibration workload) is one section, independently
+// checksummed so corruption is pinned to a named part.
+
+// maxSectionName bounds a section name.
+const maxSectionName = 256
+
+// Checksum returns the CRC-32 (IEEE) of payload — the same value
+// WriteSection stores and ReadSection verifies, exposed so manifests can
+// record per-section checksums.
+func Checksum(payload []byte) uint32 { return crc32.ChecksumIEEE(payload) }
+
+// WriteSection frames one named payload onto w and returns the payload's
+// CRC-32 checksum.
+func WriteSection(w io.Writer, name string, payload []byte) (uint32, error) {
+	if len(name) == 0 || len(name) > maxSectionName {
+		return 0, fmt.Errorf("codec: invalid section name length %d", len(name))
+	}
+	if len(payload) > MaxSectionBytes {
+		return 0, fmt.Errorf("codec: section %q payload %d bytes exceeds limit %d", name, len(payload), MaxSectionBytes)
+	}
+	cw := NewWriter(w)
+	cw.String(name)
+	cw.U64(uint64(len(payload)))
+	cw.Raw(payload)
+	sum := crc32.ChecksumIEEE(payload)
+	cw.U32(sum)
+	return sum, cw.Err()
+}
+
+// ReadSection parses the next section from r, verifying the payload against
+// its stored checksum. A checksum mismatch returns an error wrapping
+// ErrChecksum; short input returns an error wrapping ErrTruncated.
+func ReadSection(r io.Reader) (name string, payload []byte, err error) {
+	cr := NewReader(r)
+	name = cr.String(maxSectionName)
+	if cr.Err() != nil {
+		return "", nil, fmt.Errorf("codec: reading section name: %w", cr.Err())
+	}
+	if name == "" {
+		return "", nil, fmt.Errorf("codec: empty section name")
+	}
+	n := cr.U64()
+	if cr.Err() != nil {
+		return "", nil, fmt.Errorf("codec: reading section %q length: %w", name, cr.Err())
+	}
+	if n > MaxSectionBytes {
+		return "", nil, fmt.Errorf("codec: section %q payload %d bytes exceeds limit %d", name, n, MaxSectionBytes)
+	}
+	payload = make([]byte, n)
+	cr.Raw(payload)
+	want := cr.U32()
+	if cr.Err() != nil {
+		return "", nil, fmt.Errorf("codec: reading section %q payload: %w", name, cr.Err())
+	}
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return "", nil, fmt.Errorf("%w: section %q has CRC %08x, expected %08x", ErrChecksum, name, got, want)
+	}
+	return name, payload, nil
+}

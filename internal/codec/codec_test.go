@@ -1,0 +1,170 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPrimitivesRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U8(7)
+	w.U32(0xDEADBEEF)
+	w.U64(1 << 60)
+	w.I64(-42)
+	w.F64(math.Pi)
+	w.F64(math.Inf(-1))
+	w.Bool(true)
+	w.Bool(false)
+	w.String("hello, cardpi")
+	w.String("")
+	w.F64s([]float64{1.5, -2.5, 0})
+	w.I64s([]int64{-1, 0, 1})
+	w.Ints([]int{3, 1, 4, 1, 5})
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != int64(buf.Len()) {
+		t.Fatalf("Len() = %d, buffer has %d", w.Len(), buf.Len())
+	}
+
+	r := NewReader(&buf)
+	if got := r.U8(); got != 7 {
+		t.Fatalf("U8 = %d", got)
+	}
+	if got := r.U32(); got != 0xDEADBEEF {
+		t.Fatalf("U32 = %x", got)
+	}
+	if got := r.U64(); got != 1<<60 {
+		t.Fatalf("U64 = %d", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Fatalf("I64 = %d", got)
+	}
+	if got := r.F64(); got != math.Pi {
+		t.Fatalf("F64 = %v", got)
+	}
+	if got := r.F64(); !math.IsInf(got, -1) {
+		t.Fatalf("F64 inf = %v", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("Bool round trip")
+	}
+	if got := r.String(64); got != "hello, cardpi" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := r.String(64); got != "" {
+		t.Fatalf("empty String = %q", got)
+	}
+	if got := r.F64s(16); len(got) != 3 || got[1] != -2.5 {
+		t.Fatalf("F64s = %v", got)
+	}
+	if got := r.I64s(16); len(got) != 3 || got[0] != -1 {
+		t.Fatalf("I64s = %v", got)
+	}
+	if got := r.Ints(16); len(got) != 5 || got[2] != 4 {
+		t.Fatalf("Ints = %v", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderLengthBound(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.F64s(make([]float64, 100))
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	if got := r.F64s(10); got != nil {
+		t.Fatalf("over-limit slice decoded: %d elements", len(got))
+	}
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "implausible") {
+		t.Fatalf("want implausible-length error, got %v", err)
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.F64s([]float64{1, 2, 3})
+	full := buf.Bytes()
+	r := NewReader(bytes.NewReader(full[:len(full)-4]))
+	_ = r.F64s(10)
+	if err := r.Err(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	r := NewReader(bytes.NewReader(nil))
+	_ = r.U32()
+	first := r.Err()
+	if first == nil {
+		t.Fatal("empty input must error")
+	}
+	_ = r.U64()
+	_ = r.String(10)
+	if r.Err() != first {
+		t.Fatalf("sticky error replaced: %v -> %v", first, r.Err())
+	}
+}
+
+func TestBadBoolByte(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte{9}))
+	_ = r.Bool()
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "bool") {
+		t.Fatalf("want bool error, got %v", err)
+	}
+}
+
+func TestSectionRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("the calibrated state of everything")
+	sum, err := WriteSection(&buf, "calibration", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != Checksum(payload) {
+		t.Fatalf("checksum mismatch: WriteSection %08x, Checksum %08x", sum, Checksum(payload))
+	}
+	name, got, err := ReadSection(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "calibration" || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip: name=%q payload=%q", name, got)
+	}
+}
+
+func TestSectionChecksumFlip(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteSection(&buf, "model", []byte("weights weights weights")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-8] ^= 0x40 // flip a payload byte
+	_, _, err := ReadSection(bytes.NewReader(raw))
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("want ErrChecksum, got %v", err)
+	}
+}
+
+func TestSectionTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteSection(&buf, "model", []byte("weights weights weights")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{1, 5, len(raw) / 2, len(raw) - 1} {
+		_, _, err := ReadSection(bytes.NewReader(raw[:cut]))
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut at %d: want ErrTruncated, got %v", cut, err)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package gbm
+
+import (
+	"fmt"
+	"io"
+
+	"cardpi/internal/codec"
+)
+
+// Regressor checkpointing: the fitted ensemble (base prediction, learning
+// rate, trees) round-trips through a stream so the locally weighted
+// conformal wrapper's difficulty model can be frozen into an artifact.
+// Layout:
+//
+//	magic "GBMv" | base:f64 lr:f64 numTrees:u32 | per tree: node
+//	node: leaf:u8 | leaf: value:f64 | internal: feature:u32 threshold:f64 left right
+
+var regMagic = [4]byte{'G', 'B', 'M', 'v'}
+
+const (
+	// maxTrees bounds decoded ensemble size as a corruption guard.
+	maxTrees = 1 << 20
+	// maxTreeDepth bounds decode recursion; Fit caps depth via
+	// Config.MaxDepth (default 4), so anything deeper is corrupt.
+	maxTreeDepth = 64
+	// maxFeature bounds split feature indices.
+	maxFeature = 1 << 24
+)
+
+// WriteTo serialises the fitted ensemble.
+func (r *Regressor) WriteTo(w io.Writer) (int64, error) {
+	cw := codec.NewWriter(w)
+	cw.Raw(regMagic[:])
+	cw.F64(r.base)
+	cw.F64(r.lr)
+	cw.U32(uint32(len(r.trees)))
+	for _, t := range r.trees {
+		writeTree(cw, t)
+	}
+	return cw.Len(), cw.Err()
+}
+
+func writeTree(cw *codec.Writer, n *node) {
+	if n.leaf {
+		cw.U8(1)
+		cw.F64(n.value)
+		return
+	}
+	cw.U8(0)
+	cw.U32(uint32(n.feature))
+	cw.F64(n.threshold)
+	writeTree(cw, n.left)
+	writeTree(cw, n.right)
+}
+
+// ReadRegressor deserialises an ensemble written by WriteTo.
+func ReadRegressor(rd io.Reader) (*Regressor, error) {
+	cr := codec.NewReader(rd)
+	var mg [4]byte
+	cr.Raw(mg[:])
+	if err := cr.Err(); err != nil {
+		return nil, fmt.Errorf("gbm: reading magic: %w", err)
+	}
+	if mg != regMagic {
+		return nil, fmt.Errorf("gbm: bad magic %q", mg)
+	}
+	base := cr.F64()
+	lr := cr.F64()
+	numTrees := cr.U32()
+	if err := cr.Err(); err != nil {
+		return nil, fmt.Errorf("gbm: reading header: %w", err)
+	}
+	if numTrees > maxTrees {
+		return nil, fmt.Errorf("gbm: implausible tree count %d", numTrees)
+	}
+	reg := &Regressor{base: base, lr: lr}
+	for i := uint32(0); i < numTrees; i++ {
+		t, err := readTree(cr, 0)
+		if err != nil {
+			return nil, fmt.Errorf("gbm: tree %d: %w", i, err)
+		}
+		reg.trees = append(reg.trees, t)
+	}
+	return reg, nil
+}
+
+func readTree(cr *codec.Reader, depth int) (*node, error) {
+	if depth > maxTreeDepth {
+		return nil, fmt.Errorf("deeper than %d (corrupt artifact)", maxTreeDepth)
+	}
+	kind := cr.U8()
+	if err := cr.Err(); err != nil {
+		return nil, err
+	}
+	switch kind {
+	case 1:
+		v := cr.F64()
+		if err := cr.Err(); err != nil {
+			return nil, err
+		}
+		return &node{leaf: true, value: v}, nil
+	case 0:
+		feature := cr.U32()
+		threshold := cr.F64()
+		if err := cr.Err(); err != nil {
+			return nil, err
+		}
+		if feature > maxFeature {
+			return nil, fmt.Errorf("implausible split feature %d", feature)
+		}
+		left, err := readTree(cr, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		right, err := readTree(cr, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		return &node{feature: int(feature), threshold: threshold, left: left, right: right}, nil
+	default:
+		return nil, fmt.Errorf("unknown node kind %d", kind)
+	}
+}

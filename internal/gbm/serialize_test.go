@@ -1,0 +1,69 @@
+package gbm
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func fitSmall(t *testing.T) (*Regressor, [][]float64) {
+	t.Helper()
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		a := float64(i % 17)
+		b := float64((i * 7) % 13)
+		X = append(X, []float64{a, b})
+		y = append(y, 2*a-0.5*b+math.Sin(a))
+	}
+	r, err := Fit(X, y, Config{NumTrees: 20, MaxDepth: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, X
+}
+
+func TestRegressorRoundTrip(t *testing.T) {
+	r, X := fitSmall(t)
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadRegressor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumTrees() != r.NumTrees() {
+		t.Fatalf("round-trip changed tree count: %d vs %d", loaded.NumTrees(), r.NumTrees())
+	}
+	for _, x := range X {
+		if r.Predict(x) != loaded.Predict(x) {
+			t.Fatal("round-trip changed predictions")
+		}
+	}
+}
+
+func TestReadRegressorTruncated(t *testing.T) {
+	r, _ := fitSmall(t)
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-7]
+	if _, err := ReadRegressor(bytes.NewReader(cut)); err == nil {
+		t.Fatal("truncated ensemble accepted")
+	}
+}
+
+func TestReadRegressorBadMagic(t *testing.T) {
+	r, _ := fitSmall(t)
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[0] ^= 0xff
+	if _, err := ReadRegressor(bytes.NewReader(b)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}

@@ -46,6 +46,10 @@ func (c Config) withDefaults() Config {
 type columnStats struct {
 	// mcv maps the most common values to their frequencies (fractions).
 	mcv map[int64]float64
+	// mcvKeys holds the MCV values in ascending order; range predicates
+	// iterate it instead of the map so frequency sums are performed in a
+	// fixed order and estimates are bit-reproducible across processes.
+	mcvKeys []int64
 	// mcvTotal is the total frequency mass of the MCV list.
 	mcvTotal float64
 	// bounds are the histogram bucket boundaries over the non-MCV values:
@@ -109,7 +113,9 @@ func collectColumn(c *dataset.Column, n int, cfg Config) *columnStats {
 		f := float64(p.c) / float64(n)
 		st.mcv[p.v] = f
 		st.mcvTotal += f
+		st.mcvKeys = append(st.mcvKeys, p.v)
 	}
+	sort.Slice(st.mcvKeys, func(i, j int) bool { return st.mcvKeys[i] < st.mcvKeys[j] })
 
 	// Equi-depth histogram over the remaining values.
 	var rest []int64
@@ -177,9 +183,9 @@ func (st *columnStats) eqSelectivity(v int64) float64 {
 
 func (st *columnStats) rangeSelectivity(lo, hi int64) float64 {
 	var sel float64
-	for v, f := range st.mcv {
+	for _, v := range st.mcvKeys {
 		if v >= lo && v <= hi {
-			sel += f
+			sel += st.mcv[v]
 		}
 	}
 	for i := 0; i+1 < len(st.bounds); i++ {

@@ -1,0 +1,241 @@
+package histogram
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"cardpi/internal/codec"
+	"cardpi/internal/dataset"
+)
+
+// Estimator checkpointing: the collected statistics (per-column MCV lists,
+// equi-depth histograms, and extended joint MCVs) round-trip through a
+// stream, so a frozen artifact reproduces the estimator without rescanning
+// the table. Maps are written in sorted key order for a deterministic,
+// bit-reproducible encoding. Layout:
+//
+//	magic "HSTv" | tableName:string | stats
+//	stats: n:u32 | numCols:u32 | per column (sorted by name): name:string colStats
+//	       | numPairs:u32 | per pair (sorted): a:string b:string joint
+//
+// Only single-table estimators (NewSingle) are serialisable; the schema
+// estimator of the join path is rebuilt from its schema instead.
+
+var statsMagic = [4]byte{'H', 'S', 'T', 'v'}
+
+// maxHistCols bounds decoded column counts as a corruption guard.
+const maxHistCols = 1 << 16
+
+// WriteTo serialises a single-table estimator's statistics.
+func (e *Estimator) WriteTo(w io.Writer) (int64, error) {
+	cw := codec.NewWriter(w)
+	if e.table == nil {
+		cw.Fail(fmt.Errorf("histogram: only single-table estimators are serialisable"))
+		return 0, cw.Err()
+	}
+	cw.Raw(statsMagic[:])
+	cw.String(e.table.Name)
+	writeStats(cw, e.tableStats[e.table.Name])
+	return cw.Len(), cw.Err()
+}
+
+func writeStats(cw *codec.Writer, s *Stats) {
+	if s == nil {
+		cw.Fail(fmt.Errorf("histogram: nil statistics"))
+		return
+	}
+	cw.U32(uint32(s.n))
+	names := make([]string, 0, len(s.cols))
+	for name := range s.cols {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	cw.U32(uint32(len(names)))
+	for _, name := range names {
+		cw.String(name)
+		writeColumnStats(cw, s.cols[name])
+	}
+	pairs := make([]pairKey, 0, len(s.extended))
+	for k := range s.extended {
+		pairs = append(pairs, k)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+	cw.U32(uint32(len(pairs)))
+	for _, k := range pairs {
+		cw.String(k.a)
+		cw.String(k.b)
+		writeJointStats(cw, s.extended[k])
+	}
+}
+
+func writeColumnStats(cw *codec.Writer, st *columnStats) {
+	vals := make([]int64, 0, len(st.mcv))
+	for v := range st.mcv {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	cw.U32(uint32(len(vals)))
+	for _, v := range vals {
+		cw.I64(v)
+		cw.F64(st.mcv[v])
+	}
+	cw.F64(st.mcvTotal)
+	cw.I64s(st.bounds)
+	cw.F64s(st.bucketFrac)
+	cw.I64(int64(st.distinct))
+	cw.I64(int64(st.distinctNonMCV))
+	cw.I64(st.min)
+	cw.I64(st.max)
+}
+
+func writeJointStats(cw *codec.Writer, js *jointStats) {
+	keys := make([][2]int64, 0, len(js.freq))
+	for k := range js.freq {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	cw.U32(uint32(len(keys)))
+	for _, k := range keys {
+		cw.I64(k[0])
+		cw.I64(k[1])
+		cw.F64(js.freq[k])
+	}
+	cw.F64(js.mass)
+}
+
+// ReadSingle deserialises an estimator written by WriteTo, binding it to
+// the table the statistics were collected over. The stored table name and
+// column set are validated against t.
+func ReadSingle(r io.Reader, t *dataset.Table) (*Estimator, error) {
+	cr := codec.NewReader(r)
+	var mg [4]byte
+	cr.Raw(mg[:])
+	if err := cr.Err(); err != nil {
+		return nil, fmt.Errorf("histogram: reading magic: %w", err)
+	}
+	if mg != statsMagic {
+		return nil, fmt.Errorf("histogram: bad magic %q", mg)
+	}
+	name := cr.String(codec.MaxStringLen)
+	if err := cr.Err(); err != nil {
+		return nil, fmt.Errorf("histogram: reading table name: %w", err)
+	}
+	if name != t.Name {
+		return nil, fmt.Errorf("histogram: statistics are for table %q, got table %q", name, t.Name)
+	}
+	s, err := readStats(cr, t)
+	if err != nil {
+		return nil, err
+	}
+	return &Estimator{table: t, tableStats: map[string]*Stats{t.Name: s}}, nil
+}
+
+func readStats(cr *codec.Reader, t *dataset.Table) (*Stats, error) {
+	n := cr.U32()
+	numCols := cr.U32()
+	if err := cr.Err(); err != nil {
+		return nil, fmt.Errorf("histogram: reading stats header: %w", err)
+	}
+	if numCols > maxHistCols {
+		return nil, fmt.Errorf("histogram: implausible column count %d", numCols)
+	}
+	if int(numCols) != t.NumCols() {
+		return nil, fmt.Errorf("histogram: statistics cover %d columns, table has %d", numCols, t.NumCols())
+	}
+	s := &Stats{table: t, cols: make(map[string]*columnStats, numCols), n: int(n)}
+	for i := uint32(0); i < numCols; i++ {
+		name := cr.String(codec.MaxStringLen)
+		st, err := readColumnStats(cr)
+		if err != nil {
+			return nil, fmt.Errorf("histogram: column %q: %w", name, err)
+		}
+		if t.Column(name) == nil {
+			return nil, fmt.Errorf("histogram: statistics for unknown column %q", name)
+		}
+		s.cols[name] = st
+	}
+	numPairs := cr.U32()
+	if err := cr.Err(); err != nil {
+		return nil, fmt.Errorf("histogram: reading pair count: %w", err)
+	}
+	if uint64(numPairs) > uint64(maxHistCols)*uint64(maxHistCols) {
+		return nil, fmt.Errorf("histogram: implausible pair count %d", numPairs)
+	}
+	if numPairs > 0 {
+		s.extended = make(map[pairKey]*jointStats, numPairs)
+		for i := uint32(0); i < numPairs; i++ {
+			a := cr.String(codec.MaxStringLen)
+			b := cr.String(codec.MaxStringLen)
+			js, err := readJointStats(cr)
+			if err != nil {
+				return nil, fmt.Errorf("histogram: pair (%q,%q): %w", a, b, err)
+			}
+			s.extended[pairKey{a: a, b: b}] = js
+		}
+	}
+	return s, nil
+}
+
+func readColumnStats(cr *codec.Reader) (*columnStats, error) {
+	st := &columnStats{mcv: make(map[int64]float64)}
+	numMCV := cr.U32()
+	if err := cr.Err(); err != nil {
+		return nil, err
+	}
+	if numMCV > codec.MaxSliceLen {
+		return nil, fmt.Errorf("implausible MCV count %d", numMCV)
+	}
+	for i := uint32(0); i < numMCV; i++ {
+		// Written in ascending value order, so the key list arrives sorted.
+		v := cr.I64()
+		st.mcv[v] = cr.F64()
+		st.mcvKeys = append(st.mcvKeys, v)
+	}
+	st.mcvTotal = cr.F64()
+	st.bounds = cr.I64s(codec.MaxSliceLen)
+	st.bucketFrac = cr.F64s(codec.MaxSliceLen)
+	st.distinct = int(cr.I64())
+	st.distinctNonMCV = int(cr.I64())
+	st.min = cr.I64()
+	st.max = cr.I64()
+	if err := cr.Err(); err != nil {
+		return nil, err
+	}
+	if len(st.bounds) > 0 && len(st.bounds) != len(st.bucketFrac)+1 {
+		return nil, fmt.Errorf("%d bucket bounds vs %d fractions", len(st.bounds), len(st.bucketFrac))
+	}
+	return st, nil
+}
+
+func readJointStats(cr *codec.Reader) (*jointStats, error) {
+	numKeys := cr.U32()
+	if err := cr.Err(); err != nil {
+		return nil, err
+	}
+	if numKeys > codec.MaxSliceLen {
+		return nil, fmt.Errorf("implausible joint MCV count %d", numKeys)
+	}
+	js := &jointStats{freq: make(map[[2]int64]float64, numKeys)}
+	for i := uint32(0); i < numKeys; i++ {
+		var k [2]int64
+		k[0] = cr.I64()
+		k[1] = cr.I64()
+		js.freq[k] = cr.F64()
+	}
+	js.mass = cr.F64()
+	if err := cr.Err(); err != nil {
+		return nil, err
+	}
+	return js, nil
+}

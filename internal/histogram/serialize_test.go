@@ -1,0 +1,81 @@
+package histogram
+
+import (
+	"bytes"
+	"testing"
+
+	"cardpi/internal/dataset"
+	"cardpi/internal/workload"
+)
+
+func TestEstimatorRoundTrip(t *testing.T) {
+	tab, err := dataset.GenerateCensus(dataset.GenConfig{Rows: 1500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewSingle(tab, Config{ExtendedPairs: 2, ExtendedMCVs: 16})
+	var buf bytes.Buffer
+	if _, err := e.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadSingle(&buf, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.Generate(tab, workload.Config{Count: 40, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lq := range wl.Queries {
+		if e.EstimateSelectivity(lq.Query) != loaded.EstimateSelectivity(lq.Query) {
+			t.Fatal("round-trip changed estimates")
+		}
+	}
+}
+
+func TestReadSingleRejectsWrongTable(t *testing.T) {
+	tab, err := dataset.GenerateCensus(dataset.GenConfig{Rows: 600, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewSingle(tab, Config{})
+	var buf bytes.Buffer
+	if _, err := e.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other, err := dataset.GeneratePower(dataset.GenConfig{Rows: 600, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSingle(&buf, other); err == nil {
+		t.Fatal("mismatched table accepted")
+	}
+}
+
+func TestWriteToRejectsSchemaEstimator(t *testing.T) {
+	sch, err := dataset.GenerateDSB(dataset.GenConfig{Rows: 500, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewSchema(sch, Config{})
+	var buf bytes.Buffer
+	if _, err := e.WriteTo(&buf); err == nil {
+		t.Fatal("schema estimator serialised")
+	}
+}
+
+func TestReadSingleTruncated(t *testing.T) {
+	tab, err := dataset.GenerateCensus(dataset.GenConfig{Rows: 600, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewSingle(tab, Config{})
+	var buf bytes.Buffer
+	if _, err := e.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()/3]
+	if _, err := ReadSingle(bytes.NewReader(cut), tab); err == nil {
+		t.Fatal("truncated statistics accepted")
+	}
+}

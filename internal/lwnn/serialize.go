@@ -1,16 +1,16 @@
 package lwnn
 
 import (
-	"encoding/binary"
 	"fmt"
 	"io"
 
+	"cardpi/internal/codec"
 	"cardpi/internal/nn"
 )
 
 // Model checkpointing. Layout:
 //
-//	magic "LWNN" | nameLen:u32 name | net
+//	magic "LWNN" | name:string | net
 //
 // The feature pipeline (statistics + sample) is rebuilt from the table by
 // the caller at load time; the stored network's input dimension is validated
@@ -18,50 +18,35 @@ import (
 
 var modelMagic = [4]byte{'L', 'W', 'N', 'N'}
 
+// maxNameLen bounds the stored model name.
+const maxNameLen = 256
+
 // WriteTo serialises the trained model.
 func (m *Model) WriteTo(w io.Writer) (int64, error) {
-	var written int64
-	if _, err := w.Write(modelMagic[:]); err != nil {
-		return written, err
-	}
-	written += 4
-	var buf [4]byte
-	binary.LittleEndian.PutUint32(buf[:], uint32(len(m.name)))
-	k, err := w.Write(buf[:])
-	written += int64(k)
-	if err != nil {
-		return written, err
-	}
-	k, err = io.WriteString(w, m.name)
-	written += int64(k)
-	if err != nil {
-		return written, err
+	cw := codec.NewWriter(w)
+	cw.Raw(modelMagic[:])
+	cw.String(m.name)
+	if err := cw.Err(); err != nil {
+		return cw.Len(), err
 	}
 	n, err := m.net.WriteTo(w)
-	written += n
-	return written, err
+	return cw.Len() + n, err
 }
 
 // ReadModel deserialises a model written by WriteTo, binding it to a
 // freshly built feature pipeline over the same table.
 func ReadModel(r io.Reader, features *Features) (*Model, error) {
+	cr := codec.NewReader(r)
 	var m [4]byte
-	if _, err := io.ReadFull(r, m[:]); err != nil {
+	cr.Raw(m[:])
+	if err := cr.Err(); err != nil {
 		return nil, fmt.Errorf("lwnn: reading magic: %w", err)
 	}
 	if m != modelMagic {
 		return nil, fmt.Errorf("lwnn: bad magic %q", m)
 	}
-	var buf [4]byte
-	if _, err := io.ReadFull(r, buf[:]); err != nil {
-		return nil, fmt.Errorf("lwnn: reading name length: %w", err)
-	}
-	nameLen := binary.LittleEndian.Uint32(buf[:])
-	if nameLen > 256 {
-		return nil, fmt.Errorf("lwnn: implausible name length %d", nameLen)
-	}
-	nameBytes := make([]byte, nameLen)
-	if _, err := io.ReadFull(r, nameBytes); err != nil {
+	name := cr.String(maxNameLen)
+	if err := cr.Err(); err != nil {
 		return nil, fmt.Errorf("lwnn: reading name: %w", err)
 	}
 	net, err := nn.ReadNet(r)
@@ -71,5 +56,5 @@ func ReadModel(r io.Reader, features *Features) (*Model, error) {
 	if got := net.Layers[0].In; got != features.Dim() {
 		return nil, fmt.Errorf("lwnn: model expects feature dim %d, pipeline has %d", got, features.Dim())
 	}
-	return &Model{name: string(nameBytes), features: features, net: net}, nil
+	return &Model{name: name, features: features, net: net}, nil
 }

@@ -1,46 +1,34 @@
 package mscn
 
 import (
-	"encoding/binary"
 	"fmt"
 	"io"
 
+	"cardpi/internal/codec"
 	"cardpi/internal/nn"
 )
 
 // Model checkpointing: trained MSCN weights can be written to a stream and
 // reloaded against a featurizer built over the same table/schema. Layout:
 //
-//	magic "MSCN" | hidden:u32 | nameLen:u32 name | predNet | tableNet | outNet
+//	magic "MSCN" | hidden:u32 | name:string | predNet | tableNet | outNet
 
 var modelMagic = [4]byte{'M', 'S', 'C', 'N'}
+
+// maxNameLen bounds the stored model name.
+const maxNameLen = 256
 
 // WriteTo serialises the trained model (weights and identity; the
 // featurizer is reconstructed by the caller at load time).
 func (m *Model) WriteTo(w io.Writer) (int64, error) {
-	var written int64
-	if _, err := w.Write(modelMagic[:]); err != nil {
-		return written, err
+	cw := codec.NewWriter(w)
+	cw.Raw(modelMagic[:])
+	cw.U32(uint32(m.hidden))
+	cw.String(m.name)
+	if err := cw.Err(); err != nil {
+		return cw.Len(), err
 	}
-	written += 4
-	var buf [4]byte
-	writeU32 := func(v uint32) error {
-		binary.LittleEndian.PutUint32(buf[:], v)
-		k, err := w.Write(buf[:])
-		written += int64(k)
-		return err
-	}
-	if err := writeU32(uint32(m.hidden)); err != nil {
-		return written, err
-	}
-	if err := writeU32(uint32(len(m.name))); err != nil {
-		return written, err
-	}
-	k, err := io.WriteString(w, m.name)
-	written += int64(k)
-	if err != nil {
-		return written, err
-	}
+	written := cw.Len()
 	for _, net := range []*nn.Net{m.predNet, m.tableNet, m.outNet} {
 		n, err := net.WriteTo(w)
 		written += n
@@ -55,36 +43,21 @@ func (m *Model) WriteTo(w io.Writer) (int64, error) {
 // featurizer that must describe the same table/schema the model was trained
 // on (validated against the stored layer dimensions).
 func ReadModel(r io.Reader, f *Featurizer) (*Model, error) {
+	cr := codec.NewReader(r)
 	var m [4]byte
-	if _, err := io.ReadFull(r, m[:]); err != nil {
+	cr.Raw(m[:])
+	if err := cr.Err(); err != nil {
 		return nil, fmt.Errorf("mscn: reading magic: %w", err)
 	}
 	if m != modelMagic {
 		return nil, fmt.Errorf("mscn: bad magic %q", m)
 	}
-	var buf [4]byte
-	readU32 := func() (uint32, error) {
-		if _, err := io.ReadFull(r, buf[:]); err != nil {
-			return 0, err
-		}
-		return binary.LittleEndian.Uint32(buf[:]), nil
+	hidden := cr.U32()
+	name := cr.String(maxNameLen)
+	if err := cr.Err(); err != nil {
+		return nil, fmt.Errorf("mscn: reading header: %w", err)
 	}
-	hidden, err := readU32()
-	if err != nil {
-		return nil, fmt.Errorf("mscn: reading hidden size: %w", err)
-	}
-	nameLen, err := readU32()
-	if err != nil {
-		return nil, fmt.Errorf("mscn: reading name length: %w", err)
-	}
-	if nameLen > 256 {
-		return nil, fmt.Errorf("mscn: implausible name length %d", nameLen)
-	}
-	nameBytes := make([]byte, nameLen)
-	if _, err := io.ReadFull(r, nameBytes); err != nil {
-		return nil, fmt.Errorf("mscn: reading name: %w", err)
-	}
-	model := &Model{name: string(nameBytes), feat: f, hidden: int(hidden)}
+	model := &Model{name: name, feat: f, hidden: int(hidden)}
 	nets := []**nn.Net{&model.predNet, &model.tableNet, &model.outNet}
 	for i, dst := range nets {
 		net, err := nn.ReadNet(r)

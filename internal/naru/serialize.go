@@ -1,17 +1,17 @@
 package naru
 
 import (
-	"encoding/binary"
 	"fmt"
 	"io"
 
+	"cardpi/internal/codec"
 	"cardpi/internal/dataset"
 	"cardpi/internal/nn"
 )
 
 // Model checkpointing. Layout:
 //
-//	magic "NARU" | bins:u32 | samples:u32 | seed:u64 | numCols:u32 |
+//	magic "NARU" | bins:u32 | samples:u32 | seed:i64 | numCols:u32 |
 //	per column: vocab:u32 | per column: conditional net
 //
 // The codecs are recomputed from the table at load time and validated
@@ -21,18 +21,8 @@ var modelMagic = [4]byte{'N', 'A', 'R', 'U'}
 
 // WriteTo serialises the trained autoregressive model.
 func (m *Model) WriteTo(w io.Writer) (int64, error) {
-	var written int64
-	if _, err := w.Write(modelMagic[:]); err != nil {
-		return written, err
-	}
-	written += 4
-	var buf [8]byte
-	writeU32 := func(v uint32) error {
-		binary.LittleEndian.PutUint32(buf[:4], v)
-		k, err := w.Write(buf[:4])
-		written += int64(k)
-		return err
-	}
+	cw := codec.NewWriter(w)
+	cw.Raw(modelMagic[:])
 	// bins is recoverable as the max vocab; store it explicitly anyway for
 	// validation at load time.
 	maxVocab := 0
@@ -41,26 +31,17 @@ func (m *Model) WriteTo(w io.Writer) (int64, error) {
 			maxVocab = cc.vocab
 		}
 	}
-	if err := writeU32(uint32(maxVocab)); err != nil {
-		return written, err
-	}
-	if err := writeU32(uint32(m.samples)); err != nil {
-		return written, err
-	}
-	binary.LittleEndian.PutUint64(buf[:], uint64(m.seed))
-	k, err := w.Write(buf[:])
-	written += int64(k)
-	if err != nil {
-		return written, err
-	}
-	if err := writeU32(uint32(len(m.codecs))); err != nil {
-		return written, err
-	}
+	cw.U32(uint32(maxVocab))
+	cw.U32(uint32(m.samples))
+	cw.I64(m.seed)
+	cw.U32(uint32(len(m.codecs)))
 	for _, cc := range m.codecs {
-		if err := writeU32(uint32(cc.vocab)); err != nil {
-			return written, err
-		}
+		cw.U32(uint32(cc.vocab))
 	}
+	if err := cw.Err(); err != nil {
+		return cw.Len(), err
+	}
+	written := cw.Len()
 	for _, net := range m.nets {
 		n, err := net.WriteTo(w)
 		written += n
@@ -75,35 +56,21 @@ func (m *Model) WriteTo(w io.Writer) (int64, error) {
 // it was trained on (the codecs are rebuilt and validated against the
 // stored vocabularies).
 func ReadModel(r io.Reader, t *dataset.Table) (*Model, error) {
+	cr := codec.NewReader(r)
 	var mg [4]byte
-	if _, err := io.ReadFull(r, mg[:]); err != nil {
+	cr.Raw(mg[:])
+	if err := cr.Err(); err != nil {
 		return nil, fmt.Errorf("naru: reading magic: %w", err)
 	}
 	if mg != modelMagic {
 		return nil, fmt.Errorf("naru: bad magic %q", mg)
 	}
-	var buf [8]byte
-	readU32 := func() (uint32, error) {
-		if _, err := io.ReadFull(r, buf[:4]); err != nil {
-			return 0, err
-		}
-		return binary.LittleEndian.Uint32(buf[:4]), nil
-	}
-	bins, err := readU32()
-	if err != nil {
-		return nil, fmt.Errorf("naru: reading bins: %w", err)
-	}
-	samples, err := readU32()
-	if err != nil {
-		return nil, fmt.Errorf("naru: reading samples: %w", err)
-	}
-	if _, err := io.ReadFull(r, buf[:]); err != nil {
-		return nil, fmt.Errorf("naru: reading seed: %w", err)
-	}
-	seed := int64(binary.LittleEndian.Uint64(buf[:]))
-	numCols, err := readU32()
-	if err != nil {
-		return nil, fmt.Errorf("naru: reading column count: %w", err)
+	bins := cr.U32()
+	samples := cr.U32()
+	seed := cr.I64()
+	numCols := cr.U32()
+	if err := cr.Err(); err != nil {
+		return nil, fmt.Errorf("naru: reading header: %w", err)
 	}
 	if int(numCols) != t.NumCols() {
 		return nil, fmt.Errorf("naru: model has %d columns, table has %d", numCols, t.NumCols())
@@ -112,8 +79,8 @@ func ReadModel(r io.Reader, t *dataset.Table) (*Model, error) {
 	m := &Model{name: "naru", table: t, samples: int(samples), seed: seed}
 	prefixDim := 0
 	for ci := 0; ci < int(numCols); ci++ {
-		vocab, err := readU32()
-		if err != nil {
+		vocab := cr.U32()
+		if err := cr.Err(); err != nil {
 			return nil, fmt.Errorf("naru: reading vocab %d: %w", ci, err)
 		}
 		cc := newCodec(t.Cols[ci], int(bins))

@@ -1,10 +1,10 @@
 package nn
 
 import (
-	"encoding/binary"
 	"fmt"
 	"io"
-	"math"
+
+	"cardpi/internal/codec"
 )
 
 // Serialization: a tiny self-describing binary format for trained networks,
@@ -12,84 +12,46 @@ import (
 //
 //	magic "NNv1" | numLayers:u32 | per layer: in:u32 out:u32 W... B...
 //
-// All floats are IEEE-754 float64 little-endian.
+// All integers are little-endian; floats are IEEE-754 float64
+// little-endian (the codec package's wire conventions).
 
 var magic = [4]byte{'N', 'N', 'v', '1'}
-
-// WriteTo serialises the network.
-func (n *Net) WriteTo(w io.Writer) (int64, error) {
-	var written int64
-	count := func(err error, k int) error {
-		written += int64(k)
-		return err
-	}
-	if _, err := w.Write(magic[:]); err != nil {
-		return written, err
-	}
-	written += 4
-	buf := make([]byte, 8)
-	writeU32 := func(v uint32) error {
-		binary.LittleEndian.PutUint32(buf[:4], v)
-		k, err := w.Write(buf[:4])
-		return count(err, k)
-	}
-	writeF64 := func(v float64) error {
-		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
-		k, err := w.Write(buf)
-		return count(err, k)
-	}
-	if err := writeU32(uint32(len(n.Layers))); err != nil {
-		return written, err
-	}
-	for _, l := range n.Layers {
-		if err := writeU32(uint32(l.In)); err != nil {
-			return written, err
-		}
-		if err := writeU32(uint32(l.Out)); err != nil {
-			return written, err
-		}
-		for _, v := range l.W {
-			if err := writeF64(v); err != nil {
-				return written, err
-			}
-		}
-		for _, v := range l.B {
-			if err := writeF64(v); err != nil {
-				return written, err
-			}
-		}
-	}
-	return written, nil
-}
 
 // maxLayerDim bounds deserialised layer sizes as a sanity check against
 // corrupt or hostile inputs.
 const maxLayerDim = 1 << 20
 
+// WriteTo serialises the network.
+func (n *Net) WriteTo(w io.Writer) (int64, error) {
+	cw := codec.NewWriter(w)
+	cw.Raw(magic[:])
+	cw.U32(uint32(len(n.Layers)))
+	for _, l := range n.Layers {
+		cw.U32(uint32(l.In))
+		cw.U32(uint32(l.Out))
+		for _, v := range l.W {
+			cw.F64(v)
+		}
+		for _, v := range l.B {
+			cw.F64(v)
+		}
+	}
+	return cw.Len(), cw.Err()
+}
+
 // ReadNet deserialises a network written by WriteTo.
 func ReadNet(r io.Reader) (*Net, error) {
+	cr := codec.NewReader(r)
 	var m [4]byte
-	if _, err := io.ReadFull(r, m[:]); err != nil {
+	cr.Raw(m[:])
+	if err := cr.Err(); err != nil {
 		return nil, fmt.Errorf("nn: reading magic: %w", err)
 	}
 	if m != magic {
 		return nil, fmt.Errorf("nn: bad magic %q", m)
 	}
-	buf := make([]byte, 8)
-	readU32 := func() (uint32, error) {
-		if _, err := io.ReadFull(r, buf[:4]); err != nil {
-			return 0, err
-		}
-		return binary.LittleEndian.Uint32(buf[:4]), nil
-	}
-	readF64 := func() (float64, error) {
-		if _, err := io.ReadFull(r, buf); err != nil {
-			return 0, err
-		}
-		return math.Float64frombits(binary.LittleEndian.Uint64(buf)), nil
-	}
-	nLayers, err := readU32()
-	if err != nil {
+	nLayers := cr.U32()
+	if err := cr.Err(); err != nil {
 		return nil, fmt.Errorf("nn: reading layer count: %w", err)
 	}
 	if nLayers == 0 || nLayers > 1024 {
@@ -97,13 +59,9 @@ func ReadNet(r io.Reader) (*Net, error) {
 	}
 	net := &Net{}
 	for li := uint32(0); li < nLayers; li++ {
-		in, err := readU32()
-		if err != nil {
-			return nil, fmt.Errorf("nn: layer %d in-dim: %w", li, err)
-		}
-		out, err := readU32()
-		if err != nil {
-			return nil, fmt.Errorf("nn: layer %d out-dim: %w", li, err)
+		in, out := cr.U32(), cr.U32()
+		if err := cr.Err(); err != nil {
+			return nil, fmt.Errorf("nn: layer %d dims: %w", li, err)
 		}
 		if in == 0 || out == 0 || in > maxLayerDim || out > maxLayerDim {
 			return nil, fmt.Errorf("nn: implausible layer %d dims %dx%d", li, in, out)
@@ -116,14 +74,13 @@ func ReadNet(r io.Reader) (*Net, error) {
 			gB: make([]float64, out),
 		}
 		for i := range l.W {
-			if l.W[i], err = readF64(); err != nil {
-				return nil, fmt.Errorf("nn: layer %d weights: %w", li, err)
-			}
+			l.W[i] = cr.F64()
 		}
 		for i := range l.B {
-			if l.B[i], err = readF64(); err != nil {
-				return nil, fmt.Errorf("nn: layer %d biases: %w", li, err)
-			}
+			l.B[i] = cr.F64()
+		}
+		if err := cr.Err(); err != nil {
+			return nil, fmt.Errorf("nn: layer %d parameters: %w", li, err)
 		}
 		net.Layers = append(net.Layers, l)
 	}

@@ -1,0 +1,163 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The model x method compatibility matrix, in one place. Every consumer —
+// flag validation in train and serve, CLI usage text, and the artifact
+// loader's provenance checks — derives its lists and error messages from
+// these two tables, so adding a model or method (or changing a
+// compatibility rule) cannot leave one surface stale.
+
+// ModelInfo describes one estimator family the demo pipeline can train.
+type ModelInfo struct {
+	// Name is the CLI name of the family.
+	Name string
+	// Pinball marks families with a quantile (pinball-loss) training
+	// mode, the prerequisite for CQR.
+	Pinball bool
+}
+
+// MethodInfo describes one PI method the demo pipeline can calibrate.
+type MethodInfo struct {
+	// Name is the CLI name of the method.
+	Name string
+	// NeedsPinball marks methods that retrain the model family with a
+	// pinball loss and therefore require a Pinball model.
+	NeedsPinball bool
+}
+
+// Models lists the supported estimator families, in CLI display order.
+var Models = []ModelInfo{
+	{Name: "spn"},
+	{Name: "mscn", Pinball: true},
+	{Name: "lwnn", Pinball: true},
+	{Name: "naru"},
+	{Name: "histogram"},
+}
+
+// Methods lists the supported PI methods, in CLI display order.
+var Methods = []MethodInfo{
+	{Name: "s-cp"},
+	{Name: "lw-s-cp"},
+	{Name: "lcp"},
+	{Name: "mondrian"},
+	{Name: "cqr", NeedsPinball: true},
+}
+
+// modelByName returns the family entry, or nil for unknown names.
+func modelByName(name string) *ModelInfo {
+	for i := range Models {
+		if Models[i].Name == name {
+			return &Models[i]
+		}
+	}
+	return nil
+}
+
+// methodByName returns the method entry, or nil for unknown names.
+func methodByName(name string) *MethodInfo {
+	for i := range Methods {
+		if Methods[i].Name == name {
+			return &Methods[i]
+		}
+	}
+	return nil
+}
+
+// ModelNames renders the family list for flag help, e.g.
+// "spn | mscn | lwnn | naru | histogram".
+func ModelNames() string {
+	return joinNames(len(Models), " | ", func(i int) string { return Models[i].Name })
+}
+
+// MethodNames renders the method list for flag help.
+func MethodNames() string {
+	return joinNames(len(Methods), " | ", func(i int) string { return Methods[i].Name })
+}
+
+// pinballModelNames renders the pinball-capable families, e.g. "mscn | lwnn".
+func pinballModelNames(sep string) string {
+	var names []string
+	for _, m := range Models {
+		if m.Pinball {
+			names = append(names, m.Name)
+		}
+	}
+	return strings.Join(names, sep)
+}
+
+// nonPinballModelNames renders the families without a quantile variant.
+func nonPinballModelNames(sep string) string {
+	var names []string
+	for _, m := range Models {
+		if !m.Pinball {
+			names = append(names, m.Name)
+		}
+	}
+	return strings.Join(names, sep)
+}
+
+// universalMethodNames renders the methods that wrap any model.
+func universalMethodNames(sep string) string {
+	var names []string
+	for _, m := range Methods {
+		if !m.NeedsPinball {
+			names = append(names, m.Name)
+		}
+	}
+	return strings.Join(names, sep)
+}
+
+func joinNames(n int, sep string, name func(int) string) string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = name(i)
+	}
+	return strings.Join(names, sep)
+}
+
+// pinballMethodNames renders the methods restricted to pinball models.
+func pinballMethodNames(sep string) string {
+	var names []string
+	for _, m := range Methods {
+		if m.NeedsPinball {
+			names = append(names, m.Name)
+		}
+	}
+	return strings.Join(names, sep)
+}
+
+// ComboHelp renders the compatibility matrix for CLI usage text.
+func ComboHelp() string {
+	return fmt.Sprintf(`model x method compatibility:
+  %-30s any model (%s)
+  %-30s %s only (retrains the model with a
+                                 pinball loss; %s have no
+                                 trainable quantile variant)`,
+		universalMethodNames(", "), ModelNames(),
+		pinballMethodNames(", "),
+		pinballModelNames(" | "), nonPinballModelNames("/"))
+}
+
+// ValidateCombo rejects unknown names and invalid model x method pairs with
+// an actionable message, before any data generation or training runs.
+func ValidateCombo(model, method string) error {
+	model, method = strings.ToLower(model), strings.ToLower(method)
+	if modelByName(model) == nil {
+		return fmt.Errorf("unknown model %q (want %s)", model, ModelNames())
+	}
+	mi := methodByName(method)
+	if mi == nil {
+		return fmt.Errorf("unknown method %q (want %s)", method, MethodNames())
+	}
+	if mi.NeedsPinball && !modelByName(model).Pinball {
+		return fmt.Errorf("method %q requires a model trainable with a pinball loss (%s), got %q; "+
+			"pick -model %s, or a conformal method (%s) that wraps any model",
+			method, pinballModelNames(" or "), model,
+			pinballModelNames(" or -model "), universalMethodNames(", "))
+	}
+	return nil
+}

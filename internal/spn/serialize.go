@@ -1,0 +1,192 @@
+package spn
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"cardpi/internal/codec"
+	"cardpi/internal/dataset"
+)
+
+// Model checkpointing: the learned network structure and parameters are
+// written depth-first so the (potentially minutes-long) structure learning
+// never has to rerun at serve time. Layout:
+//
+//	magic "SPNv" | numCols:u32 | tree
+//	tree node: kind:u8 (0 leaf | 1 product | 2 sum) ...
+//	  leaf:    col:u32 min:i64 binWidth:f64 counts:[]f64
+//	  product: numChildren:u32 | per child: scope (cols:[]u32) | child tree
+//	  sum:     numChildren:u32 weights:[]f64 | child trees
+//
+// The model binds to the table at load time; column indices are validated
+// against the table's width.
+
+var modelMagic = [4]byte{'S', 'P', 'N', 'v'}
+
+const (
+	nodeLeaf uint8 = iota
+	nodeProduct
+	nodeSum
+)
+
+// maxChildren bounds decoded fan-out as a corruption guard.
+const maxChildren = 1 << 16
+
+// WriteTo serialises the trained network.
+func (m *Model) WriteTo(w io.Writer) (int64, error) {
+	cw := codec.NewWriter(w)
+	cw.Raw(modelMagic[:])
+	cw.U32(uint32(m.table.NumCols()))
+	writeNode(cw, m.root)
+	return cw.Len(), cw.Err()
+}
+
+func writeNode(cw *codec.Writer, n node) {
+	switch t := n.(type) {
+	case *leafNode:
+		cw.U8(nodeLeaf)
+		cw.U32(uint32(t.col))
+		cw.I64(t.min)
+		cw.F64(t.binWidth)
+		cw.F64s(t.counts)
+	case *productNode:
+		cw.U8(nodeProduct)
+		cw.U32(uint32(len(t.children)))
+		// Persist each child's scope (the columns it owns), sorted for a
+		// deterministic encoding of the owner map.
+		scopes := make([][]int, len(t.children))
+		for ci, child := range t.owner {
+			scopes[child] = append(scopes[child], ci)
+		}
+		for i, scope := range scopes {
+			sort.Ints(scope)
+			cw.Ints(scope)
+			writeNode(cw, t.children[i])
+		}
+	case *sumNode:
+		cw.U8(nodeSum)
+		cw.U32(uint32(len(t.children)))
+		cw.F64s(t.weights)
+		for _, child := range t.children {
+			writeNode(cw, child)
+		}
+	default:
+		cw.Fail(fmt.Errorf("spn: unknown node type %T", n))
+	}
+}
+
+// ReadModel deserialises a model written by WriteTo, binding it to the
+// table it was trained on. Column indices are validated against the table.
+func ReadModel(r io.Reader, t *dataset.Table) (*Model, error) {
+	cr := codec.NewReader(r)
+	var mg [4]byte
+	cr.Raw(mg[:])
+	if err := cr.Err(); err != nil {
+		return nil, fmt.Errorf("spn: reading magic: %w", err)
+	}
+	if mg != modelMagic {
+		return nil, fmt.Errorf("spn: bad magic %q", mg)
+	}
+	numCols := cr.U32()
+	if err := cr.Err(); err != nil {
+		return nil, fmt.Errorf("spn: reading column count: %w", err)
+	}
+	if int(numCols) != t.NumCols() {
+		return nil, fmt.Errorf("spn: model has %d columns, table has %d", numCols, t.NumCols())
+	}
+	m := &Model{table: t, colIdx: make(map[string]int, t.NumCols())}
+	for i, c := range t.Cols {
+		m.colIdx[c.Name] = i
+	}
+	root, err := m.readNode(cr, 0)
+	if err != nil {
+		return nil, err
+	}
+	m.root = root
+	return m, nil
+}
+
+// maxTreeDepth bounds decode recursion; structure learning caps depth at
+// Config.MaxDepth (default 12), so anything deeper is corrupt.
+const maxTreeDepth = 64
+
+func (m *Model) readNode(cr *codec.Reader, depth int) (node, error) {
+	if depth > maxTreeDepth {
+		return nil, fmt.Errorf("spn: tree deeper than %d (corrupt artifact)", maxTreeDepth)
+	}
+	kind := cr.U8()
+	if err := cr.Err(); err != nil {
+		return nil, fmt.Errorf("spn: reading node kind: %w", err)
+	}
+	switch kind {
+	case nodeLeaf:
+		col := cr.U32()
+		min := cr.I64()
+		binWidth := cr.F64()
+		counts := cr.F64s(codec.MaxSliceLen)
+		if err := cr.Err(); err != nil {
+			return nil, fmt.Errorf("spn: reading leaf: %w", err)
+		}
+		if int(col) >= m.table.NumCols() {
+			return nil, fmt.Errorf("spn: leaf column %d out of range (table has %d)", col, m.table.NumCols())
+		}
+		if len(counts) == 0 || binWidth <= 0 {
+			return nil, fmt.Errorf("spn: leaf with %d bins, bin width %v", len(counts), binWidth)
+		}
+		m.leaves++
+		return &leafNode{col: int(col), counts: counts, min: min, binWidth: binWidth}, nil
+	case nodeProduct:
+		n := cr.U32()
+		if err := cr.Err(); err != nil {
+			return nil, fmt.Errorf("spn: reading product fan-out: %w", err)
+		}
+		if n == 0 || n > maxChildren {
+			return nil, fmt.Errorf("spn: implausible product fan-out %d", n)
+		}
+		p := &productNode{owner: make(map[int]int)}
+		for i := uint32(0); i < n; i++ {
+			scope := cr.Ints(codec.MaxSliceLen)
+			if err := cr.Err(); err != nil {
+				return nil, fmt.Errorf("spn: reading product scope %d: %w", i, err)
+			}
+			for _, ci := range scope {
+				if ci < 0 || ci >= m.table.NumCols() {
+					return nil, fmt.Errorf("spn: scope column %d out of range", ci)
+				}
+				if _, dup := p.owner[ci]; dup {
+					return nil, fmt.Errorf("spn: column %d owned by two product children", ci)
+				}
+				p.owner[ci] = int(i)
+			}
+			child, err := m.readNode(cr, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			p.children = append(p.children, child)
+		}
+		m.products++
+		return p, nil
+	case nodeSum:
+		n := cr.U32()
+		weights := cr.F64s(maxChildren)
+		if err := cr.Err(); err != nil {
+			return nil, fmt.Errorf("spn: reading sum node: %w", err)
+		}
+		if n == 0 || n > maxChildren || len(weights) != int(n) {
+			return nil, fmt.Errorf("spn: sum node with %d children, %d weights", n, len(weights))
+		}
+		s := &sumNode{weights: weights}
+		for i := uint32(0); i < n; i++ {
+			child, err := m.readNode(cr, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			s.children = append(s.children, child)
+		}
+		m.sums++
+		return s, nil
+	default:
+		return nil, fmt.Errorf("spn: unknown node kind %d", kind)
+	}
+}

@@ -1,0 +1,83 @@
+package spn
+
+import (
+	"bytes"
+	"testing"
+
+	"cardpi/internal/dataset"
+	"cardpi/internal/workload"
+)
+
+func TestModelRoundTrip(t *testing.T) {
+	tab, err := dataset.GenerateCensus(dataset.GenConfig{Rows: 800, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(tab, Config{MinRows: 128, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadModel(&buf, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, p0, l0 := m.Nodes()
+	s1, p1, l1 := loaded.Nodes()
+	if s0 != s1 || p0 != p1 || l0 != l1 {
+		t.Fatalf("round-trip changed node counts: (%d,%d,%d) vs (%d,%d,%d)", s0, p0, l0, s1, p1, l1)
+	}
+	wl, err := workload.Generate(tab, workload.Config{Count: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lq := range wl.Queries {
+		if m.EstimateSelectivity(lq.Query) != loaded.EstimateSelectivity(lq.Query) {
+			t.Fatal("round-trip changed estimates")
+		}
+	}
+}
+
+func TestReadModelRejectsWrongTable(t *testing.T) {
+	tab, err := dataset.GenerateCensus(dataset.GenConfig{Rows: 400, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(tab, Config{MinRows: 128, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other, err := dataset.GeneratePower(dataset.GenConfig{Rows: 400, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadModel(&buf, other); err == nil {
+		t.Fatal("mismatched table accepted")
+	}
+}
+
+func TestReadModelTruncated(t *testing.T) {
+	tab, err := dataset.GenerateCensus(dataset.GenConfig{Rows: 400, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(tab, Config{MinRows: 128, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadModel(bytes.NewReader(cut), tab); err == nil {
+		t.Fatal("truncated model accepted")
+	}
+}

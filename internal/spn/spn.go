@@ -89,9 +89,14 @@ func (p *productNode) prob(preds map[int]rangePred) float64 {
 		}
 		perChild[ch][ci] = rp
 	}
+	// Multiply in child-index order: float rounding depends on operand
+	// order, and map iteration would make repeated estimates differ in the
+	// last ulp — breaking the artifact pipeline's bit-reproducibility.
 	out := 1.0
-	for ch, sub := range perChild {
-		out *= p.children[ch].prob(sub)
+	for ch, child := range p.children {
+		if sub, ok := perChild[ch]; ok {
+			out *= child.prob(sub)
+		}
 	}
 	return out
 }

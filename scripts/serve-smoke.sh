@@ -1,46 +1,57 @@
 #!/usr/bin/env bash
 # serve-smoke.sh — start `cardpi serve` on a small synthetic dataset, hit
 # /estimate and /metrics, and assert HTTP 200 plus the documented `cardpi_`
-# metric families. Run via `make serve-smoke`; CI runs it on every push so
-# the serving stack can't silently rot.
+# metric families. Then run the artifact lifecycle end to end: train a
+# bundle, inspect it, serve from it without retraining, and assert the
+# artifact-backed server returns the same interval as the in-process one.
+# Run via `make serve-smoke`; CI runs it on every push so the serving stack
+# can't silently rot.
 set -euo pipefail
 
 ADDR="${SMOKE_ADDR:-127.0.0.1:18080}"
-BIN="$(mktemp -d)/cardpi"
+ART_ADDR="${SMOKE_ART_ADDR:-127.0.0.1:18081}"
+WORK="$(mktemp -d)"
+BIN="$WORK/cardpi"
+ART="$WORK/model.cpi"
 LOG="$(mktemp)"
-trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -f "$BIN" "$LOG"' EXIT
+ART_LOG="$(mktemp)"
+SERVE_PID=""
+ART_PID=""
+trap 'kill "$SERVE_PID" "$ART_PID" 2>/dev/null || true; rm -rf "$WORK" "$LOG" "$ART_LOG"' EXIT
 
 go build -o "$BIN" ./cmd/cardpi
 
+# wait_ready <addr> <pid> <log> — poll /healthz with bounded exponential
+# backoff: model training takes a moment at this scale, but a wedged server
+# must fail the probe quickly rather than hang CI.
+wait_ready() {
+  local addr="$1" pid="$2" log="$3" delay=0.1
+  for _ in $(seq 1 12); do
+    if curl -fsS --max-time 2 "http://$addr/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "serve-smoke: server on $addr exited early:" >&2
+      cat "$log" >&2
+      exit 1
+    fi
+    sleep "$delay"
+    delay="$(awk -v d="$delay" 'BEGIN { printf "%.2f", (d * 2 > 3) ? 3 : d * 2 }')"
+  done
+  echo "serve-smoke: health probe on $addr never succeeded:" >&2
+  cat "$log" >&2
+  exit 1
+}
+
 "$BIN" serve -addr "$ADDR" -rows 2000 -queries 300 -model histogram -method s-cp >"$LOG" 2>&1 &
 SERVE_PID=$!
-
-# Wait for readiness with bounded exponential backoff: model training takes
-# a moment at this scale, but a wedged server must fail the probe quickly
-# rather than hang CI.
-DELAY=0.1
-READY=0
-for _ in $(seq 1 12); do
-  if curl -fsS --max-time 2 "http://$ADDR/healthz" >/dev/null 2>&1; then
-    READY=1
-    break
-  fi
-  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
-    echo "serve-smoke: server exited early:" >&2
-    cat "$LOG" >&2
-    exit 1
-  fi
-  sleep "$DELAY"
-  DELAY="$(awk -v d="$DELAY" 'BEGIN { printf "%.2f", (d * 2 > 3) ? 3 : d * 2 }')"
-done
-if [ "$READY" -ne 1 ]; then
-  echo "serve-smoke: health probe never succeeded:" >&2
-  cat "$LOG" >&2
-  exit 1
-fi
+wait_ready "$ADDR" "$SERVE_PID" "$LOG"
 
 echo "serve-smoke: GET /estimate"
 curl -fsS "http://$ADDR/estimate?q=state+%3D+3" | tee /dev/stderr | grep -q '"covered"'
+
+echo "serve-smoke: /healthz reports in-process training"
+curl -fsS "http://$ADDR/healthz" | grep -q '"model_source": "trained"'
 
 echo "serve-smoke: malformed input must 400 with a structured error"
 BAD_CODE="$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/estimate")"
@@ -74,6 +85,40 @@ for family in cardpi_pi_calls_total cardpi_pi_latency_seconds \
   fi
 done
 
-kill -INT "$SERVE_PID"
-wait "$SERVE_PID"
-echo "serve-smoke: OK ($SERIES cardpi_ series)"
+# --- artifact lifecycle: train → inspect → serve -artifact → compare ------
+# Same dataset/model/method/seed as the in-process server above, so the
+# frozen calibration state must reproduce its intervals exactly.
+
+echo "serve-smoke: cardpi train"
+"$BIN" train -dataset dmv -rows 2000 -queries 300 -model histogram -method s-cp -out "$ART"
+
+echo "serve-smoke: cardpi inspect"
+"$BIN" inspect "$ART" | tee /dev/stderr | grep -q 'histogram / s-cp'
+
+echo "serve-smoke: serve -artifact"
+"$BIN" serve -addr "$ART_ADDR" -artifact "$ART" >"$ART_LOG" 2>&1 &
+ART_PID=$!
+wait_ready "$ART_ADDR" "$ART_PID" "$ART_LOG"
+grep -q 'model source: artifact' "$ART_LOG"
+
+echo "serve-smoke: /healthz reports the artifact"
+HEALTH="$(curl -fsS "http://$ART_ADDR/healthz")"
+printf '%s\n' "$HEALTH" | grep -q '"model_source": "artifact"'
+printf '%s\n' "$HEALTH" | grep -q '"dataset": "dmv"'
+
+echo "serve-smoke: artifact-backed intervals match the in-process server"
+Q="state+%3D+3"
+IV_TRAINED="$(curl -fsS "http://$ADDR/estimate?q=$Q" | grep -E '"(interval_|estimate_)')"
+IV_ARTIFACT="$(curl -fsS "http://$ART_ADDR/estimate?q=$Q" | grep -E '"(interval_|estimate_)')"
+if [ "$IV_TRAINED" != "$IV_ARTIFACT" ]; then
+  echo "serve-smoke: interval mismatch between trained and artifact servers" >&2
+  printf 'trained:\n%s\nartifact:\n%s\n' "$IV_TRAINED" "$IV_ARTIFACT" >&2
+  exit 1
+fi
+
+echo "serve-smoke: artifact provenance gauge on /metrics"
+curl -fsS "http://$ART_ADDR/metrics" | grep -q '^cardpi_serve_artifact_info{model="histogram",method="s-cp",dataset="dmv"'
+
+kill -INT "$SERVE_PID" "$ART_PID"
+wait "$SERVE_PID" "$ART_PID"
+echo "serve-smoke: OK ($SERIES cardpi_ series, artifact round trip verified)"
