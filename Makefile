@@ -19,12 +19,16 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Run the NN-core benchmarks and record them as BENCH_nn.json so future
-# changes have a perf trajectory to compare against.
+# changes have a perf trajectory to compare against, then the PI hot-path
+# benchmarks as BENCH_pi.json (sequential Interval vs IntervalBatch; the
+# speedups block records the queries/sec ratios).
 bench-json:
 	@{ $(GO) test -run '^$$' -bench '^BenchmarkFit$$' -benchmem ./internal/nn/ ; \
 	   $(GO) test -run '^$$' -bench '^BenchmarkIntervalCV$$' -benchmem ./internal/conformal/ ; \
 	   $(GO) test -run '^$$' -bench '^BenchmarkEvaluate$$' -benchmem . ; } \
 	  | tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_nn.json
+	@{ $(GO) test -run '^$$' -bench '^BenchmarkInterval(Batch)?$$' -benchmem . ; } \
+	  | tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_pi.json
 
 # Regenerate every paper table/figure at the default scale.
 experiments:

@@ -1,0 +1,279 @@
+package cardpi
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"cardpi/internal/conformal"
+	"cardpi/internal/dataset"
+	"cardpi/internal/gbm"
+	"cardpi/internal/mscn"
+	"cardpi/internal/obs"
+	"cardpi/internal/workload"
+)
+
+// queriesOf strips the labels off a workload, yielding the plain query slice
+// the batch API takes.
+func queriesOf(wl *workload.Workload) []workload.Query {
+	qs := make([]workload.Query, len(wl.Queries))
+	for i, lq := range wl.Queries {
+		qs[i] = lq.Query
+	}
+	return qs
+}
+
+// seqIntervals is the scalar reference path for the in-package batch tests.
+func seqIntervals(t *testing.T, pi PI, qs []workload.Query) []Interval {
+	t.Helper()
+	out := make([]Interval, len(qs))
+	for i, q := range qs {
+		iv, err := pi.Interval(q)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		out[i] = iv
+	}
+	return out
+}
+
+// sameBits fails unless got matches want exactly (Float64bits on both ends).
+func sameBits(t *testing.T, want, got []Interval) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d intervals, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(want[i].Lo) != math.Float64bits(got[i].Lo) ||
+			math.Float64bits(want[i].Hi) != math.Float64bits(got[i].Hi) {
+			t.Fatalf("query %d: batch %+v differs from sequential %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestIntervalBatchWeighted covers the weighted-CP wrapper, which the
+// pipeline combos test cannot build (it needs a shifted-workload sample):
+// the presorted O(log n) threshold search must reproduce the scalar path
+// exactly, including its single-featurization likelihood ratio.
+func TestIntervalBatchWeighted(t *testing.T) {
+	model, ff, _, cal, test := fixture(t)
+	pi, err := WrapWeighted(model, cal, test, ff, conformal.ResidualScore{}, 0.1,
+		gbm.Config{NumTrees: 30, MaxDepth: 3, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := queriesOf(test)
+	want := seqIntervals(t, pi, qs)
+	got, err := pi.IntervalBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameBits(t, want, got)
+}
+
+// TestIntervalBatchJackknife covers the CV+/jackknife wrapper, also absent
+// from the pipeline registry.
+func TestIntervalBatchJackknife(t *testing.T) {
+	model, _, train, _, test := fixture(t)
+	tf := func(wl *workload.Workload, seed int64) (Estimator, error) { return model, nil }
+	pi, err := WrapJackknifeCV(tf, train, 10, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := queriesOf(test)
+	want := seqIntervals(t, pi, qs)
+	got, err := pi.IntervalBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameBits(t, want, got)
+}
+
+// seqOnlyPI hides the embedded PI's batch method behind an interface that
+// only promotes the scalar API, forcing the package-level dispatcher onto
+// its generic worker-pool fallback.
+type seqOnlyPI struct{ PI }
+
+// TestIntervalBatchGenericFallback proves the fallback path of the
+// package-level IntervalBatch: a PI without a native batch method still gets
+// bit-identical batched answers.
+func TestIntervalBatchGenericFallback(t *testing.T) {
+	model, _, _, cal, test := fixture(t)
+	base, err := WrapSplitCP(model, cal, conformal.ResidualScore{}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := seqOnlyPI{base}
+	if _, ok := interface{}(wrapped).(BatchPI); ok {
+		t.Fatal("seqOnlyPI must not implement BatchPI")
+	}
+	qs := queriesOf(test)
+	want := seqIntervals(t, base, qs)
+	got, err := IntervalBatch(wrapped, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameBits(t, want, got)
+}
+
+// TestIntervalBatchInstrumented asserts the instrumented wrapper forwards to
+// the native batch path unchanged while still counting every query.
+func TestIntervalBatchInstrumented(t *testing.T) {
+	model, _, _, cal, test := fixture(t)
+	base, err := WrapSplitCP(model, cal, conformal.ResidualScore{}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Instrument(base, obs.NewRegistry())
+	qs := queriesOf(test)
+	want := seqIntervals(t, base, qs)
+	got, err := in.IntervalBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameBits(t, want, got)
+}
+
+// TestIntervalBatchResilient asserts the fault-tolerant wrapper's batch path
+// serves every query from the primary on the healthy path, bit-identical to
+// the scalar route, with depth 0 throughout.
+func TestIntervalBatchResilient(t *testing.T) {
+	model, _, _, cal, test := fixture(t)
+	base, err := WrapSplitCP(model, cal, conformal.ResidualScore{}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewResilient(base, ResilientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := queriesOf(test)
+	want := seqIntervals(t, base, qs)
+	got, err := r.IntervalBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameBits(t, want, got)
+	ivs, depths := r.IntervalBatchDepthCtx(context.Background(), qs)
+	sameBits(t, want, ivs)
+	for i, d := range depths {
+		if d != 0 {
+			t.Fatalf("query %d served at depth %d, want primary", i, d)
+		}
+	}
+}
+
+// TestIntervalBatchConcurrent hammers one shared wrapper from several
+// goroutines — the batch path must be safe for concurrent use (the server
+// fans requests over it) and stay bit-identical under contention. The name
+// keeps it inside the CI race-detector run.
+func TestIntervalBatchConcurrent(t *testing.T) {
+	model, _, _, cal, test := fixture(t)
+	base, err := WrapSplitCP(model, cal, conformal.ResidualScore{}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := queriesOf(test)
+	want := seqIntervals(t, base, qs)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 3; iter++ {
+				got, err := base.IntervalBatch(qs)
+				if err != nil {
+					t.Errorf("IntervalBatch: %v", err)
+					return
+				}
+				for i := range want {
+					if math.Float64bits(want[i].Lo) != math.Float64bits(got[i].Lo) ||
+						math.Float64bits(want[i].Hi) != math.Float64bits(got[i].Hi) {
+						t.Errorf("query %d: concurrent batch diverged", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestIntervalBatchAllocs is the steady-state allocation guard: once warm, a
+// 256-query IntervalBatch performs a constant number of heap allocations
+// (the two result slices), i.e. zero allocations per query. The guard
+// compares a large batch against a small one so the bound is about scaling,
+// not about the fixed per-call cost.
+func TestIntervalBatchAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race detector")
+	}
+	model, _, _, cal, test := fixture(t)
+	base, err := WrapSplitCP(model, cal, conformal.ResidualScore{}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := queriesOf(test)[:256]
+	assertConstantBatchAllocs(t, base, qs)
+}
+
+// TestIntervalBatchAllocsMSCN repeats the steady-state guard over the MSCN
+// network path: the pooled batch scratch must absorb featurization and the
+// matrix forward passes with no per-query heap traffic.
+func TestIntervalBatchAllocsMSCN(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race detector")
+	}
+	tab, err := dataset.GenerateCensus(dataset.GenConfig{Rows: 800, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.Generate(tab, workload.Config{Count: 500, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := wl.Split(3, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mscn.Train(mscn.NewSingleFeaturizer(tab), parts[0], mscn.Config{Epochs: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := WrapSplitCP(m, parts[1], conformal.ResidualScore{}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := queriesOf(parts[1])[:250]
+	assertConstantBatchAllocs(t, base, qs)
+}
+
+// assertConstantBatchAllocs measures warm per-batch allocations at two batch
+// sizes and fails if the count grows with the batch, or if the fixed
+// per-call overhead exceeds a handful of slice headers.
+func assertConstantBatchAllocs(t *testing.T, pi BatchPI, qs []workload.Query) {
+	t.Helper()
+	small, big := qs[:16], qs
+	// Warm pooled scratch on the largest shape first.
+	if _, err := pi.IntervalBatch(big); err != nil {
+		t.Fatal(err)
+	}
+	allocsSmall := testing.AllocsPerRun(20, func() {
+		if _, err := pi.IntervalBatch(small); err != nil {
+			t.Fatal(err)
+		}
+	})
+	allocsBig := testing.AllocsPerRun(20, func() {
+		if _, err := pi.IntervalBatch(big); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocsBig > allocsSmall+2 {
+		t.Fatalf("allocations scale with batch size: %.1f at n=%d vs %.1f at n=%d",
+			allocsBig, len(big), allocsSmall, len(small))
+	}
+	if allocsBig > 8 {
+		t.Fatalf("batch call allocates %.1f times, want a constant handful", allocsBig)
+	}
+}

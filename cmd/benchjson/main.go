@@ -134,8 +134,16 @@ func parseLine(line string) (Benchmark, bool) {
 // speedups derives the headline ratios the benchmarks exist to track.
 func speedups(bs []Benchmark) map[string]float64 {
 	ns := map[string]float64{}
+	// nsq is the per-query cost: the ns/query custom metric where a
+	// benchmark reports one (the batch benchmarks amortise one op over the
+	// whole batch), plain ns/op otherwise.
+	nsq := map[string]float64{}
 	for _, b := range bs {
 		ns[b.Name] = b.NsPerOp
+		nsq[b.Name] = b.NsPerOp
+		if v, ok := b.Metrics["ns/query"]; ok {
+			nsq[b.Name] = v
+		}
 	}
 	out := map[string]float64{}
 	ratio := func(key, base, fast string) {
@@ -143,9 +151,22 @@ func speedups(bs []Benchmark) map[string]float64 {
 			out[key] = ns[base] / ns[fast]
 		}
 	}
+	ratioQ := func(key, base, fast string) {
+		if nsq[fast] > 0 && nsq[base] > 0 {
+			out[key] = nsq[base] / nsq[fast]
+		}
+	}
 	ratio("fit_workers8_vs_seed", "BenchmarkFit/seed", "BenchmarkFit/workers=8")
 	ratio("fit_sequential_vs_seed", "BenchmarkFit/seed", "BenchmarkFit/sequential")
 	ratio("intervalcv_fast_vs_reference", "BenchmarkIntervalCV/reference", "BenchmarkIntervalCV/fast")
+	// Queries/sec gained by the batched inference path (BENCH_pi.json).
+	for _, method := range []string{"lcp", "mscn-s-cp"} {
+		for _, n := range []string{"64", "1024"} {
+			ratioQ("pi_"+method+"_batch"+n+"_vs_sequential",
+				"BenchmarkInterval/"+method,
+				"BenchmarkIntervalBatch/"+method+"/n="+n)
+		}
+	}
 	if len(out) == 0 {
 		return nil
 	}

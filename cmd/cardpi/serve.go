@@ -31,6 +31,11 @@ import (
 // parsing.
 const maxQueryBytes = 4096
 
+// maxBatchBodyBytes bounds the /estimate/batch request body: the default
+// 256-query batch of tens-of-bytes predicates fits in a few KiB, so 1 MiB
+// leaves generous headroom while still refusing abuse before JSON decoding.
+const maxBatchBodyBytes = 1 << 20
+
 // runServe implements `cardpi serve`: the demo pipeline (dataset → model →
 // calibrated PI) behind a long-running, fault-tolerant HTTP server with
 //
@@ -77,6 +82,7 @@ func runServe(args []string) error {
 		timeout     = fs.Duration("timeout", 2*time.Second, "per-request deadline for /estimate")
 		maxInflight = fs.Int("max-inflight", 64, "maximum concurrently executing /estimate requests")
 		maxQueue    = fs.Int("max-queue", 128, "maximum /estimate requests waiting for an execution slot; beyond this the server sheds with 429")
+		maxBatch    = fs.Int("max-batch", 256, "maximum queries per /estimate/batch request")
 		brFailures  = fs.Int("breaker-failures", 5, "consecutive primary-PI failures that trip the circuit breaker open")
 		brOpen      = fs.Duration("breaker-open", 5*time.Second, "how long an open breaker rejects the primary before probing it again")
 	)
@@ -143,6 +149,7 @@ func runServe(args []string) error {
 	srv, err := newServer(setup, serveOpts{
 		alpha: alphaV, window: *window, seed: seedV,
 		timeout: *timeout, maxInflight: *maxInflight, maxQueue: *maxQueue,
+		maxBatch:        *maxBatch,
 		breakerFailures: *brFailures, breakerOpen: *brOpen,
 		metrics: obs.Default(),
 		source:  src,
@@ -246,6 +253,7 @@ type serveOpts struct {
 	timeout         time.Duration
 	maxInflight     int
 	maxQueue        int
+	maxBatch        int
 	breakerFailures int
 	breakerOpen     time.Duration
 	metrics         *obs.Registry
@@ -263,6 +271,7 @@ type server struct {
 	resilient *cardpi.Resilient
 	adaptive  *cardpi.Adaptive
 	timeout   time.Duration
+	maxBatch  int
 	health    healthResponse
 
 	// Admission control: sem holds the execution slots; waiters counts
@@ -277,8 +286,17 @@ type server struct {
 	shed           *obs.Counter
 	inflight       *obs.IntGauge
 	lat            *obs.Histogram
+	batchOK        *obs.Counter
+	batchBad       *obs.Counter
+	batchShed      *obs.Counter
+	batchSize      *obs.Histogram
+	batchLat       *obs.Histogram
 	metricsHandler http.Handler
 }
+
+// batchSizeBuckets are the histogram bounds for /estimate/batch sizes:
+// powers of two up to the default -max-batch cap.
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 
 // newServer assembles the fault-tolerant serving chain around the
 // calibrated PI:
@@ -302,6 +320,9 @@ func newServer(s *pipeline.Setup, o serveOpts) (*server, error) {
 	}
 	if o.timeout <= 0 {
 		o.timeout = 2 * time.Second
+	}
+	if o.maxBatch <= 0 {
+		o.maxBatch = 256
 	}
 	if o.source == nil {
 		o.source = &modelSource{origin: "trained", model: s.Model.Name(), method: s.PI.Name()}
@@ -335,6 +356,7 @@ func newServer(s *pipeline.Setup, o serveOpts) (*server, error) {
 		resilient: resilient,
 		adaptive:  adaptive,
 		timeout:   o.timeout,
+		maxBatch:  o.maxBatch,
 		health:    healthFor(o.source),
 		sem:       make(chan struct{}, o.maxInflight),
 		maxQueue:  int64(o.maxQueue),
@@ -364,6 +386,16 @@ func newServer(s *pipeline.Setup, o serveOpts) (*server, error) {
 		"/estimate requests currently holding an execution slot.")
 	srv.lat = o.metrics.Histogram("cardpi_serve_request_seconds",
 		"End-to-end /estimate latency in seconds, admission wait included.", obs.LatencyBuckets)
+	srv.batchOK = o.metrics.Counter("cardpi_serve_batch_requests_total",
+		"Completed /estimate/batch requests by response class.", obs.L("class", "ok"))
+	srv.batchBad = o.metrics.Counter("cardpi_serve_batch_requests_total",
+		"Completed /estimate/batch requests by response class.", obs.L("class", "bad_request"))
+	srv.batchShed = o.metrics.Counter("cardpi_serve_batch_requests_total",
+		"Completed /estimate/batch requests by response class.", obs.L("class", "shed"))
+	srv.batchSize = o.metrics.Histogram("cardpi_serve_batch_size",
+		"Queries per accepted /estimate/batch request.", batchSizeBuckets)
+	srv.batchLat = o.metrics.Histogram("cardpi_serve_batch_request_seconds",
+		"End-to-end /estimate/batch latency in seconds, admission wait included.", obs.LatencyBuckets)
 	srv.metricsHandler = o.metrics.Handler()
 	return srv, nil
 }
@@ -408,11 +440,14 @@ func healthFor(ms *modelSource) healthResponse {
 	return h
 }
 
-// mux wires the four endpoint groups. Request bodies are irrelevant to every
-// endpoint (queries travel in the URL), so they are capped hard.
+// mux wires the endpoint groups. Body limits are path-aware: only
+// /estimate/batch carries a meaningful request body (a JSON query list, up
+// to maxBatchBodyBytes); every other endpoint takes queries in the URL and
+// keeps the hard maxQueryBytes cap.
 func (s *server) mux() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /estimate", s.handleEstimate)
+	mux.HandleFunc("POST /estimate/batch", s.handleEstimateBatch)
 	mux.Handle("GET /metrics", s.metricsHandler)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -426,7 +461,15 @@ func (s *server) mux() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return http.MaxBytesHandler(mux, maxQueryBytes)
+	small := http.MaxBytesHandler(mux, maxQueryBytes)
+	big := http.MaxBytesHandler(mux, maxBatchBodyBytes)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/estimate/batch" {
+			big.ServeHTTP(w, r)
+			return
+		}
+		small.ServeHTTP(w, r)
+	})
 }
 
 // admit implements load shedding: take an execution slot immediately if one
@@ -522,7 +565,18 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	// The resilient chain never fails: a sick primary degrades through the
 	// fallback stages down to the fail-safe full-domain interval.
 	iv, depth := s.resilient.IntervalDepthCtx(ctx, q)
+	resp := s.respond(line, q, iv, depth)
+	s.reqOK.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}
 
+// respond assembles the per-query answer around a served interval. Both
+// /estimate and /estimate/batch go through here, so a query's batch element
+// is field-for-field identical to its single-query reply.
+func (s *server) respond(line string, q workload.Query, iv cardpi.Interval, depth int) estimateResponse {
 	// The demo owns the oracle, so it can score itself; a panicking or
 	// erroring model/oracle degrades the telemetry fields, never the reply.
 	truth, truthOK := s.groundTruth(q)
@@ -552,11 +606,99 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		resp.TrueRows = truth
 		resp.Covered = cardIv.Contains(float64(truth))
 	}
-	s.reqOK.Inc()
+	return resp
+}
+
+// batchRequest is the JSON body of POST /estimate/batch: one query string
+// per element, same syntax as the single endpoint's q parameter.
+type batchRequest struct {
+	Queries []string `json:"queries"`
+}
+
+// batchResponse is the JSON answer of /estimate/batch; Results is aligned
+// with the request's Queries and each element matches what /estimate would
+// have returned for that query.
+type batchResponse struct {
+	Count   int                `json:"count"`
+	Results []estimateResponse `json:"results"`
+}
+
+// handleEstimateBatch answers POST /estimate/batch: the whole batch takes
+// one admission slot and one deadline, runs through the resilient chain's
+// batched path (the model's matrix kernels answer all queries in one pass),
+// and returns per-query results element-wise identical to /estimate. Any
+// malformed query rejects the whole batch with a 400 naming its index —
+// partial answers would make "which result is which" ambiguous.
+func (s *server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	release, ok := s.admit(r.Context())
+	if !ok {
+		s.shed.Inc()
+		s.batchShed.Inc()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "overloaded",
+			"server at capacity; retry after the indicated delay")
+		return
+	}
+	defer release()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	defer func() { s.batchLat.Observe(time.Since(start).Seconds()) }()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.batchBad.Inc()
+		httpError(w, http.StatusBadRequest, "invalid_json",
+			"decode request body: %v (expected {\"queries\": [\"...\"]})", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.batchBad.Inc()
+		httpError(w, http.StatusBadRequest, "empty_batch", "queries list is empty")
+		return
+	}
+	if len(req.Queries) > s.maxBatch {
+		s.batchBad.Inc()
+		httpError(w, http.StatusBadRequest, "batch_too_large",
+			"%d queries exceed the per-request cap of %d", len(req.Queries), s.maxBatch)
+		return
+	}
+	qs := make([]workload.Query, len(req.Queries))
+	for i, line := range req.Queries {
+		if line == "" {
+			s.batchBad.Inc()
+			httpError(w, http.StatusBadRequest, "empty_query", "query %d is empty", i)
+			return
+		}
+		if len(line) > maxQueryBytes {
+			s.batchBad.Inc()
+			httpError(w, http.StatusBadRequest, "query_too_long",
+				"query %d exceeds %d bytes", i, maxQueryBytes)
+			return
+		}
+		q, err := workload.ParseQuery(s.tab, line)
+		if err != nil {
+			s.batchBad.Inc()
+			httpError(w, http.StatusBadRequest, "parse_error", "query %d: parse %q: %v", i, line, err)
+			return
+		}
+		qs[i] = q
+	}
+	s.batchSize.Observe(float64(len(qs)))
+
+	ivs, depths := s.resilient.IntervalBatchDepthCtx(ctx, qs)
+	results := make([]estimateResponse, len(qs))
+	for i := range qs {
+		results[i] = s.respond(req.Queries[i], qs[i], ivs[i], depths[i])
+	}
+	s.batchOK.Inc()
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(resp)
+	_ = enc.Encode(batchResponse{Count: len(results), Results: results})
 }
 
 // stageName renders a fallback depth for the served_by field.

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"testing"
 	"time"
@@ -280,4 +282,139 @@ func TestServeChaosNo5xx(t *testing.T) {
 			t.Errorf("/metrics missing %q", want)
 		}
 	}
+}
+
+// postBatch sends a /estimate/batch request with the given query list.
+func postBatch(t *testing.T, ts *httptest.Server, queries []string) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(batchRequest{Queries: queries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/estimate/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestServeBatchMatchesSingle asserts each /estimate/batch element carries
+// exactly the interval and estimate fields the single /estimate endpoint
+// returns for that query — the server-level face of the batch==sequential
+// bit-identity guarantee. (Drift telemetry fields are excluded: the adaptive
+// monitor's rolling state advances with every observed query by design.)
+func TestServeBatchMatchesSingle(t *testing.T) {
+	ts, _, reg := startServer(t, smallSetup(t), serveOpts{})
+	queries := []string{
+		"state = 3",
+		"county = 10 AND body_type = 2",
+		"model_year BETWEEN 40 AND 90",
+		"fuel_type = 1 AND color = 4",
+	}
+	resp := postBatch(t, ts, queries)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("batch status = %d, body %s", resp.StatusCode, b)
+	}
+	var br batchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Count != len(queries) || len(br.Results) != len(queries) {
+		t.Fatalf("count = %d, results = %d, want %d", br.Count, len(br.Results), len(queries))
+	}
+	for i, q := range queries {
+		single, err := http.Get(ts.URL + "/estimate?q=" + url.QueryEscape(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sr estimateResponse
+		err = json.NewDecoder(single.Body).Decode(&sr)
+		single.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := br.Results[i]
+		if b.Query != q || sr.Query != q {
+			t.Fatalf("query %d echoed as %q (batch) / %q (single)", i, b.Query, sr.Query)
+		}
+		if b.EstSel != sr.EstSel || b.EstRows != sr.EstRows ||
+			b.LoSel != sr.LoSel || b.HiSel != sr.HiSel ||
+			b.LoRows != sr.LoRows || b.HiRows != sr.HiRows ||
+			b.TrueRows != sr.TrueRows || b.Covered != sr.Covered ||
+			b.ServedBy != sr.ServedBy || b.Degraded != sr.Degraded {
+			t.Fatalf("query %d: batch element %+v != single reply %+v", i, b, sr)
+		}
+		if b.ServedBy != "primary" {
+			t.Fatalf("query %d served by %q, want primary", i, b.ServedBy)
+		}
+	}
+	dump := metricsDumpFor(t, reg)
+	for _, family := range []string{
+		"cardpi_serve_batch_requests_total", "cardpi_serve_batch_size", "cardpi_serve_batch_request_seconds",
+	} {
+		if !strings.Contains(dump, family) {
+			t.Fatalf("metrics output missing %s:\n%s", family, dump)
+		}
+	}
+}
+
+// metricsDumpFor renders a registry's exposition text.
+func metricsDumpFor(t *testing.T, reg *obs.Registry) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	return rec.Body.String()
+}
+
+// TestServeBatchValidation exercises the batch endpoint's rejection paths:
+// every malformed request is a structured 400 (never a partial answer), and
+// parse failures name the offending index.
+func TestServeBatchValidation(t *testing.T) {
+	ts, _, _ := startServer(t, smallSetup(t), serveOpts{maxBatch: 4})
+	check := func(t *testing.T, resp *http.Response, wantCode string) {
+		t.Helper()
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400", resp.StatusCode)
+		}
+		var eb errorBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+			t.Fatal(err)
+		}
+		if eb.Error.Code != wantCode {
+			t.Fatalf("error code = %q, want %q", eb.Error.Code, wantCode)
+		}
+	}
+	t.Run("empty batch", func(t *testing.T) {
+		check(t, postBatch(t, ts, nil), "empty_batch")
+	})
+	t.Run("batch too large", func(t *testing.T) {
+		check(t, postBatch(t, ts, []string{"state = 1", "state = 2", "state = 3", "state = 4", "state = 5"}), "batch_too_large")
+	})
+	t.Run("unparsable element names its index", func(t *testing.T) {
+		resp := postBatch(t, ts, []string{"state = 1", "definitely not sql"})
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400", resp.StatusCode)
+		}
+		var eb errorBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+			t.Fatal(err)
+		}
+		if eb.Error.Code != "parse_error" || !strings.Contains(eb.Error.Message, "query 1") {
+			t.Fatalf("error = %+v, want parse_error naming query 1", eb.Error)
+		}
+	})
+	t.Run("invalid json", func(t *testing.T) {
+		resp, err := http.Post(ts.URL+"/estimate/batch", "application/json", strings.NewReader("{not json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, resp, "invalid_json")
+	})
+	t.Run("empty element", func(t *testing.T) {
+		check(t, postBatch(t, ts, []string{"state = 1", ""}), "empty_query")
+	})
 }

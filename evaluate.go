@@ -69,24 +69,29 @@ func EvaluateCtx(ctx context.Context, pi PI, test *workload.Workload) (*Evaluati
 	intervals := make([]Interval, len(test.Queries))
 	truths := make([]float64, len(test.Queries))
 	times := make([]time.Duration, len(test.Queries))
-	err := par.ForEach(len(test.Queries), func(i int) error {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		lq := test.Queries[i]
-		qStart := time.Now()
-		iv, err := IntervalCtx(ctx, pi, lq.Query)
-		times[i] = time.Since(qStart)
-		if lat != nil {
-			lat.Observe(times[i].Seconds())
-		}
-		if err != nil {
-			return err
-		}
-		intervals[i] = iv
-		truths[i] = lq.Sel
-		return nil
-	})
+	var err error
+	if bp, ok := pi.(BatchPI); ok {
+		err = evaluateBatched(ctx, bp, test, intervals, truths, times, lat)
+	} else {
+		err = par.ForEach(len(test.Queries), func(i int) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			lq := test.Queries[i]
+			qStart := time.Now()
+			iv, err := IntervalCtx(ctx, pi, lq.Query)
+			times[i] = time.Since(qStart)
+			if lat != nil {
+				lat.Observe(times[i].Seconds())
+			}
+			if err != nil {
+				return err
+			}
+			intervals[i] = iv
+			truths[i] = lq.Sel
+			return nil
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -113,6 +118,44 @@ func EvaluateCtx(ctx context.Context, pi PI, test *workload.Workload) (*Evaluati
 		P99PITime:  p99,
 		Intervals:  intervals,
 	}, nil
+}
+
+// evaluateChunk bounds how many queries EvaluateCtx hands to one
+// IntervalBatch call: large enough to amortise the batch path's fixed costs,
+// small enough that cancellation is honoured promptly between chunks.
+const evaluateChunk = 256
+
+// evaluateBatched drives a BatchPI through the test workload in chunks.
+// Per-query wall time is the chunk duration divided by the chunk size —
+// IntervalBatch answers all of a chunk's queries at once, so amortised
+// latency is the honest per-query figure (and the one serving pays).
+func evaluateBatched(ctx context.Context, pi BatchPI, test *workload.Workload,
+	intervals []Interval, truths []float64, times []time.Duration, lat *obs.Histogram) error {
+	for start := 0; start < len(test.Queries); start += evaluateChunk {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		end := min(start+evaluateChunk, len(test.Queries))
+		chunk := make([]workload.Query, end-start)
+		for i := range chunk {
+			chunk[i] = test.Queries[start+i].Query
+		}
+		chunkStart := time.Now()
+		ivs, err := pi.IntervalBatch(chunk)
+		perQuery := time.Since(chunkStart) / time.Duration(len(chunk))
+		if err != nil {
+			return err
+		}
+		for i, iv := range ivs {
+			intervals[start+i] = iv
+			truths[start+i] = test.Queries[start+i].Sel
+			times[start+i] = perQuery
+			if lat != nil {
+				lat.Observe(perQuery.Seconds())
+			}
+		}
+	}
+	return nil
 }
 
 // latencyStats reduces per-call durations to their mean and p99 (nearest-

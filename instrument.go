@@ -79,5 +79,27 @@ func (in *Instrumented) IntervalCtx(ctx context.Context, q workload.Query) (Inte
 	return iv, err
 }
 
+// IntervalBatch implements BatchPI: it forwards the batch to the wrapped
+// PI (through the IntervalBatch package function, so non-batch PIs still
+// work) and records the same metrics a sequential loop would — one call
+// count per query and the batch's amortised per-query latency into the
+// histogram, keeping latency quantiles comparable across serving modes.
+func (in *Instrumented) IntervalBatch(qs []workload.Query) ([]Interval, error) {
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	start := time.Now()
+	ivs, err := IntervalBatch(in.pi, qs)
+	perQuery := time.Since(start).Seconds() / float64(len(qs))
+	for range qs {
+		in.lat.Observe(perQuery)
+		in.calls.Inc()
+	}
+	if err != nil {
+		in.errs.Inc()
+	}
+	return ivs, err
+}
+
 // Unwrap returns the underlying PI.
 func (in *Instrumented) Unwrap() PI { return in.pi }

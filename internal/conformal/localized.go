@@ -26,6 +26,10 @@ type Localized struct {
 	score  Score
 	feats  [][]float64
 	scores []float64
+	// index is the prebuilt neighbour-search structure the batch path uses
+	// (built at calibration and rehydration time); nil is tolerated — the
+	// batch path then uses its scan strategies over feats directly.
+	index *neighborIndex
 }
 
 // CalibrateLocalized stores the calibration points' features and scores.
@@ -53,6 +57,7 @@ func CalibrateLocalized(feats [][]float64, preds, truths []float64, score Score,
 	return &Localized{
 		Alpha: alpha, K: k, score: score,
 		feats: feats, scores: scores,
+		index: buildNeighborIndex(feats),
 	}, nil
 }
 
@@ -67,22 +72,131 @@ func (l *Localized) Interval(feat []float64, pred float64) (Interval, error) {
 }
 
 // LocalDelta returns the threshold calibrated from the K nearest
-// calibration points.
+// calibration points. This is the readable full-sort reference the batch
+// path (Deltas) is proven bit-identical against: distances tie-break on the
+// calibration index, giving a total order that both implementations share.
 func (l *Localized) LocalDelta(feat []float64) (float64, error) {
 	type ds struct {
 		d float64
 		s float64
+		i int
 	}
 	all := make([]ds, len(l.feats))
 	for i, f := range l.feats {
-		all[i] = ds{d: sqDist(f, feat), s: l.scores[i]}
+		all[i] = ds{d: sqDist(f, feat), s: l.scores[i], i: i}
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].d != all[j].d {
+			return all[i].d < all[j].d
+		}
+		return all[i].i < all[j].i
+	})
 	local := make([]float64, l.K)
 	for i := 0; i < l.K; i++ {
 		local[i] = all[i].s
 	}
 	return Quantile(local, l.Alpha)
+}
+
+// knnScratch holds the reusable buffers of the batch kNN path so a whole
+// batch shares one allocation set; per-row allocations are zero once the
+// buffers have grown. Not safe for concurrent use — each Deltas call owns
+// its own scratch.
+type knnScratch struct {
+	heap  knnHeap
+	cands []distIdx
+	local []float64
+}
+
+// Deltas computes LocalDelta for every feature row, writing the thresholds
+// into out (len(out) must equal len(feats)). It selects neighbours through
+// the prebuilt index — k-d tree descent, early-abandoning bounded-heap
+// scan, or quickselect partial selection depending on dimensionality and K
+// — and never performs a full calibration-set sort per query. Per-row
+// results are bit-identical to LocalDelta; one scratch buffer set is
+// allocated per call and reused across rows. Safe for concurrent use: the
+// calibration state is read-only after construction.
+func (l *Localized) Deltas(feats [][]float64, out []float64) error {
+	if len(feats) != len(out) {
+		return fmt.Errorf("conformal: %d feature rows vs %d outputs", len(feats), len(out))
+	}
+	var s knnScratch
+	for i, f := range feats {
+		d, err := l.localDelta(f, &s)
+		if err != nil {
+			return err
+		}
+		out[i] = d
+	}
+	return nil
+}
+
+// Intervals computes the locally calibrated interval for each (feature
+// row, point prediction) pair, writing into out (all three slices must have
+// equal length). It is the batch analogue of Interval and shares Deltas'
+// neighbour index and bit-identity guarantee.
+func (l *Localized) Intervals(feats [][]float64, preds []float64, out []Interval) error {
+	if len(feats) != len(preds) || len(preds) != len(out) {
+		return fmt.Errorf("conformal: mismatched lengths %d/%d/%d", len(feats), len(preds), len(out))
+	}
+	var s knnScratch
+	for i, f := range feats {
+		d, err := l.localDelta(f, &s)
+		if err != nil {
+			return err
+		}
+		out[i] = l.score.Interval(preds[i], d)
+	}
+	return nil
+}
+
+// localDelta computes one threshold through the neighbour index using the
+// scratch buffers. Every strategy selects the identical K-candidate set
+// under the (distance, index) total order, so the score multiset — and
+// therefore the conformal quantile — matches the reference sort exactly.
+func (l *Localized) localDelta(feat []float64, s *knnScratch) (float64, error) {
+	n := len(l.feats)
+	k := l.K
+	if n == 0 {
+		return 0, fmt.Errorf("conformal: empty calibration set")
+	}
+	if k < 1 || k > n {
+		return 0, fmt.Errorf("conformal: neighbourhood size %d outside [1, %d]", k, n)
+	}
+	var chosen []distIdx
+	switch {
+	case l.index != nil && l.index.nodes != nil && finiteVec(feat):
+		s.heap.reset(k)
+		var qTail float64
+		for i := l.index.dim; i < len(feat); i++ {
+			qTail += feat[i] * feat[i]
+		}
+		l.index.search(l.index.root, feat, qTail, &s.heap)
+		chosen = s.heap.items
+	case 8*k <= n:
+		s.heap.reset(k)
+		scanKNN(l.feats, feat, &s.heap)
+		chosen = s.heap.items
+	default:
+		if cap(s.cands) < n {
+			s.cands = make([]distIdx, n)
+		}
+		s.cands = s.cands[:n]
+		for i, f := range l.feats {
+			s.cands[i] = distIdx{d: sqDist(f, feat), idx: int32(i)}
+		}
+		selectK(s.cands, k)
+		chosen = s.cands[:k]
+	}
+	if cap(s.local) < k {
+		s.local = make([]float64, k)
+	}
+	s.local = s.local[:k]
+	for i, c := range chosen {
+		s.local[i] = l.scores[c.idx]
+	}
+	sort.Float64s(s.local)
+	return quantileSorted(s.local, l.Alpha), nil
 }
 
 func sqDist(a, b []float64) float64 {

@@ -96,3 +96,39 @@ func Percentile(values []float64, p float64) (float64, error) {
 	sort.Float64s(sorted)
 	return percentile(sorted, p), nil
 }
+
+// PercentileOfSorted is Percentile over an already ascending-sorted slice:
+// no copy, no re-sort. Pair it with QuantileOfSorted when several reads of
+// the same sample share one sort.
+func PercentileOfSorted(sorted []float64, p float64) (float64, error) {
+	if len(sorted) == 0 {
+		return 0, fmt.Errorf("conformal: empty sample")
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("conformal: percentile %v out of [0,1]", p)
+	}
+	return percentile(sorted, p), nil
+}
+
+// Percentiles returns the nearest-rank-interpolated percentile of the
+// sample at every level in ps (each in [0,1]), sorting the sample once and
+// reusing the sorted copy for every read. Use it instead of repeated
+// Percentile calls inside summary loops, which re-sort a fresh copy per
+// level. The input is not modified.
+func Percentiles(values []float64, ps []float64) ([]float64, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("conformal: empty sample")
+	}
+	for _, p := range ps {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("conformal: percentile %v out of [0,1]", p)
+		}
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = percentile(sorted, p)
+	}
+	return out, nil
+}

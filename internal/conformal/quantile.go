@@ -39,6 +39,14 @@ func Quantile(scores []float64, alpha float64) (float64, error) {
 	}
 	sorted := append([]float64(nil), scores...)
 	sort.Float64s(sorted)
+	return quantileSorted(sorted, alpha), nil
+}
+
+// quantileSorted returns the conformal ⌈(n+1)(1−α)⌉-th smallest entry of a
+// non-empty ascending-sorted slice — the shared kernel of Quantile and the
+// localized batch path, so both read the identical order statistic.
+func quantileSorted(sorted []float64, alpha float64) float64 {
+	n := len(sorted)
 	k := int(math.Ceil((1 - alpha) * float64(n+1)))
 	if k > n {
 		k = n
@@ -46,7 +54,22 @@ func Quantile(scores []float64, alpha float64) (float64, error) {
 	if k < 1 {
 		k = 1
 	}
-	return sorted[k-1], nil
+	return sorted[k-1]
+}
+
+// QuantileOfSorted is Quantile over an already ascending-sorted slice: it
+// reads the order statistic directly with no copy and no re-sort. Use it
+// with PercentileOfSorted in summary loops that take several reads of the
+// same sample — sort once, reuse. The result is identical to
+// Quantile(sorted, alpha).
+func QuantileOfSorted(sorted []float64, alpha float64) (float64, error) {
+	if len(sorted) == 0 {
+		return 0, fmt.Errorf("conformal: empty score set")
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return 0, fmt.Errorf("conformal: alpha must be in (0,1), got %v", alpha)
+	}
+	return quantileSorted(sorted, alpha), nil
 }
 
 // LowerQuantile returns the ⌊α(n+1)⌋-th smallest value, the lower-tail

@@ -232,6 +232,9 @@ func ReadLocalized(r io.Reader) (*Localized, error) {
 	if l.K < 1 || l.K > int(n) {
 		return nil, fmt.Errorf("conformal: localized neighbourhood %d outside [1,%d]", l.K, n)
 	}
+	// The neighbour index is derived state and is never serialised; rebuild
+	// it here so rehydrated predictors serve batches at full speed.
+	l.index = buildNeighborIndex(l.feats)
 	return l, nil
 }
 

@@ -71,6 +71,12 @@ type WeightedSplitCP struct {
 	score   Score
 	scores  []float64
 	weights []float64
+	// sortedScores and cumWeights hold the calibration scores in ascending
+	// (score, index) order with matching cumulative weight prefix sums,
+	// built once at calibration so each Interval reads its threshold with a
+	// binary search instead of WeightedQuantile's per-call sort.
+	sortedScores []float64
+	cumWeights   []float64
 }
 
 // CalibrateWeightedSplit stores the calibration scores with their
@@ -85,21 +91,79 @@ func CalibrateWeightedSplit(preds, truths, weights []float64, score Score, alpha
 	if alpha <= 0 || alpha >= 1 {
 		return nil, fmt.Errorf("conformal: alpha must be in (0,1), got %v", alpha)
 	}
+	for i, wt := range weights {
+		if wt < 0 {
+			return nil, fmt.Errorf("conformal: negative weight %v at %d", wt, i)
+		}
+	}
 	scores := make([]float64, len(preds))
 	for i := range preds {
 		scores[i] = score.Of(preds[i], truths[i])
 	}
-	return &WeightedSplitCP{
+	w := &WeightedSplitCP{
 		Alpha: alpha, score: score,
 		scores: scores, weights: append([]float64(nil), weights...),
-	}, nil
+	}
+	w.presort()
+	return w, nil
+}
+
+// presort builds the ascending (score, index) order and its cumulative
+// weight sums; the prefix-sum accumulation order matches WeightedQuantile's
+// sequential walk, so thresholds agree with the sorting reference.
+func (w *WeightedSplitCP) presort() {
+	n := len(w.scores)
+	ord := make([]int, n)
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(i, j int) bool {
+		a, b := ord[i], ord[j]
+		if w.scores[a] != w.scores[b] {
+			return w.scores[a] < w.scores[b]
+		}
+		return a < b
+	})
+	w.sortedScores = make([]float64, n)
+	w.cumWeights = make([]float64, n)
+	var acc float64
+	for i, oi := range ord {
+		w.sortedScores[i] = w.scores[oi]
+		acc += w.weights[oi]
+		w.cumWeights[i] = acc
+	}
+}
+
+// threshold returns the weighted conformal quantile for one test weight.
+// Calibrated predictors answer with a binary search over the presorted
+// cumulative weights (O(log n)); directly constructed values without the
+// presorted state fall back to the WeightedQuantile reference.
+func (w *WeightedSplitCP) threshold(testWeight float64) (float64, error) {
+	if w.sortedScores == nil {
+		return WeightedQuantile(w.scores, w.weights, testWeight, w.Alpha)
+	}
+	if testWeight < 0 {
+		return 0, fmt.Errorf("conformal: negative test weight %v", testWeight)
+	}
+	n := len(w.sortedScores)
+	total := w.cumWeights[n-1] + testWeight
+	if total <= 0 {
+		return 0, fmt.Errorf("conformal: all weights are zero")
+	}
+	target := (1 - w.Alpha) * total
+	i := sort.Search(n, func(i int) bool { return w.cumWeights[i] >= target })
+	if i == n {
+		// The +infinity mass is needed to reach the level.
+		return math.Inf(1), nil
+	}
+	return w.sortedScores[i], nil
 }
 
 // Interval returns the prediction interval for a point estimate whose
 // likelihood-ratio weight is testWeight = w(x_test). Infinite thresholds
 // produce the trivial full interval, which the caller's clipping bounds.
 func (w *WeightedSplitCP) Interval(pred, testWeight float64) (Interval, error) {
-	delta, err := WeightedQuantile(w.scores, w.weights, testWeight, w.Alpha)
+	delta, err := w.threshold(testWeight)
 	if err != nil {
 		return Interval{}, err
 	}

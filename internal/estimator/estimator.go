@@ -31,6 +31,31 @@ func (f Func) Name() string { return f.N }
 // EstimateSelectivity implements Estimator.
 func (f Func) EstimateSelectivity(q workload.Query) float64 { return f.F(q) }
 
+// BatchEstimator is implemented by estimators with a native batched
+// inference path. EstimateSelectivityBatch fills out[i] with the estimate
+// for qs[i] (len(out) must equal len(qs)); results are bit-identical to
+// calling EstimateSelectivity per query. Implementations must be safe for
+// concurrent batch calls — the batched PI wrappers share one estimator
+// across server requests.
+type BatchEstimator interface {
+	Estimator
+	EstimateSelectivityBatch(qs []workload.Query, out []float64)
+}
+
+// EstimateBatch fills out (length len(qs)) with m's selectivity estimates,
+// through the native batch path when m implements BatchEstimator and a
+// plain sequential loop otherwise; either way out[i] is bit-identical to
+// m.EstimateSelectivity(qs[i]).
+func EstimateBatch(m Estimator, qs []workload.Query, out []float64) {
+	if be, ok := m.(BatchEstimator); ok {
+		be.EstimateSelectivityBatch(qs, out)
+		return
+	}
+	for i, q := range qs {
+		out[i] = m.EstimateSelectivity(q)
+	}
+}
+
 // MinSel floors selectivities before taking logarithms; it corresponds to
 // the paper's convention of replacing zero cardinalities with 1 (we use half
 // a row to stay strictly positive for any table size up to 2e11).

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"cardpi/internal/conformal"
 	"cardpi/internal/dataset"
@@ -87,11 +88,14 @@ func Table1(s Scale) (*Report, error) {
 		}
 		factors := make(map[string]float64, len(perTemplate))
 		for key, res := range perTemplate {
-			f, err := conformal.Quantile(res, upperAlpha)
+			// Both reads share one in-place sort (res is this loop's own
+			// scratch) instead of copy-and-sorting the ratios twice.
+			sort.Float64s(res)
+			f, err := conformal.QuantileOfSorted(res, upperAlpha)
 			if err != nil {
 				return nil, err
 			}
-			med, err := conformal.Percentile(res, 0.5)
+			med, err := conformal.PercentileOfSorted(res, 0.5)
 			if err != nil {
 				return nil, err
 			}
@@ -150,18 +154,17 @@ func Table1(s Scale) (*Report, error) {
 		Title:   "Postgres-style optimizer with and without PI injection (JOB-style workload)",
 		Headers: []string{"variant", "qerr-p90", "qerr-p95", "qerr-p99", "totalPlanCost"},
 	}
-	for i, p := range percs {
-		v, err := conformal.Percentile(defQerrs, p)
-		if err != nil {
-			return nil, err
-		}
-		defQ[i] = v
-		v, err = conformal.Percentile(piQerrs, p)
-		if err != nil {
-			return nil, err
-		}
-		piQ[i] = v
+	// One sort per sample covers all three percentile levels.
+	defV, err := conformal.Percentiles(defQerrs, percs)
+	if err != nil {
+		return nil, err
 	}
+	piV, err := conformal.Percentiles(piQerrs, percs)
+	if err != nil {
+		return nil, err
+	}
+	copy(defQ[:], defV)
+	copy(piQ[:], piV)
 	r.AddRow("default",
 		fmt.Sprintf("%.2f", defQ[0]), fmt.Sprintf("%.2f", defQ[1]), fmt.Sprintf("%.2f", defQ[2]),
 		fmt.Sprintf("%.0f", defCost))

@@ -124,6 +124,16 @@ func (r *Regressor) Predict(x []float64) float64 {
 	return out
 }
 
+// PredictBatch writes the ensemble prediction for each row of X into out
+// (len(out) must be len(X)). Row results are bit-identical to Predict —
+// same per-row tree accumulation order — and the call performs no heap
+// allocations. Safe for concurrent use: a fitted ensemble is read-only.
+func (r *Regressor) PredictBatch(X [][]float64, out []float64) {
+	for i, x := range X {
+		out[i] = r.Predict(x)
+	}
+}
+
 // NumTrees returns the number of fitted boosting rounds.
 func (r *Regressor) NumTrees() int { return len(r.trees) }
 

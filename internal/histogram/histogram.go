@@ -207,6 +207,20 @@ func (st *columnStats) rangeSelectivity(lo, hi int64) float64 {
 // except for equality pairs covered by extended statistics, whose joint MCV
 // estimate replaces the independence product.
 func (s *Stats) Selectivity(preds []dataset.Predicate) (float64, error) {
+	if s.extended == nil {
+		// Without joint statistics no predicate pairing happens; skip the
+		// used-bitmap bookkeeping so the hot estimation path stays
+		// allocation-free.
+		sel := 1.0
+		for _, p := range preds {
+			ps, err := s.PredicateSelectivity(p)
+			if err != nil {
+				return 0, err
+			}
+			sel *= ps
+		}
+		return sel, nil
+	}
 	used := make([]bool, len(preds))
 	sel := 1.0
 	if s.extended != nil {

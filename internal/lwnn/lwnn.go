@@ -10,6 +10,7 @@ package lwnn
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"cardpi/internal/dataset"
 	"cardpi/internal/estimator"
@@ -95,6 +96,53 @@ type Model struct {
 	name     string
 	features *Features
 	net      *nn.Net
+	// pool recycles batch scratch buffers across EstimateSelectivityBatch
+	// calls; its zero value is ready, so every construction site (training
+	// and the serialize loader) gets batching for free.
+	pool sync.Pool
+}
+
+// lwBatchScratch is one reusable buffer set of the batched inference path:
+// the packed feature block, the row-to-query mapping for join queries that
+// bypass the net, and the nn batch scratch.
+type lwBatchScratch struct {
+	xs  []float64
+	idx []int
+	bs  *nn.BatchScratch
+}
+
+// EstimateSelectivityBatch implements estimator.BatchEstimator: out[i] is
+// bit-identical to EstimateSelectivity(qs[i]) (join queries report 0, as in
+// the sequential path). The feature rows are packed into one flat block and
+// the net walks each layer once over it. Safe for concurrent use — scratch
+// buffers come from an internal pool.
+func (m *Model) EstimateSelectivityBatch(qs []workload.Query, out []float64) {
+	n := len(qs)
+	if n == 0 {
+		return
+	}
+	s, _ := m.pool.Get().(*lwBatchScratch)
+	if s == nil {
+		s = &lwBatchScratch{bs: m.net.NewBatchScratch()}
+	}
+	defer m.pool.Put(s)
+	s.xs = s.xs[:0]
+	s.idx = s.idx[:0]
+	for i, q := range qs {
+		if q.IsJoin() {
+			out[i] = 0
+			continue
+		}
+		s.xs = append(s.xs, m.features.Vector(q)...)
+		s.idx = append(s.idx, i)
+	}
+	if len(s.idx) == 0 {
+		return
+	}
+	res := m.net.ForwardBatch(s.xs, len(s.idx), m.features.Dim(), s.bs)
+	for j, i := range s.idx {
+		out[i] = estimator.SelFromLog(res[j])
+	}
 }
 
 // Train fits LW-NN on a labeled workload with MSE loss on log-selectivity.

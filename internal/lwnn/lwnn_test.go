@@ -1,6 +1,7 @@
 package lwnn
 
 import (
+	"math"
 	"testing"
 
 	"cardpi/internal/dataset"
@@ -125,6 +126,29 @@ func TestFeaturesVector(t *testing.T) {
 	for _, x := range v[len(v)-2:] {
 		if x < 0 || x > 1 {
 			t.Fatalf("heuristic feature %v out of [0,1]", x)
+		}
+	}
+}
+
+func TestEstimateSelectivityBatchMatchesSequential(t *testing.T) {
+	tab, trainWL, testWL := trainSetup(t)
+	m, err := Train(tab, trainWL, Config{Epochs: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]workload.Query, 0, len(testWL.Queries)+1)
+	for _, lq := range testWL.Queries {
+		qs = append(qs, lq.Query)
+	}
+	// Interleave a join query: it must report 0 without disturbing the
+	// packed rows of its neighbours.
+	qs = append(qs, workload.Query{Join: &dataset.JoinQuery{}})
+	got := make([]float64, len(qs))
+	m.EstimateSelectivityBatch(qs, got)
+	for i, q := range qs {
+		want := m.EstimateSelectivity(q)
+		if math.Float64bits(got[i]) != math.Float64bits(want) {
+			t.Fatalf("query %d: batch %v != sequential %v", i, got[i], want)
 		}
 	}
 }

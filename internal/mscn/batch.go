@@ -1,0 +1,216 @@
+package mscn
+
+import (
+	"cardpi/internal/dataset"
+	"cardpi/internal/estimator"
+	"cardpi/internal/nn"
+	"cardpi/internal/workload"
+)
+
+// Batched inference path. SetElements + forward allocate ~30 small buffers
+// per query (per-element feature vectors, per-element forward caches, the
+// pooled and concat vectors); at serving batch sizes that allocation and GC
+// traffic dominates the actual arithmetic on a single-core box. The batch
+// path featurises every query into two flat row-major blocks, runs each
+// set network once over its whole block with nn.ForwardBatch, and pools
+// per query in the same element order as forward() — bit-identical outputs
+// with zero steady-state allocations per query.
+
+// AppendSetElements appends the query's table-set and predicate-set feature
+// rows to the flat row-major buffers (rows are TableDim() and PredDim()
+// wide) and returns the extended buffers plus the per-set element counts.
+// Row values are identical to SetElements, including the deterministic
+// feature-signature ordering of join predicates; buffers may be nil and
+// grow like append, so steady-state reuse performs no allocations.
+func (f *Featurizer) AppendSetElements(q workload.Query, tableBuf, predBuf []float64) ([]float64, []float64, int, int) {
+	td, pd := f.TableDim(), f.PredDim()
+	nT, nP := 0, 0
+	appendTable := func(name string, preds []dataset.Predicate) {
+		base := len(tableBuf)
+		tableBuf = appendZeros(tableBuf, td)
+		v := tableBuf[base : base+td]
+		if i, ok := f.tableIdx[name]; ok {
+			v[i] = 1
+		}
+		if f.sampleBits > 0 {
+			f.fillBitmap(v[len(f.tables):], name, preds)
+		}
+		nT++
+	}
+	appendPreds := func(table string, preds []dataset.Predicate) {
+		for _, p := range preds {
+			gi, ok := f.colIdx[table+"."+p.Col]
+			if !ok {
+				continue
+			}
+			base := len(predBuf)
+			predBuf = appendZeros(predBuf, pd)
+			v := predBuf[base : base+pd]
+			if ti, ok := f.tableIdx[table]; ok {
+				v[ti] = 1
+			}
+			v[len(f.tables)+gi] = 1
+			opBase := len(f.tables) + len(f.cols)
+			lo, hi := p.Lo, p.Hi
+			if p.Op == dataset.OpEq {
+				v[opBase] = 1
+				hi = p.Lo
+			} else {
+				v[opBase+1] = 1
+			}
+			c := f.cols[gi]
+			v[opBase+2] = normalise(lo, c)
+			v[opBase+3] = normalise(hi, c)
+			nP++
+		}
+	}
+
+	if q.IsJoin() && f.schema != nil {
+		appendTable(f.schema.Center.Name, q.Join.Preds[f.schema.Center.Name])
+		for _, name := range q.Join.Tables {
+			appendTable(name, q.Join.Preds[name])
+		}
+		predStart := len(predBuf)
+		for table, preds := range q.Join.Preds {
+			appendPreds(table, preds)
+		}
+		// Same deterministic ordering as SetElements: predicate rows sorted
+		// by feature signature. A selection sort over the row block keeps
+		// this allocation-free; equal signatures are identical rows, so any
+		// lessVec-consistent order yields the same block.
+		sortRows(predBuf[predStart:], pd, nP)
+		return tableBuf, predBuf, nT, nP
+	}
+	if f.single != nil {
+		appendTable(f.single.Name, q.Preds)
+		appendPreds(f.single.Name, q.Preds)
+	}
+	return tableBuf, predBuf, nT, nP
+}
+
+// appendZeros extends buf by n zeroed entries, reusing spare capacity.
+func appendZeros(buf []float64, n int) []float64 {
+	l := len(buf)
+	if cap(buf) >= l+n {
+		buf = buf[:l+n]
+		clear(buf[l:])
+		return buf
+	}
+	return append(buf, make([]float64, n)...)
+}
+
+// sortRows selection-sorts n rows of width w in place under lessVec.
+func sortRows(buf []float64, w, n int) {
+	for i := 0; i < n; i++ {
+		min := i
+		for j := i + 1; j < n; j++ {
+			if lessVec(buf[j*w:(j+1)*w], buf[min*w:(min+1)*w]) {
+				min = j
+			}
+		}
+		if min != i {
+			a, b := buf[i*w:(i+1)*w], buf[min*w:(min+1)*w]
+			for k := range a {
+				a[k], b[k] = b[k], a[k]
+			}
+		}
+	}
+}
+
+// batchScratch is one reusable buffer set of the batched inference path.
+type batchScratch struct {
+	tableBuf, predBuf []float64
+	tCount, pCount    []int
+	pooled            []float64
+	tBS, pBS, oBS     *nn.BatchScratch
+}
+
+// PredictLogBatch writes the raw log-selectivity output for each query into
+// out (len(out) must equal len(qs)). Per-query results are bit-identical to
+// PredictLog: the batched kernels preserve the per-element accumulation and
+// pooling order of forward(). Safe for concurrent use — scratch buffer sets
+// come from an internal pool — and performs zero per-query heap allocations
+// once the pool is warm.
+func (m *Model) PredictLogBatch(qs []workload.Query, out []float64) {
+	n := len(qs)
+	if n == 0 {
+		return
+	}
+	s, _ := m.pool.Get().(*batchScratch)
+	if s == nil {
+		s = &batchScratch{
+			tBS: m.tableNet.NewBatchScratch(),
+			pBS: m.predNet.NewBatchScratch(),
+			oBS: m.outNet.NewBatchScratch(),
+		}
+	}
+	defer m.pool.Put(s)
+
+	td, pd := m.feat.TableDim(), m.feat.PredDim()
+	s.tableBuf = s.tableBuf[:0]
+	s.predBuf = s.predBuf[:0]
+	s.tCount = resizeInts(s.tCount, n)
+	s.pCount = resizeInts(s.pCount, n)
+	for i, q := range qs {
+		s.tableBuf, s.predBuf, s.tCount[i], s.pCount[i] = m.feat.AppendSetElements(q, s.tableBuf, s.predBuf)
+	}
+
+	var tOut, pOut []float64
+	if totalT := len(s.tableBuf) / td; totalT > 0 {
+		tOut = m.tableNet.ForwardBatch(s.tableBuf, totalT, td, s.tBS)
+	}
+	if totalP := len(s.predBuf) / pd; totalP > 0 {
+		pOut = m.predNet.ForwardBatch(s.predBuf, totalP, pd, s.pBS)
+	}
+
+	h := m.hidden
+	if cap(s.pooled) < n*2*h {
+		s.pooled = make([]float64, n*2*h)
+	}
+	s.pooled = s.pooled[:n*2*h]
+	clear(s.pooled)
+	tOff, pOff := 0, 0
+	for i := 0; i < n; i++ {
+		dst := s.pooled[i*2*h : (i+1)*2*h]
+		poolSet(dst[:h], tOut, tOff, s.tCount[i], h)
+		poolSet(dst[h:], pOut, pOff, s.pCount[i], h)
+		tOff += s.tCount[i]
+		pOff += s.pCount[i]
+	}
+
+	outBlock := m.outNet.ForwardBatch(s.pooled, n, 2*h, s.oBS)
+	copy(out, outBlock[:n])
+}
+
+// poolSet average-pools count consecutive h-wide rows of block (starting at
+// row off) into dst, in row order — the same accumulation and division
+// order as forward()'s per-element loop. count == 0 leaves dst zero.
+func poolSet(dst, block []float64, off, count, h int) {
+	for e := 0; e < count; e++ {
+		row := block[(off+e)*h : (off+e+1)*h]
+		for j, v := range row {
+			dst[j] += v
+		}
+	}
+	if count > 0 {
+		for j := range dst {
+			dst[j] /= float64(count)
+		}
+	}
+}
+
+func resizeInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// EstimateSelectivityBatch implements estimator.BatchEstimator: out[i] is
+// bit-identical to EstimateSelectivity(qs[i]).
+func (m *Model) EstimateSelectivityBatch(qs []workload.Query, out []float64) {
+	m.PredictLogBatch(qs, out)
+	for i, v := range out {
+		out[i] = estimator.SelFromLog(v)
+	}
+}

@@ -1,0 +1,101 @@
+package mscn
+
+import (
+	"math"
+	"testing"
+
+	"cardpi/internal/dataset"
+	"cardpi/internal/workload"
+)
+
+// TestPredictLogBatchMatchesSequential proves the batched inference path is
+// bit-identical to PredictLog for single-table queries.
+func TestPredictLogBatchMatchesSequential(t *testing.T) {
+	f, trainWL, testWL := singleSetup(t)
+	m, err := Train(f, trainWL, Config{Epochs: 3, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]workload.Query, len(testWL.Queries))
+	for i, lq := range testWL.Queries {
+		qs[i] = lq.Query
+	}
+	got := make([]float64, len(qs))
+	m.PredictLogBatch(qs, got)
+	for i, q := range qs {
+		want := m.PredictLog(q)
+		if math.Float64bits(got[i]) != math.Float64bits(want) {
+			t.Fatalf("query %d: batch %v != sequential %v", i, got[i], want)
+		}
+	}
+	sel := make([]float64, len(qs))
+	m.EstimateSelectivityBatch(qs, sel)
+	for i, q := range qs {
+		want := m.EstimateSelectivity(q)
+		if math.Float64bits(sel[i]) != math.Float64bits(want) {
+			t.Fatalf("query %d: batch selectivity %v != sequential %v", i, sel[i], want)
+		}
+	}
+}
+
+// TestPredictLogBatchJoins covers the join featurizer with sample bitmaps:
+// the flat AppendSetElements path must reproduce SetElements' deterministic
+// predicate ordering exactly.
+func TestPredictLogBatchJoins(t *testing.T) {
+	sch, err := dataset.GenerateDSB(dataset.GenConfig{Rows: 800, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.GenerateJoins(sch, workload.JoinConfig{Count: 120, Templates: 6, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewSchemaFeaturizer(sch).WithSampleBitmaps(16, 24)
+	m, err := Train(f, wl, Config{Epochs: 2, Seed: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]workload.Query, len(wl.Queries))
+	for i, lq := range wl.Queries {
+		qs[i] = lq.Query
+	}
+	got := make([]float64, len(qs))
+	m.PredictLogBatch(qs, got)
+	for i, q := range qs {
+		want := m.PredictLog(q)
+		if math.Float64bits(got[i]) != math.Float64bits(want) {
+			t.Fatalf("join query %d: batch %v != sequential %v", i, got[i], want)
+		}
+	}
+}
+
+// TestAppendSetElementsMatchesSetElements compares the flat rows against
+// the reference per-element vectors directly.
+func TestAppendSetElementsMatchesSetElements(t *testing.T) {
+	f, _, testWL := singleSetup(t)
+	var tb, pb []float64
+	for _, lq := range testWL.Queries[:50] {
+		tb, pb = tb[:0], pb[:0]
+		var nT, nP int
+		tb, pb, nT, nP = f.AppendSetElements(lq.Query, tb, pb)
+		tf, pf := f.SetElements(lq.Query)
+		if nT != len(tf) || nP != len(pf) {
+			t.Fatalf("counts %d/%d != reference %d/%d", nT, nP, len(tf), len(pf))
+		}
+		td, pd := f.TableDim(), f.PredDim()
+		for e, want := range tf {
+			for j, v := range want {
+				if tb[e*td+j] != v {
+					t.Fatalf("table row %d col %d: %v != %v", e, j, tb[e*td+j], v)
+				}
+			}
+		}
+		for e, want := range pf {
+			for j, v := range want {
+				if pb[e*pd+j] != v {
+					t.Fatalf("pred row %d col %d: %v != %v", e, j, pb[e*pd+j], v)
+				}
+			}
+		}
+	}
+}

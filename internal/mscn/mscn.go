@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"cardpi/internal/dataset"
 	"cardpi/internal/estimator"
@@ -269,6 +270,10 @@ type Model struct {
 	tableNet *nn.Net
 	outNet   *nn.Net
 	hidden   int
+	// pool recycles batchScratch buffer sets across PredictLogBatch calls
+	// (batch.go); the zero value is ready to use, so the serialize loader
+	// needs no extra wiring.
+	pool sync.Pool
 }
 
 // Train fits MSCN with the mean q-error loss on log-selectivity labels.

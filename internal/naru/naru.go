@@ -19,6 +19,7 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"cardpi/internal/dataset"
 	"cardpi/internal/nn"
@@ -163,6 +164,10 @@ type Model struct {
 	prefix  []int     // prefix one-hot offsets per column
 	samples int
 	seed    int64
+	// pool recycles inference scratch buffers across queries; its zero value
+	// is ready, so both construction sites (training and the serialize
+	// loader) get the batched sampling kernel for free.
+	pool sync.Pool
 }
 
 // Train fits the autoregressive model on the table's tuples.
@@ -262,14 +267,6 @@ func (m *Model) encodePrefix(_ []float64) []float64 {
 	return make([]float64, total)
 }
 
-// netInput slices the conditioning input for column ci.
-func (m *Model) netInput(prefix []float64, ci int) []float64 {
-	if m.prefix[ci] == 0 {
-		return []float64{1}
-	}
-	return prefix[:m.prefix[ci]]
-}
-
 // Name implements estimator.Estimator.
 func (m *Model) Name() string { return m.name }
 
@@ -350,55 +347,137 @@ func (m *Model) constraints(preds []dataset.Predicate) ([]constraint, int) {
 	return cons, last
 }
 
+// inferScratch holds the reusable buffers of the batched sampling kernel:
+// the flat samples-by-prefix-width conditioning block, the packed input
+// block handed to each conditional net, the per-sample running products,
+// the alive-sample index list, and one nn batch scratch per column head.
+type inferScratch struct {
+	prefixes []float64
+	inBuf    []float64
+	prob     []float64
+	rows     []int
+	bs       []*nn.BatchScratch
+}
+
+func (m *Model) getScratch() *inferScratch {
+	s, _ := m.pool.Get().(*inferScratch)
+	if s == nil {
+		s = &inferScratch{bs: make([]*nn.BatchScratch, len(m.nets))}
+		for ci, net := range m.nets {
+			s.bs[ci] = net.NewBatchScratch()
+		}
+	}
+	return s
+}
+
 // progressiveSample estimates P(preds) as the mean over samples of the
 // product of conditional allowed-mass terms, sampling a concrete value at
-// every column up to the last constrained one.
+// every column up to the last constrained one. All Monte-Carlo samples
+// advance through the columns together: each conditional net runs once per
+// column over the whole alive-sample block (nn.ForwardBatch) instead of
+// once per sample, and samples whose allowed mass hits zero are compacted
+// out before the next column. Random draws happen column-major in alive-
+// sample order, so the estimate differs (by Monte-Carlo noise only) from a
+// per-sample walk, but remains deterministic per query.
 func (m *Model) progressiveSample(preds []dataset.Predicate, r *rand.Rand) float64 {
 	cons, last := m.constraints(preds)
 	if last < 0 {
 		return 1 // no predicates: full table
 	}
-	var total float64
-	for s := 0; s < m.samples; s++ {
-		total += m.sampleOnce(cons, last, r)
-	}
-	return total / float64(m.samples)
-}
+	s := m.getScratch()
+	defer m.pool.Put(s)
 
-func (m *Model) sampleOnce(cons []constraint, last int, r *rand.Rand) float64 {
-	prefix := m.encodePrefix(nil)
-	prob := 1.0
-	for ci := 0; ci <= last; ci++ {
-		logits := m.nets[ci].Predict(m.netInput(prefix, ci))
-		p := nn.Softmax(logits)
-		var chosen int
-		if cons[ci].codes == nil {
-			chosen = sampleFrom(p, r)
+	n := m.samples
+	// Only columns before `last` ever condition a later net, so the
+	// per-sample prefix rows need just m.prefix[last] slots (one extra for
+	// the degenerate last == 0 case where the width would be zero).
+	w := m.prefix[last]
+	if w == 0 {
+		w = 1
+	}
+	if cap(s.prefixes) < n*w {
+		s.prefixes = make([]float64, n*w)
+	}
+	s.prefixes = s.prefixes[:n*w]
+	clear(s.prefixes)
+	if cap(s.prob) < n {
+		s.prob = make([]float64, n)
+		s.rows = make([]int, n)
+	}
+	s.prob, s.rows = s.prob[:n], s.rows[:n]
+	for i := range s.prob {
+		s.prob[i] = 1
+		s.rows[i] = i
+	}
+
+	alive := s.rows
+	for ci := 0; ci <= last && len(alive) > 0; ci++ {
+		// Pack the conditioning inputs of the alive samples into one flat
+		// block. The first column's marginal takes the constant input 1.
+		iw := m.prefix[ci]
+		if iw == 0 {
+			iw = 1
+		}
+		if cap(s.inBuf) < len(alive)*iw {
+			s.inBuf = make([]float64, len(alive)*iw)
+		}
+		s.inBuf = s.inBuf[:len(alive)*iw]
+		if m.prefix[ci] == 0 {
+			for j := range s.inBuf {
+				s.inBuf[j] = 1
+			}
 		} else {
-			var mass float64
-			for i, k := range cons[ci].codes {
-				mass += p[k] * cons[ci].fracs[i]
-			}
-			if mass <= 0 {
-				return 0
-			}
-			prob *= mass
-			// Sample the next value among allowed codes, weighted by
-			// p[k]*frac, to condition subsequent columns correctly.
-			u := r.Float64() * mass
-			var acc float64
-			chosen = cons[ci].codes[len(cons[ci].codes)-1]
-			for i, k := range cons[ci].codes {
-				acc += p[k] * cons[ci].fracs[i]
-				if u <= acc {
-					chosen = k
-					break
-				}
+			for j, row := range alive {
+				copy(s.inBuf[j*iw:(j+1)*iw], s.prefixes[row*w:row*w+iw])
 			}
 		}
-		prefix[m.prefix[ci]+chosen] = 1
+		logits := m.nets[ci].ForwardBatch(s.inBuf, len(alive), iw, s.bs[ci])
+		vocab := m.codecs[ci].vocab
+
+		na := 0
+		for j, row := range alive {
+			p := logits[j*vocab : (j+1)*vocab]
+			nn.SoftmaxTo(p, p)
+			var chosen int
+			if cons[ci].codes == nil {
+				chosen = sampleFrom(p, r)
+			} else {
+				var mass float64
+				for i, k := range cons[ci].codes {
+					mass += p[k] * cons[ci].fracs[i]
+				}
+				if mass <= 0 {
+					s.prob[row] = 0
+					continue // sample dead: drop it from later columns
+				}
+				s.prob[row] *= mass
+				// Sample the next value among allowed codes, weighted by
+				// p[k]*frac, to condition subsequent columns correctly.
+				u := r.Float64() * mass
+				var acc float64
+				chosen = cons[ci].codes[len(cons[ci].codes)-1]
+				for i, k := range cons[ci].codes {
+					acc += p[k] * cons[ci].fracs[i]
+					if u <= acc {
+						chosen = k
+						break
+					}
+				}
+			}
+			if ci < last {
+				s.prefixes[row*w+m.prefix[ci]+chosen] = 1
+			}
+			alive[na] = row // stable compaction keeps draw order deterministic
+			na++
+		}
+		alive = alive[:na]
 	}
-	return prob
+
+	var total float64
+	for _, row := range alive {
+		total += s.prob[row]
+	}
+	return total / float64(n)
 }
 
 func sampleFrom(p []float64, r *rand.Rand) int {

@@ -1,0 +1,95 @@
+package nn
+
+import "fmt"
+
+// BatchScratch holds the reusable row-major activation blocks of the
+// batched inference path (ForwardBatch) for one network. Blocks grow to the
+// largest batch seen and are then reused, so steady-state batched inference
+// performs zero heap allocations. A BatchScratch must not be shared between
+// concurrent goroutines; callers that serve batches concurrently keep one
+// per worker (the batched estimators pool them in a sync.Pool).
+type BatchScratch struct {
+	// act[l] is the rows×Layers[l].Out row-major output block of layer l:
+	// post-ReLU for hidden layers, linear for the output layer.
+	act [][]float64
+}
+
+// NewBatchScratch allocates an empty batch scratch for the net. The
+// per-layer blocks are sized lazily on first use, so a scratch costs nothing
+// until a batch actually runs through it.
+func (n *Net) NewBatchScratch() *BatchScratch {
+	return &BatchScratch{act: make([][]float64, len(n.Layers))}
+}
+
+// ForwardBatch runs the net over rows inputs stored row-major in xs with the
+// given stride: row r is xs[r*stride : r*stride+In]. stride may exceed the
+// input width when rows carry trailing padding (the autoregressive models
+// reuse one wide prefix block for every column net). It walks each Dense
+// layer once over the whole block and returns the rows×OutDim row-major
+// output block, which aliases the scratch and stays valid until the next
+// ForwardBatch call on it. Row r of the result is bit-identical to a
+// single-row Forward of the same input — the per-row accumulation order is
+// unchanged — and the call performs zero heap allocations once the scratch
+// has grown to the batch size. rows == 0 returns an empty block.
+func (n *Net) ForwardBatch(xs []float64, rows, stride int, s *BatchScratch) []float64 {
+	if len(n.Layers) == 0 {
+		panic("nn: ForwardBatch on empty net")
+	}
+	if rows <= 0 {
+		return nil
+	}
+	if in := n.Layers[0].In; stride < in {
+		panic(fmt.Sprintf("nn: ForwardBatch stride %d < input width %d", stride, in))
+	}
+	cur, curStride := xs, stride
+	for li, l := range n.Layers {
+		if cap(s.act[li]) < rows*l.Out {
+			s.act[li] = make([]float64, rows*l.Out)
+		}
+		out := s.act[li][:rows*l.Out]
+		hidden := li < len(n.Layers)-1
+		// Four rows share each pass over a weight row: the four dot
+		// products are independent accumulator chains, so the FP adder
+		// pipeline stays full instead of stalling on one serial chain, and
+		// each weight row is loaded once per four rows. Every accumulator
+		// still sums B[o] then w*x in ascending input order — exactly
+		// Dense.Forward's order — so each row stays bit-identical to the
+		// single-row path.
+		r := 0
+		for ; r+4 <= rows; r += 4 {
+			x0 := cur[(r+0)*curStride : (r+0)*curStride+l.In]
+			x1 := cur[(r+1)*curStride : (r+1)*curStride+l.In]
+			x2 := cur[(r+2)*curStride : (r+2)*curStride+l.In]
+			x3 := cur[(r+3)*curStride : (r+3)*curStride+l.In]
+			for o := 0; o < l.Out; o++ {
+				wrow := l.W[o*l.In : (o+1)*l.In]
+				b := l.B[o]
+				s0, s1, s2, s3 := b, b, b, b
+				for i, w := range wrow {
+					s0 += w * x0[i]
+					s1 += w * x1[i]
+					s2 += w * x2[i]
+					s3 += w * x3[i]
+				}
+				out[(r+0)*l.Out+o] = s0
+				out[(r+1)*l.Out+o] = s1
+				out[(r+2)*l.Out+o] = s2
+				out[(r+3)*l.Out+o] = s3
+			}
+		}
+		for ; r < rows; r++ {
+			l.Forward(cur[r*curStride:r*curStride+l.In], out[r*l.Out:(r+1)*l.Out])
+		}
+		if hidden {
+			// Same ReLU semantics as Forward/ForwardScratch: anything not
+			// strictly positive (including NaN) becomes zero.
+			for i, v := range out {
+				if !(v > 0) {
+					out[i] = 0
+				}
+			}
+		}
+		cur, curStride = out, l.Out
+	}
+	return cur
+}

@@ -1,0 +1,72 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestForwardBatchMatchesForward proves the batched kernel is bit-identical
+// to the single-row Forward for every row, including strided inputs with
+// trailing padding and pathological values (negatives for the ReLU path,
+// NaN propagation).
+func TestForwardBatchMatchesForward(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	net := NewNet(r, 7, 16, 16, 3)
+	const rows, stride = 33, 9 // 2 floats of padding per row
+	xs := make([]float64, rows*stride)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	xs[5*stride+2] = math.NaN() // one poisoned row must not leak into others
+	s := net.NewBatchScratch()
+	out := net.ForwardBatch(xs, rows, stride, s)
+	for rI := 0; rI < rows; rI++ {
+		want := net.Predict(xs[rI*stride : rI*stride+7])
+		got := out[rI*3 : (rI+1)*3]
+		for j := range want {
+			wb, gb := math.Float64bits(want[j]), math.Float64bits(got[j])
+			if wb != gb {
+				t.Fatalf("row %d output %d: batch %v != sequential %v", rI, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestForwardBatchReuse checks a scratch can serve batches of different
+// sizes back to back and still match the reference.
+func TestForwardBatchReuse(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	net := NewNet(r, 4, 8, 1)
+	s := net.NewBatchScratch()
+	for _, rows := range []int{64, 3, 128, 1} {
+		xs := make([]float64, rows*4)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+		}
+		out := net.ForwardBatch(xs, rows, 4, s)
+		for rI := 0; rI < rows; rI++ {
+			want := net.Predict1(xs[rI*4 : (rI+1)*4])
+			if math.Float64bits(out[rI]) != math.Float64bits(want) {
+				t.Fatalf("rows=%d row %d: %v != %v", rows, rI, out[rI], want)
+			}
+		}
+	}
+}
+
+// TestForwardBatchAllocs pins the zero-allocation contract of the warm
+// batched forward path.
+func TestForwardBatchAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	net := NewNet(r, 12, 32, 32, 1)
+	const rows = 256
+	xs := make([]float64, rows*12)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	s := net.NewBatchScratch()
+	net.ForwardBatch(xs, rows, 12, s) // warm the scratch
+	if n := testing.AllocsPerRun(20, func() { net.ForwardBatch(xs, rows, 12, s) }); n != 0 {
+		t.Fatalf("warm ForwardBatch allocates %.1f times per call, want 0", n)
+	}
+}

@@ -366,7 +366,10 @@ func WrapWeighted(model Estimator, cal, shiftSample *workload.Workload, feats Fe
 	for i, lq := range cal.Queries {
 		preds[i] = model.EstimateSelectivity(lq.Query)
 		truths[i] = lq.Sel
-		weights[i] = w.likelihoodRatio(lq.Query)
+		// X[i] is this calibration query's feature vector (the classifier's
+		// training rows start with cal); reuse it instead of featurising the
+		// query a second time.
+		weights[i] = w.likelihoodRatioFrom(X[i])
 	}
 	wcp, err := conformal.CalibrateWeightedSplit(preds, truths, weights, score, alpha)
 	if err != nil {
@@ -376,11 +379,20 @@ func WrapWeighted(model Estimator, cal, shiftSample *workload.Workload, feats Fe
 	return w, nil
 }
 
-// likelihoodRatio converts the domain classifier's output p(x) = P(shifted)
-// into the density ratio dP_shift/dP_cal, correcting for the class sizes
-// and clamping to keep one misclassified point from dominating the weights.
+// likelihoodRatio featurises the query once and delegates to
+// likelihoodRatioFrom.
 func (w *Weighted) likelihoodRatio(q workload.Query) float64 {
-	p := w.ratio.Predict(w.feats(q))
+	return w.likelihoodRatioFrom(w.feats(q))
+}
+
+// likelihoodRatioFrom converts the domain classifier's output p(x) =
+// P(shifted) into the density ratio dP_shift/dP_cal, correcting for the
+// class sizes and clamping to keep one misclassified point from dominating
+// the weights. Taking the feature vector lets callers that already hold one
+// (calibration over the classifier's own training rows) avoid featurising
+// the query twice.
+func (w *Weighted) likelihoodRatioFrom(x []float64) float64 {
+	p := w.ratio.Predict(x)
 	const eps = 0.01
 	if p < eps {
 		p = eps

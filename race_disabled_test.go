@@ -1,0 +1,7 @@
+//go:build !race
+
+package cardpi
+
+// raceEnabled reports whether the test binary was built with the race
+// detector, which perturbs allocation counts.
+const raceEnabled = false

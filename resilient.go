@@ -333,6 +333,116 @@ func (r *Resilient) IntervalDepthCtx(ctx context.Context, q workload.Query) (Int
 // fail-safe full-domain interval answered (one past the last fallback).
 func (r *Resilient) FailsafeDepth() int { return len(r.stages) }
 
+// IntervalBatch implements BatchPI with the chain's guarantees intact:
+// every returned interval is finite, ordered, and inside [0, 1], and the
+// error is always nil — per-query failures degrade through the fallback
+// chain exactly as in the sequential path.
+func (r *Resilient) IntervalBatch(qs []workload.Query) ([]Interval, error) {
+	ivs, _ := r.IntervalBatchDepthCtx(context.Background(), qs)
+	return ivs, nil
+}
+
+// IntervalBatchDepthCtx answers the whole batch and reports which stage
+// served each query (same depth convention as IntervalDepthCtx). Each stage
+// sees one batched call covering the queries every earlier stage failed to
+// serve; a query whose row comes back non-finite falls through to the next
+// stage individually, so one diverged row does not drag its batch-mates down
+// the chain. The breaker records one event per batch primary attempt —
+// success only when the call returned no error and every row was finite — so
+// a poisoned batch trips it at the same rate as a poisoned single query. The
+// context is checked between stages: once it is done, remaining queries go
+// straight to the fail-safe full-domain interval.
+func (r *Resilient) IntervalBatchDepthCtx(ctx context.Context, qs []workload.Query) ([]Interval, []int) {
+	n := len(qs)
+	r.calls.Add(uint64(n))
+	out := make([]Interval, n)
+	depth := make([]int, n)
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	var sub []workload.Query
+	for si, st := range r.stages {
+		if len(remaining) == 0 {
+			break
+		}
+		if ctx.Err() != nil {
+			break // deadline gone: no time for more model stages
+		}
+		if si == 0 && !r.br.allow() {
+			r.skipped.Add(uint64(len(remaining)))
+			continue
+		}
+		// The first attempted stage usually still owns the whole batch and
+		// can take qs directly; later stages gather their leftovers.
+		batch := qs
+		if len(remaining) != n {
+			sub = sub[:0]
+			for _, i := range remaining {
+				sub = append(sub, qs[i])
+			}
+			batch = sub
+		}
+		ivs, err := r.tryStageBatch(st, batch)
+		allOK := err == nil && len(ivs) == len(batch)
+		if allOK {
+			for _, iv := range ivs {
+				if !finiteInterval(iv) {
+					allOK = false
+					break
+				}
+			}
+		}
+		if si == 0 {
+			if allOK {
+				r.br.onSuccess()
+			} else {
+				r.br.onFailure()
+			}
+		}
+		if err != nil || len(ivs) != len(batch) {
+			r.failed[si].Add(uint64(len(remaining)))
+			continue
+		}
+		nr := 0
+		for j, i := range remaining {
+			iv := ivs[j]
+			if !finiteInterval(iv) {
+				r.sanitized.Inc() // non-finite endpoints: demote to stage failure
+				r.failed[si].Inc()
+				remaining[nr] = i
+				nr++
+				continue
+			}
+			if iv.Lo > iv.Hi {
+				r.sanitized.Inc() // inverted finite bounds: Clip normalises
+			}
+			r.served[si].Inc()
+			out[i] = clip(iv)
+			depth[i] = si
+		}
+		remaining = remaining[:nr]
+	}
+	for _, i := range remaining {
+		out[i] = Interval{Lo: 0, Hi: 1}
+		depth[i] = len(r.stages)
+		r.servedFS.Inc()
+	}
+	return out, depth
+}
+
+// tryStageBatch runs one stage's whole-batch attempt under panic recovery,
+// mirroring tryStage.
+func (r *Resilient) tryStageBatch(pi PI, qs []workload.Query) (ivs []Interval, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.panics.Inc()
+			err = fmt.Errorf("cardpi: recovered panic in %s: %v", pi.Name(), p)
+		}
+	}()
+	return IntervalBatch(pi, qs)
+}
+
 // tryStage runs one stage under panic recovery: a panicking stage becomes a
 // stage failure instead of unwinding into the caller.
 func (r *Resilient) tryStage(ctx context.Context, pi PI, q workload.Query) (iv Interval, err error) {

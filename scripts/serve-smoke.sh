@@ -61,6 +61,35 @@ if [ "$BAD_CODE" != "400" ]; then
 fi
 curl -s "http://$ADDR/estimate" | grep -q '"code"'
 
+echo "serve-smoke: POST /estimate/batch agrees element-wise with GET /estimate"
+BATCH="$(curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d '{"queries": ["state = 3", "model_year BETWEEN 40 AND 90"]}' \
+  "http://$ADDR/estimate/batch")"
+printf '%s\n' "$BATCH" | grep -q '"count": 2'
+# The batch response must carry, element for element and in order, exactly
+# the estimate/interval fields the single endpoint returns for the same
+# queries (indentation differs between the nested and flat encodings, so
+# compare with leading whitespace stripped).
+BATCH_LINES="$(printf '%s\n' "$BATCH" | grep -E '"(interval_|estimate_)' | sed 's/^ *//')"
+SINGLE_LINES="$( { curl -fsS "http://$ADDR/estimate?q=state+%3D+3"; \
+  curl -fsS "http://$ADDR/estimate?q=model_year+BETWEEN+40+AND+90"; } \
+  | grep -E '"(interval_|estimate_)' | sed 's/^ *//')"
+if [ "$BATCH_LINES" != "$SINGLE_LINES" ]; then
+  echo "serve-smoke: batch response disagrees with single estimates" >&2
+  printf 'batch:\n%s\nsingle:\n%s\n' "$BATCH_LINES" "$SINGLE_LINES" >&2
+  exit 1
+fi
+
+echo "serve-smoke: malformed batch element must 400 and name the element"
+BAD_BATCH_CODE="$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+  -d '{"queries": ["state = 3", "definitely not sql"]}' "http://$ADDR/estimate/batch")"
+if [ "$BAD_BATCH_CODE" != "400" ]; then
+  echo "serve-smoke: malformed batch returned $BAD_BATCH_CODE, want 400" >&2
+  exit 1
+fi
+curl -s -X POST -d '{"queries": ["state = 3", "definitely not sql"]}' \
+  "http://$ADDR/estimate/batch" | grep -q 'query 1'
+
 echo "serve-smoke: GET /metrics"
 METRICS="$(curl -fsS "http://$ADDR/metrics")"
 SERIES="$(printf '%s\n' "$METRICS" | grep -c '^cardpi_')"
@@ -77,6 +106,8 @@ for family in cardpi_pi_calls_total cardpi_pi_latency_seconds \
   cardpi_par_tasks_total cardpi_par_queue_depth \
   cardpi_serve_requests_total cardpi_serve_shed_total \
   cardpi_serve_inflight cardpi_serve_request_seconds \
+  cardpi_serve_batch_requests_total cardpi_serve_batch_size \
+  cardpi_serve_batch_request_seconds \
   cardpi_resilient_calls_total cardpi_resilient_served_total \
   cardpi_resilient_breaker_state; do
   if ! printf '%s\n' "$METRICS" | grep -q "^$family"; then
