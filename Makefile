@@ -29,6 +29,8 @@ bench-json:
 	  | tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_nn.json
 	@{ $(GO) test -run '^$$' -bench '^BenchmarkInterval(Batch)?$$' -benchmem . ; } \
 	  | tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_pi.json
+	@{ $(GO) test -run '^$$' -bench '^BenchmarkIntervalBatchMT$$' -benchmem . ; } \
+	  | tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_batch_mt.json
 
 # Regenerate every paper table/figure at the default scale.
 experiments:

@@ -1,6 +1,8 @@
 package cardpi
 
 import (
+	"sync"
+
 	"cardpi/internal/estimator"
 	"cardpi/internal/par"
 	"cardpi/internal/workload"
@@ -10,15 +12,27 @@ import (
 // this package. IntervalBatch answers all queries in one call — the model's
 // estimates run through its native batched inference path (one matrix-style
 // forward pass per network layer instead of one per query) and the
-// conformal step reuses presorted calibration state. Results are
-// bit-identical to calling Interval per query, in the same normalised
-// selectivity units, and implementations are safe for concurrent
-// IntervalBatch calls whenever the wrapped model is.
+// conformal step reuses presorted calibration state; both layers shard the
+// batch in contiguous row blocks over the batch worker pool
+// (par.SetBatchWorkers). Results are bit-identical to calling Interval per
+// query for any worker count, in the same normalised selectivity units, and
+// implementations are safe for concurrent IntervalBatch calls whenever the
+// wrapped model is.
 type BatchPI interface {
 	PI
 	// IntervalBatch returns one interval per query, aligned with qs.
 	IntervalBatch(qs []workload.Query) ([]Interval, error)
 }
+
+// Minimum per-worker row blocks for the conformal post-passes. The trivial
+// passes (apply a precomputed band, clip) cost nanoseconds per row, so only
+// very large batches shard; per-row passes that featurise or walk a tree
+// ensemble amortise the fan-out much earlier.
+const (
+	trivialMinBlock = 512
+	featMinBlock    = 32
+	ratioMinBlock   = 64
+)
 
 // IntervalBatch answers all queries with pi: through its native batch path
 // when pi implements BatchPI, and otherwise by fanning the per-query
@@ -52,62 +66,132 @@ func estimateAll(m Estimator, qs []workload.Query) []float64 {
 	return preds
 }
 
+// featScratch holds the reusable buffers of the batch featurisation path:
+// one flat row-major block plus the per-row views handed to the conformal
+// and difficulty kernels. Buffers grow to the largest batch seen; a scratch
+// is owned by one IntervalBatch call at a time (featPool).
+type featScratch struct {
+	flat []float64
+	rows [][]float64
+}
+
+// featPool recycles featurisation scratch sets across IntervalBatch calls
+// and wrappers, so batch allocations stay O(1) in the batch size.
+var featPool = sync.Pool{New: func() any { return new(featScratch) }}
+
+// featurize fills s.rows[i] with the feature vector of qs[i] and returns
+// the row views. With an AppendFeatureFunc every row lands in s.flat — the
+// pooled flat block, no per-query allocation — and rows are filled by
+// contiguous row-block workers; the legacy per-query FeatureFunc fallback
+// allocates one vector per row but still shards. Either path produces rows
+// bit-identical to calling the featurizer sequentially.
+func (s *featScratch) featurize(af AppendFeatureFunc, legacy FeatureFunc, qs []workload.Query) [][]float64 {
+	n := len(qs)
+	if cap(s.rows) < n {
+		s.rows = make([][]float64, n)
+	}
+	s.rows = s.rows[:n]
+	if af == nil {
+		par.RunBlocks(n, featMinBlock, func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				s.rows[i] = legacy(qs[i])
+			}
+			return nil
+		})
+		return s.rows
+	}
+	// Probe row 0 for the feature width, then give every row its own
+	// full-capacity sub-block of the flat buffer: a width-stable featurizer
+	// appends in place (zero allocations), while one that ever exceeds its
+	// block falls back to append's reallocation — still correct, row by row.
+	probe := af(qs[0], s.flat[:0])
+	dim := len(probe)
+	if dim == 0 {
+		for i := range s.rows {
+			s.rows[i] = nil
+		}
+		return s.rows
+	}
+	if cap(s.flat) < n*dim {
+		s.flat = make([]float64, n*dim)
+	}
+	s.flat = s.flat[:n*dim]
+	par.RunBlocks(n, featMinBlock, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			s.rows[i] = af(qs[i], s.flat[i*dim:i*dim:(i+1)*dim])
+		}
+		return nil
+	})
+	return s.rows
+}
+
 // IntervalBatch implements BatchPI: the model's estimates are produced in
 // one batched pass and the constant-width conformal band is applied per
-// estimate. Bit-identical to per-query Interval.
+// estimate, sharded in row blocks. Bit-identical to per-query Interval for
+// any worker count.
 func (s *SplitCP) IntervalBatch(qs []workload.Query) ([]Interval, error) {
 	preds := estimateAll(s.model, qs)
 	out := make([]Interval, len(qs))
-	for i, p := range preds {
-		out[i] = clip(s.cp.Interval(p))
-	}
+	par.RunBlocks(len(qs), trivialMinBlock, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			out[i] = clip(s.cp.Interval(preds[i]))
+		}
+		return nil
+	})
 	return out, nil
 }
 
-// IntervalBatch implements BatchPI: model estimates and the gradient-boosted
-// difficulty predictions both run batched, then the scaled band is applied
-// per query. Bit-identical to per-query Interval.
+// IntervalBatch implements BatchPI: model estimates, featurisation, and the
+// gradient-boosted difficulty predictions all run batched and row-block
+// sharded, then the scaled band is applied per query. Bit-identical to
+// per-query Interval for any worker count.
 func (l *LocallyWeighted) IntervalBatch(qs []workload.Query) ([]Interval, error) {
 	preds := estimateAll(l.model, qs)
-	X := make([][]float64, len(qs))
-	for i, q := range qs {
-		X[i] = l.feats(q)
-	}
+	fs := featPool.Get().(*featScratch)
+	defer featPool.Put(fs)
+	X := fs.featurize(l.appendFeats, l.feats, qs)
 	u := make([]float64, len(qs))
 	l.g.PredictBatch(X, u)
 	out := make([]Interval, len(qs))
-	for i := range qs {
-		d := u[i]
-		if d < 0 {
-			d = 0
+	par.RunBlocks(len(qs), trivialMinBlock, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			d := u[i]
+			if d < 0 {
+				d = 0
+			}
+			out[i] = clip(l.lw.Interval(preds[i], d+l.beta))
 		}
-		out[i] = clip(l.lw.Interval(preds[i], d+l.beta))
-	}
+		return nil
+	})
 	return out, nil
 }
 
 // IntervalBatch implements BatchPI: both quantile models run their batched
-// inference paths once over the whole query set. Bit-identical to per-query
-// Interval.
+// inference paths once over the whole query set and the conformal margin is
+// applied in sharded row blocks. Bit-identical to per-query Interval for
+// any worker count.
 func (c *CQR) IntervalBatch(qs []workload.Query) ([]Interval, error) {
 	loP := estimateAll(c.lo, qs)
 	hiP := estimateAll(c.hi, qs)
 	out := make([]Interval, len(qs))
-	for i := range qs {
-		out[i] = clip(c.cqr.Interval(loP[i], hiP[i]))
-	}
+	par.RunBlocks(len(qs), trivialMinBlock, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			out[i] = clip(c.cqr.Interval(loP[i], hiP[i]))
+		}
+		return nil
+	})
 	return out, nil
 }
 
-// IntervalBatch implements BatchPI: model estimates run batched and the
-// per-query local thresholds come from the calibration-time neighbour index
-// (k-d tree or bounded-heap scan) instead of a full calibration-set sort per
-// query. Bit-identical to per-query Interval.
+// IntervalBatch implements BatchPI: model estimates and featurisation run
+// batched, and the per-query local thresholds come from the
+// calibration-time neighbour index (k-d tree or bounded-heap scan, itself
+// row-block sharded) instead of a full calibration-set sort per query.
+// Bit-identical to per-query Interval for any worker count.
 func (l *Localized) IntervalBatch(qs []workload.Query) ([]Interval, error) {
-	feats := make([][]float64, len(qs))
-	for i, q := range qs {
-		feats[i] = l.feats(q)
-	}
+	fs := featPool.Get().(*featScratch)
+	defer featPool.Put(fs)
+	feats := fs.featurize(l.appendFeats, l.feats, qs)
 	preds := estimateAll(l.model, qs)
 	out := make([]Interval, len(qs))
 	if err := l.lcp.Intervals(feats, preds, out); err != nil {
@@ -121,41 +205,62 @@ func (l *Localized) IntervalBatch(qs []workload.Query) ([]Interval, error) {
 
 // IntervalBatch implements BatchPI: model estimates run batched; each
 // query's weighted threshold is an O(log n) search over the presorted
-// calibration scores. Bit-identical to per-query Interval, including the
-// trivial [0, 1] result when a threshold is infinite.
+// calibration scores, computed in row blocks whose workers reuse one
+// feature buffer each. Bit-identical to per-query Interval for any worker
+// count, including the trivial [0, 1] result when a threshold is infinite.
 func (w *Weighted) IntervalBatch(qs []workload.Query) ([]Interval, error) {
 	preds := estimateAll(w.model, qs)
 	out := make([]Interval, len(qs))
-	for i, q := range qs {
-		iv, err := w.wcp.Interval(preds[i], w.likelihoodRatio(q))
-		if err != nil {
-			return nil, err
+	err := par.RunBlocks(len(qs), ratioMinBlock, func(lo, hi int) error {
+		var buf []float64
+		for i := lo; i < hi; i++ {
+			var x []float64
+			if w.appendFeats != nil {
+				buf = w.appendFeats(qs[i], buf[:0])
+				x = buf
+			} else {
+				x = w.feats(qs[i])
+			}
+			iv, err := w.wcp.Interval(preds[i], w.likelihoodRatioFrom(x))
+			if err != nil {
+				return err
+			}
+			out[i] = clip(iv)
 		}
-		out[i] = clip(iv)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // IntervalBatch implements BatchPI: model estimates run batched and each
-// query's group threshold is a map lookup. Bit-identical to per-query
-// Interval.
+// query's group threshold is a map lookup, sharded in row blocks.
+// Bit-identical to per-query Interval for any worker count.
 func (m *Mondrian) IntervalBatch(qs []workload.Query) ([]Interval, error) {
 	preds := estimateAll(m.model, qs)
 	out := make([]Interval, len(qs))
-	for i, q := range qs {
-		out[i] = clip(m.m.Interval(m.group(q), preds[i]))
-	}
+	par.RunBlocks(len(qs), ratioMinBlock, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			out[i] = clip(m.m.Interval(m.group(qs[i]), preds[i]))
+		}
+		return nil
+	})
 	return out, nil
 }
 
 // IntervalBatch implements BatchPI: the full model's estimates run batched
-// and the Algorithm-1 band is applied per estimate. Bit-identical to
-// per-query Interval.
+// and the Algorithm-1 band is applied per estimate in sharded row blocks.
+// Bit-identical to per-query Interval for any worker count.
 func (j *JackknifeCV) IntervalBatch(qs []workload.Query) ([]Interval, error) {
 	preds := estimateAll(j.full, qs)
 	out := make([]Interval, len(qs))
-	for i, p := range preds {
-		out[i] = clip(j.jk.IntervalSimple(p))
-	}
+	par.RunBlocks(len(qs), trivialMinBlock, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			out[i] = clip(j.jk.IntervalSimple(preds[i]))
+		}
+		return nil
+	})
 	return out, nil
 }

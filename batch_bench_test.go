@@ -72,6 +72,9 @@ func (s *benchPIState) build() error {
 	if err != nil {
 		return err
 	}
+	// The pipeline wires the append-style featurizer on every localized
+	// wrapper it builds; the benchmark measures the same production path.
+	lcp.SetAppendFeatures(feat.AppendFeaturize)
 
 	m, err := mscn.Train(mscn.NewSingleFeaturizer(tab), train, mscn.Config{Epochs: 2, Seed: 7})
 	if err != nil {

@@ -3,14 +3,18 @@ package cardpi
 import (
 	"context"
 	"math"
+	"runtime"
 	"sync"
 	"testing"
 
 	"cardpi/internal/conformal"
 	"cardpi/internal/dataset"
+	"cardpi/internal/estimator"
 	"cardpi/internal/gbm"
+	"cardpi/internal/histogram"
 	"cardpi/internal/mscn"
 	"cardpi/internal/obs"
+	"cardpi/internal/par"
 	"cardpi/internal/workload"
 )
 
@@ -169,6 +173,10 @@ func TestIntervalBatchResilient(t *testing.T) {
 // fans requests over it) and stay bit-identical under contention. The name
 // keeps it inside the CI race-detector run.
 func TestIntervalBatchConcurrent(t *testing.T) {
+	// Run the row-block kernels at full fan-out so the race detector sees the
+	// worker goroutines, not the W=1 inline path.
+	par.SetBatchWorkers(runtime.NumCPU())
+	defer par.SetBatchWorkers(0)
 	model, _, _, cal, test := fixture(t)
 	base, err := WrapSplitCP(model, cal, conformal.ResidualScore{}, 0.1)
 	if err != nil {
@@ -209,6 +217,11 @@ func TestIntervalBatchAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are perturbed by the race detector")
 	}
+	// Pin one worker: parallel fan-out legitimately allocates O(workers)
+	// goroutine stacks per batch, which would make the guard depend on the
+	// machine's CPU count instead of the per-query scaling it polices.
+	par.SetBatchWorkers(1)
+	defer par.SetBatchWorkers(0)
 	model, _, _, cal, test := fixture(t)
 	base, err := WrapSplitCP(model, cal, conformal.ResidualScore{}, 0.1)
 	if err != nil {
@@ -225,6 +238,8 @@ func TestIntervalBatchAllocsMSCN(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are perturbed by the race detector")
 	}
+	par.SetBatchWorkers(1)
+	defer par.SetBatchWorkers(0)
 	tab, err := dataset.GenerateCensus(dataset.GenConfig{Rows: 800, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -276,4 +291,38 @@ func assertConstantBatchAllocs(t *testing.T, pi BatchPI, qs []workload.Query) {
 	if allocsBig > 8 {
 		t.Fatalf("batch call allocates %.1f times, want a constant handful", allocsBig)
 	}
+}
+
+// TestIntervalBatchAllocsLocalized pins the localized-CP regression fix: the
+// batch path's per-row neighbour probes, local-score quantiles, and
+// featurisation all draw from pooled scratch, so a warm 256-query batch
+// allocates the same constant handful as a 16-query one — not one
+// feature vector or kNN buffer per row.
+func TestIntervalBatchAllocsLocalized(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race detector")
+	}
+	par.SetBatchWorkers(1)
+	defer par.SetBatchWorkers(0)
+	tab, err := dataset.GenerateDMV(dataset.GenConfig{Rows: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.Generate(tab, workload.Config{Count: 900, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := wl.Split(2, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := histogram.NewSingle(tab, histogram.Config{})
+	feat := estimator.NewFeaturizer(tab)
+	lcp, err := WrapLocalized(model, parts[0], feat.Featurize, conformal.ResidualScore{}, 0.1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcp.SetAppendFeatures(feat.AppendFeaturize)
+	qs := queriesOf(parts[1])[:256]
+	assertConstantBatchAllocs(t, lcp, qs)
 }

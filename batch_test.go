@@ -2,10 +2,13 @@ package cardpi_test
 
 import (
 	"bytes"
+	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"cardpi"
+	"cardpi/internal/par"
 	"cardpi/internal/pipeline"
 	"cardpi/internal/workload"
 )
@@ -53,10 +56,11 @@ func assertBitIdentical(t *testing.T, label string, want, got []cardpi.Interval)
 // TestIntervalBitIdentityAllCombos proves the tentpole contract for every
 // valid model x method pair the pipeline can build: IntervalBatch returns
 // exactly the intervals the per-query Interval path returns, over a
-// 500-query probe workload. For the histogram family (and one learned
-// spot-check) the same identity is asserted after an artifact round-trip, so
-// the rehydrated calibration state — including the localized method's
-// rebuilt neighbour index — is covered too.
+// 500-query probe workload — at every batch worker count, since the
+// row-block sharding must never change a single bit. For the histogram
+// family (and one learned spot-check) the same identity is asserted after an
+// artifact round-trip, so the rehydrated calibration state — including the
+// localized method's rebuilt neighbour index — is covered too.
 func TestIntervalBitIdentityAllCombos(t *testing.T) {
 	for _, model := range pipeline.Models {
 		model := model
@@ -94,23 +98,11 @@ func TestIntervalBitIdentityAllCombos(t *testing.T) {
 						t.Fatalf("%s does not implement BatchPI", pi.Name())
 					}
 					want := sequentialIntervals(t, pi, qs)
-					got, err := bp.IntervalBatch(qs)
-					if err != nil {
-						t.Fatalf("IntervalBatch: %v", err)
-					}
-					assertBitIdentical(t, "live", want, got)
-
-					// The package-level dispatcher must take the same
-					// native path.
-					got2, err := cardpi.IntervalBatch(pi, qs)
-					if err != nil {
-						t.Fatalf("cardpi.IntervalBatch: %v", err)
-					}
-					assertBitIdentical(t, "dispatcher", want, got2)
 
 					// Artifact round-trip: cheap for the histogram family,
 					// plus one learned spot-check (mscn + localized, whose
 					// neighbour index is rebuilt at load time).
+					var loadedPI cardpi.PI
 					if model.Name == "histogram" || (model.Name == "mscn" && method.Name == "lcp") {
 						setup := &pipeline.Setup{
 							Table: base.Table, Model: base.Model, PI: pi,
@@ -124,11 +116,37 @@ func TestIntervalBitIdentityAllCombos(t *testing.T) {
 						if err != nil {
 							t.Fatalf("load: %v", err)
 						}
-						rehydrated, err := cardpi.IntervalBatch(loaded.PI, qs)
+						loadedPI = loaded.PI
+					}
+
+					// The sharded row-block kernels must reproduce the
+					// sequential reference at every worker count, live and
+					// after the artifact round-trip.
+					defer par.SetBatchWorkers(0)
+					for _, wk := range []int{1, 2, 3, runtime.NumCPU()} {
+						par.SetBatchWorkers(wk)
+						label := fmt.Sprintf("W=%d", wk)
+						got, err := bp.IntervalBatch(qs)
 						if err != nil {
-							t.Fatalf("rehydrated IntervalBatch: %v", err)
+							t.Fatalf("%s: IntervalBatch: %v", label, err)
 						}
-						assertBitIdentical(t, "rehydrated", want, rehydrated)
+						assertBitIdentical(t, "live "+label, want, got)
+
+						// The package-level dispatcher must take the same
+						// native path.
+						got2, err := cardpi.IntervalBatch(pi, qs)
+						if err != nil {
+							t.Fatalf("%s: cardpi.IntervalBatch: %v", label, err)
+						}
+						assertBitIdentical(t, "dispatcher "+label, want, got2)
+
+						if loadedPI != nil {
+							rehydrated, err := cardpi.IntervalBatch(loadedPI, qs)
+							if err != nil {
+								t.Fatalf("%s: rehydrated IntervalBatch: %v", label, err)
+							}
+							assertBitIdentical(t, "rehydrated "+label, want, rehydrated)
+						}
 					}
 				})
 			}

@@ -1,7 +1,10 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
 // performance record. `make bench-json` pipes the NN-core benchmarks
 // (BenchmarkFit, BenchmarkEvaluate, BenchmarkIntervalCV) through it into
-// BENCH_nn.json, giving future changes a perf trajectory to compare against.
+// BENCH_nn.json, the batched-inference benchmarks into BENCH_pi.json, and
+// the worker-count scaling matrix (BenchmarkIntervalBatchMT) into
+// BENCH_batch_mt.json, giving future changes a perf trajectory to compare
+// against.
 package main
 
 import (
@@ -26,13 +29,14 @@ type Benchmark struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Output is the BENCH_nn.json document.
+// Output is the BENCH_*.json document.
 type Output struct {
 	Date       string             `json:"date"`
 	Goos       string             `json:"goos"`
 	Goarch     string             `json:"goarch"`
 	CPU        string             `json:"cpu,omitempty"`
 	NumCPU     int                `json:"num_cpu"`
+	GoMaxProcs int                `json:"gomaxprocs"`
 	Benchmarks []Benchmark        `json:"benchmarks"`
 	Speedups   map[string]float64 `json:"speedups,omitempty"`
 }
@@ -42,10 +46,11 @@ func main() {
 	flag.Parse()
 
 	doc := Output{
-		Date:   time.Now().UTC().Format("2006-01-02"),
-		Goos:   runtime.GOOS,
-		Goarch: runtime.GOARCH,
-		NumCPU: runtime.NumCPU(),
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Goos:       runtime.GOOS,
+		Goarch:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -166,6 +171,19 @@ func speedups(bs []Benchmark) map[string]float64 {
 				"BenchmarkInterval/"+method,
 				"BenchmarkIntervalBatch/"+method+"/n="+n)
 		}
+	}
+	// Multi-core scaling of the sharded row-block kernels
+	// (BENCH_batch_mt.json): W=k vs W=1 on the same batch shape. The W
+	// dimension is discovered from the result names, so a box whose NumCPU
+	// adds an extra point gets its ratio recorded too.
+	for name := range nsq {
+		base, w, ok := strings.Cut(name, "/W=")
+		if !ok || w == "1" || !strings.HasPrefix(name, "BenchmarkIntervalBatchMT/") {
+			continue
+		}
+		key := strings.TrimPrefix(base, "BenchmarkIntervalBatchMT/")
+		key = "mt_" + strings.NewReplacer("/", "_", "=", "").Replace(key) + "_w" + w + "_vs_w1"
+		ratioQ(key, base+"/W=1", name)
 	}
 	if len(out) == 0 {
 		return nil

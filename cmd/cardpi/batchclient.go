@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"cardpi/internal/codec"
+)
+
+// runBatch implements `cardpi batch`: a thin client for POST /estimate/batch
+// that speaks both wire formats and prints one normalised line per result,
+// so the two formats can be diffed element-wise (the serve smoke test does
+// exactly that — JSON and binary answers must render identical lines).
+//
+//	cardpi batch -addr 127.0.0.1:8080 -format binary "state = 3" "county = 17"
+//
+// Printed fields are the deterministic per-query ones (estimate, interval,
+// ground truth, coverage, fallback depth); the server-side rolling coverage
+// and drift flag evolve between requests and are deliberately omitted.
+func runBatch(args []string) error {
+	fs := flag.NewFlagSet("cardpi batch", flag.ExitOnError)
+	var (
+		addr   = fs.String("addr", "127.0.0.1:8080", "server address (host:port) running `cardpi serve`")
+		format = fs.String("format", "json", "wire format for request and response: json | binary")
+	)
+	fs.Usage = func() {
+		out := fs.Output()
+		fmt.Fprintf(out, "usage: %s batch [flags] \"query\" [\"query\" ...]\n\n", os.Args[0])
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	queries := fs.Args()
+	if len(queries) == 0 {
+		return fmt.Errorf("no queries given (pass one predicate per argument)")
+	}
+	url := "http://" + *addr + "/estimate/batch"
+	switch strings.ToLower(*format) {
+	case "json":
+		return batchJSON(url, queries)
+	case "binary":
+		return batchBinary(url, queries)
+	default:
+		return fmt.Errorf("unknown -format %q (want json or binary)", *format)
+	}
+}
+
+// batchLine renders one result in the normalised form shared by both wire
+// formats: %.17g round-trips every float64 exactly, so two lines are equal
+// iff the underlying numbers are bit-identical (modulo -0 vs 0, which the
+// pipeline never produces).
+func batchLine(i int, estSel, estRows, loSel, hiSel, loRows, hiRows float64, trueRows int64, covered, degraded bool) string {
+	return fmt.Sprintf("result %d: est_sel=%.17g est_rows=%.17g lo_sel=%.17g hi_sel=%.17g lo_rows=%.17g hi_rows=%.17g true_rows=%d covered=%t degraded=%t",
+		i, estSel, estRows, loSel, hiSel, loRows, hiRows, trueRows, covered, degraded)
+}
+
+// batchJSON posts the batch as the default JSON body and prints the
+// normalised result lines.
+func batchJSON(url string, queries []string) error {
+	body, err := json.Marshal(batchRequest{Queries: queries})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server returned %s: %s", resp.Status, strings.TrimSpace(string(payload)))
+	}
+	var br batchResponse
+	if err := json.Unmarshal(payload, &br); err != nil {
+		return fmt.Errorf("decode JSON response: %w", err)
+	}
+	if br.Count != len(queries) {
+		return fmt.Errorf("server answered %d results for %d queries", br.Count, len(queries))
+	}
+	for i := range br.Results {
+		r := &br.Results[i]
+		fmt.Println(batchLine(i, r.EstSel, r.EstRows, r.LoSel, r.HiSel, r.LoRows, r.HiRows, r.TrueRows, r.Covered, r.Degraded))
+	}
+	return nil
+}
+
+// batchBinary posts the batch as the compact binary frame format
+// (codec.WireContentType) and prints the same normalised result lines as
+// batchJSON.
+func batchBinary(url string, queries []string) error {
+	body := codec.AppendWireRequest(nil, queries)
+	resp, err := http.Post(url, codec.WireContentType, strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server returned %s: %s", resp.Status, strings.TrimSpace(string(payload)))
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != codec.WireContentType {
+		return fmt.Errorf("server answered Content-Type %q, want %q", ct, codec.WireContentType)
+	}
+	_, results, err := codec.DecodeWireResponse(payload, nil)
+	if err != nil {
+		return fmt.Errorf("decode binary response: %w", err)
+	}
+	if len(results) != len(queries) {
+		return fmt.Errorf("server answered %d results for %d queries", len(results), len(queries))
+	}
+	for i := range results {
+		r := &results[i]
+		fmt.Println(batchLine(i, r.EstSel, r.EstRows, r.LoSel, r.HiSel, r.LoRows, r.HiRows, r.TrueRows,
+			r.Flags&codec.WireFlagCovered != 0, r.Flags&codec.WireFlagDegraded != 0))
+	}
+	return nil
+}

@@ -54,6 +54,7 @@ func main() {
 			"serve":   runServe,
 			"train":   runTrain,
 			"inspect": runInspect,
+			"batch":   runBatch,
 		}[sub]
 		if run != nil {
 			if err := run(os.Args[2:]); err != nil {
@@ -80,7 +81,8 @@ func main() {
 		fmt.Fprintf(out, "usage: %s [flags] [\"query\" ...]\n", os.Args[0])
 		fmt.Fprintf(out, "       %s train [flags] -out model.cpi    (run 'cardpi train -h')\n", os.Args[0])
 		fmt.Fprintf(out, "       %s inspect model.cpi               (run 'cardpi inspect -h')\n", os.Args[0])
-		fmt.Fprintf(out, "       %s serve [flags]                   (run 'cardpi serve -h')\n\n", os.Args[0])
+		fmt.Fprintf(out, "       %s serve [flags]                   (run 'cardpi serve -h')\n", os.Args[0])
+		fmt.Fprintf(out, "       %s batch [flags] \"query\" ...        (run 'cardpi batch -h')\n\n", os.Args[0])
 		flag.PrintDefaults()
 		fmt.Fprintf(out, "\n%s\n", pipeline.ComboHelp())
 	}

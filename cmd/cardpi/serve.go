@@ -1,11 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"net/http/pprof"
@@ -13,15 +15,18 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"cardpi"
+	"cardpi/internal/codec"
 	"cardpi/internal/conformal"
 	"cardpi/internal/dataset"
 	"cardpi/internal/histogram"
 	"cardpi/internal/obs"
+	"cardpi/internal/par"
 	"cardpi/internal/pipeline"
 	"cardpi/internal/workload"
 )
@@ -83,6 +88,7 @@ func runServe(args []string) error {
 		maxInflight = fs.Int("max-inflight", 64, "maximum concurrently executing /estimate requests")
 		maxQueue    = fs.Int("max-queue", 128, "maximum /estimate requests waiting for an execution slot; beyond this the server sheds with 429")
 		maxBatch    = fs.Int("max-batch", 256, "maximum queries per /estimate/batch request")
+		workers     = fs.Int("workers", 0, "worker count for the sharded batch kernels (row-block IntervalBatch); 0 = GOMAXPROCS")
 		brFailures  = fs.Int("breaker-failures", 5, "consecutive primary-PI failures that trip the circuit breaker open")
 		brOpen      = fs.Duration("breaker-open", 5*time.Second, "how long an open breaker rejects the primary before probing it again")
 	)
@@ -98,6 +104,10 @@ func runServe(args []string) error {
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments %q (serve takes queries over HTTP, not argv)", fs.Args())
 	}
+	// One process-wide knob: every row-block-sharded kernel (model forward
+	// passes, conformal interval production, featurisation) fans over this
+	// many workers. Results are bit-identical for any value.
+	par.SetBatchWorkers(*workers)
 
 	var (
 		setup  *pipeline.Setup
@@ -280,18 +290,38 @@ type server struct {
 	waiters  atomic.Int64
 	maxQueue int64
 
-	reqOK          *obs.Counter
-	reqBad         *obs.Counter
-	reqShed        *obs.Counter
-	shed           *obs.Counter
-	inflight       *obs.IntGauge
-	lat            *obs.Histogram
-	batchOK        *obs.Counter
-	batchBad       *obs.Counter
-	batchShed      *obs.Counter
-	batchSize      *obs.Histogram
-	batchLat       *obs.Histogram
-	metricsHandler http.Handler
+	reqOK           *obs.Counter
+	reqBad          *obs.Counter
+	reqShed         *obs.Counter
+	shed            *obs.Counter
+	inflight        *obs.IntGauge
+	lat             *obs.Histogram
+	batchOK         *obs.Counter
+	batchBad        *obs.Counter
+	batchShed       *obs.Counter
+	batchSize       *obs.Histogram
+	batchLat        *obs.Histogram
+	batchWireJSON   *obs.Counter
+	batchWireBinary *obs.Counter
+	metricsHandler  http.Handler
+
+	// scratch recycles per-request buffer sets (body bytes, query views,
+	// parsed queries, result rows, encoder output) across /estimate and
+	// /estimate/batch requests, so a warm server allocates O(1) per batch
+	// instead of O(batch size).
+	scratch sync.Pool
+}
+
+// serveScratch is one pooled per-request buffer set. Slices are sized from
+// -max-batch at construction and retain their capacity across requests.
+type serveScratch struct {
+	buf     bytes.Buffer       // response encode buffer (JSON and binary)
+	body    []byte             // raw request body (binary wire path)
+	rawQ    [][]byte           // zero-copy query views into body
+	lines   []string           // query texts (binary wire path)
+	qs      []workload.Query   // parsed queries
+	results []estimateResponse // per-query replies
+	wire    []codec.WireResult // binary response frames
 }
 
 // batchSizeBuckets are the histogram bounds for /estimate/batch sizes:
@@ -361,6 +391,16 @@ func newServer(s *pipeline.Setup, o serveOpts) (*server, error) {
 		sem:       make(chan struct{}, o.maxInflight),
 		maxQueue:  int64(o.maxQueue),
 	}
+	maxBatchCap := o.maxBatch
+	srv.scratch.New = func() any {
+		return &serveScratch{
+			rawQ:    make([][]byte, 0, maxBatchCap),
+			lines:   make([]string, 0, maxBatchCap),
+			qs:      make([]workload.Query, 0, maxBatchCap),
+			results: make([]estimateResponse, 0, maxBatchCap),
+			wire:    make([]codec.WireResult, 0, maxBatchCap),
+		}
+	}
 	if ms := o.source; ms.origin == "artifact" {
 		// A constant-1 info gauge: the provenance travels in the labels, so
 		// dashboards can join serving metrics against the exact artifact.
@@ -396,6 +436,10 @@ func newServer(s *pipeline.Setup, o serveOpts) (*server, error) {
 		"Queries per accepted /estimate/batch request.", batchSizeBuckets)
 	srv.batchLat = o.metrics.Histogram("cardpi_serve_batch_request_seconds",
 		"End-to-end /estimate/batch latency in seconds, admission wait included.", obs.LatencyBuckets)
+	srv.batchWireJSON = o.metrics.Counter("cardpi_serve_batch_wire_total",
+		"Answered /estimate/batch requests by negotiated wire format.", obs.L("wire_format", "json"))
+	srv.batchWireBinary = o.metrics.Counter("cardpi_serve_batch_wire_total",
+		"Answered /estimate/batch requests by negotiated wire format.", obs.L("wire_format", "binary"))
 	srv.metricsHandler = o.metrics.Handler()
 	return srv, nil
 }
@@ -568,9 +612,13 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	resp := s.respond(line, q, iv, depth)
 	s.reqOK.Inc()
 	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
+	sc := s.scratch.Get().(*serveScratch)
+	defer s.scratch.Put(sc)
+	sc.buf.Reset()
+	enc := json.NewEncoder(&sc.buf)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(resp)
+	_, _ = w.Write(sc.buf.Bytes())
 }
 
 // respond assembles the per-query answer around a served interval. Both
@@ -623,12 +671,66 @@ type batchResponse struct {
 	Results []estimateResponse `json:"results"`
 }
 
+// appendReadAll reads r to EOF appending into dst and returns the extended
+// slice; with spare capacity in dst the read itself performs no heap
+// allocations, which keeps the pooled binary-wire path garbage-free.
+func appendReadAll(dst []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}
+
+// wireResult converts one JSON-shaped reply into its binary frame. The two
+// forms carry the same numbers bit-for-bit — the smoke test diffs them
+// element-wise.
+func wireResult(resp *estimateResponse, depth int) codec.WireResult {
+	var flags uint8
+	if resp.Covered {
+		flags |= codec.WireFlagCovered
+	}
+	if resp.Degraded {
+		flags |= codec.WireFlagDegraded
+	}
+	if resp.Drifted {
+		flags |= codec.WireFlagDrifted
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	if depth > 255 {
+		depth = 255
+	}
+	return codec.WireResult{
+		EstSel: resp.EstSel, EstRows: resp.EstRows,
+		LoSel: resp.LoSel, HiSel: resp.HiSel,
+		LoRows: resp.LoRows, HiRows: resp.HiRows,
+		TrueRows: resp.TrueRows, RollCov: resp.RollCov,
+		Depth: uint8(depth), Flags: flags,
+	}
+}
+
 // handleEstimateBatch answers POST /estimate/batch: the whole batch takes
 // one admission slot and one deadline, runs through the resilient chain's
 // batched path (the model's matrix kernels answer all queries in one pass),
 // and returns per-query results element-wise identical to /estimate. Any
 // malformed query rejects the whole batch with a 400 naming its index —
 // partial answers would make "which result is which" ambiguous.
+//
+// Two wire formats are negotiated via the request Content-Type: the default
+// JSON body, and the compact binary frame format (codec.WireContentType) —
+// a binary request gets a binary response. All request-sized buffers come
+// from the server scratch pool, so a warm server allocates O(1) per batch in
+// either format.
 func (s *server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	release, ok := s.admit(r.Context())
@@ -648,26 +750,53 @@ func (s *server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
 
-	var req batchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.batchBad.Inc()
-		httpError(w, http.StatusBadRequest, "invalid_json",
-			"decode request body: %v (expected {\"queries\": [\"...\"]})", err)
-		return
+	sc := s.scratch.Get().(*serveScratch)
+	defer s.scratch.Put(sc)
+
+	binary := strings.HasPrefix(r.Header.Get("Content-Type"), codec.WireContentType)
+	var lines []string
+	var jsonReq batchRequest
+	if binary {
+		var err error
+		sc.body, err = appendReadAll(sc.body[:0], r.Body)
+		if err != nil {
+			s.batchBad.Inc()
+			httpError(w, http.StatusBadRequest, "invalid_wire", "read request body: %v", err)
+			return
+		}
+		sc.rawQ, err = codec.DecodeWireRequest(sc.body, sc.rawQ[:0])
+		if err != nil {
+			s.batchBad.Inc()
+			httpError(w, http.StatusBadRequest, "invalid_wire", "decode binary batch: %v", err)
+			return
+		}
+		sc.lines = sc.lines[:0]
+		for _, q := range sc.rawQ {
+			sc.lines = append(sc.lines, string(q))
+		}
+		lines = sc.lines
+	} else {
+		if err := json.NewDecoder(r.Body).Decode(&jsonReq); err != nil {
+			s.batchBad.Inc()
+			httpError(w, http.StatusBadRequest, "invalid_json",
+				"decode request body: %v (expected {\"queries\": [\"...\"]})", err)
+			return
+		}
+		lines = jsonReq.Queries
 	}
-	if len(req.Queries) == 0 {
+	if len(lines) == 0 {
 		s.batchBad.Inc()
 		httpError(w, http.StatusBadRequest, "empty_batch", "queries list is empty")
 		return
 	}
-	if len(req.Queries) > s.maxBatch {
+	if len(lines) > s.maxBatch {
 		s.batchBad.Inc()
 		httpError(w, http.StatusBadRequest, "batch_too_large",
-			"%d queries exceed the per-request cap of %d", len(req.Queries), s.maxBatch)
+			"%d queries exceed the per-request cap of %d", len(lines), s.maxBatch)
 		return
 	}
-	qs := make([]workload.Query, len(req.Queries))
-	for i, line := range req.Queries {
+	sc.qs = sc.qs[:0]
+	for i, line := range lines {
 		if line == "" {
 			s.batchBad.Inc()
 			httpError(w, http.StatusBadRequest, "empty_query", "query %d is empty", i)
@@ -685,20 +814,34 @@ func (s *server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "parse_error", "query %d: parse %q: %v", i, line, err)
 			return
 		}
-		qs[i] = q
+		sc.qs = append(sc.qs, q)
 	}
-	s.batchSize.Observe(float64(len(qs)))
+	s.batchSize.Observe(float64(len(sc.qs)))
 
-	ivs, depths := s.resilient.IntervalBatchDepthCtx(ctx, qs)
-	results := make([]estimateResponse, len(qs))
-	for i := range qs {
-		results[i] = s.respond(req.Queries[i], qs[i], ivs[i], depths[i])
+	ivs, depths := s.resilient.IntervalBatchDepthCtx(ctx, sc.qs)
+	sc.results = sc.results[:0]
+	for i := range sc.qs {
+		sc.results = append(sc.results, s.respond(lines[i], sc.qs[i], ivs[i], depths[i]))
 	}
 	s.batchOK.Inc()
+	if binary {
+		s.batchWireBinary.Inc()
+		sc.wire = sc.wire[:0]
+		for i := range sc.results {
+			sc.wire = append(sc.wire, wireResult(&sc.results[i], depths[i]))
+		}
+		sc.body = codec.AppendWireResponse(sc.body[:0], uint64(s.tab.NumRows()), sc.wire)
+		w.Header().Set("Content-Type", codec.WireContentType)
+		_, _ = w.Write(sc.body)
+		return
+	}
+	s.batchWireJSON.Inc()
 	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
+	sc.buf.Reset()
+	enc := json.NewEncoder(&sc.buf)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(batchResponse{Count: len(results), Results: results})
+	_ = enc.Encode(batchResponse{Count: len(sc.results), Results: sc.results})
+	_, _ = w.Write(sc.buf.Bytes())
 }
 
 // stageName renders a fallback depth for the served_by field.

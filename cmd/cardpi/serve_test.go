@@ -15,11 +15,13 @@ import (
 	"time"
 
 	"cardpi"
+	"cardpi/internal/codec"
 	"cardpi/internal/conformal"
 	"cardpi/internal/dataset"
 	"cardpi/internal/faultinject"
 	"cardpi/internal/histogram"
 	"cardpi/internal/obs"
+	"cardpi/internal/par"
 	"cardpi/internal/pipeline"
 	"cardpi/internal/workload"
 )
@@ -417,4 +419,197 @@ func TestServeBatchValidation(t *testing.T) {
 	t.Run("empty element", func(t *testing.T) {
 		check(t, postBatch(t, ts, []string{"state = 1", ""}), "empty_query")
 	})
+}
+
+// postBatchBinary sends a /estimate/batch request in the compact binary wire
+// format and returns the raw response.
+func postBatchBinary(t *testing.T, ts *httptest.Server, body []byte) *http.Response {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/estimate/batch", codec.WireContentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestServeBatchBinaryMatchesJSON asserts the binary wire format answers the
+// same batch with bit-identical numbers to the JSON format — the two
+// encodings are views of one result set, never two computations.
+func TestServeBatchBinaryMatchesJSON(t *testing.T) {
+	ts, srv, reg := startServer(t, smallSetup(t), serveOpts{})
+	queries := []string{
+		"state = 3",
+		"county = 10 AND body_type = 2",
+		"model_year BETWEEN 40 AND 90",
+	}
+	jresp := postBatch(t, ts, queries)
+	var br batchResponse
+	err := json.NewDecoder(jresp.Body).Decode(&br)
+	jresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bresp := postBatchBinary(t, ts, codec.AppendWireRequest(nil, queries))
+	defer bresp.Body.Close()
+	if bresp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(bresp.Body)
+		t.Fatalf("binary batch status = %d, body %s", bresp.StatusCode, b)
+	}
+	if ct := bresp.Header.Get("Content-Type"); ct != codec.WireContentType {
+		t.Fatalf("binary response Content-Type = %q, want %q", ct, codec.WireContentType)
+	}
+	payload, err := io.ReadAll(bresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tableRows, results, err := codec.DecodeWireResponse(payload, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(tableRows) != srv.tab.NumRows() {
+		t.Fatalf("tableRows = %d, want %d", tableRows, srv.tab.NumRows())
+	}
+	if len(results) != len(queries) {
+		t.Fatalf("binary answered %d results, want %d", len(results), len(queries))
+	}
+	for i := range results {
+		j, b := br.Results[i], results[i]
+		if math.Float64bits(j.EstSel) != math.Float64bits(b.EstSel) ||
+			math.Float64bits(j.EstRows) != math.Float64bits(b.EstRows) ||
+			math.Float64bits(j.LoSel) != math.Float64bits(b.LoSel) ||
+			math.Float64bits(j.HiSel) != math.Float64bits(b.HiSel) ||
+			math.Float64bits(j.LoRows) != math.Float64bits(b.LoRows) ||
+			math.Float64bits(j.HiRows) != math.Float64bits(b.HiRows) ||
+			j.TrueRows != b.TrueRows {
+			t.Fatalf("query %d: binary frame %+v != JSON element %+v", i, b, j)
+		}
+		if j.Covered != (b.Flags&codec.WireFlagCovered != 0) {
+			t.Fatalf("query %d: covered flag mismatch", i)
+		}
+		if j.Degraded != (b.Flags&codec.WireFlagDegraded != 0) || b.Depth != 0 {
+			t.Fatalf("query %d: degraded/depth mismatch (%+v)", i, b)
+		}
+	}
+
+	dump := metricsDumpFor(t, reg)
+	for _, want := range []string{
+		`cardpi_serve_batch_wire_total{wire_format="json"} 1`,
+		`cardpi_serve_batch_wire_total{wire_format="binary"} 1`,
+	} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+// TestServeBatchBinaryMalformed exercises the binary decode rejection paths:
+// every structurally broken frame is a typed 400 (never a panic or a 5xx),
+// and per-element validation matches the JSON path's codes.
+func TestServeBatchBinaryMalformed(t *testing.T) {
+	ts, _, _ := startServer(t, smallSetup(t), serveOpts{maxBatch: 4})
+	check := func(t *testing.T, body []byte, wantCode string) {
+		t.Helper()
+		resp := postBatchBinary(t, ts, body)
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400", resp.StatusCode)
+		}
+		var eb errorBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+			t.Fatal(err)
+		}
+		if eb.Error.Code != wantCode {
+			t.Fatalf("error code = %q, want %q", eb.Error.Code, wantCode)
+		}
+	}
+	good := codec.AppendWireRequest(nil, []string{"state = 3"})
+	t.Run("garbage bytes", func(t *testing.T) { check(t, []byte("not a frame"), "invalid_wire") })
+	t.Run("empty body", func(t *testing.T) { check(t, nil, "invalid_wire") })
+	t.Run("truncated frame", func(t *testing.T) { check(t, good[:len(good)-3], "invalid_wire") })
+	t.Run("trailing garbage", func(t *testing.T) { check(t, append(append([]byte{}, good...), 0xff), "invalid_wire") })
+	t.Run("zero queries", func(t *testing.T) { check(t, codec.AppendWireRequest(nil, nil), "empty_batch") })
+	t.Run("empty element", func(t *testing.T) {
+		check(t, codec.AppendWireRequest(nil, []string{"state = 3", ""}), "empty_query")
+	})
+	t.Run("too many queries", func(t *testing.T) {
+		check(t, codec.AppendWireRequest(nil, []string{"a", "b", "c", "d", "e"}), "batch_too_large")
+	})
+	t.Run("unparsable element names its index", func(t *testing.T) {
+		resp := postBatchBinary(t, ts, codec.AppendWireRequest(nil, []string{"state = 3", "definitely not sql"}))
+		defer resp.Body.Close()
+		var eb errorBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+			t.Fatal(err)
+		}
+		if eb.Error.Code != "parse_error" || !strings.Contains(eb.Error.Message, "query 1") {
+			t.Fatalf("error = %+v, want parse_error naming query 1", eb.Error)
+		}
+	})
+}
+
+// nullResponseWriter discards the response body so alloc measurements see
+// the handler's own allocations, not a growing recorder buffer.
+type nullResponseWriter struct{ h http.Header }
+
+func (n *nullResponseWriter) Header() http.Header         { return n.h }
+func (n *nullResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (n *nullResponseWriter) WriteHeader(int)             {}
+
+// TestServeBatchAllocsBounded is the serve-level alloc guard: with the
+// scratch pool warm and one worker (parallel fan-out adds O(workers) transient
+// allocations by design), the per-query allocation delta between a small and
+// a large batch stays under a hard bound for both wire formats, and the
+// binary format never allocates more than JSON. The codec-level zero-alloc
+// guarantee for the wire encode/decode itself lives in internal/codec.
+func TestServeBatchAllocsBounded(t *testing.T) {
+	par.SetBatchWorkers(1)
+	defer par.SetBatchWorkers(0)
+	reg := obs.NewRegistry()
+	srv, err := newServer(smallSetup(t), serveOpts{alpha: 0.1, metrics: reg, timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkQueries := func(n int) []string {
+		qs := make([]string, n)
+		for i := range qs {
+			qs[i] = "state = 3"
+		}
+		return qs
+	}
+	measure := func(n int, binary bool) float64 {
+		var body []byte
+		ct := "application/json"
+		if binary {
+			body = codec.AppendWireRequest(nil, mkQueries(n))
+			ct = codec.WireContentType
+		} else {
+			body, err = json.Marshal(batchRequest{Queries: mkQueries(n)})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		rw := &nullResponseWriter{h: make(http.Header)}
+		return testing.AllocsPerRun(20, func() {
+			req := httptest.NewRequest(http.MethodPost, "/estimate/batch", bytes.NewReader(body))
+			req.Header.Set("Content-Type", ct)
+			srv.handleEstimateBatch(rw, req)
+		})
+	}
+	const small, large = 8, 64
+	jsonPerQ := (measure(large, false) - measure(small, false)) / (large - small)
+	binPerQ := (measure(large, true) - measure(small, true)) / (large - small)
+	t.Logf("allocs per query: json=%.2f binary=%.2f", jsonPerQ, binPerQ)
+	// Per-query work (parse, oracle count, estimate) legitimately allocates a
+	// handful of objects; the encode/decode layers must not add to it.
+	const bound = 28
+	if jsonPerQ > bound {
+		t.Errorf("JSON path allocates %.2f per query, want <= %d", jsonPerQ, bound)
+	}
+	if binPerQ > bound {
+		t.Errorf("binary path allocates %.2f per query, want <= %d", binPerQ, bound)
+	}
+	if binPerQ > jsonPerQ+1 {
+		t.Errorf("binary path (%.2f allocs/query) should not exceed JSON path (%.2f)", binPerQ, jsonPerQ)
+	}
 }

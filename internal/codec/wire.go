@@ -1,0 +1,199 @@
+package codec
+
+// Compact binary wire format for the /estimate/batch serve endpoint: the
+// zero-copy alternative to its JSON encoding, negotiated via Content-Type
+// (WireContentType). Frames follow the package's conventions — fixed-width
+// little-endian integers, IEEE-754 float64 bits, length-prefixed byte
+// strings with hard decode bounds — but encode into and decode from plain
+// byte slices (append-style) rather than io streams, so a warm serve path
+// performs zero heap allocations per request body.
+//
+// Request ("CBQ1"):
+//
+//	magic [4]byte | count u32 | count × (len u32 | query UTF-8 bytes)
+//
+// Response ("CBR1"):
+//
+//	magic [4]byte | count u32 | tableRows u64 | count × frame
+//
+// where each fixed-width 66-byte frame is
+//
+//	estSel f64 | estRows f64 | loSel f64 | hiSel f64 | loRows f64 |
+//	hiRows f64 | trueRows i64 | rollCov f64 | depth u8 | flags u8
+//
+// Selectivities are normalised to [0, 1]; row fields are cardinalities in
+// table rows. Malformed input of any shape returns an error wrapping
+// ErrWire (or ErrTruncated for short input) — decoding never panics, which
+// the fuzz test in wire_test.go enforces.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// WireContentType is the Content-Type (and Accept) value that selects the
+// binary wire format on /estimate/batch.
+const WireContentType = "application/x-cardpi-batch"
+
+// ErrWire reports a structurally invalid wire frame: bad magic, an
+// impossible count, or a length prefix pointing past the payload. The serve
+// layer maps it (and ErrTruncated) to a typed HTTP 400.
+var ErrWire = errors.New("codec: malformed wire frame")
+
+// Wire frame magics: request and response carry distinct tags so a client
+// that accidentally feeds a response back into the encoder fails fast.
+var (
+	wireReqMagic  = [4]byte{'C', 'B', 'Q', '1'}
+	wireRespMagic = [4]byte{'C', 'B', 'R', '1'}
+)
+
+// WireResult is one /estimate/batch element in wire form. Selectivity
+// fields are normalised to [0, 1]; *Rows fields are cardinalities in table
+// rows; RollCov is the server's rolling empirical coverage in [0, 1] (NaN
+// before the first observation); Depth is the fallback-chain depth that
+// served the estimate (0 = primary); Flags is a WireFlag* bitmask.
+type WireResult struct {
+	EstSel, EstRows float64
+	LoSel, HiSel    float64
+	LoRows, HiRows  float64
+	TrueRows        int64
+	RollCov         float64
+	Depth           uint8
+	Flags           uint8
+}
+
+// WireResult flag bits.
+const (
+	// WireFlagCovered is set when the true cardinality fell inside the interval.
+	WireFlagCovered = 1 << 0
+	// WireFlagDegraded is set when a fallback (Depth > 0) served the estimate.
+	WireFlagDegraded = 1 << 1
+	// WireFlagDrifted is set when the drift alarm was firing at answer time.
+	WireFlagDrifted = 1 << 2
+)
+
+// wireFrameSize is the fixed encoded size of one WireResult.
+const wireFrameSize = 8*8 + 2
+
+// wireHeaderSize is magic + count.
+const wireHeaderSize = 4 + 4
+
+// AppendWireRequest appends the binary request frame for the given queries
+// to dst and returns the extended slice; with spare capacity in dst the
+// call performs zero heap allocations. Query texts longer than MaxStringLen
+// or counts above MaxSliceLen are the caller's bug and are encoded as-is —
+// the decoder is the validation boundary.
+func AppendWireRequest(dst []byte, queries []string) []byte {
+	dst = append(dst, wireReqMagic[:]...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(queries)))
+	for _, q := range queries {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(q)))
+		dst = append(dst, q...)
+	}
+	return dst
+}
+
+// DecodeWireRequest parses a binary request frame, appending one byte-slice
+// view per query to qs and returning the extended slice. Views alias buf —
+// zero-copy — and stay valid only while buf does; with spare capacity in qs
+// the call performs zero heap allocations. Any structural defect returns an
+// error wrapping ErrWire (bad magic, count or length prefix inconsistent
+// with the payload size, trailing garbage) or ErrTruncated (short input);
+// the function never panics on arbitrary input.
+func DecodeWireRequest(buf []byte, qs [][]byte) ([][]byte, error) {
+	if len(buf) < wireHeaderSize {
+		return qs, fmt.Errorf("%w: %d-byte request, need at least %d", ErrTruncated, len(buf), wireHeaderSize)
+	}
+	if [4]byte(buf[:4]) != wireReqMagic {
+		return qs, fmt.Errorf("%w: bad request magic %q", ErrWire, buf[:4])
+	}
+	count := binary.LittleEndian.Uint32(buf[4:8])
+	rest := buf[wireHeaderSize:]
+	// Each query costs at least its 4-byte length prefix, so a count beyond
+	// len(rest)/4 cannot be satisfied — reject before looping.
+	if count > MaxSliceLen || int64(count) > int64(len(rest)/4) {
+		return qs, fmt.Errorf("%w: query count %d impossible for %d payload bytes", ErrWire, count, len(rest))
+	}
+	for i := uint32(0); i < count; i++ {
+		if len(rest) < 4 {
+			return qs, fmt.Errorf("%w: query %d length prefix", ErrTruncated, i)
+		}
+		n := binary.LittleEndian.Uint32(rest[:4])
+		rest = rest[4:]
+		if n > MaxStringLen {
+			return qs, fmt.Errorf("%w: query %d length %d exceeds limit %d", ErrWire, i, n, MaxStringLen)
+		}
+		if uint32(len(rest)) < n || len(rest) < int(n) {
+			return qs, fmt.Errorf("%w: query %d needs %d bytes, %d left", ErrTruncated, i, n, len(rest))
+		}
+		qs = append(qs, rest[:n:n])
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return qs, fmt.Errorf("%w: %d trailing bytes after %d queries", ErrWire, len(rest), count)
+	}
+	return qs, nil
+}
+
+// AppendWireResponse appends the binary response frame — header plus one
+// fixed-width frame per result — to dst and returns the extended slice;
+// with spare capacity in dst the call performs zero heap allocations.
+// tableRows is the table cardinality the row fields are denominated in.
+func AppendWireResponse(dst []byte, tableRows uint64, results []WireResult) []byte {
+	dst = append(dst, wireRespMagic[:]...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(results)))
+	dst = binary.LittleEndian.AppendUint64(dst, tableRows)
+	for i := range results {
+		r := &results[i]
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.EstSel))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.EstRows))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.LoSel))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.HiSel))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.LoRows))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.HiRows))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(r.TrueRows))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.RollCov))
+		dst = append(dst, r.Depth, r.Flags)
+	}
+	return dst
+}
+
+// DecodeWireResponse parses a binary response frame, appending one
+// WireResult per element to out and returning the table cardinality and the
+// extended slice. With spare capacity in out the call performs zero heap
+// allocations. Malformed input returns an error wrapping ErrWire or
+// ErrTruncated and never panics.
+func DecodeWireResponse(buf []byte, out []WireResult) (uint64, []WireResult, error) {
+	const header = wireHeaderSize + 8
+	if len(buf) < header {
+		return 0, out, fmt.Errorf("%w: %d-byte response, need at least %d", ErrTruncated, len(buf), header)
+	}
+	if [4]byte(buf[:4]) != wireRespMagic {
+		return 0, out, fmt.Errorf("%w: bad response magic %q", ErrWire, buf[:4])
+	}
+	count := binary.LittleEndian.Uint32(buf[4:8])
+	tableRows := binary.LittleEndian.Uint64(buf[8:header])
+	rest := buf[header:]
+	if int64(len(rest)) != int64(count)*wireFrameSize {
+		return 0, out, fmt.Errorf("%w: %d payload bytes for %d frames (want %d)",
+			ErrWire, len(rest), count, int64(count)*wireFrameSize)
+	}
+	for i := uint32(0); i < count; i++ {
+		f := rest[int64(i)*wireFrameSize:]
+		out = append(out, WireResult{
+			EstSel:   math.Float64frombits(binary.LittleEndian.Uint64(f[0:])),
+			EstRows:  math.Float64frombits(binary.LittleEndian.Uint64(f[8:])),
+			LoSel:    math.Float64frombits(binary.LittleEndian.Uint64(f[16:])),
+			HiSel:    math.Float64frombits(binary.LittleEndian.Uint64(f[24:])),
+			LoRows:   math.Float64frombits(binary.LittleEndian.Uint64(f[32:])),
+			HiRows:   math.Float64frombits(binary.LittleEndian.Uint64(f[40:])),
+			TrueRows: int64(binary.LittleEndian.Uint64(f[48:])),
+			RollCov:  math.Float64frombits(binary.LittleEndian.Uint64(f[56:])),
+			Depth:    f[64],
+			Flags:    f[65],
+		})
+	}
+	return tableRows, out, nil
+}

@@ -1,0 +1,187 @@
+package codec
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleResults() []WireResult {
+	return []WireResult{
+		{EstSel: 0.25, EstRows: 500, LoSel: 0.1, HiSel: 0.5, LoRows: 200, HiRows: 1000,
+			TrueRows: 433, RollCov: 0.95, Depth: 0, Flags: WireFlagCovered},
+		{EstSel: math.SmallestNonzeroFloat64, EstRows: 0, LoSel: 0, HiSel: 1, LoRows: 0, HiRows: 2000,
+			TrueRows: -1, RollCov: math.NaN(), Depth: 2, Flags: WireFlagDegraded | WireFlagDrifted},
+		{},
+	}
+}
+
+func TestWireRequestRoundTrip(t *testing.T) {
+	queries := []string{"state = 3", "model_year BETWEEN 40 AND 90", "", "αβ — utf8 ✓"}
+	buf := AppendWireRequest(nil, queries)
+	got, err := DecodeWireRequest(buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(queries) {
+		t.Fatalf("decoded %d queries, want %d", len(got), len(queries))
+	}
+	for i, q := range queries {
+		if string(got[i]) != q {
+			t.Fatalf("query %d = %q, want %q", i, got[i], q)
+		}
+	}
+	// Zero queries is a valid frame.
+	if qs, err := DecodeWireRequest(AppendWireRequest(nil, nil), nil); err != nil || len(qs) != 0 {
+		t.Fatalf("empty request round trip: qs=%v err=%v", qs, err)
+	}
+}
+
+func TestWireResponseRoundTrip(t *testing.T) {
+	want := sampleResults()
+	buf := AppendWireResponse(nil, 123456789, want)
+	rows, got, err := DecodeWireResponse(buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 123456789 {
+		t.Fatalf("tableRows = %d, want 123456789", rows)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		// Compare via bits so NaN round-trips count as equal.
+		if math.Float64bits(w.RollCov) != math.Float64bits(g.RollCov) {
+			t.Fatalf("result %d RollCov bits differ", i)
+		}
+		w.RollCov, g.RollCov = 0, 0
+		if w != g {
+			t.Fatalf("result %d = %+v, want %+v", i, g, w)
+		}
+	}
+}
+
+func TestWireDecodeMalformed(t *testing.T) {
+	goodReq := AppendWireRequest(nil, []string{"state = 3"})
+	goodResp := AppendWireResponse(nil, 10, sampleResults())
+	cases := []struct {
+		name string
+		buf  []byte
+		resp bool
+		want error
+	}{
+		{"empty request", nil, false, ErrTruncated},
+		{"short request header", goodReq[:6], false, ErrTruncated},
+		{"bad request magic", append([]byte("XXXX"), goodReq[4:]...), false, ErrWire},
+		{"response magic on request", append(append([]byte{}, wireRespMagic[:]...), goodReq[4:]...), false, ErrWire},
+		{"impossible count", []byte{'C', 'B', 'Q', '1', 0xff, 0xff, 0xff, 0xff}, false, ErrWire},
+		{"query overruns payload", goodReq[:len(goodReq)-2], false, ErrTruncated},
+		{"trailing garbage", append(append([]byte{}, goodReq...), 0), false, ErrWire},
+		{"oversized query length", AppendWireRequest(nil, []string{strings.Repeat("x", MaxStringLen+1)}), false, ErrWire},
+		{"empty response", nil, true, ErrTruncated},
+		{"bad response magic", append([]byte("XXXX"), goodResp[4:]...), true, ErrWire},
+		{"response frame short", goodResp[:len(goodResp)-1], true, ErrWire},
+		{"response trailing garbage", append(append([]byte{}, goodResp...), 0), true, ErrWire},
+	}
+	for _, tc := range cases {
+		var err error
+		if tc.resp {
+			_, _, err = DecodeWireResponse(tc.buf, nil)
+		} else {
+			_, err = DecodeWireRequest(tc.buf, nil)
+		}
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestWireZeroAllocs is the satellite guard: steady-state encode and decode
+// of both wire frames must not touch the heap when the caller supplies
+// capacity — the whole point of the binary path.
+func TestWireZeroAllocs(t *testing.T) {
+	queries := []string{"state = 3", "model_year BETWEEN 40 AND 90"}
+	results := sampleResults()
+	reqBuf := AppendWireRequest(nil, queries)
+	respBuf := AppendWireResponse(nil, 2000, results)
+	reqScratch := make([]byte, 0, 2*len(reqBuf))
+	respScratch := make([]byte, 0, 2*len(respBuf))
+	qsScratch := make([][]byte, 0, 8)
+	outScratch := make([]WireResult, 0, 8)
+
+	if n := testing.AllocsPerRun(100, func() {
+		reqScratch = AppendWireRequest(reqScratch[:0], queries)
+	}); n != 0 {
+		t.Errorf("AppendWireRequest: %v allocs/run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		var err error
+		qsScratch, err = DecodeWireRequest(reqBuf, qsScratch[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("DecodeWireRequest: %v allocs/run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		respScratch = AppendWireResponse(respScratch[:0], 2000, results)
+	}); n != 0 {
+		t.Errorf("AppendWireResponse: %v allocs/run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		var err error
+		_, outScratch, err = DecodeWireResponse(respBuf, outScratch[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("DecodeWireResponse: %v allocs/run, want 0", n)
+	}
+}
+
+// FuzzDecodeWireRequest asserts the request decoder never panics and only
+// ever fails with the two typed sentinels the serve layer maps to 400s.
+func FuzzDecodeWireRequest(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendWireRequest(nil, []string{"state = 3", ""}))
+	f.Add(AppendWireRequest(nil, nil))
+	f.Add([]byte{'C', 'B', 'Q', '1', 0xff, 0xff, 0xff, 0xff, 1, 2, 3})
+	f.Add(AppendWireResponse(nil, 7, sampleResults()))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		qs, err := DecodeWireRequest(data, nil)
+		if err != nil {
+			if !errors.Is(err, ErrWire) && !errors.Is(err, ErrTruncated) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		// A successful decode must re-encode to the identical bytes.
+		round := AppendWireRequest(nil, nil)
+		round = round[:wireHeaderSize]
+		qstrs := make([]string, len(qs))
+		for i, q := range qs {
+			qstrs[i] = string(q)
+		}
+		if got := AppendWireRequest(nil, qstrs); string(got) != string(data) {
+			t.Fatalf("re-encode mismatch: %x vs %x", got, data)
+		}
+	})
+}
+
+// FuzzDecodeWireResponse mirrors FuzzDecodeWireRequest for the response
+// frame (exercised by the batch client subcommand).
+func FuzzDecodeWireResponse(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendWireResponse(nil, 7, sampleResults()))
+	f.Add(AppendWireRequest(nil, []string{"state = 3"}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if _, _, err := DecodeWireResponse(data, nil); err != nil {
+			if !errors.Is(err, ErrWire) && !errors.Is(err, ErrTruncated) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+		}
+	})
+}

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+
+	"cardpi/internal/par"
 )
 
 // Localized implements localized conformal prediction (LCP; Guan 2021,
@@ -99,55 +102,75 @@ func (l *Localized) LocalDelta(feat []float64) (float64, error) {
 }
 
 // knnScratch holds the reusable buffers of the batch kNN path so a whole
-// batch shares one allocation set; per-row allocations are zero once the
-// buffers have grown. Not safe for concurrent use — each Deltas call owns
-// its own scratch.
+// batch (or one worker's row block of it) shares one allocation set;
+// per-row allocations are zero once the buffers have grown. Not safe for
+// concurrent use — each row-block worker takes its own scratch from
+// knnScratchPool.
 type knnScratch struct {
 	heap  knnHeap
 	cands []distIdx
 	local []float64
 }
 
+// knnScratchPool recycles kNN scratch buffer sets across batch calls and
+// across the row-block workers inside one call, so batch allocations are
+// O(1) in the batch size instead of one scratch growth per call.
+var knnScratchPool = sync.Pool{New: func() any { return new(knnScratch) }}
+
+// lcpMinBlock is the smallest per-worker row block when the batch kNN path
+// shards: one neighbour probe costs a tree descent or partial scan over the
+// calibration set, heavy enough that small blocks amortise the fan-out.
+const lcpMinBlock = 8
+
 // Deltas computes LocalDelta for every feature row, writing the thresholds
-// into out (len(out) must equal len(feats)). It selects neighbours through
-// the prebuilt index — k-d tree descent, early-abandoning bounded-heap
-// scan, or quickselect partial selection depending on dimensionality and K
-// — and never performs a full calibration-set sort per query. Per-row
-// results are bit-identical to LocalDelta; one scratch buffer set is
-// allocated per call and reused across rows. Safe for concurrent use: the
-// calibration state is read-only after construction.
+// into out (len(out) must equal len(feats)). Rows are sharded in contiguous
+// blocks over the batch worker pool (par.RunBlocks); each block worker
+// selects neighbours through the prebuilt index — k-d tree descent,
+// early-abandoning bounded-heap scan, or quickselect partial selection
+// depending on dimensionality and K — with its own pooled scratch buffer
+// set, and never performs a full calibration-set sort per query. Per-row
+// results are bit-identical to LocalDelta for any worker count; on failure
+// the lowest-indexed failing row's error is returned (every row is still
+// attempted). Safe for concurrent use: the calibration state is read-only
+// after construction.
 func (l *Localized) Deltas(feats [][]float64, out []float64) error {
 	if len(feats) != len(out) {
 		return fmt.Errorf("conformal: %d feature rows vs %d outputs", len(feats), len(out))
 	}
-	var s knnScratch
-	for i, f := range feats {
-		d, err := l.localDelta(f, &s)
-		if err != nil {
-			return err
+	return par.RunBlocks(len(feats), lcpMinBlock, func(lo, hi int) error {
+		s := knnScratchPool.Get().(*knnScratch)
+		defer knnScratchPool.Put(s)
+		for i := lo; i < hi; i++ {
+			d, err := l.localDelta(feats[i], s)
+			if err != nil {
+				return err
+			}
+			out[i] = d
 		}
-		out[i] = d
-	}
-	return nil
+		return nil
+	})
 }
 
 // Intervals computes the locally calibrated interval for each (feature
 // row, point prediction) pair, writing into out (all three slices must have
 // equal length). It is the batch analogue of Interval and shares Deltas'
-// neighbour index and bit-identity guarantee.
+// neighbour index, row-block sharding, and bit-identity guarantee.
 func (l *Localized) Intervals(feats [][]float64, preds []float64, out []Interval) error {
 	if len(feats) != len(preds) || len(preds) != len(out) {
 		return fmt.Errorf("conformal: mismatched lengths %d/%d/%d", len(feats), len(preds), len(out))
 	}
-	var s knnScratch
-	for i, f := range feats {
-		d, err := l.localDelta(f, &s)
-		if err != nil {
-			return err
+	return par.RunBlocks(len(feats), lcpMinBlock, func(lo, hi int) error {
+		s := knnScratchPool.Get().(*knnScratch)
+		defer knnScratchPool.Put(s)
+		for i := lo; i < hi; i++ {
+			d, err := l.localDelta(feats[i], s)
+			if err != nil {
+				return err
+			}
+			out[i] = l.score.Interval(preds[i], d)
 		}
-		out[i] = l.score.Interval(preds[i], d)
-	}
-	return nil
+		return nil
+	})
 }
 
 // localDelta computes one threshold through the neighbour index using the

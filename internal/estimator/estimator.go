@@ -8,6 +8,7 @@ import (
 	"math"
 
 	"cardpi/internal/dataset"
+	"cardpi/internal/par"
 	"cardpi/internal/workload"
 )
 
@@ -42,18 +43,30 @@ type BatchEstimator interface {
 	EstimateSelectivityBatch(qs []workload.Query, out []float64)
 }
 
+// fallbackMinBlock is the smallest per-worker row block for the generic
+// per-query fallback loop: the cheap estimators it covers (histogram,
+// sampling) answer a query in microseconds, so blocks below this size would
+// pay more in fan-out than they recover in parallelism.
+const fallbackMinBlock = 32
+
 // EstimateBatch fills out (length len(qs)) with m's selectivity estimates,
 // through the native batch path when m implements BatchEstimator and a
-// plain sequential loop otherwise; either way out[i] is bit-identical to
-// m.EstimateSelectivity(qs[i]).
+// per-query loop sharded in contiguous row blocks over the batch worker
+// pool (par.RunBlocks) otherwise; either way out[i] is bit-identical to
+// m.EstimateSelectivity(qs[i]) for any worker count, because each row's
+// estimate is computed exactly as in the sequential loop and written only by
+// its block's owner.
 func EstimateBatch(m Estimator, qs []workload.Query, out []float64) {
 	if be, ok := m.(BatchEstimator); ok {
 		be.EstimateSelectivityBatch(qs, out)
 		return
 	}
-	for i, q := range qs {
-		out[i] = m.EstimateSelectivity(q)
-	}
+	par.RunBlocks(len(qs), fallbackMinBlock, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			out[i] = m.EstimateSelectivity(qs[i])
+		}
+		return nil
+	})
 }
 
 // MinSel floors selectivities before taking logarithms; it corresponds to
@@ -134,12 +147,21 @@ func (f *Featurizer) Dim() int { return 4 * f.table.NumCols() }
 // Featurize encodes a single-table query. Predicates on unknown columns are
 // ignored (they cannot occur for queries generated over the same table).
 func (f *Featurizer) Featurize(q workload.Query) []float64 {
-	out := make([]float64, f.Dim())
-	for i := range f.table.Cols {
-		base := 4 * i
-		out[base+2] = 0 // lo
-		out[base+3] = 1 // hi: full range by default
+	return f.AppendFeaturize(q, make([]float64, 0, f.Dim()))
+}
+
+// AppendFeaturize appends the Dim() feature values for q to dst and returns
+// the extended slice — the allocation-free form of Featurize for callers
+// that featurize whole batches into one pooled flat block. The appended
+// values are bit-identical to Featurize(q); when dst has spare capacity no
+// heap allocation occurs. Safe for concurrent use (the featurizer itself is
+// immutable after construction).
+func (f *Featurizer) AppendFeaturize(q workload.Query, dst []float64) []float64 {
+	start := len(dst)
+	for range f.table.Cols {
+		dst = append(dst, 0, 0, 0, 1) // default: no predicate, full range
 	}
+	out := dst[start:]
 	for _, p := range q.Preds {
 		ci, ok := f.table.ColumnIndex(p.Col)
 		if !ok {
@@ -156,7 +178,7 @@ func (f *Featurizer) Featurize(q workload.Query) []float64 {
 		out[base+2] = normalise(lo, c)
 		out[base+3] = normalise(hi, c)
 	}
-	return out
+	return dst
 }
 
 // JoinFeaturizer maps join queries over a star schema to fixed-length flat

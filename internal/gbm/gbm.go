@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"cardpi/internal/par"
 )
 
 // Config controls boosting.
@@ -124,14 +126,26 @@ func (r *Regressor) Predict(x []float64) float64 {
 	return out
 }
 
+// gbmMinBlock is the smallest per-worker row block when PredictBatch
+// shards: a prediction is a few hundred tree walks, cheap enough that small
+// blocks would pay more in fan-out than they recover.
+const gbmMinBlock = 64
+
 // PredictBatch writes the ensemble prediction for each row of X into out
-// (len(out) must be len(X)). Row results are bit-identical to Predict —
-// same per-row tree accumulation order — and the call performs no heap
-// allocations. Safe for concurrent use: a fitted ensemble is read-only.
+// (len(out) must be len(X)), sharded in contiguous row blocks over the
+// batch worker pool (par.RunBlocks). Row results are bit-identical to
+// Predict for any worker count — same per-row tree accumulation order, each
+// row written only by its block's owner — and the kernel itself performs no
+// heap allocations (the fan-out goroutines are the only transient cost when
+// more than one worker runs). Safe for concurrent use: a fitted ensemble is
+// read-only.
 func (r *Regressor) PredictBatch(X [][]float64, out []float64) {
-	for i, x := range X {
-		out[i] = r.Predict(x)
-	}
+	par.RunBlocks(len(X), gbmMinBlock, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			out[i] = r.Predict(X[i])
+		}
+		return nil
+	})
 }
 
 // NumTrees returns the number of fitted boosting rounds.

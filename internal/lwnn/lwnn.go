@@ -83,12 +83,21 @@ func (f *Features) Dim() int { return f.feat.Dim() + 2 }
 // Vector featurises a query: the flat per-column encoding plus the
 // normalised log-estimates of the histogram and sampling estimators.
 func (f *Features) Vector(q workload.Query) []float64 {
-	v := f.feat.Featurize(q)
+	return f.AppendVector(q, make([]float64, 0, f.Dim()))
+}
+
+// AppendVector appends the Dim() feature values for q to dst and returns the
+// extended slice — the allocation-free form of Vector for batch kernels that
+// pack feature rows into one pooled flat block. Appended values are
+// bit-identical to Vector(q); safe for concurrent use (the underlying
+// statistics are read-only after construction).
+func (f *Features) AppendVector(q workload.Query, dst []float64) []float64 {
+	dst = f.feat.AppendFeaturize(q, dst)
 	hs := f.hist.EstimateSelectivity(q)
 	ss := f.sampler.EstimateSelectivity(q)
 	// Normalise log-estimates to roughly [0, 1]: log(MinSel) ~ -26.
 	norm := func(s float64) float64 { return 1 - estimator.LogSel(s)/estimator.LogSel(estimator.MinSel) }
-	return append(v, norm(hs), norm(ss))
+	return append(dst, norm(hs), norm(ss))
 }
 
 // Model is a trained LW-NN estimator.
@@ -111,14 +120,30 @@ type lwBatchScratch struct {
 	bs  *nn.BatchScratch
 }
 
+// lwMinBlock is the smallest per-worker query block when the batch kernel
+// shards: LW-NN featurisation (two auxiliary estimators per query) plus the
+// forward pass amortise the fan-out from roughly this size up.
+const lwMinBlock = 16
+
 // EstimateSelectivityBatch implements estimator.BatchEstimator: out[i] is
 // bit-identical to EstimateSelectivity(qs[i]) (join queries report 0, as in
-// the sequential path). The feature rows are packed into one flat block and
-// the net walks each layer once over it. Safe for concurrent use — scratch
-// buffers come from an internal pool.
+// the sequential path) for any worker count. The batch is sharded in
+// contiguous query blocks over the batch worker pool (par.RunBlocks); each
+// block worker packs its feature rows into one pooled flat block
+// (AppendVector — no per-query allocation) and walks the net once over it,
+// writing only its own rows of out. Safe for concurrent use and performs
+// zero per-query heap allocations once the scratch pool is warm.
 func (m *Model) EstimateSelectivityBatch(qs []workload.Query, out []float64) {
-	n := len(qs)
-	if n == 0 {
+	par.RunBlocks(len(qs), lwMinBlock, func(lo, hi int) error {
+		m.estimateBlock(qs[lo:hi], out[lo:hi])
+		return nil
+	})
+}
+
+// estimateBlock runs the batched kernel over one contiguous query block,
+// writing exactly len(qs) results into out.
+func (m *Model) estimateBlock(qs []workload.Query, out []float64) {
+	if len(qs) == 0 {
 		return
 	}
 	s, _ := m.pool.Get().(*lwBatchScratch)
@@ -133,7 +158,7 @@ func (m *Model) EstimateSelectivityBatch(qs []workload.Query, out []float64) {
 			out[i] = 0
 			continue
 		}
-		s.xs = append(s.xs, m.features.Vector(q)...)
+		s.xs = m.features.AppendVector(q, s.xs)
 		s.idx = append(s.idx, i)
 	}
 	if len(s.idx) == 0 {

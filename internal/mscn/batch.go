@@ -4,6 +4,7 @@ import (
 	"cardpi/internal/dataset"
 	"cardpi/internal/estimator"
 	"cardpi/internal/nn"
+	"cardpi/internal/par"
 	"cardpi/internal/workload"
 )
 
@@ -125,13 +126,30 @@ type batchScratch struct {
 	tBS, pBS, oBS     *nn.BatchScratch
 }
 
+// mscnMinBlock is the smallest per-worker row block when PredictLogBatch
+// shards a batch: below ~16 queries the featurisation plus three forward
+// passes per block no longer amortise the fan-out.
+const mscnMinBlock = 16
+
 // PredictLogBatch writes the raw log-selectivity output for each query into
-// out (len(out) must equal len(qs)). Per-query results are bit-identical to
-// PredictLog: the batched kernels preserve the per-element accumulation and
-// pooling order of forward(). Safe for concurrent use — scratch buffer sets
-// come from an internal pool — and performs zero per-query heap allocations
-// once the pool is warm.
+// out (len(out) must equal len(qs)). The batch is sharded in contiguous
+// query blocks over the batch worker pool (par.RunBlocks); each block worker
+// owns its rows of out and runs the full featurise→forward→pool kernel with
+// its own pooled scratch buffer set, so per-query results are bit-identical
+// to PredictLog for any worker count — the per-element accumulation and
+// pooling order of forward() is preserved inside each row. Safe for
+// concurrent use and performs zero per-query heap allocations once the
+// scratch pool is warm.
 func (m *Model) PredictLogBatch(qs []workload.Query, out []float64) {
+	par.RunBlocks(len(qs), mscnMinBlock, func(lo, hi int) error {
+		m.predictLogBlock(qs[lo:hi], out[lo:hi])
+		return nil
+	})
+}
+
+// predictLogBlock runs the batched kernel over one contiguous query block,
+// writing exactly len(qs) results into out.
+func (m *Model) predictLogBlock(qs []workload.Query, out []float64) {
 	n := len(qs)
 	if n == 0 {
 		return
@@ -178,8 +196,9 @@ func (m *Model) PredictLogBatch(qs []workload.Query, out []float64) {
 		pOff += s.pCount[i]
 	}
 
-	outBlock := m.outNet.ForwardBatch(s.pooled, n, 2*h, s.oBS)
-	copy(out, outBlock[:n])
+	// The output net writes straight into the caller's rows — this block owns
+	// out exclusively, so no copy-out is needed.
+	m.outNet.ForwardBatchInto(s.pooled, n, 2*h, out, s.oBS)
 }
 
 // poolSet average-pools count consecutive h-wide rows of block (starting at

@@ -23,6 +23,7 @@ import (
 
 	"cardpi/internal/dataset"
 	"cardpi/internal/nn"
+	"cardpi/internal/par"
 	"cardpi/internal/workload"
 )
 
@@ -288,6 +289,27 @@ func (m *Model) EstimateSelectivity(q workload.Query) float64 {
 		est = floor
 	}
 	return est
+}
+
+// naruMinBlock is the smallest per-worker query block when the batch path
+// shards: one progressive-sampling estimate costs hundreds of forward rows,
+// so even tiny blocks amortise the fan-out.
+const naruMinBlock = 2
+
+// EstimateSelectivityBatch implements estimator.BatchEstimator: queries are
+// sharded in contiguous blocks over the batch worker pool (par.RunBlocks),
+// each block running the per-query progressive-sampling path. Every query's
+// RNG is seeded from the model seed and the query's canonical key, so out[i]
+// is bit-identical to EstimateSelectivity(qs[i]) for any worker count and
+// independent of call order. Safe for concurrent use — the inference scratch
+// comes from the model's internal pool.
+func (m *Model) EstimateSelectivityBatch(qs []workload.Query, out []float64) {
+	par.RunBlocks(len(qs), naruMinBlock, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			out[i] = m.EstimateSelectivity(qs[i])
+		}
+		return nil
+	})
 }
 
 // constraint is a per-column allowed-mass list, kept sorted by code for

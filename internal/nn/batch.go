@@ -32,6 +32,33 @@ func (n *Net) NewBatchScratch() *BatchScratch {
 // unchanged — and the call performs zero heap allocations once the scratch
 // has grown to the batch size. rows == 0 returns an empty block.
 func (n *Net) ForwardBatch(xs []float64, rows, stride int, s *BatchScratch) []float64 {
+	return n.forwardBatch(xs, rows, stride, s, nil)
+}
+
+// ForwardBatchInto is ForwardBatch writing the final rows×OutDim block
+// row-major into dst instead of the scratch — the zero-copy form for the
+// sharded batch kernels, where each row-block worker targets its own
+// disjoint slice of a shared output and the copy-out would be pure waste.
+// dst must have length >= rows*OutDim and must not alias xs or the scratch.
+// Row r of dst is bit-identical to a single-row Forward of the same input,
+// and the call performs zero heap allocations once the scratch has grown to
+// the batch size.
+func (n *Net) ForwardBatchInto(xs []float64, rows, stride int, dst []float64, s *BatchScratch) {
+	if len(n.Layers) == 0 {
+		panic("nn: ForwardBatch on empty net")
+	}
+	if rows <= 0 {
+		return
+	}
+	if out := n.Layers[len(n.Layers)-1].Out; len(dst) < rows*out {
+		panic(fmt.Sprintf("nn: ForwardBatchInto dst length %d < rows*OutDim %d", len(dst), rows*out))
+	}
+	n.forwardBatch(xs, rows, stride, s, dst)
+}
+
+// forwardBatch walks the layers over the whole block; when dst is non-nil
+// the final (linear) layer writes into dst, otherwise into the scratch.
+func (n *Net) forwardBatch(xs []float64, rows, stride int, s *BatchScratch, dst []float64) []float64 {
 	if len(n.Layers) == 0 {
 		panic("nn: ForwardBatch on empty net")
 	}
@@ -43,11 +70,16 @@ func (n *Net) ForwardBatch(xs []float64, rows, stride int, s *BatchScratch) []fl
 	}
 	cur, curStride := xs, stride
 	for li, l := range n.Layers {
-		if cap(s.act[li]) < rows*l.Out {
-			s.act[li] = make([]float64, rows*l.Out)
-		}
-		out := s.act[li][:rows*l.Out]
 		hidden := li < len(n.Layers)-1
+		var out []float64
+		if !hidden && dst != nil {
+			out = dst[:rows*l.Out]
+		} else {
+			if cap(s.act[li]) < rows*l.Out {
+				s.act[li] = make([]float64, rows*l.Out)
+			}
+			out = s.act[li][:rows*l.Out]
+		}
 		// Four rows share each pass over a weight row: the four dot
 		// products are independent accumulator chains, so the FP adder
 		// pipeline stays full instead of stalling on one serial chain, and

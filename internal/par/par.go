@@ -22,6 +22,85 @@ import (
 	"cardpi/internal/obs"
 )
 
+// batchWorkers is the process-wide worker count for the sharded batch
+// kernels (RunBlocks): 0 means "use runtime.GOMAXPROCS(0)". It is a single
+// atomic so the serve layer's -workers flag can configure every batch
+// kernel — model forward passes, conformal interval production, featurizer
+// loops — in one place.
+var batchWorkers atomic.Int64
+
+// SetBatchWorkers sets the worker count the sharded batch kernels
+// (RunBlocks) fan row blocks over. w <= 0 restores the default,
+// runtime.GOMAXPROCS(0); values above GOMAXPROCS are stored as given but
+// clamped at use (see RunBlocks). Results of every kernel built on
+// RunBlocks are bit-identical for any worker count; this knob trades
+// latency against CPU only. Safe for concurrent use (atomic store), though
+// callers normally set it once at startup.
+func SetBatchWorkers(w int) {
+	if w < 0 {
+		w = 0
+	}
+	batchWorkers.Store(int64(w))
+}
+
+// BatchWorkers returns the effective worker count for the sharded batch
+// kernels: the value set by SetBatchWorkers, or runtime.GOMAXPROCS(0) when
+// unset. Always >= 1.
+func BatchWorkers() int {
+	if w := int(batchWorkers.Load()); w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// BlockRange returns the half-open row range [lo, hi) of block b when n rows
+// are partitioned into blocks contiguous, balanced blocks (sizes differ by
+// at most one row, earlier blocks never smaller than later ones by more than
+// one). The partition depends only on (n, blocks), never on scheduling, so
+// block ownership is deterministic.
+func BlockRange(n, blocks, b int) (lo, hi int) {
+	return b * n / blocks, (b + 1) * n / blocks
+}
+
+// RunBlocks partitions [0, n) into contiguous row blocks and runs fn(lo, hi)
+// for each block on the batch worker pool (BatchWorkers). The block count is
+// min(BatchWorkers(), runtime.GOMAXPROCS(0), n/minBlock): the minBlock floor
+// keeps small batches from being shredded into sub-minBlock crumbs, and the
+// GOMAXPROCS clamp exists because these kernels are pure CPU — more workers
+// than schedulable threads cannot reduce wall-clock, only add scheduler
+// interleaving and cache pressure (measurably so on a 1-CPU box). With one
+// block (or n <= minBlock) fn runs inline on the caller's goroutine with
+// zero overhead. Blocks cover [0, n) exactly
+// once, so kernels whose fn writes only rows [lo, hi) of a shared output are
+// race-free and produce output independent of the worker count — the
+// row-block-ownership contract every batch kernel in this repository builds
+// on. All blocks always run; the returned error is that of the
+// lowest-indexed failing block, which — because fn implementations scan
+// their block in ascending row order and stop at the first failure — is the
+// error of the lowest failing row, matching the sequential contract.
+func RunBlocks(n, minBlock int, fn func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if minBlock < 1 {
+		minBlock = 1
+	}
+	w := BatchWorkers()
+	if p := runtime.GOMAXPROCS(0); w > p {
+		w = p
+	}
+	if maxBlocks := n / minBlock; w > maxBlocks {
+		w = maxBlocks
+	}
+	if w <= 1 {
+		return fn(0, n)
+	}
+	return NewPool(w).ForEach(w, func(b int) error {
+		lo, hi := BlockRange(n, w, b)
+		return fn(lo, hi)
+	})
+}
+
 // Pool telemetry, registered on the process-wide obs registry. Recording is
 // one atomic op per event, so the per-item cost is negligible next to the
 // work items themselves (interval production, fold training, labeling).

@@ -3,6 +3,7 @@ package par
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
 )
@@ -122,6 +123,114 @@ func TestSequentialDegenerateCases(t *testing.T) {
 	}
 	if NewPool(0).Workers() < 1 {
 		t.Fatal("default pool must have at least one worker")
+	}
+}
+
+func TestBlockRangeCoversExactlyOnce(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 1000, 1024} {
+		for _, blocks := range []int{1, 2, 3, 4, 7, 16} {
+			if blocks > n {
+				continue
+			}
+			next := 0
+			for b := 0; b < blocks; b++ {
+				lo, hi := BlockRange(n, blocks, b)
+				if lo != next {
+					t.Fatalf("n=%d blocks=%d block %d starts at %d, want %d", n, blocks, b, lo, next)
+				}
+				if hi <= lo {
+					t.Fatalf("n=%d blocks=%d block %d is empty [%d,%d)", n, blocks, b, lo, hi)
+				}
+				next = hi
+			}
+			if next != n {
+				t.Fatalf("n=%d blocks=%d covered %d rows", n, blocks, next)
+			}
+		}
+	}
+}
+
+func TestRunBlocksCoverageAndWorkerInvariance(t *testing.T) {
+	// Raise GOMAXPROCS so the sweep exercises real multi-goroutine fan-out
+	// even on a single-CPU box (RunBlocks clamps the block count to it).
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	defer SetBatchWorkers(0)
+	const n = 1000
+	for _, w := range []int{1, 2, 3, 4, 16} {
+		SetBatchWorkers(w)
+		hits := make([]atomic.Int64, n)
+		if err := RunBlocks(n, 8, func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				hits[i].Add(1)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("W=%d: row %d visited %d times, want exactly 1", w, i, got)
+			}
+		}
+	}
+}
+
+func TestRunBlocksMinBlockForcesInline(t *testing.T) {
+	defer SetBatchWorkers(0)
+	SetBatchWorkers(8)
+	calls := 0
+	// n < 2*minBlock ⇒ a single block, run inline on the caller.
+	if err := RunBlocks(100, 64, func(lo, hi int) error {
+		calls++
+		if lo != 0 || hi != 100 {
+			t.Fatalf("inline block = [%d,%d), want [0,100)", lo, hi)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("ran %d blocks, want 1", calls)
+	}
+	if err := RunBlocks(0, 1, func(int, int) error { return errors.New("never") }); err != nil {
+		t.Fatalf("n=0 must be a no-op, got %v", err)
+	}
+}
+
+func TestRunBlocksLowestBlockError(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	defer SetBatchWorkers(0)
+	SetBatchWorkers(4)
+	var ran atomic.Int64
+	err := RunBlocks(400, 1, func(lo, hi int) error {
+		ran.Add(int64(hi - lo))
+		// Blocks starting at 100 and 200 fail; block 100's error must win.
+		if lo == 100 || lo == 200 {
+			return fmt.Errorf("block at %d", lo)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "block at 100" {
+		t.Fatalf("want lowest-block error, got %v", err)
+	}
+	if got := ran.Load(); got != 400 {
+		t.Fatalf("ran %d rows, want all 400 despite errors", got)
+	}
+}
+
+func TestBatchWorkersDefaultAndClamp(t *testing.T) {
+	defer SetBatchWorkers(0)
+	SetBatchWorkers(-5)
+	if got := BatchWorkers(); got < 1 {
+		t.Fatalf("BatchWorkers() = %d after negative set, want >= 1", got)
+	}
+	SetBatchWorkers(3)
+	if got := BatchWorkers(); got != 3 {
+		t.Fatalf("BatchWorkers() = %d, want 3", got)
+	}
+	SetBatchWorkers(0)
+	if got := BatchWorkers(); got < 1 {
+		t.Fatalf("default BatchWorkers() = %d, want >= 1", got)
 	}
 }
 

@@ -235,6 +235,15 @@ func Featurizer(tab *dataset.Table) cardpi.FeatureFunc {
 	return func(q workload.Query) []float64 { return feat.Featurize(q) }
 }
 
+// AppendFeaturizer returns the allocation-free form of Featurizer for the
+// same table: values appended for a query are bit-identical to what
+// Featurizer produces, so the two can back one wrapper interchangeably (see
+// cardpi.AppendFeatureFunc).
+func AppendFeaturizer(tab *dataset.Table) cardpi.AppendFeatureFunc {
+	feat := estimator.NewFeaturizer(tab)
+	return func(q workload.Query, dst []float64) []float64 { return feat.AppendFeaturize(q, dst) }
+}
+
 // PredCountGroup is the Mondrian grouping of the single-table demo: queries
 // grouped by predicate count.
 func PredCountGroup(q workload.Query) string {
@@ -251,10 +260,20 @@ func BuildPI(cfg Config, m cardpi.Estimator, tab *dataset.Table, train, cal *wor
 		return cardpi.WrapSplitCP(m, cal, conformal.ResidualScore{}, cfg.Alpha)
 	case "lw-s-cp":
 		noteTraining("difficulty/gbm")
-		return cardpi.WrapLocallyWeighted(m, train, cal, ff, conformal.ResidualScore{}, cfg.Alpha,
+		lw, err := cardpi.WrapLocallyWeighted(m, train, cal, ff, conformal.ResidualScore{}, cfg.Alpha,
 			gbm.Config{NumTrees: 60, MaxDepth: 4, Seed: cfg.Seed + gbmSeedOff})
+		if err != nil {
+			return nil, err
+		}
+		lw.SetAppendFeatures(AppendFeaturizer(tab))
+		return lw, nil
 	case "lcp":
-		return cardpi.WrapLocalized(m, cal, ff, conformal.ResidualScore{}, cfg.Alpha, len(cal.Queries)/localizedKDiv)
+		lcp, err := cardpi.WrapLocalized(m, cal, ff, conformal.ResidualScore{}, cfg.Alpha, len(cal.Queries)/localizedKDiv)
+		if err != nil {
+			return nil, err
+		}
+		lcp.SetAppendFeatures(AppendFeaturizer(tab))
+		return lcp, nil
 	case "mondrian":
 		return cardpi.WrapMondrian(m, cal, PredCountGroup, conformal.ResidualScore{}, cfg.Alpha, mondrianMinGroup)
 	case "cqr":

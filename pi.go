@@ -156,6 +156,14 @@ func (s *SplitCP) Delta() float64 { return s.cp.Delta }
 // of locally weighted conformal prediction consumes.
 type FeatureFunc func(q workload.Query) []float64
 
+// AppendFeatureFunc is the allocation-free form of FeatureFunc: it appends
+// the query's feature values to dst and returns the extended slice, exactly
+// as append does. The appended values must be bit-identical to the
+// wrapper's FeatureFunc for the same query, and implementations must be
+// safe for concurrent calls — the batch path invokes them from multiple
+// row-block workers, each with its own destination block.
+type AppendFeatureFunc func(q workload.Query, dst []float64) []float64
+
 // LocallyWeighted wraps a model with locally weighted split conformal
 // prediction; difficulty U(X) is estimated by gradient-boosted trees fitted
 // to the model's absolute residuals on the training workload.
@@ -171,7 +179,18 @@ type LocallyWeighted struct {
 	// mean training residual, the usual stabilisation for normalised
 	// non-conformity scores.
 	beta float64
+	// appendFeats, when set, is the allocation-free featurizer the batch
+	// path uses instead of feats (see SetAppendFeatures).
+	appendFeats AppendFeatureFunc
 }
+
+// SetAppendFeatures installs the allocation-free featurizer IntervalBatch
+// uses to pack feature rows into one pooled flat block instead of
+// allocating a vector per query. af must append values bit-identical to the
+// wrapper's FeatureFunc and be safe for concurrent calls; nil restores the
+// per-query fallback. Call before serving batches — the setter itself is
+// not synchronised with concurrent IntervalBatch calls.
+func (l *LocallyWeighted) SetAppendFeatures(af AppendFeatureFunc) { l.appendFeats = af }
 
 // WrapLocallyWeighted fits the difficulty model on resWL (typically the
 // model's own training workload, per Algorithm 3) and calibrates on cal.
@@ -279,7 +298,18 @@ type Localized struct {
 	model Estimator
 	lcp   *conformal.Localized
 	feats FeatureFunc
+	// appendFeats, when set, is the allocation-free featurizer the batch
+	// path uses instead of feats (see SetAppendFeatures).
+	appendFeats AppendFeatureFunc
 }
+
+// SetAppendFeatures installs the allocation-free featurizer IntervalBatch
+// uses to pack feature rows into one pooled flat block instead of
+// allocating a vector per query. af must append values bit-identical to the
+// wrapper's FeatureFunc and be safe for concurrent calls; nil restores the
+// per-query fallback. Call before serving batches — the setter itself is
+// not synchronised with concurrent IntervalBatch calls.
+func (l *Localized) SetAppendFeatures(af AppendFeatureFunc) { l.appendFeats = af }
 
 // WrapLocalized calibrates localized conformal prediction with a
 // k-nearest-neighbour locality over the feature space.
@@ -330,7 +360,18 @@ type Weighted struct {
 	feats  FeatureFunc
 	nCal   float64
 	nShift float64
+	// appendFeats, when set, is the allocation-free featurizer the batch
+	// path uses instead of feats (see SetAppendFeatures).
+	appendFeats AppendFeatureFunc
 }
+
+// SetAppendFeatures installs the allocation-free featurizer IntervalBatch
+// uses to featurise each row-block into a per-worker reused buffer instead
+// of allocating a vector per query. af must append values bit-identical to
+// the wrapper's FeatureFunc and be safe for concurrent calls; nil restores
+// the per-query fallback. Call before serving batches — the setter itself
+// is not synchronised with concurrent IntervalBatch calls.
+func (w *Weighted) SetAppendFeatures(af AppendFeatureFunc) { w.appendFeats = af }
 
 // WrapWeighted fits the domain classifier on cal (label 0) vs shiftSample
 // (label 1, truths unused) and calibrates the weighted conformal predictor.

@@ -80,6 +80,29 @@ if [ "$BATCH_LINES" != "$SINGLE_LINES" ]; then
   exit 1
 fi
 
+echo "serve-smoke: JSON and binary wire formats agree element-wise"
+# The batch client normalises both formats to identical %.17g lines, so any
+# bit difference between the JSON and binary encodings of one result set
+# fails the diff. (Rolling-coverage telemetry is excluded by the client: it
+# advances with every observed query by design.)
+WIRE_JSON="$("$BIN" batch -addr "$ADDR" -format json "state = 3" "model_year BETWEEN 40 AND 90")"
+WIRE_BIN="$("$BIN" batch -addr "$ADDR" -format binary "state = 3" "model_year BETWEEN 40 AND 90")"
+if [ -z "$WIRE_JSON" ] || [ "$WIRE_JSON" != "$WIRE_BIN" ]; then
+  echo "serve-smoke: wire formats disagree" >&2
+  printf 'json:\n%s\nbinary:\n%s\n' "$WIRE_JSON" "$WIRE_BIN" >&2
+  exit 1
+fi
+
+echo "serve-smoke: malformed binary frame must 400 with invalid_wire"
+BAD_WIRE_CODE="$(printf 'XXXXgarbage' | curl -s -o /dev/null -w '%{http_code}' -X POST \
+  -H 'Content-Type: application/x-cardpi-batch' --data-binary @- "http://$ADDR/estimate/batch")"
+if [ "$BAD_WIRE_CODE" != "400" ]; then
+  echo "serve-smoke: malformed binary batch returned $BAD_WIRE_CODE, want 400" >&2
+  exit 1
+fi
+printf 'XXXXgarbage' | curl -s -X POST -H 'Content-Type: application/x-cardpi-batch' \
+  --data-binary @- "http://$ADDR/estimate/batch" | grep -q 'invalid_wire'
+
 echo "serve-smoke: malformed batch element must 400 and name the element"
 BAD_BATCH_CODE="$(curl -s -o /dev/null -w '%{http_code}' -X POST \
   -d '{"queries": ["state = 3", "definitely not sql"]}' "http://$ADDR/estimate/batch")"
@@ -107,11 +130,18 @@ for family in cardpi_pi_calls_total cardpi_pi_latency_seconds \
   cardpi_serve_requests_total cardpi_serve_shed_total \
   cardpi_serve_inflight cardpi_serve_request_seconds \
   cardpi_serve_batch_requests_total cardpi_serve_batch_size \
-  cardpi_serve_batch_request_seconds \
+  cardpi_serve_batch_request_seconds cardpi_serve_batch_wire_total \
   cardpi_resilient_calls_total cardpi_resilient_served_total \
   cardpi_resilient_breaker_state; do
   if ! printf '%s\n' "$METRICS" | grep -q "^$family"; then
     echo "serve-smoke: missing metric family $family" >&2
+    exit 1
+  fi
+done
+# Both wire formats were exercised above, so both labelled series must exist.
+for label in 'wire_format="json"' 'wire_format="binary"'; do
+  if ! printf '%s\n' "$METRICS" | grep -q "^cardpi_serve_batch_wire_total{$label}"; then
+    echo "serve-smoke: missing cardpi_serve_batch_wire_total{$label} series" >&2
     exit 1
   fi
 done
@@ -148,7 +178,10 @@ if [ "$IV_TRAINED" != "$IV_ARTIFACT" ]; then
 fi
 
 echo "serve-smoke: artifact provenance gauge on /metrics"
-curl -fsS "http://$ART_ADDR/metrics" | grep -q '^cardpi_serve_artifact_info{model="histogram",method="s-cp",dataset="dmv"'
+# Capture before grepping: `curl | grep -q` races grep's early exit against
+# curl's remaining body writes (SIGPIPE → exit 23 under pipefail).
+ART_METRICS="$(curl -fsS "http://$ART_ADDR/metrics")"
+printf '%s\n' "$ART_METRICS" | grep -q '^cardpi_serve_artifact_info{model="histogram",method="s-cp",dataset="dmv"'
 
 kill -INT "$SERVE_PID" "$ART_PID"
 wait "$SERVE_PID" "$ART_PID"
