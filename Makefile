@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json experiments experiments-small fmt vet cover clean serve serve-smoke train-demo
+.PHONY: all build test race bench bench-json experiments experiments-small fmt vet cover clean serve serve-smoke train-demo registry-demo
 
 all: build test
 
@@ -51,9 +51,17 @@ train-demo:
 	$(GO) run ./cmd/cardpi inspect model.cpi
 
 # Boot `cardpi serve` on a small dataset, curl /estimate and /metrics once,
-# and assert a 200 plus the documented cardpi_ metric families.
+# and assert a 200 plus the documented cardpi_ metric families; then run the
+# artifact and multi-tenant registry round trips headlessly.
 serve-smoke:
 	bash scripts/serve-smoke.sh
+
+# Narrated multi-tenant registry walkthrough: the OPERATIONS.md worked
+# session (two tenants, register → promote → routed queries →
+# interval-equality check → v2 rollout → rollback), printing every server
+# response along the way.
+registry-demo:
+	bash scripts/registry-demo.sh
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,447 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cardpi/internal/obs"
+	"cardpi/internal/pipeline"
+)
+
+// trainArtifactSeed trains a census/histogram/s-cp artifact with the given
+// seed into a temp file. Different seeds produce different tables and
+// calibration workloads, so their intervals diverge — the lever the smoke
+// mismatch tests use.
+func trainArtifactSeed(t *testing.T, seed int) string {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), fmt.Sprintf("model-seed%d.cpi", seed))
+	err := runTrain([]string{
+		"-dataset", "census", "-rows", "2000", "-queries", "300",
+		"-model", "histogram", "-method", "s-cp", "-seed", fmt.Sprint(seed), "-out", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// adminPost sends a JSON admin request and decodes the response body.
+func adminPost(t *testing.T, tsURL, path string, body map[string]any) (int, []byte) {
+	t.Helper()
+	payload, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(tsURL+path, "application/json", strings.NewReader(string(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// mustStatus fails unless the admin call returned the wanted status and,
+// for errors, the wanted machine-readable code.
+func mustStatus(t *testing.T, status int, body []byte, wantStatus int, wantCode string) {
+	t.Helper()
+	if status != wantStatus {
+		t.Fatalf("status = %d, want %d (body: %s)", status, wantStatus, body)
+	}
+	if wantCode != "" {
+		var eb errorBody
+		if err := json.Unmarshal(body, &eb); err != nil {
+			t.Fatalf("error body is not structured JSON: %v (%s)", err, body)
+		}
+		if eb.Error.Code != wantCode {
+			t.Fatalf("error code = %q, want %q (message: %s)", eb.Error.Code, wantCode, eb.Error.Message)
+		}
+	}
+}
+
+// metricValue scrapes one series from the registry's Prometheus rendering.
+// series is the exact exposition-format series name including any label
+// set, e.g. `cardpi_registry_faults_total` or
+// `cardpi_registry_smoke_failures_total{reason="mismatch"}`.
+func metricValue(t *testing.T, reg *obs.Registry, series string) float64 {
+	t.Helper()
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		rest, ok := strings.CutPrefix(line, series+" ")
+		if !ok {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(rest, "%g", &v); err != nil {
+			t.Fatalf("parse metric line %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("series %q not found in:\n%s", series, buf.String())
+	return 0
+}
+
+// getEstimate fetches /estimate with optional tenant/table routing.
+func getEstimate(t *testing.T, tsURL, q, tenant, table string) (int, estimateResponse, []byte) {
+	t.Helper()
+	v := url.Values{}
+	v.Set("q", q)
+	if tenant != "" {
+		v.Set("tenant", tenant)
+	}
+	if table != "" {
+		v.Set("table", table)
+	}
+	resp, err := http.Get(tsURL + "/estimate?" + v.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var er estimateResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, &er); err != nil {
+			t.Fatalf("decode estimate: %v (%s)", err, body)
+		}
+	}
+	return resp.StatusCode, er, body
+}
+
+// TestTenantRoutingBitIdentity registers an artifact under a tenant and
+// checks the routed answers are bit-identical to a single-bundle server
+// loaded from the same artifact — routing must not perturb the numbers.
+func TestTenantRoutingBitIdentity(t *testing.T) {
+	art := trainArtifactSeed(t, 1)
+
+	// Reference: the artifact served in single-bundle mode.
+	refSetup, man, err := loadArtifactSetup(art, pipeline.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refTS, _, _ := startServer(t, refSetup, serveOpts{alpha: man.Alpha, seed: man.Seed})
+
+	// Registry: a default dmv server with the census artifact registered
+	// under acme/census.
+	ts, _, _ := startServer(t, smallSetup(t), serveOpts{})
+	st, body := adminPost(t, ts.URL, "/admin/register",
+		map[string]any{"tenant": "acme", "table": "census", "artifact": art})
+	mustStatus(t, st, body, http.StatusOK, "")
+	st, body = adminPost(t, ts.URL, "/admin/promote",
+		map[string]any{"tenant": "acme", "table": "census"})
+	mustStatus(t, st, body, http.StatusOK, "")
+
+	for _, q := range []string{"age = 3", "age >= 5", "age <= 9"} {
+		stA, refResp, _ := getEstimate(t, refTS.URL, q, "", "")
+		stB, routed, _ := getEstimate(t, ts.URL, q, "acme", "census")
+		if stA != http.StatusOK || stB != http.StatusOK {
+			t.Fatalf("%q: statuses %d/%d, want 200/200", q, stA, stB)
+		}
+		if routed.Bundle != "acme/census@v1" {
+			t.Fatalf("%q: bundle = %q, want acme/census@v1", q, routed.Bundle)
+		}
+		if refResp.Bundle != "" {
+			t.Fatalf("unrouted reply carries bundle %q", refResp.Bundle)
+		}
+		if math.Float64bits(routed.LoSel) != math.Float64bits(refResp.LoSel) ||
+			math.Float64bits(routed.HiSel) != math.Float64bits(refResp.HiSel) ||
+			math.Float64bits(routed.EstSel) != math.Float64bits(refResp.EstSel) ||
+			routed.TrueRows != refResp.TrueRows {
+			t.Fatalf("%q: routed answer diverges from single-bundle server:\nrouted: %+v\nref:    %+v",
+				q, routed, refResp)
+		}
+		if routed.Degraded || routed.ServedBy != "primary" {
+			t.Fatalf("%q: routed reply degraded (%v, served_by %q)", q, routed.Degraded, routed.ServedBy)
+		}
+	}
+}
+
+// TestTenantRoutingErrors covers the routed 400/404 taxonomy on both the
+// single and batch endpoints.
+func TestTenantRoutingErrors(t *testing.T) {
+	art := trainArtifactSeed(t, 1)
+	ts, _, _ := startServer(t, smallSetup(t), serveOpts{})
+
+	// tenant without table (and vice versa) → 400.
+	for _, pair := range [][2]string{{"acme", ""}, {"", "census"}} {
+		st, _, body := getEstimate(t, ts.URL, "age = 3", pair[0], pair[1])
+		mustStatus(t, st, body, http.StatusBadRequest, "missing_tenant_table")
+	}
+
+	// Unknown key → 404.
+	st, _, body := getEstimate(t, ts.URL, "age = 3", "ghost", "census")
+	mustStatus(t, st, body, http.StatusNotFound, "unknown_bundle")
+
+	// Registered but never promoted → 404, not a fault.
+	st2, b2 := adminPost(t, ts.URL, "/admin/register",
+		map[string]any{"tenant": "acme", "table": "census", "artifact": art})
+	mustStatus(t, st2, b2, http.StatusOK, "")
+	st, _, body = getEstimate(t, ts.URL, "age = 3", "acme", "census")
+	mustStatus(t, st, body, http.StatusNotFound, "unknown_bundle")
+
+	// Batch endpoint shares the routing: unknown key → 404 too.
+	payload, _ := json.Marshal(batchRequest{Queries: []string{"age = 3"}})
+	resp, err := http.Post(ts.URL+"/estimate/batch?tenant=ghost&table=census",
+		"application/json", strings.NewReader(string(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	bb, _ := io.ReadAll(resp.Body)
+	mustStatus(t, resp.StatusCode, bb, http.StatusNotFound, "unknown_bundle")
+}
+
+// TestAdminLifecycleHTTP drives register → promote → re-register → promote
+// → rollback → rollback over HTTP and checks the registry snapshot tracks
+// every transition.
+func TestAdminLifecycleHTTP(t *testing.T) {
+	art := trainArtifactSeed(t, 1)
+	ts, _, _ := startServer(t, smallSetup(t), serveOpts{})
+
+	st, body := adminPost(t, ts.URL, "/admin/register",
+		map[string]any{"tenant": "acme", "table": "census", "artifact": art})
+	mustStatus(t, st, body, http.StatusOK, "")
+	var reg1 adminRegisterResponse
+	if err := json.Unmarshal(body, &reg1); err != nil {
+		t.Fatal(err)
+	}
+	if reg1.Version != 1 || reg1.Model != "histogram" || reg1.Method != "s-cp" || reg1.SizeBytes <= 0 {
+		t.Fatalf("register response %+v", reg1)
+	}
+
+	// Rollback before any promote → 404 (nothing serving yet is not a
+	// conflict, the key is simply not promoted — but rollback's missing
+	// *previous* is the 409; with no active either, previous is nil → 409).
+	st, body = adminPost(t, ts.URL, "/admin/rollback",
+		map[string]any{"tenant": "acme", "table": "census"})
+	mustStatus(t, st, body, http.StatusConflict, "no_previous")
+
+	st, body = adminPost(t, ts.URL, "/admin/promote",
+		map[string]any{"tenant": "acme", "table": "census"})
+	mustStatus(t, st, body, http.StatusOK, "")
+	var sw adminSwitchResponse
+	if err := json.Unmarshal(body, &sw); err != nil {
+		t.Fatal(err)
+	}
+	if sw.ActiveVersion != 1 || sw.PreviousVersion != 0 {
+		t.Fatalf("promote v1 response %+v", sw)
+	}
+
+	// Same artifact as v2: the smoke check trivially passes.
+	st, body = adminPost(t, ts.URL, "/admin/register",
+		map[string]any{"tenant": "acme", "table": "census", "artifact": art})
+	mustStatus(t, st, body, http.StatusOK, "")
+	st, body = adminPost(t, ts.URL, "/admin/promote",
+		map[string]any{"tenant": "acme", "table": "census", "version": 2})
+	mustStatus(t, st, body, http.StatusOK, "")
+	if err := json.Unmarshal(body, &sw); err != nil {
+		t.Fatal(err)
+	}
+	if sw.ActiveVersion != 2 || sw.PreviousVersion != 1 {
+		t.Fatalf("promote v2 response %+v", sw)
+	}
+
+	// Unknown version → 404.
+	st, body = adminPost(t, ts.URL, "/admin/promote",
+		map[string]any{"tenant": "acme", "table": "census", "version": 9})
+	mustStatus(t, st, body, http.StatusNotFound, "unknown_version")
+
+	// Rollback to v1; a second rollback returns to v2.
+	st, body = adminPost(t, ts.URL, "/admin/rollback",
+		map[string]any{"tenant": "acme", "table": "census"})
+	mustStatus(t, st, body, http.StatusOK, "")
+	if err := json.Unmarshal(body, &sw); err != nil {
+		t.Fatal(err)
+	}
+	if sw.ActiveVersion != 1 || sw.PreviousVersion != 2 {
+		t.Fatalf("rollback response %+v", sw)
+	}
+	if st, _, _ := getEstimate(t, ts.URL, "age = 3", "acme", "census"); st != http.StatusOK {
+		t.Fatalf("estimate after rollback: status %d", st)
+	}
+	st, body = adminPost(t, ts.URL, "/admin/rollback",
+		map[string]any{"tenant": "acme", "table": "census"})
+	mustStatus(t, st, body, http.StatusOK, "")
+
+	// Unknown key on every mutation → 404.
+	for _, path := range []string{"/admin/promote", "/admin/rollback", "/admin/evict"} {
+		st, body = adminPost(t, ts.URL, path, map[string]any{"tenant": "ghost", "table": "census"})
+		mustStatus(t, st, body, http.StatusNotFound, "unknown_key")
+	}
+
+	// Unknown JSON fields fail loudly (a typo'd "forse" must not silently
+	// skip the smoke check).
+	st, body = adminPost(t, ts.URL, "/admin/promote",
+		map[string]any{"tenant": "acme", "table": "census", "forse": true})
+	mustStatus(t, st, body, http.StatusBadRequest, "invalid_json")
+
+	// The snapshot reflects the final state.
+	resp, err := http.Get(ts.URL + "/admin/registry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap adminRegistryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Entries) != 1 {
+		t.Fatalf("registry has %d entries, want 1", len(snap.Entries))
+	}
+	e := snap.Entries[0]
+	if e.Tenant != "acme" || e.Table != "census" || e.ActiveVersion != 2 ||
+		e.PreviousVersion != 1 || len(e.Versions) != 2 {
+		t.Fatalf("snapshot entry %+v", e)
+	}
+}
+
+// TestAdminPromoteSmokeMismatchHTTP promotes a genuinely different bundle
+// and expects the 409 smoke_mismatch refusal; force overrides it.
+func TestAdminPromoteSmokeMismatchHTTP(t *testing.T) {
+	art1 := trainArtifactSeed(t, 1)
+	art2 := trainArtifactSeed(t, 2)
+	ts, _, reg := startServer(t, smallSetup(t), serveOpts{})
+
+	for _, a := range []string{art1, art2} {
+		st, body := adminPost(t, ts.URL, "/admin/register",
+			map[string]any{"tenant": "acme", "table": "census", "artifact": a})
+		mustStatus(t, st, body, http.StatusOK, "")
+	}
+	st, body := adminPost(t, ts.URL, "/admin/promote",
+		map[string]any{"tenant": "acme", "table": "census", "version": 1})
+	mustStatus(t, st, body, http.StatusOK, "")
+
+	st, body = adminPost(t, ts.URL, "/admin/promote",
+		map[string]any{"tenant": "acme", "table": "census", "version": 2})
+	mustStatus(t, st, body, http.StatusConflict, "smoke_mismatch")
+
+	// The refused promote changed nothing: v1 still answers.
+	if st, er, _ := getEstimate(t, ts.URL, "age = 3", "acme", "census"); st != http.StatusOK || er.Bundle != "acme/census@v1" {
+		t.Fatalf("after refused promote: status %d bundle %q", st, er.Bundle)
+	}
+	if got := metricValue(t, reg, `cardpi_registry_smoke_failures_total{reason="mismatch"}`); got != 1 {
+		t.Fatalf("smoke mismatch counter = %v, want 1", got)
+	}
+
+	// Force promotes the intentionally different bundle.
+	st, body = adminPost(t, ts.URL, "/admin/promote",
+		map[string]any{"tenant": "acme", "table": "census", "version": 2, "force": true})
+	mustStatus(t, st, body, http.StatusOK, "")
+	if st, er, _ := getEstimate(t, ts.URL, "age = 3", "acme", "census"); st != http.StatusOK || er.Bundle != "acme/census@v2" {
+		t.Fatalf("after forced promote: status %d bundle %q", st, er.Bundle)
+	}
+}
+
+// TestAdminRegisterBadArtifact covers the register 400s: missing file,
+// not an artifact, missing fields.
+func TestAdminRegisterBadArtifact(t *testing.T) {
+	ts, _, _ := startServer(t, smallSetup(t), serveOpts{})
+
+	st, body := adminPost(t, ts.URL, "/admin/register",
+		map[string]any{"tenant": "acme", "table": "census", "artifact": "/no/such/file.cpi"})
+	mustStatus(t, st, body, http.StatusBadRequest, "bad_artifact")
+
+	junk := filepath.Join(t.TempDir(), "junk.cpi")
+	if err := os.WriteFile(junk, []byte("not an artifact at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, body = adminPost(t, ts.URL, "/admin/register",
+		map[string]any{"tenant": "acme", "table": "census", "artifact": junk})
+	mustStatus(t, st, body, http.StatusBadRequest, "bad_artifact")
+
+	st, body = adminPost(t, ts.URL, "/admin/register",
+		map[string]any{"tenant": "acme", "table": "census"})
+	mustStatus(t, st, body, http.StatusBadRequest, "missing_artifact")
+
+	st, body = adminPost(t, ts.URL, "/admin/register",
+		map[string]any{"tenant": "", "table": "census", "artifact": junk})
+	mustStatus(t, st, body, http.StatusBadRequest, "missing_tenant_table")
+}
+
+// TestRegistryFaultDegradesToDefault deletes a promoted artifact out from
+// under the registry: after eviction the cold load fails, and the routed
+// request must degrade to the default bundle with 200 — never a 5xx.
+func TestRegistryFaultDegradesToDefault(t *testing.T) {
+	// Copy the artifact out of TempDir semantics we control: train, then
+	// register a copy we can delete.
+	src := trainArtifactSeed(t, 1)
+	dir := t.TempDir()
+	art := filepath.Join(dir, "doomed.cpi")
+	raw, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(art, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The default unit must share the routed bundle's schema for the
+	// degraded answer to parse the same queries, so serve the same artifact
+	// in single-bundle mode as the default.
+	defSetup, man, err := loadArtifactSetup(src, pipeline.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, _, reg := startServer(t, defSetup, serveOpts{alpha: man.Alpha, seed: man.Seed})
+	st, body := adminPost(t, ts.URL, "/admin/register",
+		map[string]any{"tenant": "acme", "table": "census", "artifact": art})
+	mustStatus(t, st, body, http.StatusOK, "")
+	st, body = adminPost(t, ts.URL, "/admin/promote",
+		map[string]any{"tenant": "acme", "table": "census"})
+	mustStatus(t, st, body, http.StatusOK, "")
+
+	// Healthy first: the routed bundle answers.
+	if st, er, _ := getEstimate(t, ts.URL, "age = 3", "acme", "census"); st != http.StatusOK || er.Bundle != "acme/census@v1" {
+		t.Fatalf("pre-fault: status %d bundle %q", st, er.Bundle)
+	}
+
+	// Evict the cached load and delete the file: the next request's cold
+	// load faults.
+	st, body = adminPost(t, ts.URL, "/admin/evict",
+		map[string]any{"tenant": "acme", "table": "census"})
+	mustStatus(t, st, body, http.StatusOK, "")
+	var ev adminEvictResponse
+	if err := json.Unmarshal(body, &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Dropped < 1 {
+		t.Fatalf("evict dropped %d loads, want >= 1", ev.Dropped)
+	}
+	if err := os.Remove(art); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, er, _ := getEstimate(t, ts.URL, "age = 3", "acme", "census")
+	if st2 != http.StatusOK {
+		t.Fatalf("post-fault status = %d, want 200 (degraded, not 5xx)", st2)
+	}
+	if er.Bundle != "fallback:default" || !er.Degraded {
+		t.Fatalf("post-fault reply bundle=%q degraded=%v, want fallback:default/true", er.Bundle, er.Degraded)
+	}
+	if got := metricValue(t, reg, "cardpi_registry_faults_total"); got != 1 {
+		t.Fatalf("faults counter = %v, want 1", got)
+	}
+
+	// forget=true removes the key entirely: subsequent requests are 404s.
+	st, body = adminPost(t, ts.URL, "/admin/evict",
+		map[string]any{"tenant": "acme", "table": "census", "forget": true})
+	mustStatus(t, st, body, http.StatusOK, "")
+	st3, _, body3 := getEstimate(t, ts.URL, "age = 3", "acme", "census")
+	mustStatus(t, st3, body3, http.StatusNotFound, "unknown_bundle")
+}

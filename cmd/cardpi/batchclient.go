@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	neturl "net/url"
 	"os"
 	"strings"
 
@@ -27,6 +28,8 @@ func runBatch(args []string) error {
 	var (
 		addr   = fs.String("addr", "127.0.0.1:8080", "server address (host:port) running `cardpi serve`")
 		format = fs.String("format", "json", "wire format for request and response: json | binary")
+		tenant = fs.String("tenant", "", "route the batch to a registry bundle: tenant name (requires -table)")
+		table  = fs.String("table", "", "route the batch to a registry bundle: table name (requires -tenant)")
 	)
 	fs.Usage = func() {
 		out := fs.Output()
@@ -40,7 +43,13 @@ func runBatch(args []string) error {
 	if len(queries) == 0 {
 		return fmt.Errorf("no queries given (pass one predicate per argument)")
 	}
+	if (*tenant == "") != (*table == "") {
+		return fmt.Errorf("-tenant and -table must be given together")
+	}
 	url := "http://" + *addr + "/estimate/batch"
+	if *tenant != "" {
+		url += "?tenant=" + neturl.QueryEscape(*tenant) + "&table=" + neturl.QueryEscape(*table)
+	}
 	switch strings.ToLower(*format) {
 	case "json":
 		return batchJSON(url, queries)

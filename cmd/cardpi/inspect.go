@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 
 	"cardpi/internal/pipeline"
 )
@@ -33,16 +35,66 @@ func runInspect(args []string) error {
 		return err
 	}
 	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
 	man, err := pipeline.ReadManifest(f)
 	if err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
+	// ReadManifest consumed exactly the header plus the manifest frame, so
+	// the current file position is where the payload sections start — the
+	// base the manifest's relative layout spans resolve against.
+	dataStart, err := f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return err
+	}
 	if *asJSON {
+		rep := inspectReport{Path: path, SizeBytes: st.Size(), Manifest: man}
+		for name, span := range man.Layout {
+			rep.Sections = append(rep.Sections, inspectSection{
+				Name:   name,
+				Offset: dataStart + span.Offset,
+				Length: span.Length,
+				CRC32:  man.Sections[name],
+			})
+		}
+		sort.Slice(rep.Sections, func(i, j int) bool { return rep.Sections[i].Offset < rep.Sections[j].Offset })
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(man)
+		return enc.Encode(rep)
 	}
-	fmt.Printf("%s: cardpi artifact\n", path)
-	printManifest(os.Stdout, man)
+	fmt.Printf("%s: cardpi artifact (%d bytes)\n", path, st.Size())
+	printManifest(os.Stdout, man, dataStart)
 	return nil
+}
+
+// inspectReport is the `inspect -json` output: the manifest plus what only
+// the file itself can tell you — its on-disk size and the file-absolute
+// position of every payload section (the manifest's layout spans are
+// relative to the end of the manifest frame; see pipeline.SectionSpan).
+type inspectReport struct {
+	// Path is the artifact file inspected.
+	Path string `json:"path"`
+	// SizeBytes is the artifact's total on-disk size in bytes.
+	SizeBytes int64 `json:"size_bytes"`
+	// Sections lists every payload section with file-absolute byte
+	// offsets, sorted by offset. Empty for artifacts written before the
+	// manifest recorded layout spans.
+	Sections []inspectSection `json:"sections,omitempty"`
+	// Manifest is the decoded provenance manifest, verbatim.
+	Manifest *pipeline.Manifest `json:"manifest"`
+}
+
+// inspectSection is one row of inspectReport.Sections.
+type inspectSection struct {
+	// Name is the section name (model, calibration, ...).
+	Name string `json:"name"`
+	// Offset is the payload's file-absolute byte offset.
+	Offset int64 `json:"offset"`
+	// Length is the payload length in bytes, excluding framing.
+	Length int64 `json:"length"`
+	// CRC32 is the payload's CRC-32 (hex) from the manifest.
+	CRC32 string `json:"crc32"`
 }

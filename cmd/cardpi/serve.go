@@ -28,6 +28,7 @@ import (
 	"cardpi/internal/obs"
 	"cardpi/internal/par"
 	"cardpi/internal/pipeline"
+	"cardpi/internal/registry"
 	"cardpi/internal/workload"
 )
 
@@ -91,6 +92,9 @@ func runServe(args []string) error {
 		workers     = fs.Int("workers", 0, "worker count for the sharded batch kernels (row-block IntervalBatch); 0 = GOMAXPROCS")
 		brFailures  = fs.Int("breaker-failures", 5, "consecutive primary-PI failures that trip the circuit breaker open")
 		brOpen      = fs.Duration("breaker-open", 5*time.Second, "how long an open breaker rejects the primary before probing it again")
+
+		regCache   = fs.Int("registry-cache", registry.DefaultCacheSize, "loaded-bundle LRU capacity of the multi-tenant registry (see OPERATIONS.md)")
+		smokeCount = fs.Int("smoke-queries", registry.DefaultSmokeQueries, "calibration queries the /admin/promote bit-identity smoke check compares")
 	)
 	fs.Usage = func() {
 		out := fs.Output()
@@ -161,6 +165,7 @@ func runServe(args []string) error {
 		timeout: *timeout, maxInflight: *maxInflight, maxQueue: *maxQueue,
 		maxBatch:        *maxBatch,
 		breakerFailures: *brFailures, breakerOpen: *brOpen,
+		registryCache: *regCache, smokeQueries: *smokeCount,
 		metrics: obs.Default(),
 		source:  src,
 	})
@@ -266,23 +271,97 @@ type serveOpts struct {
 	maxBatch        int
 	breakerFailures int
 	breakerOpen     time.Duration
-	metrics         *obs.Registry
+	// registryCache bounds the multi-tenant registry's loaded-bundle LRU;
+	// 0 takes registry.DefaultCacheSize.
+	registryCache int
+	// smokeQueries is the default promote smoke-check depth; 0 takes
+	// registry.DefaultSmokeQueries.
+	smokeQueries int
+	metrics      *obs.Registry
 	// source records the model's provenance; nil means trained in-process
 	// (tests that assemble a Setup by hand take this default).
 	source *modelSource
 }
 
-// server holds the serving state: the resilient PI chain answering requests,
-// the adaptive monitor fed by every answered query, and the admission
-// control that bounds concurrency.
-type server struct {
+// servingUnit is one complete serving chain — table, estimator, resilient
+// PI, adaptive drift monitor — for one bundle. The default unit (built at
+// startup from -artifact or in-process training) answers unrouted requests;
+// registry-routed requests each resolve their own unit. A unit is immutable
+// after construction and safe for concurrent use, so a promote swaps whole
+// units atomically and in-flight requests keep the one they resolved.
+type servingUnit struct {
 	tab       *dataset.Table
 	model     cardpi.Estimator
 	resilient *cardpi.Resilient
 	adaptive  *cardpi.Adaptive
-	timeout   time.Duration
-	maxBatch  int
-	health    healthResponse
+}
+
+// unitOpts configures newServingUnit — the per-bundle subset of serveOpts.
+type unitOpts struct {
+	alpha           float64
+	window          int
+	seed            int64
+	breakerFailures int
+	breakerOpen     time.Duration
+	metrics         *obs.Registry
+}
+
+// newServingUnit assembles the fault-tolerant chain for one bundle:
+//
+//	Resilient( Instrument(primary), fallback: histogram split-CP, failsafe: [0,1] )
+//
+// The primary keeps its Instrumented wrapper so the cardpi_pi_* families
+// stay live; the fallback is a split-CP interval around a plain histogram
+// estimator calibrated at alpha/2 — cheap, allocation-light, and with no
+// failure modes of its own — so a sick primary degrades to wider intervals
+// rather than errors. The adaptive drift monitor is seeded with the
+// calibration workload — for artifact- and registry-loaded bundles that is
+// the bundled calibration workload, so the monitor starts from the exact
+// state the training run froze.
+//
+// Registry-built units pass a private metrics registry: the obs families
+// are keyed by name+labels, so two tenants' units exporting into one
+// registry would collide (last GaugeFunc wins); per-tenant visibility comes
+// from the cardpi_registry_* counters instead.
+func newServingUnit(s *pipeline.Setup, o unitOpts) (*servingUnit, error) {
+	if o.metrics == nil {
+		o.metrics = obs.NewRegistry()
+	}
+	adaptive, err := cardpi.NewAdaptive(s.Model, s.Cal, conformal.ResidualScore{}, cardpi.AdaptiveConfig{
+		Alpha:   o.alpha,
+		Window:  o.window,
+		Seed:    o.seed + 100,
+		Metrics: o.metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fbModel := histogram.NewSingle(s.Table, histogram.Config{})
+	fallback, err := cardpi.WrapSplitCP(fbModel, s.Cal, conformal.ResidualScore{}, o.alpha/2)
+	if err != nil {
+		return nil, err
+	}
+	resilient, err := cardpi.NewResilient(cardpi.Instrument(s.PI, o.metrics), cardpi.ResilientConfig{
+		Fallbacks:        []cardpi.PI{fallback},
+		FailureThreshold: o.breakerFailures,
+		OpenFor:          o.breakerOpen,
+		Metrics:          o.metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &servingUnit{tab: s.Table, model: s.Model, resilient: resilient, adaptive: adaptive}, nil
+}
+
+// server holds the serving state: the default serving unit answering
+// unrouted requests, the multi-tenant registry resolving ?tenant=&table=
+// routed ones, and the admission control that bounds concurrency.
+type server struct {
+	def      *servingUnit
+	reg      *registry.Registry[*servingUnit]
+	timeout  time.Duration
+	maxBatch int
+	health   healthResponse
 
 	// Admission control: sem holds the execution slots; waiters counts
 	// requests queued for a slot, bounded by maxQueue.
@@ -328,19 +407,10 @@ type serveScratch struct {
 // powers of two up to the default -max-batch cap.
 var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 
-// newServer assembles the fault-tolerant serving chain around the
-// calibrated PI:
-//
-//	Resilient( Instrument(primary), fallback: histogram split-CP, failsafe: [0,1] )
-//
-// The primary keeps its Instrumented wrapper so the cardpi_pi_* families
-// stay live; the fallback is a split-CP interval around a plain histogram
-// estimator calibrated at alpha/2 — cheap, allocation-light, and with no
-// failure modes of its own — so a sick primary degrades to wider intervals
-// rather than errors. The adaptive drift monitor is seeded with the
-// calibration workload — when the setup came from an artifact, that is the
-// bundled calibration workload, so the monitor starts from the exact state
-// the training run froze.
+// newServer assembles the serving state: the default serving unit (see
+// newServingUnit for the fault-tolerant chain), the multi-tenant registry
+// whose bundles are built into further units on demand, and the admission
+// control plus metric instruments shared by every route.
 func newServer(s *pipeline.Setup, o serveOpts) (*server, error) {
 	if o.metrics == nil {
 		o.metrics = obs.Default()
@@ -357,39 +427,39 @@ func newServer(s *pipeline.Setup, o serveOpts) (*server, error) {
 	if o.source == nil {
 		o.source = &modelSource{origin: "trained", model: s.Model.Name(), method: s.PI.Name()}
 	}
-	adaptive, err := cardpi.NewAdaptive(s.Model, s.Cal, conformal.ResidualScore{}, cardpi.AdaptiveConfig{
-		Alpha:   o.alpha,
-		Window:  o.window,
-		Seed:    o.seed + 100,
-		Metrics: o.metrics,
+	def, err := newServingUnit(s, unitOpts{
+		alpha: o.alpha, window: o.window, seed: o.seed,
+		breakerFailures: o.breakerFailures, breakerOpen: o.breakerOpen,
+		metrics: o.metrics,
 	})
 	if err != nil {
 		return nil, err
 	}
-	fbModel := histogram.NewSingle(s.Table, histogram.Config{})
-	fallback, err := cardpi.WrapSplitCP(fbModel, s.Cal, conformal.ResidualScore{}, o.alpha/2)
-	if err != nil {
-		return nil, err
+	// Registry-loaded bundles freeze their own alpha/seed in the manifest;
+	// the per-server knobs (window, breaker tuning) apply uniformly.
+	unitBase := unitOpts{
+		window:          o.window,
+		breakerFailures: o.breakerFailures,
+		breakerOpen:     o.breakerOpen,
 	}
-	resilient, err := cardpi.NewResilient(cardpi.Instrument(s.PI, o.metrics), cardpi.ResilientConfig{
-		Fallbacks:        []cardpi.PI{fallback},
-		FailureThreshold: o.breakerFailures,
-		OpenFor:          o.breakerOpen,
-		Metrics:          o.metrics,
+	reg := registry.New(func(_ registry.Key, ref *registry.BundleRef, rs *pipeline.Setup) (*servingUnit, error) {
+		uo := unitBase
+		uo.alpha = ref.Manifest.Alpha
+		uo.seed = ref.Manifest.Seed
+		return newServingUnit(rs, uo) // nil metrics → private registry per unit
+	}, registry.Options{
+		CacheSize:    o.registryCache,
+		SmokeQueries: o.smokeQueries,
+		Metrics:      o.metrics,
 	})
-	if err != nil {
-		return nil, err
-	}
 	srv := &server{
-		tab:       s.Table,
-		model:     s.Model,
-		resilient: resilient,
-		adaptive:  adaptive,
-		timeout:   o.timeout,
-		maxBatch:  o.maxBatch,
-		health:    healthFor(o.source),
-		sem:       make(chan struct{}, o.maxInflight),
-		maxQueue:  int64(o.maxQueue),
+		def:      def,
+		reg:      reg,
+		timeout:  o.timeout,
+		maxBatch: o.maxBatch,
+		health:   healthFor(o.source),
+		sem:      make(chan struct{}, o.maxInflight),
+		maxQueue: int64(o.maxQueue),
 	}
 	maxBatchCap := o.maxBatch
 	srv.scratch.New = func() any {
@@ -485,13 +555,18 @@ func healthFor(ms *modelSource) healthResponse {
 }
 
 // mux wires the endpoint groups. Body limits are path-aware: only
-// /estimate/batch carries a meaningful request body (a JSON query list, up
-// to maxBatchBodyBytes); every other endpoint takes queries in the URL and
-// keeps the hard maxQueryBytes cap.
+// /estimate/batch carries a large request body (a JSON query list, up to
+// maxBatchBodyBytes); every other endpoint — including the /admin bodies,
+// which are a few short strings — fits the hard maxQueryBytes cap.
 func (s *server) mux() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /estimate", s.handleEstimate)
 	mux.HandleFunc("POST /estimate/batch", s.handleEstimateBatch)
+	mux.HandleFunc("POST /admin/register", s.handleAdminRegister)
+	mux.HandleFunc("POST /admin/promote", s.handleAdminPromote)
+	mux.HandleFunc("POST /admin/rollback", s.handleAdminRollback)
+	mux.HandleFunc("POST /admin/evict", s.handleAdminEvict)
+	mux.HandleFunc("GET /admin/registry", s.handleAdminRegistry)
 	mux.Handle("GET /metrics", s.metricsHandler)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -543,11 +618,15 @@ func (s *server) admit(ctx context.Context) (release func(), ok bool) {
 // normalised to [0, 1]; row fields are cardinalities in [0, table rows].
 // ServedBy names the chain stage that produced the interval ("primary",
 // "fallback-N", or "failsafe"); Degraded is true whenever it was not the
-// primary.
+// primary, or when a registry fault dropped the request onto the default
+// unit. Bundle names the registry bundle that answered ("tenant/table@vN",
+// or "fallback:default" after a registry fault); it is absent on unrouted
+// requests.
 type estimateResponse struct {
 	Query    string  `json:"query"`
 	Method   string  `json:"method"`
 	ServedBy string  `json:"served_by"`
+	Bundle   string  `json:"bundle,omitempty"`
 	Degraded bool    `json:"degraded"`
 	EstSel   float64 `json:"estimate_selectivity"`
 	EstRows  float64 `json:"estimate_rows"`
@@ -559,6 +638,38 @@ type estimateResponse struct {
 	Covered  bool    `json:"covered"`
 	Drifted  bool    `json:"drifted"`
 	RollCov  float64 `json:"rolling_coverage"`
+}
+
+// route resolves which serving unit answers the request. Requests without
+// ?tenant=&table= take the default unit (single-bundle mode, the only mode
+// before the registry existed). Routed requests resolve their tenant's
+// active bundle from the registry; an unknown or unpromoted key is the
+// caller's error (404), while a fault of a known active bundle (file gone,
+// corruption, eviction racing a disk loss) degrades to the default unit —
+// the estimate path never turns a registry fault into a 5xx. On ok=false
+// the error response has already been written; the caller only counts it.
+func (s *server) route(w http.ResponseWriter, r *http.Request) (u *servingUnit, bundle string, degraded, ok bool) {
+	values := r.URL.Query()
+	tenant, table := values.Get("tenant"), values.Get("table")
+	if tenant == "" && table == "" {
+		return s.def, "", false, true
+	}
+	if tenant == "" || table == "" {
+		httpError(w, http.StatusBadRequest, "missing_tenant_table",
+			"tenant and table must be given together (got tenant=%q table=%q)", tenant, table)
+		return nil, "", false, false
+	}
+	key := registry.Key{Tenant: tenant, Table: table}
+	l, err := s.reg.Acquire(key)
+	if err != nil {
+		if errors.Is(err, registry.ErrUnknownKey) || errors.Is(err, registry.ErrNotPromoted) {
+			httpError(w, http.StatusNotFound, "unknown_bundle", "%v", err)
+			return nil, "", false, false
+		}
+		logStderr("registry fault for %s, serving default bundle: %v", key, err)
+		return s.def, "fallback:default", true, true
+	}
+	return l.Value, fmt.Sprintf("%s@v%d", key, l.Ref.Version), false, true
 }
 
 func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -580,6 +691,11 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
 
+	u, bundle, degraded, ok := s.route(w, r)
+	if !ok {
+		s.reqBad.Inc()
+		return
+	}
 	values := r.URL.Query()
 	if !values.Has("q") {
 		s.reqBad.Inc()
@@ -599,7 +715,7 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			"query parameter q exceeds %d bytes", maxQueryBytes)
 		return
 	}
-	q, err := workload.ParseQuery(s.tab, line)
+	q, err := workload.ParseQuery(u.tab, line)
 	if err != nil {
 		s.reqBad.Inc()
 		httpError(w, http.StatusBadRequest, "parse_error", "parse %q: %v", line, err)
@@ -608,8 +724,8 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 
 	// The resilient chain never fails: a sick primary degrades through the
 	// fallback stages down to the fail-safe full-domain interval.
-	iv, depth := s.resilient.IntervalDepthCtx(ctx, q)
-	resp := s.respond(line, q, iv, depth)
+	iv, depth := u.resilient.IntervalDepthCtx(ctx, q)
+	resp := u.respond(line, q, iv, depth, bundle, degraded)
 	s.reqOK.Inc()
 	w.Header().Set("Content-Type", "application/json")
 	sc := s.scratch.Get().(*serveScratch)
@@ -623,23 +739,27 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 
 // respond assembles the per-query answer around a served interval. Both
 // /estimate and /estimate/batch go through here, so a query's batch element
-// is field-for-field identical to its single-query reply.
-func (s *server) respond(line string, q workload.Query, iv cardpi.Interval, depth int) estimateResponse {
+// is field-for-field identical to its single-query reply. bundle and
+// degraded carry routing provenance: which registry bundle answered (empty
+// on the unrouted path) and whether a registry fault forced the default
+// unit regardless of the chain depth.
+func (u *servingUnit) respond(line string, q workload.Query, iv cardpi.Interval, depth int, bundle string, degraded bool) estimateResponse {
 	// The demo owns the oracle, so it can score itself; a panicking or
 	// erroring model/oracle degrades the telemetry fields, never the reply.
-	truth, truthOK := s.groundTruth(q)
-	n := int64(s.tab.NumRows())
-	est := s.safeEstimate(q)
+	truth, truthOK := u.groundTruth(q)
+	n := int64(u.tab.NumRows())
+	est := u.safeEstimate(q)
 	if truthOK {
-		s.safeObserve(q, float64(truth)/float64(n))
+		u.safeObserve(q, float64(truth)/float64(n))
 	}
 
 	cardIv := cardpi.CardinalityInterval(iv, n)
 	resp := estimateResponse{
 		Query:    line,
-		Method:   s.resilient.Name(),
-		ServedBy: s.stageName(depth),
-		Degraded: depth > 0,
+		Method:   u.resilient.Name(),
+		ServedBy: u.stageName(depth),
+		Bundle:   bundle,
+		Degraded: depth > 0 || degraded,
 		EstSel:   est,
 		EstRows:  est * float64(n),
 		LoSel:    iv.Lo,
@@ -647,8 +767,8 @@ func (s *server) respond(line string, q workload.Query, iv cardpi.Interval, dept
 		LoRows:   cardIv.Lo,
 		HiRows:   cardIv.Hi,
 		TrueRows: -1,
-		Drifted:  s.adaptive.Drifted(),
-		RollCov:  s.adaptive.RollingCoverage(),
+		Drifted:  u.adaptive.Drifted(),
+		RollCov:  u.adaptive.RollingCoverage(),
 	}
 	if truthOK {
 		resp.TrueRows = truth
@@ -750,6 +870,12 @@ func (s *server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
 
+	u, bundle, degraded, ok := s.route(w, r)
+	if !ok {
+		s.batchBad.Inc()
+		return
+	}
+
 	sc := s.scratch.Get().(*serveScratch)
 	defer s.scratch.Put(sc)
 
@@ -808,7 +934,7 @@ func (s *server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 				"query %d exceeds %d bytes", i, maxQueryBytes)
 			return
 		}
-		q, err := workload.ParseQuery(s.tab, line)
+		q, err := workload.ParseQuery(u.tab, line)
 		if err != nil {
 			s.batchBad.Inc()
 			httpError(w, http.StatusBadRequest, "parse_error", "query %d: parse %q: %v", i, line, err)
@@ -818,10 +944,10 @@ func (s *server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.batchSize.Observe(float64(len(sc.qs)))
 
-	ivs, depths := s.resilient.IntervalBatchDepthCtx(ctx, sc.qs)
+	ivs, depths := u.resilient.IntervalBatchDepthCtx(ctx, sc.qs)
 	sc.results = sc.results[:0]
 	for i := range sc.qs {
-		sc.results = append(sc.results, s.respond(lines[i], sc.qs[i], ivs[i], depths[i]))
+		sc.results = append(sc.results, u.respond(lines[i], sc.qs[i], ivs[i], depths[i], bundle, degraded))
 	}
 	s.batchOK.Inc()
 	if binary {
@@ -830,7 +956,7 @@ func (s *server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 		for i := range sc.results {
 			sc.wire = append(sc.wire, wireResult(&sc.results[i], depths[i]))
 		}
-		sc.body = codec.AppendWireResponse(sc.body[:0], uint64(s.tab.NumRows()), sc.wire)
+		sc.body = codec.AppendWireResponse(sc.body[:0], uint64(u.tab.NumRows()), sc.wire)
 		w.Header().Set("Content-Type", codec.WireContentType)
 		_, _ = w.Write(sc.body)
 		return
@@ -845,11 +971,11 @@ func (s *server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // stageName renders a fallback depth for the served_by field.
-func (s *server) stageName(depth int) string {
+func (u *servingUnit) stageName(depth int) string {
 	switch {
 	case depth == 0:
 		return "primary"
-	case depth >= s.resilient.FailsafeDepth():
+	case depth >= u.resilient.FailsafeDepth():
 		return "failsafe"
 	default:
 		return fmt.Sprintf("fallback-%d", depth)
@@ -858,13 +984,13 @@ func (s *server) stageName(depth int) string {
 
 // groundTruth counts the true rows, absorbing oracle errors and panics —
 // the reply then just omits the self-scoring fields.
-func (s *server) groundTruth(q workload.Query) (truth int64, ok bool) {
+func (u *servingUnit) groundTruth(q workload.Query) (truth int64, ok bool) {
 	defer func() {
 		if recover() != nil {
 			ok = false
 		}
 	}()
-	t, err := s.tab.Count(q.Preds)
+	t, err := u.tab.Count(q.Preds)
 	if err != nil {
 		return 0, false
 	}
@@ -875,13 +1001,13 @@ func (s *server) groundTruth(q workload.Query) (truth int64, ok bool) {
 // values absorbed: a down or NaN-spewing model yields the sentinel -1
 // (encoding/json cannot marshal NaN/Inf, and the interval fields are what
 // callers should trust anyway).
-func (s *server) safeEstimate(q workload.Query) (est float64) {
+func (u *servingUnit) safeEstimate(q workload.Query) (est float64) {
 	defer func() {
 		if recover() != nil {
 			est = -1
 		}
 	}()
-	est = s.model.EstimateSelectivity(q)
+	est = u.model.EstimateSelectivity(q)
 	if math.IsNaN(est) || math.IsInf(est, 0) {
 		est = -1
 	}
@@ -890,9 +1016,9 @@ func (s *server) safeEstimate(q workload.Query) (est float64) {
 
 // safeObserve feeds the adaptive monitor, absorbing model panics (Observe
 // itself already drops non-finite inputs).
-func (s *server) safeObserve(q workload.Query, trueSel float64) {
+func (u *servingUnit) safeObserve(q workload.Query, trueSel float64) {
 	defer func() { _ = recover() }()
-	s.adaptive.Observe(q, trueSel)
+	u.adaptive.Observe(q, trueSel)
 }
 
 // httpError writes a structured JSON error: {"error": {"code", "message"}}.

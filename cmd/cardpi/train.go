@@ -3,6 +3,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -94,14 +95,21 @@ func writeArtifact(out string, setup *pipeline.Setup, cfg pipeline.Config) error
 	if err != nil {
 		return fmt.Errorf("verify artifact: %w", err)
 	}
+	dataStart, err := rf.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("wrote %s (%d bytes)\n", out, st.Size())
-	printManifest(os.Stdout, man)
+	printManifest(os.Stdout, man, dataStart)
 	return nil
 }
 
 // printManifest renders the provenance manifest as aligned key/value lines,
-// shared by train's summary and `cardpi inspect`.
-func printManifest(w *os.File, man *pipeline.Manifest) {
+// shared by train's summary and `cardpi inspect`. dataStart is the
+// file-absolute offset where the payload sections begin (the position right
+// after the manifest frame), used to resolve the manifest's relative layout
+// spans; pass a negative value when unknown to omit the offset columns.
+func printManifest(w *os.File, man *pipeline.Manifest, dataStart int64) {
 	fmt.Fprintf(w, "  schema version:    %d\n", man.SchemaVersion)
 	fmt.Fprintf(w, "  model / method:    %s / %s\n", man.Model, man.Method)
 	fmt.Fprintf(w, "  dataset:           %s (%s, %d rows)\n", man.Dataset, man.Source, man.Rows)
@@ -116,6 +124,11 @@ func printManifest(w *os.File, man *pipeline.Manifest) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
+		if span, ok := man.Layout[name]; ok && dataStart >= 0 {
+			fmt.Fprintf(w, "  section %-12s crc32 %s  offset %-10d length %d\n",
+				name, man.Sections[name], dataStart+span.Offset, span.Length)
+			continue
+		}
 		fmt.Fprintf(w, "  section %-12s crc32 %s\n", name, man.Sections[name])
 	}
 }

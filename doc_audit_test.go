@@ -7,6 +7,10 @@ import (
 	"go/parser"
 	"go/token"
 	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -23,6 +27,8 @@ func TestPublicSurfaceIsDocumented(t *testing.T) {
 	for dir, importPath := range map[string]string{
 		".":                  "cardpi",
 		"internal/conformal": "cardpi/internal/conformal",
+		"internal/registry":  "cardpi/internal/registry",
+		"internal/pipeline":  "cardpi/internal/pipeline",
 	} {
 		missing, err := undocumentedExports(dir, importPath)
 		if err != nil {
@@ -32,6 +38,77 @@ func TestPublicSurfaceIsDocumented(t *testing.T) {
 			t.Errorf("%s: %s is exported but has no doc comment", importPath, m)
 		}
 	}
+}
+
+// TestOperationsDocCoversRegistrySurface keeps OPERATIONS.md and
+// OBSERVABILITY.md one-for-one with the registry implementation: every
+// /admin endpoint path registered in the serve mux and every
+// cardpi_registry_* metric family created in code must appear in both
+// documents. Adding an endpoint or metric without documenting it fails CI.
+func TestOperationsDocCoversRegistrySurface(t *testing.T) {
+	endpoints := sourceMatches(t, regexp.MustCompile(`/admin/[a-z]+`), "cmd/cardpi")
+	metrics := sourceMatches(t, regexp.MustCompile(`cardpi_registry_[a-z_]+`), "internal/registry", "cmd/cardpi")
+	if len(endpoints) == 0 || len(metrics) == 0 {
+		t.Fatalf("surface scan found %d endpoints and %d metric families — the scanner is broken",
+			len(endpoints), len(metrics))
+	}
+
+	operations := readDoc(t, "OPERATIONS.md")
+	observability := readDoc(t, "OBSERVABILITY.md")
+	for _, ep := range endpoints {
+		if !strings.Contains(operations, ep) {
+			t.Errorf("OPERATIONS.md does not document admin endpoint %s", ep)
+		}
+	}
+	for _, m := range metrics {
+		if !strings.Contains(operations, m) {
+			t.Errorf("OPERATIONS.md does not mention registry metric %s", m)
+		}
+		if !strings.Contains(observability, m) {
+			t.Errorf("OBSERVABILITY.md does not document registry metric %s", m)
+		}
+	}
+}
+
+// sourceMatches collects the sorted, deduplicated matches of re across the
+// non-test Go files of the given directories.
+func sourceMatches(t *testing.T, re *regexp.Regexp, dirs ...string) []string {
+	t.Helper()
+	seen := map[string]bool{}
+	for _, dir := range dirs {
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range files {
+			if strings.HasSuffix(f, "_test.go") {
+				continue
+			}
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range re.FindAllString(string(src), -1) {
+				seen[m] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for m := range seen {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// readDoc loads a repo-root markdown document.
+func readDoc(t *testing.T, name string) string {
+	t.Helper()
+	b, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
 }
 
 // undocumentedExports parses the package in dir (tests excluded) and

@@ -360,6 +360,49 @@ func WriteSection(w io.Writer, name string, payload []byte) (uint32, error) {
 	return sum, cw.Err()
 }
 
+// ParseSection parses the section frame at the start of data without copying
+// the payload: the returned payload slice aliases data (for mmap-backed
+// loads, it is a window into the mapping). frameLen is the total encoded
+// size of the frame, so the next section starts at data[frameLen:]. The
+// payload is verified against its stored CRC-32 before returning; a mismatch
+// wraps ErrChecksum and short input wraps ErrTruncated. Callers that outlive
+// the backing buffer (e.g. past an munmap) must copy the payload themselves.
+func ParseSection(data []byte) (name string, payload []byte, frameLen int, err error) {
+	trunc := func(what string) (string, []byte, int, error) {
+		return "", nil, 0, fmt.Errorf("codec: parsing section %s: %w", what, ErrTruncated)
+	}
+	if len(data) < 4 {
+		return trunc("name length")
+	}
+	nameLen := binary.LittleEndian.Uint32(data)
+	if nameLen == 0 || nameLen > maxSectionName {
+		return "", nil, 0, fmt.Errorf("codec: invalid section name length %d", nameLen)
+	}
+	off := 4 + int(nameLen)
+	if len(data) < off {
+		return trunc("name")
+	}
+	name = string(data[4:off])
+	if len(data) < off+8 {
+		return trunc(fmt.Sprintf("%q length", name))
+	}
+	payloadLen := binary.LittleEndian.Uint64(data[off:])
+	if payloadLen > MaxSectionBytes {
+		return "", nil, 0, fmt.Errorf("codec: section %q payload %d bytes exceeds limit %d", name, payloadLen, MaxSectionBytes)
+	}
+	off += 8
+	end := off + int(payloadLen)
+	if len(data) < end+4 {
+		return trunc(fmt.Sprintf("%q payload", name))
+	}
+	payload = data[off:end:end]
+	want := binary.LittleEndian.Uint32(data[end:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return "", nil, 0, fmt.Errorf("%w: section %q has CRC %08x, expected %08x", ErrChecksum, name, got, want)
+	}
+	return name, payload, end + 4, nil
+}
+
 // ReadSection parses the next section from r, verifying the payload against
 // its stored checksum. A checksum mismatch returns an error wrapping
 // ErrChecksum; short input returns an error wrapping ErrTruncated.

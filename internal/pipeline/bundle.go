@@ -109,6 +109,33 @@ type Manifest struct {
 	TableFingerprint string `json:"table_fingerprint"`
 	// Sections maps section name to the CRC-32 (hex) of its payload.
 	Sections map[string]string `json:"sections"`
+	// Layout maps section name to its payload's byte span, letting a
+	// random-access loader (OpenMapped) seek straight to a section instead
+	// of scanning the file. Absent in artifacts written before the field
+	// existed; readers fall back to a sequential scan. Adding the field is
+	// backward compatible, so it does not bump SchemaVersion.
+	Layout map[string]SectionSpan `json:"layout,omitempty"`
+}
+
+// SectionSpan locates one section's payload inside the artifact file. The
+// manifest cannot know its own encoded length while being written, so
+// offsets are relative to the first byte after the manifest's section frame,
+// not to the start of the file (AbsoluteOffset converts).
+type SectionSpan struct {
+	// Offset is the payload's byte offset (bytes) relative to the first
+	// byte following the manifest section frame. The section's framing
+	// (name, length prefix) precedes it and its CRC-32 follows it.
+	Offset int64 `json:"offset"`
+	// Length is the payload size in bytes, excluding framing.
+	Length int64 `json:"length"`
+}
+
+// AbsoluteOffset converts the span's manifest-relative offset to a
+// file-absolute offset, given the encoded length of the manifest section
+// frame (as reported by codec.ParseSection on the bytes after the 4-byte
+// header).
+func (s SectionSpan) AbsoluteOffset(manifestFrameLen int) int64 {
+	return 4 + int64(manifestFrameLen) + s.Offset
 }
 
 // TableFingerprint hashes the table contents (names, types, domains, and
@@ -135,6 +162,13 @@ func TableFingerprint(t *dataset.Table) uint64 {
 // the Config the setup was built with — its provenance fields are recorded
 // in the manifest and drive reconstruction at load time.
 func SaveBundle(w io.Writer, s *Setup, cfg Config) error {
+	return saveBundle(w, s, cfg, true)
+}
+
+// saveBundle implements SaveBundle. withLayout=false writes a pre-Layout
+// bundle (no layout field in the manifest), exercising the sequential-scan
+// fallback in tests exactly as an old artifact would.
+func saveBundle(w io.Writer, s *Setup, cfg Config, withLayout bool) error {
 	model := strings.ToLower(cfg.Model)
 	method := strings.ToLower(cfg.Method)
 	if err := ValidateCombo(model, method); err != nil {
@@ -186,6 +220,24 @@ func SaveBundle(w io.Writer, s *Setup, cfg Config) error {
 	for name, p := range sections {
 		man.Sections[name] = fmt.Sprintf("%08x", codec.Checksum(p))
 	}
+	// The payload sections follow the manifest in the fixed order below, so
+	// their offsets are fully determined before anything is written: each
+	// frame is nameLen(4) + name + payloadLen(8) + payload + crc(4). Offsets
+	// are manifest-relative (see SectionSpan) because the manifest cannot
+	// include its own encoded length.
+	if withLayout {
+		man.Layout = make(map[string]SectionSpan, len(sections))
+		var off int64
+		for _, name := range sectionOrder {
+			p, ok := sections[name]
+			if !ok {
+				continue
+			}
+			payloadOff := off + 4 + int64(len(name)) + 8
+			man.Layout[name] = SectionSpan{Offset: payloadOff, Length: int64(len(p))}
+			off = payloadOff + int64(len(p)) + 4
+		}
+	}
 	manJSON, err := json.MarshalIndent(man, "", "  ")
 	if err != nil {
 		return fmt.Errorf("pipeline: encoding manifest: %w", err)
@@ -200,9 +252,7 @@ func SaveBundle(w io.Writer, s *Setup, cfg Config) error {
 	if _, err := codec.WriteSection(w, "manifest", manJSON); err != nil {
 		return err
 	}
-	// Fixed write order for bit-reproducible files (maps iterate randomly).
-	order := []string{"model", "quantile-lo", "quantile-hi", "calibration", "calwl"}
-	for _, name := range order {
+	for _, name := range sectionOrder {
 		p, ok := sections[name]
 		if !ok {
 			continue
@@ -213,6 +263,11 @@ func SaveBundle(w io.Writer, s *Setup, cfg Config) error {
 	}
 	return nil
 }
+
+// sectionOrder is the fixed payload-section write order, for
+// bit-reproducible files (maps iterate randomly) and deterministic Layout
+// offsets.
+var sectionOrder = []string{"model", "quantile-lo", "quantile-hi", "calibration", "calwl"}
 
 // modelWriter returns the model's serialiser. Every family in the combos
 // table implements io.WriterTo; reaching this with anything else is a
@@ -448,23 +503,14 @@ func LoadBundle(r io.Reader, opts LoadOptions) (*Setup, *Manifest, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	if opts.ExpectModel != "" && !strings.EqualFold(opts.ExpectModel, man.Model) {
-		return nil, nil, fmt.Errorf("%w: artifact was built with model %q, requested %q",
-			ErrMismatch, man.Model, opts.ExpectModel)
-	}
-	if opts.ExpectMethod != "" && !strings.EqualFold(opts.ExpectMethod, man.Method) {
-		return nil, nil, fmt.Errorf("%w: artifact was built with method %q, requested %q",
-			ErrMismatch, man.Method, opts.ExpectMethod)
-	}
-	if err := ValidateCombo(man.Model, man.Method); err != nil {
-		return nil, nil, fmt.Errorf("%w: manifest combo: %v", ErrBadBundle, err)
+	if err := checkExpectations(man, opts); err != nil {
+		return nil, nil, err
 	}
 
-	// Read the remaining sections, verifying each against the manifest's
-	// recorded checksum (the codec framing already verified self-integrity;
-	// this binds sections to this manifest). A clean end of file is detected
-	// by peeking — any shortfall inside a section is a truncation error, not
-	// an end.
+	// Read the remaining sections. The codec framing verifies each
+	// section's self-integrity; bindSections then binds them to this
+	// manifest. A clean end of file is detected by peeking — any shortfall
+	// inside a section is a truncation error, not an end.
 	sections := make(map[string][]byte)
 	br := bufio.NewReader(r)
 	for {
@@ -478,27 +524,71 @@ func LoadBundle(r io.Reader, opts LoadOptions) (*Setup, *Manifest, error) {
 		if _, dup := sections[name]; dup {
 			return nil, nil, fmt.Errorf("%w: duplicate section %q", ErrBadBundle, name)
 		}
+		sections[name] = payload
+	}
+	if err := bindSections(man, sections); err != nil {
+		return nil, nil, err
+	}
+
+	s, err := assembleSetup(man, sections, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, man, nil
+}
+
+// checkExpectations enforces the caller's declared model/method expectations
+// against the manifest and validates the recorded combo.
+func checkExpectations(man *Manifest, opts LoadOptions) error {
+	if opts.ExpectModel != "" && !strings.EqualFold(opts.ExpectModel, man.Model) {
+		return fmt.Errorf("%w: artifact was built with model %q, requested %q",
+			ErrMismatch, man.Model, opts.ExpectModel)
+	}
+	if opts.ExpectMethod != "" && !strings.EqualFold(opts.ExpectMethod, man.Method) {
+		return fmt.Errorf("%w: artifact was built with method %q, requested %q",
+			ErrMismatch, man.Method, opts.ExpectMethod)
+	}
+	if err := ValidateCombo(man.Model, man.Method); err != nil {
+		return fmt.Errorf("%w: manifest combo: %v", ErrBadBundle, err)
+	}
+	return nil
+}
+
+// bindSections verifies that the payload sections and the manifest agree:
+// every section present is declared with a matching CRC-32, and every
+// declared section is present. The codec framing already proved each
+// payload's self-integrity; this binds the parts to this manifest so
+// sections cannot be swapped between bundles undetected.
+func bindSections(man *Manifest, sections map[string][]byte) error {
+	for name, payload := range sections {
 		want, known := man.Sections[name]
 		if !known {
-			return nil, nil, fmt.Errorf("%w: section %q not declared in manifest", ErrBadBundle, name)
+			return fmt.Errorf("%w: section %q not declared in manifest", ErrBadBundle, name)
 		}
 		if got := fmt.Sprintf("%08x", codec.Checksum(payload)); got != want {
-			return nil, nil, fmt.Errorf("%w: section %q has checksum %s, manifest declares %s",
+			return fmt.Errorf("%w: section %q has checksum %s, manifest declares %s",
 				codec.ErrChecksum, name, got, want)
 		}
-		sections[name] = payload
 	}
 	for name := range man.Sections {
 		if _, ok := sections[name]; !ok {
-			return nil, nil, fmt.Errorf("%w: missing section %q", ErrBadBundle, name)
+			return fmt.Errorf("%w: missing section %q", ErrBadBundle, name)
 		}
 	}
+	return nil
+}
 
-	// Rebuild the table from provenance and verify the fingerprint.
+// assembleSetup is the back half of every bundle load, shared by LoadBundle
+// and MappedBundle.Load: rebuild the table from provenance (verifying the
+// fingerprint), deserialise the model and frozen calibration state, and
+// reassemble the PI wrapper. The section payloads are only read, never
+// retained — safe to pass windows into an mmap that is unmapped after.
+func assembleSetup(man *Manifest, sections map[string][]byte, opts LoadOptions) (*Setup, error) {
 	var tab *dataset.Table
+	var err error
 	if man.Source == "csv" {
 		if opts.CSVPath == "" {
-			return nil, nil, fmt.Errorf("%w: artifact was built from CSV table %q; pass -csv with the same file",
+			return nil, fmt.Errorf("%w: artifact was built from CSV table %q; pass -csv with the same file",
 				ErrMismatch, man.Dataset)
 		}
 		tab, err = BuildTable("", opts.CSVPath, 0, 0, opts.Logf)
@@ -506,26 +596,26 @@ func LoadBundle(r io.Reader, opts LoadOptions) (*Setup, *Manifest, error) {
 		tab, err = BuildTable(man.Dataset, "", man.Rows, man.Seed, opts.Logf)
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if got := fmt.Sprintf("%016x", TableFingerprint(tab)); got != man.TableFingerprint {
-		return nil, nil, fmt.Errorf("%w: table fingerprint %s does not match artifact's %s "+
+		return nil, fmt.Errorf("%w: table fingerprint %s does not match artifact's %s "+
 			"(different data generator build or wrong CSV file)", ErrMismatch, got, man.TableFingerprint)
 	}
 
 	m, err := loadModel(man.Model, bytes.NewReader(sections["model"]), tab, man.Seed)
 	if err != nil {
-		return nil, nil, fmt.Errorf("pipeline: loading model: %w", err)
+		return nil, fmt.Errorf("pipeline: loading model: %w", err)
 	}
 	cal, err := readCalWorkload(bytes.NewReader(sections["calwl"]), tab)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	pi, err := loadPI(man, sections, m, tab)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return &Setup{Table: tab, Model: m, PI: pi, Cal: cal}, man, nil
+	return &Setup{Table: tab, Model: m, PI: pi, Cal: cal}, nil
 }
 
 // loadModel deserialises one model family, rebuilding its auxiliary

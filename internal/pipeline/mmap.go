@@ -1,0 +1,172 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"cardpi/internal/codec"
+)
+
+// MappedBundle is a read-only, memory-mapped view of a .cpi artifact file.
+// Opening one maps the whole file into the address space (page-cache backed,
+// so cold-start cost is page faults, not a copy) and locates every section
+// as a zero-copy window into the mapping — via the manifest's Layout spans
+// when present, or a sequential frame scan for pre-Layout artifacts. All
+// integrity checks of LoadBundle run at open time over the mapped bytes:
+// header magic/version, per-section CRC-32, manifest binding, and
+// missing/duplicate section detection, all fail-closed with the same typed
+// errors.
+//
+// Concurrency: the struct is immutable after OpenMapped returns, so
+// Manifest/Size/Path/Section and concurrent Load calls are safe from any
+// number of goroutines. Close is NOT safe to call concurrently with Load —
+// the mapping disappears under the decoder; callers sequence Close after
+// the last Load returns (the registry does this by loading, then closing,
+// inside one critical section).
+type MappedBundle struct {
+	path     string
+	size     int64
+	data     []byte
+	unmap    func() error
+	man      *Manifest
+	sections map[string][]byte
+}
+
+// OpenMapped maps the artifact at path and validates its structure. On
+// platforms without mmap support the file is read into memory instead; the
+// API and all checks are identical. The returned bundle holds the mapping
+// (and the open file's pages) until Close.
+func OpenMapped(path string) (*MappedBundle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size < 4 {
+		return nil, fmt.Errorf("%w: file is %d bytes, smaller than the header", ErrNotArtifact, size)
+	}
+	data, unmap, err := mapFile(f, size)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: mapping %s: %w", path, err)
+	}
+	b := &MappedBundle{path: path, size: size, data: data, unmap: unmap}
+	if err := b.parse(); err != nil {
+		b.Close()
+		return nil, err
+	}
+	return b, nil
+}
+
+// parse validates the header, decodes the manifest, and locates every
+// payload section as a window into the mapping.
+func (b *MappedBundle) parse() error {
+	hdr := b.data[:4]
+	if [3]byte{hdr[0], hdr[1], hdr[2]} != bundleMagic {
+		return fmt.Errorf("%w: bad magic %q", ErrNotArtifact, hdr[:3])
+	}
+	if hdr[3] != SchemaVersion {
+		return fmt.Errorf("%w: artifact has version %d, this build reads version %d",
+			ErrSchemaVersion, hdr[3], SchemaVersion)
+	}
+	name, manPayload, manFrameLen, err := codec.ParseSection(b.data[4:])
+	if err != nil {
+		return err
+	}
+	if name != "manifest" {
+		return fmt.Errorf("%w: first section is %q, want \"manifest\"", ErrBadBundle, name)
+	}
+	var man Manifest
+	if err := json.Unmarshal(manPayload, &man); err != nil {
+		return fmt.Errorf("%w: manifest JSON: %v", ErrBadBundle, err)
+	}
+	if man.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("%w: manifest declares version %d, this build reads version %d",
+			ErrSchemaVersion, man.SchemaVersion, SchemaVersion)
+	}
+	b.man = &man
+
+	body := b.data[4+manFrameLen:]
+	b.sections = make(map[string][]byte, len(man.Sections))
+	if len(man.Layout) > 0 {
+		// Random access: slice each payload straight out of the mapping at
+		// its recorded span. The CRC-32 check in bindSections below proves
+		// the spans point at the right bytes, so the surrounding framing
+		// need not be re-parsed.
+		for name, span := range man.Layout {
+			if span.Offset < 0 || span.Length < 0 || span.Offset+span.Length > int64(len(body)) {
+				return fmt.Errorf("%w: section %q layout span [%d,+%d) exceeds file body (%d bytes)",
+					ErrBadBundle, name, span.Offset, span.Length, len(body))
+			}
+			b.sections[name] = body[span.Offset : span.Offset+span.Length : span.Offset+span.Length]
+		}
+	} else {
+		// Pre-Layout artifact: walk the frames sequentially, still without
+		// copying any payload.
+		for off := 0; off < len(body); {
+			name, payload, frameLen, err := codec.ParseSection(body[off:])
+			if err != nil {
+				return err
+			}
+			if _, dup := b.sections[name]; dup {
+				return fmt.Errorf("%w: duplicate section %q", ErrBadBundle, name)
+			}
+			b.sections[name] = payload
+			off += frameLen
+		}
+	}
+	return bindSections(b.man, b.sections)
+}
+
+// Manifest returns the decoded manifest. The returned pointer is shared;
+// callers must not mutate it.
+func (b *MappedBundle) Manifest() *Manifest { return b.man }
+
+// Path returns the artifact file path the bundle was opened from.
+func (b *MappedBundle) Path() string { return b.path }
+
+// Size returns the artifact's on-disk size in bytes.
+func (b *MappedBundle) Size() int64 { return b.size }
+
+// Section returns the named payload as a zero-copy window into the mapping,
+// or ok=false if the bundle has no such section. The slice is invalidated
+// by Close; callers that need the bytes past Close must copy them.
+func (b *MappedBundle) Section(name string) (payload []byte, ok bool) {
+	payload, ok = b.sections[name]
+	return payload, ok
+}
+
+// Load reconstructs a Setup from the mapped sections — the same
+// reassembly as LoadBundle (table regenerated from provenance, fingerprint
+// verified, zero training, bit-identical intervals) but decoding directly
+// from the mapping, so model weights are never staged through an
+// intermediate copy of the file. The returned Setup owns only heap memory;
+// it remains valid after Close.
+func (b *MappedBundle) Load(opts LoadOptions) (*Setup, error) {
+	if b.sections == nil {
+		return nil, fmt.Errorf("%w: bundle is closed", ErrBadBundle)
+	}
+	if err := checkExpectations(b.man, opts); err != nil {
+		return nil, err
+	}
+	return assembleSetup(b.man, b.sections, opts)
+}
+
+// Close unmaps the file. Idempotent. Section windows handed out earlier
+// become invalid; Setups returned by Load stay valid (they hold no mapping
+// memory).
+func (b *MappedBundle) Close() error {
+	if b.unmap == nil {
+		return nil
+	}
+	err := b.unmap()
+	b.unmap = nil
+	b.data = nil
+	b.sections = nil
+	return err
+}

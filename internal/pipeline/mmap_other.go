@@ -1,0 +1,19 @@
+//go:build !unix
+
+package pipeline
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile on platforms without syscall.Mmap reads the whole file into
+// memory. Semantics match the unix build — same checks, same zero-copy
+// section slicing over the buffer — only the page-cache economics differ.
+func mapFile(f *os.File, size int64) (data []byte, release func() error, err error) {
+	data = make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

@@ -1,0 +1,25 @@
+//go:build unix
+
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps the open file read-only. The returned release
+// function unmaps; the file descriptor itself need not stay open (the
+// mapping keeps the pages alive).
+func mapFile(f *os.File, size int64) (data []byte, release func() error, err error) {
+	if size > math.MaxInt {
+		return nil, nil, fmt.Errorf("file size %d exceeds address space", size)
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	mapped := data
+	return data, func() error { return syscall.Munmap(mapped) }, nil
+}

@@ -1,0 +1,101 @@
+package registry
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheKey identifies one loaded bundle: a slot plus a version.
+type cacheKey struct {
+	key     Key
+	version int
+}
+
+// lruCache is the loaded-bundle cache: capacity-bounded, least recently
+// used out first. Guarded by its own mutex so the Acquire hot path never
+// touches the registry-wide lock.
+type lruCache[T any] struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *lruItem[T]
+	items map[cacheKey]*list.Element
+}
+
+// lruItem is one cache slot.
+type lruItem[T any] struct {
+	ck cacheKey
+	l  *Loaded[T]
+}
+
+func newLRUCache[T any](capacity int) *lruCache[T] {
+	return &lruCache[T]{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[cacheKey]*list.Element),
+	}
+}
+
+// get returns the cached load and bumps its recency.
+func (c *lruCache[T]) get(ck cacheKey) (*Loaded[T], bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[ck]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruItem[T]).l, true
+}
+
+// peek reports whether the load is cached without affecting recency
+// (Snapshot must not distort the LRU order).
+func (c *lruCache[T]) peek(ck cacheKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[ck]
+	return ok
+}
+
+// add inserts (replacing any same-key item) and evicts past capacity,
+// returning how many items were evicted.
+func (c *lruCache[T]) add(ck cacheKey, l *Loaded[T]) (evicted int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[ck]; ok {
+		el.Value.(*lruItem[T]).l = l
+		c.order.MoveToFront(el)
+		return 0
+	}
+	c.items[ck] = c.order.PushFront(&lruItem[T]{ck: ck, l: l})
+	for c.order.Len() > c.cap {
+		back := c.order.Back()
+		it := back.Value.(*lruItem[T])
+		c.order.Remove(back)
+		delete(c.items, it.ck)
+		evicted++
+	}
+	return evicted
+}
+
+// removeKey drops every cached version of the slot, returning the count.
+func (c *lruCache[T]) removeKey(key Key) (dropped int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		if it := el.Value.(*lruItem[T]); it.ck.key == key {
+			c.order.Remove(el)
+			delete(c.items, it.ck)
+			dropped++
+		}
+		el = next
+	}
+	return dropped
+}
+
+// len returns the resident count.
+func (c *lruCache[T]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,79 @@
+package registry
+
+import (
+	"sync"
+
+	"cardpi/internal/obs"
+)
+
+// metrics holds the cardpi_registry_* instruments. All families are
+// created eagerly (except the per-tenant request counters, which
+// materialize on a tenant's first request) so /metrics shows zeroes
+// instead of gaps before the first event. Safe for concurrent use — the
+// obs instruments are atomic, and the tenant map has its own lock.
+type metrics struct {
+	entries       *obs.IntGauge
+	cached        *obs.IntGauge
+	registered    *obs.Counter
+	loads         *obs.Counter
+	evictions     *obs.Counter
+	cacheHits     *obs.Counter
+	cacheMisses   *obs.Counter
+	promotes      *obs.Counter
+	rollbacks     *obs.Counter
+	smokeMismatch *obs.Counter
+	smokeLoadFail *obs.Counter
+	faults        *obs.Counter
+
+	reg      *obs.Registry
+	tenantMu sync.Mutex
+	tenants  map[string]*obs.Counter
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		entries: reg.IntGauge("cardpi_registry_entries",
+			"Number of (tenant, table) slots currently registered."),
+		cached: reg.IntGauge("cardpi_registry_bundles_cached",
+			"Loaded bundles currently resident in the LRU cache."),
+		registered: reg.Counter("cardpi_registry_registered_total",
+			"Bundle versions registered since process start."),
+		loads: reg.Counter("cardpi_registry_loads_total",
+			"Cold bundle loads from disk (mmap path) since process start."),
+		evictions: reg.Counter("cardpi_registry_evictions_total",
+			"Loaded bundles dropped from the cache (LRU pressure or explicit evict)."),
+		cacheHits: reg.Counter("cardpi_registry_cache_hits_total",
+			"Requests that found their active bundle resident in the cache."),
+		cacheMisses: reg.Counter("cardpi_registry_cache_misses_total",
+			"Requests that had to cold-load their active bundle."),
+		promotes: reg.Counter("cardpi_registry_promotes_total",
+			"Successful promotes (smoke check passed or forced)."),
+		rollbacks: reg.Counter("cardpi_registry_rollbacks_total",
+			"Successful rollbacks to the previous version."),
+		smokeMismatch: reg.Counter("cardpi_registry_smoke_failures_total",
+			"Promotes rejected by the bit-identity smoke check, by reason.",
+			obs.L("reason", "mismatch")),
+		smokeLoadFail: reg.Counter("cardpi_registry_smoke_failures_total",
+			"Promotes rejected by the bit-identity smoke check, by reason.",
+			obs.L("reason", "candidate_unloadable")),
+		faults: reg.Counter("cardpi_registry_faults_total",
+			"Requests whose active bundle failed to load (served by fallback instead)."),
+		reg:     reg,
+		tenants: make(map[string]*obs.Counter),
+	}
+}
+
+// tenantRequests returns the tenant's request counter, creating the
+// labelled series on first use. The per-tenant map caches the instrument so
+// the request hot path does one map read, not a label render.
+func (m *metrics) tenantRequests(tenant string) *obs.Counter {
+	m.tenantMu.Lock()
+	defer m.tenantMu.Unlock()
+	c, ok := m.tenants[tenant]
+	if !ok {
+		c = m.reg.Counter("cardpi_registry_requests_total",
+			"Registry-routed estimate requests, by tenant.", obs.L("tenant", tenant))
+		m.tenants[tenant] = c
+	}
+	return c
+}

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# registry-demo.sh — the OPERATIONS.md "worked multi-tenant session",
+# automated: train two artifacts, boot one server, register + promote a
+# bundle per tenant over /admin, query each tenant's bundle, roll out a v2
+# and roll it back, then dump the registry snapshot and metrics. Run via
+# `make registry-demo`. Unlike serve-smoke.sh (the headless CI gate), this
+# script narrates every step and prints the actual server responses.
+set -euo pipefail
+
+ADDR="${DEMO_ADDR:-127.0.0.1:18090}"
+WORK="$(mktemp -d)"
+BIN="$WORK/cardpi"
+LOG="$(mktemp)"
+SERVE_PID=""
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$WORK" "$LOG"' EXIT
+
+say() { printf '\n== %s\n' "$*"; }
+
+go build -o "$BIN" ./cmd/cardpi
+
+say "train one artifact per tenant (plus a v2 from the same recipe)"
+"$BIN" train -dataset census -rows 2000 -queries 300 -model histogram -method s-cp -out "$WORK/census-v1.cpi" >/dev/null
+"$BIN" train -dataset census -rows 2000 -queries 300 -model histogram -method s-cp -out "$WORK/census-v2.cpi" >/dev/null
+"$BIN" train -dataset dmv -rows 2000 -queries 300 -model histogram -method s-cp -out "$WORK/dmv-v1.cpi" >/dev/null
+ls -l "$WORK"/*.cpi
+
+say "serve the dmv artifact as the default bundle (and registry host)"
+"$BIN" serve -addr "$ADDR" -artifact "$WORK/dmv-v1.cpi" >"$LOG" 2>&1 &
+SERVE_PID=$!
+delay=0.1
+for _ in $(seq 1 12); do
+  curl -fsS --max-time 2 "http://$ADDR/healthz" >/dev/null 2>&1 && break
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "registry-demo: server exited early:" >&2
+    cat "$LOG" >&2
+    exit 1
+  fi
+  sleep "$delay"
+  delay="$(awk -v d="$delay" 'BEGIN { printf "%.2f", (d * 2 > 3) ? 3 : d * 2 }')"
+done
+curl -fsS --max-time 2 "http://$ADDR/healthz" >/dev/null
+
+say "register + promote acme/census"
+curl -s -X POST "http://$ADDR/admin/register" \
+  -d "{\"tenant\": \"acme\", \"table\": \"census\", \"artifact\": \"$WORK/census-v1.cpi\"}"
+curl -s -X POST "http://$ADDR/admin/promote" \
+  -d '{"tenant": "acme", "table": "census"}'
+
+say "register + promote globex/dmv"
+curl -s -X POST "http://$ADDR/admin/register" \
+  -d "{\"tenant\": \"globex\", \"table\": \"dmv\", \"artifact\": \"$WORK/dmv-v1.cpi\"}" >/dev/null
+curl -s -X POST "http://$ADDR/admin/promote" \
+  -d '{"tenant": "globex", "table": "dmv"}'
+
+say "each tenant queries its own bundle (note the bundle field)"
+curl -s "http://$ADDR/estimate?tenant=acme&table=census&q=age+%3D+3"
+curl -s "http://$ADDR/estimate?tenant=globex&table=dmv&q=state+%3D+3" | grep '"bundle"'
+
+say "routed globex/dmv answers are bit-identical to the default bundle"
+IV_DEFAULT="$(curl -fsS "http://$ADDR/estimate?q=state+%3D+3" | grep -E '"(interval_|estimate_)')"
+IV_ROUTED="$(curl -fsS "http://$ADDR/estimate?tenant=globex&table=dmv&q=state+%3D+3" | grep -E '"(interval_|estimate_)')"
+if [ "$IV_ROUTED" != "$IV_DEFAULT" ]; then
+  echo "registry-demo: routed interval disagrees with the default bundle" >&2
+  printf 'routed:\n%s\ndefault:\n%s\n' "$IV_ROUTED" "$IV_DEFAULT" >&2
+  exit 1
+fi
+printf '%s\n' "$IV_ROUTED"
+
+say "roll out acme/census v2 (same recipe, so the smoke check passes)..."
+curl -s -X POST "http://$ADDR/admin/register" \
+  -d "{\"tenant\": \"acme\", \"table\": \"census\", \"artifact\": \"$WORK/census-v2.cpi\"}" >/dev/null
+curl -s -X POST "http://$ADDR/admin/promote" \
+  -d '{"tenant": "acme", "table": "census", "version": 2}'
+
+say "...then change your mind: rollback is O(1)"
+curl -s -X POST "http://$ADDR/admin/rollback" \
+  -d '{"tenant": "acme", "table": "census"}'
+
+say "the whole registry, including cache residency"
+curl -s "http://$ADDR/admin/registry"
+
+say "registry metrics"
+curl -s "http://$ADDR/metrics" | grep '^cardpi_registry_'
+
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID"
+say "registry-demo: OK"

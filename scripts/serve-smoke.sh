@@ -4,8 +4,17 @@
 # metric families. Then run the artifact lifecycle end to end: train a
 # bundle, inspect it, serve from it without retraining, and assert the
 # artifact-backed server returns the same interval as the in-process one.
-# Run via `make serve-smoke`; CI runs it on every push so the serving stack
-# can't silently rot.
+# Finally drive the multi-tenant registry round trip from OPERATIONS.md:
+# register two tenants over /admin, promote behind the bit-identity smoke
+# check, route with ?tenant=&table=, roll back, and assert the
+# cardpi_registry_* metric families. Run via `make serve-smoke`; CI runs it
+# on every push so the serving stack can't silently rot.
+#
+# Style rule: never pipe a producer into `grep -q`. grep -q exits at the
+# first match, and under `set -o pipefail` the producer (curl still
+# streaming, printf mid-flush, tee) can die of SIGPIPE → exit 141 → a
+# spurious, racy failure. Capture output into a variable first, then grep a
+# here-string.
 set -euo pipefail
 
 ADDR="${SMOKE_ADDR:-127.0.0.1:18080}"
@@ -48,10 +57,13 @@ SERVE_PID=$!
 wait_ready "$ADDR" "$SERVE_PID" "$LOG"
 
 echo "serve-smoke: GET /estimate"
-curl -fsS "http://$ADDR/estimate?q=state+%3D+3" | tee /dev/stderr | grep -q '"covered"'
+EST="$(curl -fsS "http://$ADDR/estimate?q=state+%3D+3")"
+printf '%s\n' "$EST" >&2
+grep -q '"covered"' <<<"$EST"
 
 echo "serve-smoke: /healthz reports in-process training"
-curl -fsS "http://$ADDR/healthz" | grep -q '"model_source": "trained"'
+HEALTH="$(curl -fsS "http://$ADDR/healthz")"
+grep -q '"model_source": "trained"' <<<"$HEALTH"
 
 echo "serve-smoke: malformed input must 400 with a structured error"
 BAD_CODE="$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/estimate")"
@@ -59,13 +71,14 @@ if [ "$BAD_CODE" != "400" ]; then
   echo "serve-smoke: missing-q request returned $BAD_CODE, want 400" >&2
   exit 1
 fi
-curl -s "http://$ADDR/estimate" | grep -q '"code"'
+BAD_BODY="$(curl -s "http://$ADDR/estimate")"
+grep -q '"code"' <<<"$BAD_BODY"
 
 echo "serve-smoke: POST /estimate/batch agrees element-wise with GET /estimate"
 BATCH="$(curl -fsS -X POST -H 'Content-Type: application/json' \
   -d '{"queries": ["state = 3", "model_year BETWEEN 40 AND 90"]}' \
   "http://$ADDR/estimate/batch")"
-printf '%s\n' "$BATCH" | grep -q '"count": 2'
+grep -q '"count": 2' <<<"$BATCH"
 # The batch response must carry, element for element and in order, exactly
 # the estimate/interval fields the single endpoint returns for the same
 # queries (indentation differs between the nested and flat encodings, so
@@ -100,8 +113,9 @@ if [ "$BAD_WIRE_CODE" != "400" ]; then
   echo "serve-smoke: malformed binary batch returned $BAD_WIRE_CODE, want 400" >&2
   exit 1
 fi
-printf 'XXXXgarbage' | curl -s -X POST -H 'Content-Type: application/x-cardpi-batch' \
-  --data-binary @- "http://$ADDR/estimate/batch" | grep -q 'invalid_wire'
+BAD_WIRE_BODY="$(printf 'XXXXgarbage' | curl -s -X POST -H 'Content-Type: application/x-cardpi-batch' \
+  --data-binary @- "http://$ADDR/estimate/batch")"
+grep -q 'invalid_wire' <<<"$BAD_WIRE_BODY"
 
 echo "serve-smoke: malformed batch element must 400 and name the element"
 BAD_BATCH_CODE="$(curl -s -o /dev/null -w '%{http_code}' -X POST \
@@ -110,8 +124,9 @@ if [ "$BAD_BATCH_CODE" != "400" ]; then
   echo "serve-smoke: malformed batch returned $BAD_BATCH_CODE, want 400" >&2
   exit 1
 fi
-curl -s -X POST -d '{"queries": ["state = 3", "definitely not sql"]}' \
-  "http://$ADDR/estimate/batch" | grep -q 'query 1'
+BAD_BATCH_BODY="$(curl -s -X POST -d '{"queries": ["state = 3", "definitely not sql"]}' \
+  "http://$ADDR/estimate/batch")"
+grep -q 'query 1' <<<"$BAD_BATCH_BODY"
 
 echo "serve-smoke: GET /metrics"
 METRICS="$(curl -fsS "http://$ADDR/metrics")"
@@ -133,14 +148,14 @@ for family in cardpi_pi_calls_total cardpi_pi_latency_seconds \
   cardpi_serve_batch_request_seconds cardpi_serve_batch_wire_total \
   cardpi_resilient_calls_total cardpi_resilient_served_total \
   cardpi_resilient_breaker_state; do
-  if ! printf '%s\n' "$METRICS" | grep -q "^$family"; then
+  if ! grep -q "^$family" <<<"$METRICS"; then
     echo "serve-smoke: missing metric family $family" >&2
     exit 1
   fi
 done
 # Both wire formats were exercised above, so both labelled series must exist.
 for label in 'wire_format="json"' 'wire_format="binary"'; do
-  if ! printf '%s\n' "$METRICS" | grep -q "^cardpi_serve_batch_wire_total{$label}"; then
+  if ! grep -q "^cardpi_serve_batch_wire_total{$label}" <<<"$METRICS"; then
     echo "serve-smoke: missing cardpi_serve_batch_wire_total{$label} series" >&2
     exit 1
   fi
@@ -154,7 +169,9 @@ echo "serve-smoke: cardpi train"
 "$BIN" train -dataset dmv -rows 2000 -queries 300 -model histogram -method s-cp -out "$ART"
 
 echo "serve-smoke: cardpi inspect"
-"$BIN" inspect "$ART" | tee /dev/stderr | grep -q 'histogram / s-cp'
+INSPECT="$("$BIN" inspect "$ART")"
+printf '%s\n' "$INSPECT" >&2
+grep -q 'histogram / s-cp' <<<"$INSPECT"
 
 echo "serve-smoke: serve -artifact"
 "$BIN" serve -addr "$ART_ADDR" -artifact "$ART" >"$ART_LOG" 2>&1 &
@@ -164,8 +181,8 @@ grep -q 'model source: artifact' "$ART_LOG"
 
 echo "serve-smoke: /healthz reports the artifact"
 HEALTH="$(curl -fsS "http://$ART_ADDR/healthz")"
-printf '%s\n' "$HEALTH" | grep -q '"model_source": "artifact"'
-printf '%s\n' "$HEALTH" | grep -q '"dataset": "dmv"'
+grep -q '"model_source": "artifact"' <<<"$HEALTH"
+grep -q '"dataset": "dmv"' <<<"$HEALTH"
 
 echo "serve-smoke: artifact-backed intervals match the in-process server"
 Q="state+%3D+3"
@@ -178,11 +195,114 @@ if [ "$IV_TRAINED" != "$IV_ARTIFACT" ]; then
 fi
 
 echo "serve-smoke: artifact provenance gauge on /metrics"
-# Capture before grepping: `curl | grep -q` races grep's early exit against
-# curl's remaining body writes (SIGPIPE → exit 23 under pipefail).
 ART_METRICS="$(curl -fsS "http://$ART_ADDR/metrics")"
-printf '%s\n' "$ART_METRICS" | grep -q '^cardpi_serve_artifact_info{model="histogram",method="s-cp",dataset="dmv"'
+grep -q '^cardpi_serve_artifact_info{model="histogram",method="s-cp",dataset="dmv"' <<<"$ART_METRICS"
+
+# --- registry lifecycle: register → promote → route → rollback ------------
+# Two tenants share the artifact server (OPERATIONS.md walks this same
+# session by hand). Routed answers must be bit-identical to the unrouted
+# default-bundle answer because both load the very same .cpi bytes.
+
+# admin_post <path> <json> <want_status> [want_code] — POST an admin body,
+# assert the status (and, for errors, the machine-readable error code), and
+# leave the response body in ADMIN_OUT.
+ADMIN_OUT=""
+admin_post() {
+  local path="$1" body="$2" want="$3" code="${4:-}"
+  local out status
+  out="$(curl -s -w '\n%{http_code}' -X POST -H 'Content-Type: application/json' \
+    -d "$body" "http://$ART_ADDR$path")"
+  status="${out##*$'\n'}"
+  out="${out%$'\n'*}"
+  if [ "$status" != "$want" ]; then
+    echo "serve-smoke: POST $path returned $status, want $want: $out" >&2
+    exit 1
+  fi
+  if [ -n "$code" ] && ! grep -q "\"$code\"" <<<"$out"; then
+    echo "serve-smoke: POST $path missing error code $code: $out" >&2
+    exit 1
+  fi
+  ADMIN_OUT="$out"
+}
+
+echo "serve-smoke: routed request before any promote must 404 unknown_bundle"
+PRE_CODE="$(curl -s -o /dev/null -w '%{http_code}' "http://$ART_ADDR/estimate?q=$Q&tenant=acme&table=dmv")"
+if [ "$PRE_CODE" != "404" ]; then
+  echo "serve-smoke: unrouted tenant returned $PRE_CODE, want 404" >&2
+  exit 1
+fi
+
+echo "serve-smoke: register + promote acme/dmv and globex/dmv"
+admin_post /admin/register "{\"tenant\":\"acme\",\"table\":\"dmv\",\"artifact\":\"$ART\"}" 200
+grep -q '"version": 1' <<<"$ADMIN_OUT"
+admin_post /admin/promote '{"tenant":"acme","table":"dmv"}' 200
+grep -q '"active_version": 1' <<<"$ADMIN_OUT"
+admin_post /admin/register "{\"tenant\":\"globex\",\"table\":\"dmv\",\"artifact\":\"$ART\"}" 200
+admin_post /admin/promote '{"tenant":"globex","table":"dmv"}' 200
+
+echo "serve-smoke: routed intervals are bit-identical to the default bundle"
+ROUTED="$(curl -fsS "http://$ART_ADDR/estimate?q=$Q&tenant=acme&table=dmv")"
+grep -q '"bundle": "acme/dmv@v1"' <<<"$ROUTED"
+IV_ROUTED="$(printf '%s\n' "$ROUTED" | grep -E '"(interval_|estimate_)')"
+if [ "$IV_ROUTED" != "$IV_ARTIFACT" ]; then
+  echo "serve-smoke: routed interval disagrees with the default bundle" >&2
+  printf 'routed:\n%s\ndefault:\n%s\n' "$IV_ROUTED" "$IV_ARTIFACT" >&2
+  exit 1
+fi
+
+echo "serve-smoke: routed wire formats agree element-wise"
+TEN_JSON="$("$BIN" batch -addr "$ART_ADDR" -tenant globex -table dmv -format json "state = 3")"
+TEN_BIN="$("$BIN" batch -addr "$ART_ADDR" -tenant globex -table dmv -format binary "state = 3")"
+if [ -z "$TEN_JSON" ] || [ "$TEN_JSON" != "$TEN_BIN" ]; then
+  echo "serve-smoke: routed wire formats disagree" >&2
+  printf 'json:\n%s\nbinary:\n%s\n' "$TEN_JSON" "$TEN_BIN" >&2
+  exit 1
+fi
+
+echo "serve-smoke: same-recipe v2 passes the smoke check; rollback restores v1"
+admin_post /admin/register "{\"tenant\":\"acme\",\"table\":\"dmv\",\"artifact\":\"$ART\"}" 200
+grep -q '"version": 2' <<<"$ADMIN_OUT"
+admin_post /admin/promote '{"tenant":"acme","table":"dmv","version":2}' 200
+grep -q '"active_version": 2' <<<"$ADMIN_OUT"
+admin_post /admin/rollback '{"tenant":"acme","table":"dmv"}' 200
+grep -q '"active_version": 1' <<<"$ADMIN_OUT"
+ROLLED="$(curl -fsS "http://$ART_ADDR/estimate?q=$Q&tenant=acme&table=dmv")"
+grep -q '"bundle": "acme/dmv@v1"' <<<"$ROLLED"
+
+echo "serve-smoke: a different-seed candidate must be refused with smoke_mismatch"
+ART2="$WORK/model-seed2.cpi"
+"$BIN" train -dataset dmv -rows 2000 -queries 300 -model histogram -method s-cp -seed 2 -out "$ART2"
+admin_post /admin/register "{\"tenant\":\"acme\",\"table\":\"dmv\",\"artifact\":\"$ART2\"}" 200
+grep -q '"version": 3' <<<"$ADMIN_OUT"
+admin_post /admin/promote '{"tenant":"acme","table":"dmv","version":3}' 409 smoke_mismatch
+# The failed promote changed nothing: v1 keeps answering.
+AFTER_REFUSED="$(curl -fsS "http://$ART_ADDR/estimate?q=$Q&tenant=acme&table=dmv")"
+grep -q '"bundle": "acme/dmv@v1"' <<<"$AFTER_REFUSED"
+
+echo "serve-smoke: GET /admin/registry lists both tenants"
+REGISTRY="$(curl -fsS "http://$ART_ADDR/admin/registry")"
+grep -q '"tenant": "acme"' <<<"$REGISTRY"
+grep -q '"tenant": "globex"' <<<"$REGISTRY"
+
+echo "serve-smoke: cardpi_registry_* metric families on /metrics"
+REG_METRICS="$(curl -fsS "http://$ART_ADDR/metrics")"
+for family in cardpi_registry_entries cardpi_registry_bundles_cached \
+  cardpi_registry_registered_total cardpi_registry_loads_total \
+  cardpi_registry_promotes_total cardpi_registry_rollbacks_total \
+  cardpi_registry_smoke_failures_total cardpi_registry_faults_total; do
+  if ! grep -q "^$family" <<<"$REG_METRICS"; then
+    echo "serve-smoke: missing metric family $family" >&2
+    exit 1
+  fi
+done
+# Both tenants served routed traffic, so both labelled series must exist.
+for label in 'tenant="acme"' 'tenant="globex"'; do
+  if ! grep -q "^cardpi_registry_requests_total{$label}" <<<"$REG_METRICS"; then
+    echo "serve-smoke: missing cardpi_registry_requests_total{$label} series" >&2
+    exit 1
+  fi
+done
 
 kill -INT "$SERVE_PID" "$ART_PID"
 wait "$SERVE_PID" "$ART_PID"
-echo "serve-smoke: OK ($SERIES cardpi_ series, artifact round trip verified)"
+echo "serve-smoke: OK ($SERIES cardpi_ series, artifact + registry round trips verified)"
