@@ -190,15 +190,27 @@ func (a *Adaptive) registerMetrics(reg *obs.Registry) {
 		func() float64 { return math.Log(1 / a.significance) }, model)
 }
 
-// Name implements PI.
-func (a *Adaptive) Name() string { return "adaptive/" + a.model.Name() }
+// Name implements PI. The name tracks the current model, so it changes when
+// RecalibrateModel swaps in a corrected chain. Safe for concurrent use.
+func (a *Adaptive) Name() string { return "adaptive/" + a.currentModel().Name() }
+
+// currentModel snapshots the model pointer under the lock; estimates are
+// computed outside the lock against the snapshot, so a concurrent
+// recalibration swap never tears a read (a racing Observe may feed one
+// pre-swap estimate into the post-swap calibration set, which the next
+// online update washes out).
+func (a *Adaptive) currentModel() Estimator {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.model
+}
 
 // Interval implements PI against the current calibration state: a
 // selectivity interval in [0, 1]. Safe for concurrent use; with metrics
 // enabled the produced width also feeds the rolling width telemetry.
 // Recording adds zero heap allocations per call.
 func (a *Adaptive) Interval(q workload.Query) (Interval, error) {
-	pred := a.model.EstimateSelectivity(q)
+	pred := a.currentModel().EstimateSelectivity(q)
 	a.mu.Lock()
 	iv, err := a.online.Interval(pred)
 	if err != nil {
@@ -220,7 +232,7 @@ func (a *Adaptive) Interval(q workload.Query) (Interval, error) {
 // diverged model, a corrupt oracle) are dropped rather than poisoning the
 // calibration scores. Safe for concurrent use.
 func (a *Adaptive) Observe(q workload.Query, trueSel float64) {
-	pred := a.model.EstimateSelectivity(q)
+	pred := a.currentModel().EstimateSelectivity(q)
 	if math.IsNaN(pred) || math.IsInf(pred, 0) || math.IsNaN(trueSel) || math.IsInf(trueSel, 0) {
 		if a.droppedTotal != nil {
 			a.droppedTotal.Inc()
@@ -269,32 +281,86 @@ func (a *Adaptive) Drifted() bool {
 // Recalibrate acknowledges a drift alarm: it resets the exchangeability
 // monitor and the edge-triggered alarm latch, and — when wl is non-nil —
 // replaces the calibration scores with fresh labeled queries (selectivities
-// in [0, 1]) scored against the current model, exactly as NewAdaptive's
-// seeding pass does. With wl nil only the drift monitor resets and the
-// existing calibration scores are kept. After a successful Recalibrate the
-// alarm can fire again on renewed drift (the alarm counter is
-// edge-triggered per drift episode). Safe for concurrent use.
+// in [0, 1]) scored against the current model. With wl nil only the drift
+// monitor resets and the existing calibration scores are kept.
+//
+// The replacement calibration state is built and validated before any
+// monitor state is touched: a workload that yields an empty calibration set
+// (all queries dropped as non-finite) returns an error with the alarm,
+// martingale, and calibration scores exactly as they were, so a failed
+// recalibration can never disarm a live alarm. On success the rolling
+// coverage/width telemetry rings reset along with the monitor —
+// RollingCoverage reads NaN until post-recalibration traffic refills it —
+// so the telemetry never blends pre-drift samples into the recalibrated
+// chain's numbers. After a successful Recalibrate the alarm can fire again
+// on renewed drift (the alarm counter is edge-triggered per drift episode).
+// Safe for concurrent use.
 func (a *Adaptive) Recalibrate(wl *workload.Workload) error {
-	a.mu.Lock()
+	return a.recalibrate(nil, wl)
+}
+
+// RecalibrateModel atomically swaps in a replacement model together with a
+// fresh calibration workload scored against it — the commit half of a
+// validated recalibration candidate (see internal/recal). Both arguments are
+// required: swapping the model while keeping scores calibrated on the old
+// one would silently void the coverage guarantee. Validation, failure
+// atomicity, and telemetry-ring semantics are exactly those of Recalibrate.
+// Safe for concurrent use.
+func (a *Adaptive) RecalibrateModel(model Estimator, wl *workload.Workload) error {
+	if model == nil {
+		return fmt.Errorf("cardpi: RecalibrateModel requires a replacement model")
+	}
+	if wl == nil {
+		return fmt.Errorf("cardpi: model swap requires a replacement calibration workload")
+	}
+	return a.recalibrate(model, wl)
+}
+
+// recalibrate is the shared two-phase implementation: phase 1 builds the
+// replacement calibration state against the effective model without mutating
+// anything; phase 2 commits model, scores, monitor reset, and telemetry-ring
+// reset under one lock acquisition.
+func (a *Adaptive) recalibrate(model Estimator, wl *workload.Workload) error {
+	var online *conformal.Online
 	if wl != nil {
-		online, err := conformal.NewOnline(a.score, a.alpha, a.window)
+		m := model
+		if m == nil {
+			m = a.currentModel()
+		}
+		var err error
+		online, err = conformal.NewOnline(a.score, a.alpha, a.window)
 		if err != nil {
-			a.mu.Unlock()
 			return err
 		}
+		dropped := 0
+		for _, lq := range wl.Queries {
+			pred := m.EstimateSelectivity(lq.Query)
+			if math.IsNaN(pred) || math.IsInf(pred, 0) || math.IsNaN(lq.Sel) || math.IsInf(lq.Sel, 0) {
+				dropped++
+				continue
+			}
+			online.Add(pred, lq.Sel)
+		}
+		if online.Len() == 0 {
+			return fmt.Errorf("cardpi: recalibration workload yields an empty calibration set (%d queries, %d dropped)",
+				len(wl.Queries), dropped)
+		}
+	} else if a.CalibrationSize() == 0 {
+		return fmt.Errorf("cardpi: recalibration left an empty calibration set")
+	}
+
+	a.mu.Lock()
+	if model != nil {
+		a.model = model
+	}
+	if online != nil {
 		a.online = online
 	}
 	a.mart.Reset()
 	a.alarmed = false
+	a.hits = ring{}
+	a.widths = ring{}
 	a.mu.Unlock()
-	if wl != nil {
-		for _, lq := range wl.Queries {
-			a.Observe(lq.Query, lq.Sel)
-		}
-	}
-	if a.CalibrationSize() == 0 {
-		return fmt.Errorf("cardpi: recalibration left an empty calibration set")
-	}
 	if a.recalTotal != nil {
 		a.recalTotal.Inc()
 	}

@@ -1,10 +1,13 @@
 package cardpi
 
 import (
+	"math"
+	"sync"
 	"testing"
 
 	"cardpi/internal/conformal"
 	"cardpi/internal/dataset"
+	"cardpi/internal/estimator"
 	"cardpi/internal/faultinject"
 	"cardpi/internal/obs"
 	"cardpi/internal/workload"
@@ -177,5 +180,195 @@ func TestAdaptiveDriftAlarmEdgeTriggered(t *testing.T) {
 	}
 	if got := alarms.Value(); got != 2 {
 		t.Fatalf("alarm counter = %d after a second episode, want 2", got)
+	}
+}
+
+// TestAdaptiveRecalibrateFailureKeepsState pins the validate-before-mutate
+// contract: a recalibration whose workload yields an empty calibration set
+// must error with the alarm latched, the martingale untouched, the
+// calibration scores intact, and the recalibration counter unmoved — a failed
+// recalibration can never disarm a live drift alarm.
+func TestAdaptiveRecalibrateFailureKeepsState(t *testing.T) {
+	model, _, _, cal, test := fixture(t)
+	reg := obs.NewRegistry()
+	a, err := NewAdaptive(model, cal, conformal.ResidualScore{},
+		AdaptiveConfig{Alpha: 0.1, Seed: 6, Significance: 0.01, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lq := range test.Queries[:200] {
+		a.Observe(lq.Query, 1-lq.Sel) // inverted truths: certain drift
+	}
+	if !a.Drifted() {
+		t.Fatalf("drift not detected; stat %v", a.DriftStatistic())
+	}
+	sizeBefore := a.CalibrationSize()
+	statBefore := a.DriftStatistic()
+
+	// Every query in this workload is dropped (non-finite truth), so the
+	// rebuilt calibration set is empty and the recalibration must refuse.
+	poisoned := &workload.Workload{NormN: cal.NormN}
+	for _, lq := range cal.Queries[:20] {
+		poisoned.Queries = append(poisoned.Queries,
+			workload.Labeled{Query: lq.Query, Sel: math.NaN(), Norm: lq.Norm})
+	}
+	if err := a.Recalibrate(poisoned); err == nil {
+		t.Fatal("Recalibrate accepted a workload yielding an empty calibration set")
+	}
+	if !a.Drifted() {
+		t.Fatal("failed recalibration disarmed the drift alarm")
+	}
+	if got := a.CalibrationSize(); got != sizeBefore {
+		t.Errorf("failed recalibration changed calibration size %d -> %d", sizeBefore, got)
+	}
+	if got := a.DriftStatistic(); got != statBefore {
+		t.Errorf("failed recalibration moved the drift statistic %v -> %v", statBefore, got)
+	}
+	recals := reg.Counter("cardpi_adaptive_recalibrations_total", "", obs.L("model", model.Name()))
+	if got := recals.Value(); got != 0 {
+		t.Errorf("recalibration counter = %d after a failed recalibration, want 0", got)
+	}
+}
+
+// TestAdaptiveRecalibrateResetsTelemetryRings pins the ring-reset semantics:
+// after a successful recalibration the rolling coverage reads NaN (no blended
+// pre-drift samples) until fresh traffic refills the window.
+func TestAdaptiveRecalibrateResetsTelemetryRings(t *testing.T) {
+	model, _, _, cal, test := fixture(t)
+	a, err := NewAdaptive(model, cal, conformal.ResidualScore{},
+		AdaptiveConfig{Alpha: 0.1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lq := range test.Queries[:100] {
+		a.Observe(lq.Query, lq.Sel)
+	}
+	if math.IsNaN(a.RollingCoverage()) {
+		t.Fatal("rolling coverage empty after 100 observations")
+	}
+	if err := a.Recalibrate(cal); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.RollingCoverage(); !math.IsNaN(got) {
+		t.Fatalf("rolling coverage = %v immediately after recalibration, want NaN (reset rings)", got)
+	}
+	a.Observe(test.Queries[100].Query, test.Queries[100].Sel)
+	if math.IsNaN(a.RollingCoverage()) {
+		t.Fatal("rolling coverage still NaN after post-recalibration traffic")
+	}
+}
+
+// TestAdaptiveRecalibrateModel pins the model-swap commit path used by the
+// recalibration supervisor: both arguments are required, and a successful
+// swap changes the served estimates, the wrapper's name, and the calibration
+// scores together.
+func TestAdaptiveRecalibrateModel(t *testing.T) {
+	model, _, _, cal, test := fixture(t)
+	a, err := NewAdaptive(model, cal, conformal.ResidualScore{},
+		AdaptiveConfig{Alpha: 0.1, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replacement := estimator.Func{N: "replacement", F: func(q workload.Query) float64 {
+		return 0.5 * model.EstimateSelectivity(q)
+	}}
+	if err := a.RecalibrateModel(nil, cal); err == nil {
+		t.Error("RecalibrateModel accepted a nil model")
+	}
+	if err := a.RecalibrateModel(replacement, nil); err == nil {
+		t.Error("RecalibrateModel accepted a nil workload")
+	}
+	if a.Name() != "adaptive/histogram" {
+		t.Fatalf("rejected swaps changed the name to %s", a.Name())
+	}
+	if err := a.RecalibrateModel(replacement, cal); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Name(); got != "adaptive/replacement" {
+		t.Errorf("name after swap = %q, want adaptive/replacement", got)
+	}
+	if got := a.CalibrationSize(); got != len(cal.Queries) {
+		t.Errorf("calibration size after swap = %d, want %d", got, len(cal.Queries))
+	}
+	iv, err := a.Interval(test.Queries[0].Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(iv.Lo >= 0 && iv.Hi <= 1 && iv.Lo <= iv.Hi) {
+		t.Errorf("post-swap interval [%v, %v] invalid", iv.Lo, iv.Hi)
+	}
+}
+
+// TestAdaptiveRecalibrateRace exercises the swap path under the race
+// detector: serving traffic (Interval/Observe/Drifted/Name) races repeated
+// Recalibrate and RecalibrateModel calls, and every served interval must stay
+// finite, ordered, and inside [0, 1].
+func TestAdaptiveRecalibrateRace(t *testing.T) {
+	model, _, _, cal, test := fixture(t)
+	a, err := NewAdaptive(model, cal, conformal.ResidualScore{},
+		AdaptiveConfig{Alpha: 0.1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replacement := estimator.Func{N: "replacement", F: func(q workload.Query) float64 {
+		return 0.5 * model.EstimateSelectivity(q)
+	}}
+	var wg sync.WaitGroup
+	errCh := make(chan string, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				lq := test.Queries[(w*200+i)%len(test.Queries)]
+				iv, err := a.Interval(lq.Query)
+				if err != nil {
+					select {
+					case errCh <- "Interval: " + err.Error():
+					default:
+					}
+					return
+				}
+				if math.IsNaN(iv.Lo) || math.IsNaN(iv.Hi) || iv.Lo > iv.Hi || iv.Lo < 0 || iv.Hi > 1 {
+					select {
+					case errCh <- "invalid interval under concurrent recalibration":
+					default:
+					}
+					return
+				}
+				a.Observe(lq.Query, lq.Sel)
+				_ = a.Drifted()
+				_ = a.Name()
+				_ = a.RollingCoverage()
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if i%2 == 0 {
+				if err := a.Recalibrate(cal); err != nil {
+					select {
+					case errCh <- "Recalibrate: " + err.Error():
+					default:
+					}
+					return
+				}
+			} else {
+				if err := a.RecalibrateModel(replacement, cal); err != nil {
+					select {
+					case errCh <- "RecalibrateModel: " + err.Error():
+					default:
+					}
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for msg := range errCh {
+		t.Error(msg)
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"cardpi/internal/obs"
 	"cardpi/internal/par"
 	"cardpi/internal/pipeline"
+	"cardpi/internal/recal"
 	"cardpi/internal/registry"
 	"cardpi/internal/workload"
 )
@@ -61,7 +62,12 @@ const maxBatchBodyBytes = 1 << 20
 // Every /estimate answer is also fed back into a cardpi.Adaptive monitor
 // (the demo owns the ground-truth oracle, standing in for the executor's
 // actual row counts), so the drift/coverage telemetry is live from the
-// first request. The server shuts down gracefully on SIGINT/SIGTERM.
+// first request. With -recal (on by default) a drift alarm additionally
+// closes the loop: a background supervisor shadow-recalibrates from the
+// recent observations, validates the candidate on held-out coverage, and
+// atomically swaps it into the serving chain — status and manual trigger on
+// /admin/recal (see RELIABILITY.md). The server shuts down gracefully on
+// SIGINT/SIGTERM.
 //
 // With -artifact the server loads a bundle written by `cardpi train` instead
 // of training in-process: startup skips every training and calibration step,
@@ -95,6 +101,14 @@ func runServe(args []string) error {
 
 		regCache   = fs.Int("registry-cache", registry.DefaultCacheSize, "loaded-bundle LRU capacity of the multi-tenant registry (see OPERATIONS.md)")
 		smokeCount = fs.Int("smoke-queries", registry.DefaultSmokeQueries, "calibration queries the /admin/promote bit-identity smoke check compares")
+
+		recalOn       = fs.Bool("recal", true, "run the closed-loop drift recalibration supervisor on the default serving unit (see RELIABILITY.md)")
+		recalWindow   = fs.Int("recal-window", 1024, "labeled observations the recalibration supervisor keeps in its rolling window")
+		recalMinObs   = fs.Int("recal-min-observed", 256, "window occupancy required before a recalibration candidate is built")
+		recalAttempts = fs.Int("recal-max-attempts", 5, "candidate build/validate attempts per drift episode before the episode is abandoned")
+		recalBackoff  = fs.Duration("recal-backoff", 500*time.Millisecond, "initial retry backoff after a rejected recalibration candidate (doubles per attempt)")
+		recalWidthCap = fs.Float64("recal-width-cap", 0, "reject recalibration candidates whose held-out mean interval width exceeds this (0 = library default 0.9)")
+		scenarioFlag  = fs.Bool("scenario-admin", false, "enable POST /admin/scenario dataset-mutation drills against the default unit (test/staging tooling, see OPERATIONS.md)")
 	)
 	fs.Usage = func() {
 		out := fs.Output()
@@ -168,6 +182,12 @@ func runServe(args []string) error {
 		registryCache: *regCache, smokeQueries: *smokeCount,
 		metrics: obs.Default(),
 		source:  src,
+		recal: recalOpts{
+			enabled: *recalOn, window: *recalWindow, minObserved: *recalMinObs,
+			maxAttempts: *recalAttempts, backoff: *recalBackoff,
+			widthCap: *recalWidthCap,
+		},
+		scenarioAdmin: *scenarioFlag,
 	})
 	if err != nil {
 		return err
@@ -176,6 +196,9 @@ func runServe(args []string) error {
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.mux()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if sup := srv.def.recal; sup != nil {
+		go sup.Run(ctx)
+	}
 
 	errCh := make(chan error, 1)
 	go func() {
@@ -281,20 +304,67 @@ type serveOpts struct {
 	// source records the model's provenance; nil means trained in-process
 	// (tests that assemble a Setup by hand take this default).
 	source *modelSource
+	// recal configures the closed-loop drift recalibration supervisor on the
+	// default unit; the zero value leaves it disabled, keeping hand-assembled
+	// test servers and registry units free of background work.
+	recal recalOpts
+	// scenarioAdmin enables the POST /admin/scenario dataset-mutation drills
+	// (test/staging tooling, off by default).
+	scenarioAdmin bool
+}
+
+// recalOpts carries the -recal* flags into the supervisor; zero-valued knobs
+// take the recal package defaults (see recal.Config).
+type recalOpts struct {
+	enabled     bool
+	window      int
+	minObserved int
+	maxAttempts int
+	coverageTol float64
+	widthCap    float64
+	backoff     time.Duration
+	maxBackoff  time.Duration
+}
+
+// servingChain is the swappable half of a serving unit: the point-estimate
+// model and the resilient interval chain built around it. Handlers resolve
+// the chain once per request with a single atomic pointer load and pass it
+// through, so a concurrent recalibration swap never tears a request — each
+// in-flight request finishes on the chain (and table) it resolved.
+type servingChain struct {
+	model     cardpi.Estimator
+	resilient *cardpi.Resilient
 }
 
 // servingUnit is one complete serving chain — table, estimator, resilient
 // PI, adaptive drift monitor — for one bundle. The default unit (built at
 // startup from -artifact or in-process training) answers unrouted requests;
-// registry-routed requests each resolve their own unit. A unit is immutable
-// after construction and safe for concurrent use, so a promote swaps whole
-// units atomically and in-flight requests keep the one they resolved.
+// registry-routed requests each resolve their own unit. The table and the
+// model/resilient chain live behind atomic pointers: the /admin/scenario
+// harness publishes mutated table clones and the recal supervisor swaps
+// validated recalibrated chains, both without a restart, while every other
+// part of the unit is immutable after construction. The adaptive monitor is
+// shared across swaps — RecalibrateModel re-points it at the new model and
+// reseeds its calibration set in one atomic commit.
 type servingUnit struct {
-	tab       *dataset.Table
-	model     cardpi.Estimator
-	resilient *cardpi.Resilient
-	adaptive  *cardpi.Adaptive
+	tab      atomic.Pointer[dataset.Table]
+	chain    atomic.Pointer[servingChain]
+	adaptive *cardpi.Adaptive
+	// fallback and uopts are retained so a recalibration swap can rebuild
+	// the resilient chain around a new primary with the original fallback
+	// stage and breaker tuning.
+	fallback cardpi.PI
+	uopts    unitOpts
+	// recal is the closed-loop drift supervisor (RELIABILITY.md); nil unless
+	// enabled, and only ever enabled on the default unit.
+	recal *recal.Supervisor
 }
+
+// table returns the currently published serving table.
+func (u *servingUnit) table() *dataset.Table { return u.tab.Load() }
+
+// current returns the currently published serving chain.
+func (u *servingUnit) current() *servingChain { return u.chain.Load() }
 
 // unitOpts configures newServingUnit — the per-bundle subset of serveOpts.
 type unitOpts struct {
@@ -350,7 +420,34 @@ func newServingUnit(s *pipeline.Setup, o unitOpts) (*servingUnit, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &servingUnit{tab: s.Table, model: s.Model, resilient: resilient, adaptive: adaptive}, nil
+	u := &servingUnit{adaptive: adaptive, fallback: fallback, uopts: o}
+	u.tab.Store(s.Table)
+	u.chain.Store(&servingChain{model: s.Model, resilient: resilient})
+	return u, nil
+}
+
+// swapChain is the commit half of a validated recalibration candidate:
+// rebuild the resilient chain around the corrected primary (same fallback
+// stage and breaker tuning), re-point the shared adaptive monitor at the
+// corrected model with the candidate's window as its fresh calibration set,
+// then publish the new chain with one atomic store. The ordering is
+// fail-closed — nothing is published until every fallible step has
+// succeeded, so an error return leaves the old chain serving untouched.
+func (u *servingUnit) swapChain(c *recal.Candidate) error {
+	resilient, err := cardpi.NewResilient(cardpi.Instrument(c.PI, u.uopts.metrics), cardpi.ResilientConfig{
+		Fallbacks:        []cardpi.PI{u.fallback},
+		FailureThreshold: u.uopts.breakerFailures,
+		OpenFor:          u.uopts.breakerOpen,
+		Metrics:          u.uopts.metrics,
+	})
+	if err != nil {
+		return err
+	}
+	if err := u.adaptive.RecalibrateModel(c.Model, c.Window); err != nil {
+		return err
+	}
+	u.chain.Store(&servingChain{model: c.Model, resilient: resilient})
+	return nil
 }
 
 // server holds the serving state: the default serving unit answering
@@ -362,6 +459,11 @@ type server struct {
 	timeout  time.Duration
 	maxBatch int
 	health   healthResponse
+
+	// scenarioAdmin gates POST /admin/scenario; scenarioMu serialises its
+	// clone → mutate → publish cycles so concurrent drills cannot interleave.
+	scenarioAdmin bool
+	scenarioMu    sync.Mutex
 
 	// Admission control: sem holds the execution slots; waiters counts
 	// requests queued for a slot, bounded by maxQueue.
@@ -435,6 +537,28 @@ func newServer(s *pipeline.Setup, o serveOpts) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
+	if o.recal.enabled {
+		sup, err := recal.New(recal.Config{
+			Base:        s.Model,
+			Alpha:       o.alpha,
+			Window:      o.recal.window,
+			MinObserved: o.recal.minObserved,
+			MaxAttempts: o.recal.maxAttempts,
+			CoverageTol: o.recal.coverageTol,
+			WidthCap:    o.recal.widthCap,
+			Backoff:     o.recal.backoff,
+			MaxBackoff:  o.recal.maxBackoff,
+			NormN:       int64(s.Table.NumRows()),
+			Drifted:     def.adaptive.Drifted,
+			Swap:        def.swapChain,
+			Metrics:     o.metrics,
+			Logf:        logStderr,
+		})
+		if err != nil {
+			return nil, err
+		}
+		def.recal = sup
+	}
 	// Registry-loaded bundles freeze their own alpha/seed in the manifest;
 	// the per-server knobs (window, breaker tuning) apply uniformly.
 	unitBase := unitOpts{
@@ -453,13 +577,14 @@ func newServer(s *pipeline.Setup, o serveOpts) (*server, error) {
 		Metrics:      o.metrics,
 	})
 	srv := &server{
-		def:      def,
-		reg:      reg,
-		timeout:  o.timeout,
-		maxBatch: o.maxBatch,
-		health:   healthFor(o.source),
-		sem:      make(chan struct{}, o.maxInflight),
-		maxQueue: int64(o.maxQueue),
+		def:           def,
+		reg:           reg,
+		timeout:       o.timeout,
+		maxBatch:      o.maxBatch,
+		health:        healthFor(o.source),
+		sem:           make(chan struct{}, o.maxInflight),
+		maxQueue:      int64(o.maxQueue),
+		scenarioAdmin: o.scenarioAdmin,
 	}
 	maxBatchCap := o.maxBatch
 	srv.scratch.New = func() any {
@@ -567,6 +692,9 @@ func (s *server) mux() http.Handler {
 	mux.HandleFunc("POST /admin/rollback", s.handleAdminRollback)
 	mux.HandleFunc("POST /admin/evict", s.handleAdminEvict)
 	mux.HandleFunc("GET /admin/registry", s.handleAdminRegistry)
+	mux.HandleFunc("GET /admin/recal", s.handleAdminRecalStatus)
+	mux.HandleFunc("POST /admin/recal/trigger", s.handleAdminRecalTrigger)
+	mux.HandleFunc("POST /admin/scenario", s.handleAdminScenario)
 	mux.Handle("GET /metrics", s.metricsHandler)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -715,7 +843,8 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			"query parameter q exceeds %d bytes", maxQueryBytes)
 		return
 	}
-	q, err := workload.ParseQuery(u.tab, line)
+	tab, ch := u.table(), u.current()
+	q, err := workload.ParseQuery(tab, line)
 	if err != nil {
 		s.reqBad.Inc()
 		httpError(w, http.StatusBadRequest, "parse_error", "parse %q: %v", line, err)
@@ -724,8 +853,8 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 
 	// The resilient chain never fails: a sick primary degrades through the
 	// fallback stages down to the fail-safe full-domain interval.
-	iv, depth := u.resilient.IntervalDepthCtx(ctx, q)
-	resp := u.respond(line, q, iv, depth, bundle, degraded)
+	iv, depth := ch.resilient.IntervalDepthCtx(ctx, q)
+	resp := u.respond(ch, tab, line, q, iv, depth, bundle, degraded)
 	s.reqOK.Inc()
 	w.Header().Set("Content-Type", "application/json")
 	sc := s.scratch.Get().(*serveScratch)
@@ -739,25 +868,28 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 
 // respond assembles the per-query answer around a served interval. Both
 // /estimate and /estimate/batch go through here, so a query's batch element
-// is field-for-field identical to its single-query reply. bundle and
+// is field-for-field identical to its single-query reply. ch and tab are the
+// chain and table the handler resolved at admission — passing them through
+// keeps every field of one reply consistent even while a recalibration swap
+// or scenario mutation publishes new pointers mid-request. bundle and
 // degraded carry routing provenance: which registry bundle answered (empty
 // on the unrouted path) and whether a registry fault forced the default
 // unit regardless of the chain depth.
-func (u *servingUnit) respond(line string, q workload.Query, iv cardpi.Interval, depth int, bundle string, degraded bool) estimateResponse {
+func (u *servingUnit) respond(ch *servingChain, tab *dataset.Table, line string, q workload.Query, iv cardpi.Interval, depth int, bundle string, degraded bool) estimateResponse {
 	// The demo owns the oracle, so it can score itself; a panicking or
 	// erroring model/oracle degrades the telemetry fields, never the reply.
-	truth, truthOK := u.groundTruth(q)
-	n := int64(u.tab.NumRows())
-	est := u.safeEstimate(q)
+	truth, truthOK := groundTruth(tab, q)
+	n := int64(tab.NumRows())
+	est := safeEstimate(ch.model, q)
 	if truthOK {
-		u.safeObserve(q, float64(truth)/float64(n))
+		u.observe(q, float64(truth)/float64(n))
 	}
 
 	cardIv := cardpi.CardinalityInterval(iv, n)
 	resp := estimateResponse{
 		Query:    line,
-		Method:   u.resilient.Name(),
-		ServedBy: u.stageName(depth),
+		Method:   ch.resilient.Name(),
+		ServedBy: ch.stageName(depth),
 		Bundle:   bundle,
 		Degraded: depth > 0 || degraded,
 		EstSel:   est,
@@ -878,6 +1010,7 @@ func (s *server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 
 	sc := s.scratch.Get().(*serveScratch)
 	defer s.scratch.Put(sc)
+	tab, ch := u.table(), u.current()
 
 	binary := strings.HasPrefix(r.Header.Get("Content-Type"), codec.WireContentType)
 	var lines []string
@@ -934,7 +1067,7 @@ func (s *server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 				"query %d exceeds %d bytes", i, maxQueryBytes)
 			return
 		}
-		q, err := workload.ParseQuery(u.tab, line)
+		q, err := workload.ParseQuery(tab, line)
 		if err != nil {
 			s.batchBad.Inc()
 			httpError(w, http.StatusBadRequest, "parse_error", "query %d: parse %q: %v", i, line, err)
@@ -944,10 +1077,10 @@ func (s *server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.batchSize.Observe(float64(len(sc.qs)))
 
-	ivs, depths := u.resilient.IntervalBatchDepthCtx(ctx, sc.qs)
+	ivs, depths := ch.resilient.IntervalBatchDepthCtx(ctx, sc.qs)
 	sc.results = sc.results[:0]
 	for i := range sc.qs {
-		sc.results = append(sc.results, u.respond(lines[i], sc.qs[i], ivs[i], depths[i], bundle, degraded))
+		sc.results = append(sc.results, u.respond(ch, tab, lines[i], sc.qs[i], ivs[i], depths[i], bundle, degraded))
 	}
 	s.batchOK.Inc()
 	if binary {
@@ -956,7 +1089,7 @@ func (s *server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 		for i := range sc.results {
 			sc.wire = append(sc.wire, wireResult(&sc.results[i], depths[i]))
 		}
-		sc.body = codec.AppendWireResponse(sc.body[:0], uint64(u.tab.NumRows()), sc.wire)
+		sc.body = codec.AppendWireResponse(sc.body[:0], uint64(tab.NumRows()), sc.wire)
 		w.Header().Set("Content-Type", codec.WireContentType)
 		_, _ = w.Write(sc.body)
 		return
@@ -971,26 +1104,27 @@ func (s *server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // stageName renders a fallback depth for the served_by field.
-func (u *servingUnit) stageName(depth int) string {
+func (ch *servingChain) stageName(depth int) string {
 	switch {
 	case depth == 0:
 		return "primary"
-	case depth >= u.resilient.FailsafeDepth():
+	case depth >= ch.resilient.FailsafeDepth():
 		return "failsafe"
 	default:
 		return fmt.Sprintf("fallback-%d", depth)
 	}
 }
 
-// groundTruth counts the true rows, absorbing oracle errors and panics —
-// the reply then just omits the self-scoring fields.
-func (u *servingUnit) groundTruth(q workload.Query) (truth int64, ok bool) {
+// groundTruth counts the true rows against the given table snapshot,
+// absorbing oracle errors and panics — the reply then just omits the
+// self-scoring fields.
+func groundTruth(tab *dataset.Table, q workload.Query) (truth int64, ok bool) {
 	defer func() {
 		if recover() != nil {
 			ok = false
 		}
 	}()
-	t, err := u.tab.Count(q.Preds)
+	t, err := tab.Count(q.Preds)
 	if err != nil {
 		return 0, false
 	}
@@ -1001,24 +1135,34 @@ func (u *servingUnit) groundTruth(q workload.Query) (truth int64, ok bool) {
 // values absorbed: a down or NaN-spewing model yields the sentinel -1
 // (encoding/json cannot marshal NaN/Inf, and the interval fields are what
 // callers should trust anyway).
-func (u *servingUnit) safeEstimate(q workload.Query) (est float64) {
+func safeEstimate(model cardpi.Estimator, q workload.Query) (est float64) {
 	defer func() {
 		if recover() != nil {
 			est = -1
 		}
 	}()
-	est = u.model.EstimateSelectivity(q)
+	est = model.EstimateSelectivity(q)
 	if math.IsNaN(est) || math.IsInf(est, 0) {
 		est = -1
 	}
 	return est
 }
 
-// safeObserve feeds the adaptive monitor, absorbing model panics (Observe
-// itself already drops non-finite inputs).
-func (u *servingUnit) safeObserve(q workload.Query, trueSel float64) {
+// observe feeds the adaptive monitor and, when the self-healing loop is
+// enabled, the recal supervisor's rolling window — kicking the supervisor on
+// every drifted observation. The kick is level-triggered on purpose: a
+// failed or rejected episode re-arms for as long as the drift persists,
+// instead of waiting for a second alarm edge that never comes. Model panics
+// are absorbed.
+func (u *servingUnit) observe(q workload.Query, trueSel float64) {
 	defer func() { _ = recover() }()
 	u.adaptive.Observe(q, trueSel)
+	if u.recal != nil {
+		u.recal.Record(q, trueSel)
+		if u.adaptive.Drifted() {
+			u.recal.Kick()
+		}
+	}
 }
 
 // httpError writes a structured JSON error: {"error": {"code", "message"}}.

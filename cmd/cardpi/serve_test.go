@@ -269,7 +269,7 @@ func TestServeChaosNo5xx(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := string(body)
-	name := srv.def.resilient.Name()
+	name := srv.def.current().resilient.Name()
 	for _, want := range []string{
 		fmt.Sprintf(`cardpi_serve_requests_total{class="ok"} %d`, n),
 		`cardpi_serve_shed_total 0`,
@@ -467,8 +467,8 @@ func TestServeBatchBinaryMatchesJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if int(tableRows) != srv.def.tab.NumRows() {
-		t.Fatalf("tableRows = %d, want %d", tableRows, srv.def.tab.NumRows())
+	if int(tableRows) != srv.def.table().NumRows() {
+		t.Fatalf("tableRows = %d, want %d", tableRows, srv.def.table().NumRows())
 	}
 	if len(results) != len(queries) {
 		t.Fatalf("binary answered %d results, want %d", len(results), len(queries))

@@ -29,6 +29,8 @@ func TestPublicSurfaceIsDocumented(t *testing.T) {
 		"internal/conformal": "cardpi/internal/conformal",
 		"internal/registry":  "cardpi/internal/registry",
 		"internal/pipeline":  "cardpi/internal/pipeline",
+		"internal/recal":     "cardpi/internal/recal",
+		"internal/scenario":  "cardpi/internal/scenario",
 	} {
 		missing, err := undocumentedExports(dir, importPath)
 		if err != nil {
@@ -66,6 +68,22 @@ func TestOperationsDocCoversRegistrySurface(t *testing.T) {
 		}
 		if !strings.Contains(observability, m) {
 			t.Errorf("OBSERVABILITY.md does not document registry metric %s", m)
+		}
+	}
+}
+
+// TestObservabilityDocCoversRecalSurface does the same for the closed-loop
+// recalibration supervisor: every cardpi_recal_* metric family created in
+// code must appear in OBSERVABILITY.md.
+func TestObservabilityDocCoversRecalSurface(t *testing.T) {
+	metrics := sourceMatches(t, regexp.MustCompile(`cardpi_recal_[a-z_]+`), "internal/recal", "cmd/cardpi")
+	if len(metrics) == 0 {
+		t.Fatal("surface scan found no cardpi_recal_* families — the scanner is broken")
+	}
+	observability := readDoc(t, "OBSERVABILITY.md")
+	for _, m := range metrics {
+		if !strings.Contains(observability, m) {
+			t.Errorf("OBSERVABILITY.md does not document recalibration metric %s", m)
 		}
 	}
 }

@@ -1,0 +1,119 @@
+// Package scenario is the dataset-mutation harness behind the self-healing
+// serving tests: it produces the distribution shifts a deployed estimator
+// actually faces — bulk inserts, value-skew rewrites, and the graded
+// stats-staleness levels (100/90/50/0% health, the fraction of rows left
+// untouched) used by the TiDB cardinality-estimation evaluation — so a test
+// can collapse a frozen model's coverage under a live server and assert the
+// closed recalibration loop recovers it without a restart.
+//
+// Concurrency contract: the mutators write table values in place and must
+// never run against a table concurrently read by serving traffic. The
+// supported live-server pattern is copy-on-write — Clone the serving table,
+// mutate the private clone, then publish it with an atomic pointer store
+// (see the /admin/scenario handler in cmd/cardpi). Every mutator is
+// deterministic in its seed and keeps all values inside the column's
+// declared domain, so existing predicates and query parsing stay valid.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cardpi/internal/dataset"
+)
+
+// Clone deep-copies a table's column values so the copy can be mutated while
+// the original keeps serving. Read-only column metadata (Dict, the code
+// lookup) is shared between original and clone.
+func Clone(t *dataset.Table) *dataset.Table {
+	cols := make([]*dataset.Column, len(t.Cols))
+	for i, c := range t.Cols {
+		nc := *c
+		nc.Values = append([]int64(nil), c.Values...)
+		cols[i] = &nc
+	}
+	return dataset.MustNewTable(t.Name, cols)
+}
+
+// Degrade rewrites every column of a uniform sample of (100-health)% of the
+// rows, redrawing each value from the hot decile of its column's domain.
+// health follows the TiDB stats-health convention — 100 leaves the table
+// untouched, 0 rewrites every row — and the rewritten mass piles onto a
+// narrow hot region, so statistics frozen on the old distribution misprice
+// both the exploded hot values and the depleted rest. Returns the number of
+// rows rewritten.
+func Degrade(t *dataset.Table, health int, seed int64) (int, error) {
+	if health < 0 || health > 100 {
+		return 0, fmt.Errorf("scenario: health %d outside [0, 100]", health)
+	}
+	n := t.NumRows()
+	k := n * (100 - health) / 100
+	if k == 0 {
+		return 0, nil
+	}
+	r := rand.New(rand.NewSource(seed))
+	for _, ri := range r.Perm(n)[:k] {
+		for _, c := range t.Cols {
+			c.Values[ri] = hotValue(c, r)
+		}
+	}
+	return k, nil
+}
+
+// InsertSkewed appends n rows drawn entirely from each column's hot decile —
+// the bulk-insert drift regime where new data concentrates where old data
+// was rare. Returns the number of rows appended; the table's row count grows
+// by n.
+func InsertSkewed(t *dataset.Table, n int, seed int64) (int, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("scenario: insert count %d must be positive", n)
+	}
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		for _, c := range t.Cols {
+			c.Values = append(c.Values, hotValue(c, r))
+		}
+	}
+	return n, nil
+}
+
+// SkewColumn rewrites a uniform sample of frac of the named column's values
+// to its hot decile, leaving the other columns untouched — a single-attribute
+// skew shift (e.g. one tenant's traffic concentrating on one region).
+// Returns the number of values rewritten.
+func SkewColumn(t *dataset.Table, col string, frac float64, seed int64) (int, error) {
+	c := t.Column(col)
+	if c == nil {
+		return 0, fmt.Errorf("scenario: table %q has no column %q", t.Name, col)
+	}
+	if frac < 0 || frac > 1 {
+		return 0, fmt.Errorf("scenario: frac %v outside [0, 1]", frac)
+	}
+	n := len(c.Values)
+	k := int(frac * float64(n))
+	if k == 0 {
+		return 0, nil
+	}
+	r := rand.New(rand.NewSource(seed))
+	for _, ri := range r.Perm(n)[:k] {
+		c.Values[ri] = hotValue(c, r)
+	}
+	return k, nil
+}
+
+// hotValue draws uniformly from the top decile of the column's declared
+// domain (at least one value wide), always inside [0, DomainSize) for
+// categorical columns and [Min, Max] for numeric ones.
+func hotValue(c *dataset.Column, r *rand.Rand) int64 {
+	dec := c.DomainWidth() / 10
+	if dec < 1 {
+		dec = 1
+	}
+	var lo int64
+	if c.Type == dataset.Categorical {
+		lo = c.DomainSize - dec
+	} else {
+		lo = c.Max - dec + 1
+	}
+	return lo + r.Int63n(dec)
+}

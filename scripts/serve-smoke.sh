@@ -4,11 +4,15 @@
 # metric families. Then run the artifact lifecycle end to end: train a
 # bundle, inspect it, serve from it without retraining, and assert the
 # artifact-backed server returns the same interval as the in-process one.
-# Finally drive the multi-tenant registry round trip from OPERATIONS.md:
+# Then drive the multi-tenant registry round trip from OPERATIONS.md:
 # register two tenants over /admin, promote behind the bit-identity smoke
 # check, route with ?tenant=&table=, roll back, and assert the
-# cardpi_registry_* metric families. Run via `make serve-smoke`; CI runs it
-# on every push so the serving stack can't silently rot.
+# cardpi_registry_* metric families. Finally run the drift-probe round trip
+# (RELIABILITY.md "Closed-loop recalibration"): mutate the dataset via
+# /admin/scenario under a live server, watch the drift alarm fire, and poll
+# until the recalibration supervisor swaps a validated chain in — no
+# restart. Run via `make serve-smoke`; CI runs it on every push so the
+# serving stack can't silently rot.
 #
 # Style rule: never pipe a producer into `grep -q`. grep -q exits at the
 # first match, and under `set -o pipefail` the producer (curl still
@@ -19,14 +23,17 @@ set -euo pipefail
 
 ADDR="${SMOKE_ADDR:-127.0.0.1:18080}"
 ART_ADDR="${SMOKE_ART_ADDR:-127.0.0.1:18081}"
+DRIFT_ADDR="${SMOKE_DRIFT_ADDR:-127.0.0.1:18082}"
 WORK="$(mktemp -d)"
 BIN="$WORK/cardpi"
 ART="$WORK/model.cpi"
 LOG="$(mktemp)"
 ART_LOG="$(mktemp)"
+DRIFT_LOG="$(mktemp)"
 SERVE_PID=""
 ART_PID=""
-trap 'kill "$SERVE_PID" "$ART_PID" 2>/dev/null || true; rm -rf "$WORK" "$LOG" "$ART_LOG"' EXIT
+DRIFT_PID=""
+trap 'kill "$SERVE_PID" "$ART_PID" "$DRIFT_PID" 2>/dev/null || true; rm -rf "$WORK" "$LOG" "$ART_LOG" "$DRIFT_LOG"' EXIT
 
 go build -o "$BIN" ./cmd/cardpi
 
@@ -147,7 +154,9 @@ for family in cardpi_pi_calls_total cardpi_pi_latency_seconds \
   cardpi_serve_batch_requests_total cardpi_serve_batch_size \
   cardpi_serve_batch_request_seconds cardpi_serve_batch_wire_total \
   cardpi_resilient_calls_total cardpi_resilient_served_total \
-  cardpi_resilient_breaker_state; do
+  cardpi_resilient_breaker_state \
+  cardpi_recal_state cardpi_recal_attempts_total \
+  cardpi_recal_success_total cardpi_recal_window_size; do
   if ! grep -q "^$family" <<<"$METRICS"; then
     echo "serve-smoke: missing metric family $family" >&2
     exit 1
@@ -303,6 +312,93 @@ for label in 'tenant="acme"' 'tenant="globex"'; do
   fi
 done
 
-kill -INT "$SERVE_PID" "$ART_PID"
-wait "$SERVE_PID" "$ART_PID"
-echo "serve-smoke: OK ($SERIES cardpi_ series, artifact + registry round trips verified)"
+# --- drift probe: mutate → alarm → recalibrate → swap, no restart ---------
+# A third server with the scenario admin open and the recalibration
+# supervisor tuned for a short drill (small window, fast backoff, relaxed
+# width cap — a total-rewrite shift legitimately needs wide intervals).
+# The flow mirrors TestScenarioDriftRecoveryWithoutRestart: warm the
+# labeled-observation window, corrupt the live table over /admin/scenario,
+# then keep driving traffic until GET /admin/recal reports a swap.
+
+echo "serve-smoke: drift probe — boot with -scenario-admin and fast recal knobs"
+"$BIN" serve -addr "$DRIFT_ADDR" -rows 2000 -queries 300 -model histogram -method s-cp \
+  -scenario-admin -recal-window 256 -recal-min-observed 96 \
+  -recal-backoff 100ms -recal-width-cap 2 >"$DRIFT_LOG" 2>&1 &
+DRIFT_PID=$!
+wait_ready "$DRIFT_ADDR" "$DRIFT_PID" "$DRIFT_LOG"
+
+# Hot-decile, cold, and multi-predicate queries over the synthetic DMV
+# schema — the mutations below rewrite rows into each column's top decile,
+# so the hot queries are where the frozen model goes stale.
+DRIFT_POOL=(
+  "state+%3D+47" "county+%3D+58" "model_year+BETWEEN+108+AND+119"
+  "state+%3D+46" "fuel_type+%3D+8" "color+%3D+19"
+  "state+%3D+3" "county+%3D+10" "model_year+BETWEEN+20+AND+60" "body_type+%3D+2"
+  "state+%3D+47+AND+model_year+BETWEEN+100+AND+119" "county+%3D+60+AND+body_type+%3D+28"
+)
+drift_drive() { # drift_drive <n> — n labeled requests cycling the pool
+  local n="$1" i q
+  for i in $(seq 1 "$n"); do
+    q="${DRIFT_POOL[$((i % ${#DRIFT_POOL[@]}))]}"
+    curl -fsS "http://$DRIFT_ADDR/estimate?q=$q" >/dev/null
+  done
+}
+
+echo "serve-smoke: drift probe — warm the observation window"
+drift_drive 120
+WARM="$(curl -fsS "http://$DRIFT_ADDR/admin/recal")"
+grep -q '"enabled": true' <<<"$WARM"
+grep -q '"drifted": false' <<<"$WARM"
+
+echo "serve-smoke: drift probe — mutate the live table"
+DEGRADE="$(curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d '{"action":"degrade","health":0,"seed":5}' "http://$DRIFT_ADDR/admin/scenario")"
+grep -q '"changed"' <<<"$DEGRADE"
+INSERT="$(curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d '{"action":"insert","rows":1000,"seed":6}' "http://$DRIFT_ADDR/admin/scenario")"
+grep -q '"rows": 3000' <<<"$INSERT"
+
+echo "serve-smoke: drift probe — drive traffic until the supervisor swaps"
+RECAL_STATUS=""
+SWAPPED=0
+for _ in $(seq 1 60); do
+  drift_drive 20
+  RECAL_STATUS="$(curl -fsS "http://$DRIFT_ADDR/admin/recal")"
+  if grep -qE '"swaps": [1-9]' <<<"$RECAL_STATUS"; then
+    SWAPPED=1
+    break
+  fi
+done
+if [ "$SWAPPED" != "1" ]; then
+  echo "serve-smoke: recalibration never swapped; last /admin/recal:" >&2
+  printf '%s\n' "$RECAL_STATUS" >&2
+  cat "$DRIFT_LOG" >&2
+  exit 1
+fi
+printf '%s\n' "$RECAL_STATUS" >&2
+
+echo "serve-smoke: drift probe — recalibrated chain is serving"
+grep -q 'recal-cp' <<<"$RECAL_STATUS"
+POST_SWAP="$(curl -fsS "http://$DRIFT_ADDR/estimate?q=state+%3D+47")"
+grep -q 'recal' <<<"$POST_SWAP"
+
+echo "serve-smoke: drift probe — alarm and recal telemetry on /metrics"
+DRIFT_METRICS="$(curl -fsS "http://$DRIFT_ADDR/metrics")"
+ALARMS="$(awk '/^cardpi_adaptive_drift_alarms_total/ {print $2}' <<<"$DRIFT_METRICS")"
+if [ -z "$ALARMS" ] || [ "$ALARMS" = "0" ]; then
+  echo "serve-smoke: drift alarm never fired (cardpi_adaptive_drift_alarms_total=$ALARMS)" >&2
+  exit 1
+fi
+RECAL_OK="$(awk '/^cardpi_recal_success_total/ {print $2}' <<<"$DRIFT_METRICS")"
+if [ -z "$RECAL_OK" ] || [ "$RECAL_OK" = "0" ]; then
+  echo "serve-smoke: no recalibration success recorded (cardpi_recal_success_total=$RECAL_OK)" >&2
+  exit 1
+fi
+
+echo "serve-smoke: drift probe — manual trigger endpoint answers"
+TRIGGER="$(curl -fsS -X POST "http://$DRIFT_ADDR/admin/recal/trigger")"
+grep -q '"triggered": true' <<<"$TRIGGER"
+
+kill -INT "$SERVE_PID" "$ART_PID" "$DRIFT_PID"
+wait "$SERVE_PID" "$ART_PID" "$DRIFT_PID"
+echo "serve-smoke: OK ($SERIES cardpi_ series, artifact + registry + drift round trips verified)"
