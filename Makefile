@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json experiments experiments-small fmt vet cover clean serve serve-smoke train-demo registry-demo
+.PHONY: all build test race bench bench-json experiments experiments-small fmt vet cover clean serve serve-smoke train-demo registry-demo synth-demo
 
 all: build test
 
@@ -62,6 +62,13 @@ serve-smoke:
 # response along the way.
 registry-demo:
 	bash scripts/registry-demo.sh
+
+# Budget-aware estimator synthesis end to end: run `cardpi synth` under an
+# artifact budget, verify the checksummed leaderboard (>= 8 scored trials,
+# >= 1 statically pruned with a recorded reason), and serve the winning
+# bundle (see the build-graph section of DESIGN.md).
+synth-demo:
+	bash scripts/synth-demo.sh
 
 fmt:
 	gofmt -w .

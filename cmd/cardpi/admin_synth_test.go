@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"cardpi/internal/registry"
+)
+
+// TestAdminSynthGate proves /admin/synth fails closed: without -synth-admin
+// the endpoint answers 403 with a machine-readable code, exactly like the
+// /admin/scenario gate.
+func TestAdminSynthGate(t *testing.T) {
+	ts, _, _ := startServer(t, smallSetup(t), serveOpts{})
+	st, body := adminPost(t, ts.URL, "/admin/synth",
+		map[string]any{"tenant": "acme", "table": "census"})
+	mustStatus(t, st, body, http.StatusForbidden, "synth_disabled")
+}
+
+// TestAdminSynthHTTP is the admin-synthesis lifecycle: register an artifact
+// for a tenant, synthesize from its provenance, and check the winner is
+// registered as the slot's next version but NOT promoted — serving it still
+// requires the explicit promote (with its smoke gate) that every other
+// candidate goes through.
+func TestAdminSynthHTTP(t *testing.T) {
+	art := trainArtifactSeed(t, 1)
+	ts, srv, _ := startServer(t, smallSetup(t), serveOpts{
+		synthAdmin: true, synthDir: t.TempDir(),
+	})
+
+	// Unknown tenants 404 before any synthesis work starts.
+	st, body := adminPost(t, ts.URL, "/admin/synth",
+		map[string]any{"tenant": "ghost", "table": "census"})
+	mustStatus(t, st, body, http.StatusNotFound, "unknown_key")
+
+	st, body = adminPost(t, ts.URL, "/admin/register",
+		map[string]any{"tenant": "acme", "table": "census", "artifact": art})
+	mustStatus(t, st, body, http.StatusOK, "")
+
+	// Small but real search: one family, two methods, tiny held-out set.
+	st, body = adminPost(t, ts.URL, "/admin/synth", map[string]any{
+		"tenant": "acme", "table": "census",
+		"models": []string{"histogram"}, "methods": []string{"s-cp", "mondrian"},
+		"eval_queries": 100, "workers": 1,
+	})
+	mustStatus(t, st, body, http.StatusOK, "")
+	var resp adminSynthResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("decode synth response: %v (%s)", err, body)
+	}
+	if resp.SourceVersion != 1 || resp.RegisteredVersion != 2 {
+		t.Fatalf("versions = source v%d, registered v%d; want v1 → v2", resp.SourceVersion, resp.RegisteredVersion)
+	}
+	if resp.Model != "histogram" {
+		t.Fatalf("winner model = %q, want histogram", resp.Model)
+	}
+	if resp.Summary == "" || resp.Path == "" {
+		t.Fatalf("response missing summary/path: %+v", resp)
+	}
+
+	// The candidate is registered but must not be serving.
+	ref, err := srv.reg.Ref(registry.Key{Tenant: "acme", Table: "census"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Version != 2 || ref.Path != resp.Path {
+		t.Fatalf("latest ref = v%d %q, want v2 %q", ref.Version, ref.Path, resp.Path)
+	}
+	for _, e := range srv.reg.Snapshot() {
+		if e.Tenant == "acme" && e.Table == "census" && e.ActiveVersion != 0 {
+			t.Fatalf("synth auto-promoted: active version %d, want 0", e.ActiveVersion)
+		}
+	}
+
+	// The registered candidate promotes and serves through the normal path.
+	st, body = adminPost(t, ts.URL, "/admin/promote",
+		map[string]any{"tenant": "acme", "table": "census", "version": 2, "force": true})
+	mustStatus(t, st, body, http.StatusOK, "")
+	stQ, er, _ := getEstimate(t, ts.URL, "age = 3", "acme", "census")
+	if stQ != http.StatusOK {
+		t.Fatalf("estimate via synthesized bundle: status %d", stQ)
+	}
+	if er.Bundle != "acme/census@v2" {
+		t.Fatalf("estimate served by %q, want acme/census@v2", er.Bundle)
+	}
+}

@@ -7,20 +7,24 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"cardpi/internal/pipeline"
+	"cardpi/internal/synth"
 )
 
 // runInspect implements `cardpi inspect`: print an artifact's provenance
 // manifest without loading the table, the model, or any calibration bytes —
 // it reads only the header and the first (manifest) section, so it is safe
-// and fast on arbitrarily large bundles.
+// and fast on arbitrarily large bundles. Given a synth leaderboard JSON
+// file instead of a bundle, it verifies the checksum and renders the
+// leaderboard, including an explanation of why the winning trial won.
 func runInspect(args []string) error {
 	fs := flag.NewFlagSet("cardpi inspect", flag.ExitOnError)
-	asJSON := fs.Bool("json", false, "print the raw manifest JSON instead of the human summary")
+	asJSON := fs.Bool("json", false, "print the raw manifest/leaderboard JSON instead of the human summary")
 	fs.Usage = func() {
 		o := fs.Output()
-		fmt.Fprintf(o, "usage: %s inspect [-json] model.cpi\n\n", os.Args[0])
+		fmt.Fprintf(o, "usage: %s inspect [-json] model.cpi | leaderboard.json\n\n", os.Args[0])
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -38,6 +42,9 @@ func runInspect(args []string) error {
 	st, err := f.Stat()
 	if err != nil {
 		return err
+	}
+	if isLeaderboard(f) {
+		return inspectLeaderboard(path, st.Size(), *asJSON)
 	}
 	man, err := pipeline.ReadManifest(f)
 	if err != nil {
@@ -68,6 +75,138 @@ func runInspect(args []string) error {
 	fmt.Printf("%s: cardpi artifact (%d bytes)\n", path, st.Size())
 	printManifest(os.Stdout, man, dataStart)
 	return nil
+}
+
+// isLeaderboard sniffs the file type: bundles start with the "CPI" magic,
+// leaderboards are JSON documents starting with '{'. The read position is
+// restored either way.
+func isLeaderboard(f *os.File) bool {
+	var first [1]byte
+	n, _ := f.ReadAt(first[:], 0)
+	return n == 1 && first[0] == '{'
+}
+
+// inspectLeaderboard verifies and renders a synth leaderboard document.
+func inspectLeaderboard(path string, size int64, asJSON bool) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	lb, err := synth.Decode(b)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if asJSON {
+		_, err := os.Stdout.Write(b)
+		return err
+	}
+	fmt.Printf("%s: cardpi synth leaderboard (%d bytes, checksum ok)\n", path, size)
+	fmt.Printf("  workload:   %s (%s), %d queries, alpha %g, seed %d, scored on %d held-out queries\n",
+		lb.Dataset, lb.Source, lb.Queries, lb.Alpha, lb.Seed, lb.EvalQueries)
+	fmt.Printf("  budget:     %s\n", describeBudget(lb))
+	counts := synth.Counts(lb)
+	fmt.Printf("  outcome:    %d scored, %d rejected, %d pruned, %d failed (of %d trials)\n",
+		counts[synth.StatusScored], counts[synth.StatusRejected],
+		counts[synth.StatusPruned], counts[synth.StatusFailed], len(lb.Trials))
+
+	if lb.WinnerID < 0 {
+		fmt.Printf("  winner:     none — every trial was pruned, rejected, or failed\n")
+	} else {
+		w := lb.Trials[0]
+		fmt.Printf("  winner:     trial %d  %s/%s%s\n", w.ID, w.Model, w.Method, describeHyper(w))
+		explainWinner(lb, w, counts)
+	}
+
+	fmt.Printf("  leaderboard:\n")
+	fmt.Printf("    %-4s %-3s %-22s %-8s %-8s %-9s %-9s %s\n",
+		"rank", "id", "model/method", "score", "coverage", "w(mean)", "w(p90)", "bytes")
+	shown := 0
+	for _, tr := range lb.Trials {
+		if tr.Status != synth.StatusScored || shown >= 10 {
+			continue
+		}
+		shown++
+		fmt.Printf("    %-4d %-3d %-22s %-8.4f %-8.3f %-9.4f %-9.4f %d\n",
+			tr.Rank, tr.ID, tr.Model+"/"+tr.Method+describeHyper(tr),
+			tr.Score, tr.Coverage, tr.MeanWidth, tr.P90Width, tr.ArtifactBytes)
+	}
+	for _, tr := range lb.Trials {
+		if tr.Status == synth.StatusScored {
+			continue
+		}
+		fmt.Printf("    --   %-3d %-22s %s: %s\n", tr.ID, tr.Model+"/"+tr.Method+describeHyper(tr), tr.Status, tr.Reason)
+	}
+	return nil
+}
+
+// describeBudget renders the enforced budget in one line.
+func describeBudget(lb *synth.Leaderboard) string {
+	var parts []string
+	if lb.Budget.TrainNs > 0 {
+		parts = append(parts, fmt.Sprintf("train est <= %dns", lb.Budget.TrainNs))
+	}
+	if lb.Budget.ArtifactBytes > 0 {
+		parts = append(parts, fmt.Sprintf("artifact <= %d B", lb.Budget.ArtifactBytes))
+	}
+	if lb.Budget.NsPerQuery > 0 {
+		parts = append(parts, fmt.Sprintf("serve est <= %d ns/query", lb.Budget.NsPerQuery))
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "unconstrained")
+	}
+	return fmt.Sprintf("%s; target coverage %.3f, width objective %s",
+		strings.Join(parts, ", "), lb.Budget.TargetCoverage, lb.Budget.WidthObjective)
+}
+
+// describeHyper renders a trial's non-default hyperparameters, e.g.
+// " (epochs=2, kdiv=8)".
+func describeHyper(t synth.Trial) string {
+	var parts []string
+	if t.Epochs > 0 {
+		parts = append(parts, fmt.Sprintf("epochs=%d", t.Epochs))
+	}
+	if t.CalFrac > 0 {
+		parts = append(parts, fmt.Sprintf("calfrac=%g", t.CalFrac))
+	}
+	if t.KDiv > 0 {
+		parts = append(parts, fmt.Sprintf("kdiv=%d", t.KDiv))
+	}
+	if t.MinGroup > 0 {
+		parts = append(parts, fmt.Sprintf("mingroup=%d", t.MinGroup))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " (" + strings.Join(parts, ",") + ")"
+}
+
+// explainWinner prints why the top-ranked trial beat the field: its score
+// decomposition (width plus coverage-shortfall penalty), its budget fit,
+// and the margin over the runner-up.
+func explainWinner(lb *synth.Leaderboard, w synth.Trial, counts map[string]int) {
+	width := w.MeanWidth
+	if lb.Budget.WidthObjective == "p90" {
+		width = w.P90Width
+	}
+	shortfall := lb.Budget.TargetCoverage - w.Coverage
+	if shortfall < 0 {
+		shortfall = 0
+	}
+	covNote := fmt.Sprintf("coverage %.3f meets the %.3f target", w.Coverage, lb.Budget.TargetCoverage)
+	if shortfall > 0 {
+		covNote = fmt.Sprintf("coverage %.3f misses the %.3f target (penalty %.4f)",
+			w.Coverage, lb.Budget.TargetCoverage, 10*shortfall)
+	}
+	fmt.Printf("  why it won: score %.4f = %s width %.4f + coverage penalty; %s\n",
+		w.Score, lb.Budget.WidthObjective, width, covNote)
+	if lb.Budget.ArtifactBytes > 0 {
+		fmt.Printf("              fits the artifact budget: %d B of %d B\n", w.ArtifactBytes, lb.Budget.ArtifactBytes)
+	}
+	if counts[synth.StatusScored] > 1 {
+		ru := lb.Trials[1]
+		fmt.Printf("              margin over runner-up %s/%s%s: %.4f\n",
+			ru.Model, ru.Method, describeHyper(ru), ru.Score-w.Score)
+	}
 }
 
 // inspectReport is the `inspect -json` output: the manifest plus what only

@@ -28,6 +28,15 @@
 //	curl 'localhost:8080/estimate?q=state+%3D+3'
 //	curl localhost:8080/metrics
 //
+// The synth subcommand replaces manual model/method picking with a
+// budget-aware meta-search: it tries every valid combo (plus a small
+// hyperparameter lattice) against the described workload, scores candidates
+// on held-out coverage/width, and emits the winning bundle alongside a
+// leaderboard that inspect can render:
+//
+//	cardpi synth -dataset census -budget-artifact-bytes 262144 -out best.cpi
+//	cardpi inspect best.cpi.leaderboard.json
+//
 // See DESIGN.md for the artifact format and OBSERVABILITY.md for the
 // metrics.
 package main
@@ -53,6 +62,7 @@ func main() {
 		run := map[string]func([]string) error{
 			"serve":   runServe,
 			"train":   runTrain,
+			"synth":   runSynth,
 			"inspect": runInspect,
 			"batch":   runBatch,
 		}[sub]
@@ -68,8 +78,8 @@ func main() {
 	var (
 		dsName  = flag.String("dataset", "dmv", "dataset: dmv | census | forest | power (or job | dsb with -join)")
 		rows    = flag.Int("rows", 20000, "dataset rows")
-		model   = flag.String("model", "spn", "estimator: "+pipeline.ModelNames())
-		method  = flag.String("method", "s-cp", "PI method: "+pipeline.MethodNames())
+		model   = flag.String("model", "spn", pipeline.ModelFlagHelp())
+		method  = flag.String("method", "s-cp", pipeline.MethodFlagHelp())
 		alpha   = flag.Float64("alpha", 0.1, "miscoverage level (coverage = 1-alpha)")
 		queries = flag.Int("queries", 2000, "training+calibration workload size")
 		seed    = flag.Int64("seed", 1, "random seed")

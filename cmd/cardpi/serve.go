@@ -82,8 +82,8 @@ func runServe(args []string) error {
 		artifact = fs.String("artifact", "", "serve a model bundle written by `cardpi train -out` instead of training in-process")
 		dsName   = fs.String("dataset", "dmv", "dataset: dmv | census | forest | power")
 		rows     = fs.Int("rows", 20000, "dataset rows")
-		model    = fs.String("model", "spn", "estimator: "+pipeline.ModelNames()+" (with -artifact: expected family)")
-		method   = fs.String("method", "s-cp", "PI method: "+pipeline.MethodNames()+" (with -artifact: expected method)")
+		model    = fs.String("model", "spn", pipeline.ModelFlagHelp()+" (with -artifact: expected family)")
+		method   = fs.String("method", "s-cp", pipeline.MethodFlagHelp()+" (with -artifact: expected method)")
 		alpha    = fs.Float64("alpha", 0.1, "miscoverage level (coverage = 1-alpha)")
 		queries  = fs.Int("queries", 2000, "training+calibration workload size")
 		seed     = fs.Int64("seed", 1, "random seed")
@@ -109,6 +109,9 @@ func runServe(args []string) error {
 		recalBackoff  = fs.Duration("recal-backoff", 500*time.Millisecond, "initial retry backoff after a rejected recalibration candidate (doubles per attempt)")
 		recalWidthCap = fs.Float64("recal-width-cap", 0, "reject recalibration candidates whose held-out mean interval width exceeds this (0 = library default 0.9)")
 		scenarioFlag  = fs.Bool("scenario-admin", false, "enable POST /admin/scenario dataset-mutation drills against the default unit (test/staging tooling, see OPERATIONS.md)")
+
+		synthFlag = fs.Bool("synth-admin", false, "enable POST /admin/synth budget-aware estimator synthesis for registered tenants (see OPERATIONS.md)")
+		synthDir  = fs.String("synth-dir", "", "directory where /admin/synth writes winning candidate bundles (empty = a fresh temp directory on first use)")
 	)
 	fs.Usage = func() {
 		out := fs.Output()
@@ -188,6 +191,8 @@ func runServe(args []string) error {
 			widthCap: *recalWidthCap,
 		},
 		scenarioAdmin: *scenarioFlag,
+		synthAdmin:    *synthFlag,
+		synthDir:      *synthDir,
 	})
 	if err != nil {
 		return err
@@ -311,6 +316,11 @@ type serveOpts struct {
 	// scenarioAdmin enables the POST /admin/scenario dataset-mutation drills
 	// (test/staging tooling, off by default).
 	scenarioAdmin bool
+	// synthAdmin enables POST /admin/synth estimator synthesis for
+	// registered tenants (off by default); synthDir is where winning
+	// candidate bundles land ("" = a fresh temp directory on first use).
+	synthAdmin bool
+	synthDir   string
 }
 
 // recalOpts carries the -recal* flags into the supervisor; zero-valued knobs
@@ -465,6 +475,18 @@ type server struct {
 	scenarioAdmin bool
 	scenarioMu    sync.Mutex
 
+	// synthAdmin gates POST /admin/synth; synthMu serialises synthesis runs
+	// (each is a full train/calibrate fan-out) and guards the lazy synthDir
+	// creation; synthSeq numbers the candidate bundle files so repeated
+	// syntheses never overwrite a registered artifact.
+	synthAdmin bool
+	synthDir   string
+	synthMu    sync.Mutex
+	synthSeq   atomic.Int64
+	// metrics is the registry the serving instruments live in, retained so
+	// admin-triggered synthesis publishes its cardpi_synth_* families there.
+	metrics *obs.Registry
+
 	// Admission control: sem holds the execution slots; waiters counts
 	// requests queued for a slot, bounded by maxQueue.
 	sem      chan struct{}
@@ -585,6 +607,9 @@ func newServer(s *pipeline.Setup, o serveOpts) (*server, error) {
 		sem:           make(chan struct{}, o.maxInflight),
 		maxQueue:      int64(o.maxQueue),
 		scenarioAdmin: o.scenarioAdmin,
+		synthAdmin:    o.synthAdmin,
+		synthDir:      o.synthDir,
+		metrics:       o.metrics,
 	}
 	maxBatchCap := o.maxBatch
 	srv.scratch.New = func() any {
@@ -695,6 +720,7 @@ func (s *server) mux() http.Handler {
 	mux.HandleFunc("GET /admin/recal", s.handleAdminRecalStatus)
 	mux.HandleFunc("POST /admin/recal/trigger", s.handleAdminRecalTrigger)
 	mux.HandleFunc("POST /admin/scenario", s.handleAdminScenario)
+	mux.HandleFunc("POST /admin/synth", s.handleAdminSynth)
 	mux.Handle("GET /metrics", s.metricsHandler)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cardpi/internal/pipeline"
+	"cardpi/internal/synth"
+)
+
+// runSynth implements `cardpi synth`: a budget-aware meta-search over the
+// model × method combo table plus a hyperparameter lattice that produces
+// the best .cpi bundle for the described workload, alongside a checksummed
+// leaderboard explaining every trial's outcome. Both outputs are written
+// atomically. The run is deterministic: the same workload, budget, and seed
+// produce byte-identical outputs for any -workers value.
+func runSynth(args []string) error {
+	fs := flag.NewFlagSet("cardpi synth", flag.ExitOnError)
+	var (
+		dsName  = fs.String("dataset", "dmv", "dataset: dmv | census | forest | power")
+		rows    = fs.Int("rows", 20000, "dataset rows")
+		queries = fs.Int("queries", 2000, "training+calibration workload size per trial")
+		alpha   = fs.Float64("alpha", 0.1, "miscoverage level (coverage = 1-alpha)")
+		seed    = fs.Int64("seed", 1, "random seed shared by every trial")
+		csvPath = fs.String("csv", "", "load the table from a CSV file instead of generating one")
+		epochs  = fs.Int("epochs", 0, "training-epoch override for every trial (0 = family defaults)")
+
+		models  = fs.String("models", "", "comma-separated families to search ("+pipeline.ModelNames()+"; empty = all)")
+		methods = fs.String("methods", "", "comma-separated methods to search ("+pipeline.MethodNames()+"; empty = all)")
+
+		budgetTrain    = fs.Duration("budget-train", 0, "cap on estimated per-trial train cost (0 = unlimited)")
+		budgetBytes    = fs.Int64("budget-artifact-bytes", 0, "cap on serialized bundle size in bytes (0 = unlimited)")
+		budgetNs       = fs.Int64("budget-ns-per-query", 0, "cap on estimated serve latency in ns/query (0 = unlimited)")
+		targetCoverage = fs.Float64("target-coverage", 0, "held-out coverage the winner should reach (0 = 1-alpha)")
+		widthObjective = fs.String("width-objective", "mean", "width statistic to minimise: mean | p90")
+
+		latKDiv     = fs.String("lattice-kdiv", "4,8", "localized-CP k divisors to try (lcp trials)")
+		latMinGroup = fs.String("lattice-min-group", "20,10", "Mondrian merge floors to try (mondrian trials)")
+		latCalFrac  = fs.String("lattice-cal-frac", "0", "calibration fractions to try (0 = default 0.4)")
+
+		evalQueries = fs.Int("eval-queries", 500, "held-out scoring workload size")
+		workers     = fs.Int("workers", 0, "trial parallelism (0 = NumCPU; results are identical for any value)")
+		out         = fs.String("out", "", "winning bundle output path (required), e.g. best.cpi")
+		leaderboard = fs.String("leaderboard", "", "leaderboard output path (default: <out>.leaderboard.json)")
+	)
+	fs.Usage = func() {
+		o := fs.Output()
+		fmt.Fprintf(o, "usage: %s synth [flags] -out best.cpi\n\n", os.Args[0])
+		fs.PrintDefaults()
+		fmt.Fprintf(o, "\n%s\n", pipeline.ComboHelp())
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+	if *out == "" {
+		return fmt.Errorf("missing -out: synth exists to produce the winning artifact")
+	}
+	lbPath := *leaderboard
+	if lbPath == "" {
+		lbPath = *out + ".leaderboard.json"
+	}
+	kdivs, err := parseIntList(*latKDiv)
+	if err != nil {
+		return fmt.Errorf("-lattice-kdiv: %w", err)
+	}
+	minGroups, err := parseIntList(*latMinGroup)
+	if err != nil {
+		return fmt.Errorf("-lattice-min-group: %w", err)
+	}
+	calFracs, err := parseFloatList(*latCalFrac)
+	if err != nil {
+		return fmt.Errorf("-lattice-cal-frac: %w", err)
+	}
+
+	opts := synth.Options{
+		Dataset: *dsName, CSVPath: *csvPath,
+		Rows: *rows, Queries: *queries, Seed: *seed, Alpha: *alpha,
+		Budget: synth.Budget{
+			TrainTime:      *budgetTrain,
+			ArtifactBytes:  *budgetBytes,
+			NsPerQuery:     *budgetNs,
+			TargetCoverage: *targetCoverage,
+			WidthObjective: *widthObjective,
+		},
+		Lattice: synth.Lattice{
+			Epochs: []int{*epochs}, KDivs: kdivs, MinGroups: minGroups, CalFracs: calFracs,
+		},
+		Models: splitList(*models), Methods: splitList(*methods),
+		EvalQueries: *evalQueries, Workers: *workers,
+		Logf: logStderr,
+	}
+	res, err := synth.Synthesize(opts)
+	if err != nil {
+		return err
+	}
+
+	enc, err := res.Leaderboard.Encode()
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(lbPath, enc); err != nil {
+		return fmt.Errorf("write leaderboard: %w", err)
+	}
+	fmt.Printf("wrote %s (%d bytes): %s\n", lbPath, len(enc), synth.Summary(res.Leaderboard))
+	if res.Winner == nil {
+		return fmt.Errorf("no trial fit the budget; see the leaderboard for per-trial reasons: %s", lbPath)
+	}
+	return writeArtifact(*out, res.Setup, res.Config)
+}
+
+// writeFileAtomic writes b to path via a temp file + rename, the same
+// convention writeArtifact uses for bundles.
+func writeFileAtomic(path string, b []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// splitList parses a comma-separated name list, empty meaning nil.
+func splitList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseIntList parses a comma-separated integer list.
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p == "" {
+			continue
+		}
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseFloatList parses a comma-separated float list.
+func parseFloatList(s string) ([]float64, error) {
+	var out []float64
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

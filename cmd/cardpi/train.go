@@ -20,8 +20,8 @@ func runTrain(args []string) error {
 	var (
 		dsName  = fs.String("dataset", "dmv", "dataset: dmv | census | forest | power")
 		rows    = fs.Int("rows", 20000, "dataset rows")
-		model   = fs.String("model", "spn", "estimator: "+pipeline.ModelNames())
-		method  = fs.String("method", "s-cp", "PI method: "+pipeline.MethodNames())
+		model   = fs.String("model", "spn", pipeline.ModelFlagHelp())
+		method  = fs.String("method", "s-cp", pipeline.MethodFlagHelp())
 		alpha   = fs.Float64("alpha", 0.1, "miscoverage level (coverage = 1-alpha)")
 		queries = fs.Int("queries", 2000, "training+calibration workload size")
 		seed    = fs.Int64("seed", 1, "random seed")
@@ -116,6 +116,15 @@ func printManifest(w *os.File, man *pipeline.Manifest, dataStart int64) {
 	fmt.Fprintf(w, "  workload:          %d queries, alpha %g, seed %d\n", man.Queries, man.Alpha, man.Seed)
 	if man.Epochs > 0 {
 		fmt.Fprintf(w, "  epochs override:   %d\n", man.Epochs)
+	}
+	if man.CalFrac > 0 {
+		fmt.Fprintf(w, "  cal fraction:      %g\n", man.CalFrac)
+	}
+	if man.LocalizedKDiv > 0 {
+		fmt.Fprintf(w, "  localized k-div:   %d\n", man.LocalizedKDiv)
+	}
+	if man.MondrianMinGroup > 0 {
+		fmt.Fprintf(w, "  mondrian floor:    %d\n", man.MondrianMinGroup)
 	}
 	fmt.Fprintf(w, "  table fingerprint: %s\n", man.TableFingerprint)
 	names := make([]string, 0, len(man.Sections))

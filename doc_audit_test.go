@@ -31,6 +31,7 @@ func TestPublicSurfaceIsDocumented(t *testing.T) {
 		"internal/pipeline":  "cardpi/internal/pipeline",
 		"internal/recal":     "cardpi/internal/recal",
 		"internal/scenario":  "cardpi/internal/scenario",
+		"internal/synth":     "cardpi/internal/synth",
 	} {
 		missing, err := undocumentedExports(dir, importPath)
 		if err != nil {
@@ -84,6 +85,22 @@ func TestObservabilityDocCoversRecalSurface(t *testing.T) {
 	for _, m := range metrics {
 		if !strings.Contains(observability, m) {
 			t.Errorf("OBSERVABILITY.md does not document recalibration metric %s", m)
+		}
+	}
+}
+
+// TestObservabilityDocCoversSynthSurface does the same for the estimator
+// synthesis meta-search: every cardpi_synth_* metric family created in code
+// must appear in OBSERVABILITY.md.
+func TestObservabilityDocCoversSynthSurface(t *testing.T) {
+	metrics := sourceMatches(t, regexp.MustCompile(`cardpi_synth_[a-z_]+`), "internal/synth", "cmd/cardpi")
+	if len(metrics) == 0 {
+		t.Fatal("surface scan found no cardpi_synth_* families — the scanner is broken")
+	}
+	observability := readDoc(t, "OBSERVABILITY.md")
+	for _, m := range metrics {
+		if !strings.Contains(observability, m) {
+			t.Errorf("OBSERVABILITY.md does not document synthesis metric %s", m)
 		}
 	}
 }

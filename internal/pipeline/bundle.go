@@ -104,6 +104,17 @@ type Manifest struct {
 	Method string `json:"method"`
 	// Epochs is the training-epoch override used, 0 for family defaults.
 	Epochs int `json:"epochs,omitempty"`
+	// CalFrac is the calibration-fraction override used by the build, 0
+	// for the default 60/40 split. Recorded so inspect can explain a
+	// synthesised bundle's hyperparameters; the loader does not need it
+	// (calibration state is frozen in the bundle).
+	CalFrac float64 `json:"cal_frac,omitempty"`
+	// LocalizedKDiv is the localized-CP k-divisor override, 0 for the
+	// default (4). Informational, like CalFrac.
+	LocalizedKDiv int `json:"localized_kdiv,omitempty"`
+	// MondrianMinGroup is the Mondrian merge-floor override, 0 for the
+	// default (20). Informational, like CalFrac.
+	MondrianMinGroup int `json:"mondrian_min_group,omitempty"`
 	// TableFingerprint is the CRC-64 (hex) of the table contents; the
 	// loader verifies the regenerated/reloaded table against it.
 	TableFingerprint string `json:"table_fingerprint"`
@@ -210,6 +221,9 @@ func saveBundle(w io.Writer, s *Setup, cfg Config, withLayout bool) error {
 		Model:            model,
 		Method:           method,
 		Epochs:           cfg.Epochs,
+		CalFrac:          cfg.CalFrac,
+		LocalizedKDiv:    cfg.LocalizedKDiv,
+		MondrianMinGroup: cfg.MondrianMinGroup,
 		TableFingerprint: fmt.Sprintf("%016x", TableFingerprint(s.Table)),
 		Sections:         make(map[string]string, len(sections)),
 	}

@@ -3,6 +3,8 @@ package pipeline
 import (
 	"fmt"
 	"strings"
+
+	"cardpi/internal/dataset"
 )
 
 // The model x method compatibility matrix, in one place. Every consumer —
@@ -11,40 +13,166 @@ import (
 // these two tables, so adding a model or method (or changing a
 // compatibility rule) cannot leave one surface stale.
 
-// ModelInfo describes one estimator family the demo pipeline can train.
+// ModelInfo describes one estimator family the demo pipeline can train,
+// including the static cost estimates the synth budget gate consumes. The
+// estimates are deterministic functions of the table and the build config —
+// never measured wall-clock — so budget decisions are reproducible for any
+// worker count and any machine. They are calibrated order-of-magnitude
+// figures, not benchmarks; MinArtifactBytes alone is a true lower bound
+// (used to prune trials before training is ever attempted).
 type ModelInfo struct {
 	// Name is the CLI name of the family.
 	Name string
 	// Pinball marks families with a quantile (pinball-loss) training
 	// mode, the prerequisite for CQR.
 	Pinball bool
+	// MinArtifactBytes returns a static lower bound on the serialised
+	// model payload for tab: a bundle for this family over tab can never
+	// be smaller. Derived from the serialisation format (float64 weights,
+	// per-column vocabularies), not from training a model.
+	MinArtifactBytes func(tab *dataset.Table) int64
+	// TrainNs estimates the family's training cost in nanoseconds as a
+	// deterministic function of (rows, queries, epochs). epochs <= 0
+	// means the family default.
+	TrainNs func(rows, queries, epochs int) int64
+	// ServeNs estimates the family's per-query inference cost in
+	// nanoseconds.
+	ServeNs int64
 }
 
-// MethodInfo describes one PI method the demo pipeline can calibrate.
+// MethodInfo describes one PI method the demo pipeline can calibrate,
+// including the deterministic cost estimates the method adds on top of the
+// model family (see ModelInfo for the estimate contract).
 type MethodInfo struct {
 	// Name is the CLI name of the method.
 	Name string
 	// NeedsPinball marks methods that retrain the model family with a
 	// pinball loss and therefore require a Pinball model.
 	NeedsPinball bool
+	// ServeOverheadNs estimates the per-query overhead the calibrated
+	// wrapper adds, given the calibration-set size. For lcp the estimate
+	// assumes the default neighbourhood divisor.
+	ServeOverheadNs func(calSize int) int64
+	// TrainMultiplier scales the family training estimate for methods
+	// that train extra models (cqr trains two quantile variants on top of
+	// the point model; lw-s-cp fits a gbm difficulty model).
+	TrainMultiplier float64
+}
+
+// naruMinBytes bounds the serialised naru model from below: one conditional
+// net per column with float64 weight matrices (prefix→hidden→vocab at the
+// default hidden width and bin cap), ignoring biases and framing.
+func naruMinBytes(tab *dataset.Table) int64 {
+	const (
+		hidden = 48 // naru.Config default Hidden
+		bins   = 64 // naru.Config default Bins
+	)
+	prefix := 0
+	var weights int64
+	for _, c := range tab.Cols {
+		vocab := int(c.DomainWidth())
+		if vocab > bins {
+			vocab = bins
+		}
+		if vocab < 1 {
+			vocab = 1
+		}
+		in := prefix
+		if in == 0 {
+			in = 1
+		}
+		weights += int64(in*hidden + hidden*vocab)
+		prefix += vocab
+	}
+	return 8 * weights
+}
+
+// constBytes adapts a constant lower bound to the MinArtifactBytes shape.
+func constBytes(n int64) func(*dataset.Table) int64 {
+	return func(*dataset.Table) int64 { return n }
 }
 
 // Models lists the supported estimator families, in CLI display order.
 var Models = []ModelInfo{
-	{Name: "spn"},
-	{Name: "mscn", Pinball: true},
-	{Name: "lwnn", Pinball: true},
-	{Name: "naru"},
-	{Name: "histogram"},
+	{Name: "spn", MinArtifactBytes: constBytes(256),
+		TrainNs: func(rows, _, _ int) int64 { return int64(rows) * 2_000 },
+		ServeNs: 2_000},
+	{Name: "mscn", Pinball: true, MinArtifactBytes: constBytes(1024),
+		TrainNs: func(_, queries, epochs int) int64 { return int64(pick(epochs, mscnEpochs)) * int64(queries) * 100_000 },
+		ServeNs: 4_000},
+	{Name: "lwnn", Pinball: true, MinArtifactBytes: constBytes(1024),
+		TrainNs: func(_, queries, epochs int) int64 { return int64(pick(epochs, lwnnEpochs)) * int64(queries) * 100_000 },
+		ServeNs: 4_000},
+	{Name: "naru", MinArtifactBytes: naruMinBytes,
+		TrainNs: func(rows, _, epochs int) int64 { return int64(pick(epochs, 5)) * int64(rows) * 200_000 },
+		ServeNs: 1_500_000},
+	{Name: "histogram", MinArtifactBytes: constBytes(128),
+		TrainNs: func(rows, _, _ int) int64 { return int64(rows) * 100 },
+		ServeNs: 600},
 }
 
 // Methods lists the supported PI methods, in CLI display order.
 var Methods = []MethodInfo{
-	{Name: "s-cp"},
-	{Name: "lw-s-cp"},
-	{Name: "lcp"},
-	{Name: "mondrian"},
-	{Name: "cqr", NeedsPinball: true},
+	{Name: "s-cp", ServeOverheadNs: func(int) int64 { return 100 }, TrainMultiplier: 1},
+	{Name: "lw-s-cp", ServeOverheadNs: func(int) int64 { return 3_000 }, TrainMultiplier: 1.3},
+	{Name: "lcp", ServeOverheadNs: func(calSize int) int64 { return 2_000 + 100*int64(calSize/localizedKDiv) }, TrainMultiplier: 1},
+	{Name: "mondrian", ServeOverheadNs: func(int) int64 { return 300 }, TrainMultiplier: 1},
+	{Name: "cqr", NeedsPinball: true, ServeOverheadNs: func(int) int64 { return 200 }, TrainMultiplier: 3},
+}
+
+// EstimateMinArtifactBytes returns the static lower bound on the artifact
+// size for the family over tab (see ModelInfo.MinArtifactBytes).
+func EstimateMinArtifactBytes(model string, tab *dataset.Table) (int64, error) {
+	mi := modelByName(strings.ToLower(model))
+	if mi == nil {
+		return 0, fmt.Errorf("unknown model %q (want %s)", model, ModelNames())
+	}
+	return mi.MinArtifactBytes(tab), nil
+}
+
+// EstimateTrainNs returns the deterministic training-cost estimate for the
+// combo, in nanoseconds.
+func EstimateTrainNs(model, method string, rows, queries, epochs int) (int64, error) {
+	mi := modelByName(strings.ToLower(model))
+	if mi == nil {
+		return 0, fmt.Errorf("unknown model %q (want %s)", model, ModelNames())
+	}
+	me := methodByName(strings.ToLower(method))
+	if me == nil {
+		return 0, fmt.Errorf("unknown method %q (want %s)", method, MethodNames())
+	}
+	return int64(float64(mi.TrainNs(rows, queries, epochs)) * me.TrainMultiplier), nil
+}
+
+// EstimateServeNs returns the deterministic per-query latency estimate for
+// the combo, in nanoseconds, given the calibration-set size.
+func EstimateServeNs(model, method string, calSize int) (int64, error) {
+	mi := modelByName(strings.ToLower(model))
+	if mi == nil {
+		return 0, fmt.Errorf("unknown model %q (want %s)", model, ModelNames())
+	}
+	me := methodByName(strings.ToLower(method))
+	if me == nil {
+		return 0, fmt.Errorf("unknown method %q (want %s)", method, MethodNames())
+	}
+	return mi.ServeNs + me.ServeOverheadNs(calSize), nil
+}
+
+// Combos enumerates every valid model × method pair in deterministic CLI
+// display order (models outer, methods inner). Synth trial enumeration and
+// the help-coverage test both derive from it, so neither can drift from
+// ValidateCombo.
+func Combos() [][2]string {
+	var out [][2]string
+	for _, m := range Models {
+		for _, me := range Methods {
+			if me.NeedsPinball && !m.Pinball {
+				continue
+			}
+			out = append(out, [2]string{m.Name, me.Name})
+		}
+	}
+	return out
 }
 
 // modelByName returns the family entry, or nil for unknown names.
@@ -77,6 +205,15 @@ func ModelNames() string {
 func MethodNames() string {
 	return joinNames(len(Methods), " | ", func(i int) string { return Methods[i].Name })
 }
+
+// ModelFlagHelp is the shared -model flag usage string. Every subcommand
+// (train, serve, synth, the demo loop) uses it verbatim, so the help text
+// cannot drift between entry points.
+func ModelFlagHelp() string { return "estimator: " + ModelNames() }
+
+// MethodFlagHelp is the shared -method flag usage string (see
+// ModelFlagHelp).
+func MethodFlagHelp() string { return "PI method: " + MethodNames() }
 
 // pinballModelNames renders the pinball-capable families, e.g. "mscn | lwnn".
 func pinballModelNames(sep string) string {
@@ -133,11 +270,11 @@ func pinballMethodNames(sep string) string {
 // ComboHelp renders the compatibility matrix for CLI usage text.
 func ComboHelp() string {
 	return fmt.Sprintf(`model x method compatibility:
-  %-30s any model (%s)
+  %-30s any estimator (see -model)
   %-30s %s only (retrains the model with a
                                  pinball loss; %s have no
                                  trainable quantile variant)`,
-		universalMethodNames(", "), ModelNames(),
+		universalMethodNames(", "),
 		pinballMethodNames(", "),
 		pinballModelNames(" | "), nonPinballModelNames("/"))
 }

@@ -1,0 +1,102 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"cardpi/internal/dataset"
+)
+
+// tokens splits help text into name-shaped tokens, so that "s-cp" and
+// "lw-s-cp" count as distinct words rather than substring matches.
+func tokens(s string) []string {
+	return strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !(r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-')
+	})
+}
+
+func countToken(toks []string, name string) int {
+	n := 0
+	for _, t := range toks {
+		if t == name {
+			n++
+		}
+	}
+	return n
+}
+
+// TestComboHelpCoversEveryComboOnce is the help-dedup contract: the shared
+// ComboHelp/flag-usage text mentions every family and every method exactly
+// once, and every valid combo is derivable from it. Each subcommand reuses
+// these strings verbatim, so passing here means no entry point's help can
+// drift or double-list a combo.
+func TestComboHelpCoversEveryComboOnce(t *testing.T) {
+	help := tokens(ComboHelp())
+	for _, m := range Models {
+		if n := countToken(help, m.Name); n != 1 {
+			t.Errorf("ComboHelp mentions model %q %d times, want exactly 1", m.Name, n)
+		}
+	}
+	for _, me := range Methods {
+		if n := countToken(help, me.Name); n != 1 {
+			t.Errorf("ComboHelp mentions method %q %d times, want exactly 1", me.Name, n)
+		}
+	}
+	for _, mf := range tokens(ModelFlagHelp()) {
+		for _, me := range Methods {
+			if mf == me.Name {
+				t.Errorf("ModelFlagHelp lists method %q", me.Name)
+			}
+		}
+	}
+	modelHelp, methodHelp := tokens(ModelFlagHelp()), tokens(MethodFlagHelp())
+	for _, combo := range Combos() {
+		if countToken(modelHelp, combo[0]) != 1 {
+			t.Errorf("ModelFlagHelp does not list %q exactly once", combo[0])
+		}
+		if countToken(methodHelp, combo[1]) != 1 {
+			t.Errorf("MethodFlagHelp does not list %q exactly once", combo[1])
+		}
+		if err := ValidateCombo(combo[0], combo[1]); err != nil {
+			t.Errorf("Combos() returned invalid pair %s/%s: %v", combo[0], combo[1], err)
+		}
+	}
+}
+
+// TestBudgetEstimates pins the static budget-estimate surface the synth
+// pruner gates on: known combos produce positive estimates, unknown names
+// error, and the naru size lower bound scales with the table's domain
+// widths (it must exceed what any census table can fit in 128 KiB).
+func TestBudgetEstimates(t *testing.T) {
+	tab, err := dataset.GenerateCensus(dataset.GenConfig{Rows: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, combo := range Combos() {
+		model, method := combo[0], combo[1]
+		b, err := EstimateMinArtifactBytes(model, tab)
+		if err != nil || b <= 0 {
+			t.Errorf("EstimateMinArtifactBytes(%s) = %d, %v", model, b, err)
+		}
+		tn, err := EstimateTrainNs(model, method, 1000, 200, 0)
+		if err != nil || tn <= 0 {
+			t.Errorf("EstimateTrainNs(%s/%s) = %d, %v", model, method, tn, err)
+		}
+		sn, err := EstimateServeNs(model, method, 100)
+		if err != nil || sn <= 0 {
+			t.Errorf("EstimateServeNs(%s/%s) = %d, %v", model, method, sn, err)
+		}
+	}
+	if _, err := EstimateMinArtifactBytes("nope", tab); err == nil {
+		t.Error("EstimateMinArtifactBytes accepted an unknown model")
+	}
+	if _, err := EstimateTrainNs("spn", "nope", 1, 1, 0); err == nil {
+		t.Error("EstimateTrainNs accepted an unknown method")
+	}
+	if _, err := EstimateServeNs("nope", "s-cp", 1); err == nil {
+		t.Error("EstimateServeNs accepted an unknown model")
+	}
+	if b, _ := EstimateMinArtifactBytes("naru", tab); b <= 128<<10 {
+		t.Errorf("naru lower bound %d B should exceed 128 KiB on census", b)
+	}
+}

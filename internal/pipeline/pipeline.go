@@ -103,8 +103,44 @@ type Config struct {
 	// Epochs, when positive, overrides the family's training epochs
 	// (mscn, lwnn, and their CQR quantile variants). Used by fast tests.
 	Epochs int
+	// CalFrac, when in (0,1), overrides the calibration fraction of the
+	// workload split (the training split gets 1-CalFrac). Zero keeps the
+	// default 0.4. Part of the synth hyperparameter lattice.
+	CalFrac float64
+	// LocalizedKDiv, when positive, overrides the localized-CP
+	// neighbourhood divisor (k = len(cal)/LocalizedKDiv). Zero keeps the
+	// default 4. Part of the synth hyperparameter lattice.
+	LocalizedKDiv int
+	// MondrianMinGroup, when positive, overrides the minimum per-group
+	// calibration size below which Mondrian groups merge. Zero keeps the
+	// default 20. Part of the synth hyperparameter lattice.
+	MondrianMinGroup int
 	// Logf, when non-nil, receives progress lines ("training spn...").
 	Logf func(format string, args ...any)
+}
+
+// calSplit resolves the calibration fraction, defaulting to calFrac.
+func (c Config) calSplit() float64 {
+	if c.CalFrac > 0 && c.CalFrac < 1 {
+		return c.CalFrac
+	}
+	return calFrac
+}
+
+// kDiv resolves the localized-CP k divisor, defaulting to 4.
+func (c Config) kDiv() int {
+	if c.LocalizedKDiv > 0 {
+		return c.LocalizedKDiv
+	}
+	return localizedKDiv
+}
+
+// minGroup resolves the Mondrian merge floor, defaulting to 20.
+func (c Config) minGroup() int {
+	if c.MondrianMinGroup > 0 {
+		return c.MondrianMinGroup
+	}
+	return mondrianMinGroup
 }
 
 func (c Config) logf(format string, args ...any) {
@@ -132,39 +168,10 @@ type Setup struct {
 
 // Build runs the full pipeline: validate the combo, load or generate the
 // table, generate and split the workload, train the model, calibrate the
-// method.
+// method. It is a thin composition over a fresh staged build graph (see
+// graph.go); reuse one Graph across calls to share stage prefixes.
 func Build(cfg Config) (*Setup, error) {
-	if err := ValidateCombo(cfg.Model, cfg.Method); err != nil {
-		return nil, err
-	}
-	tab, err := BuildTable(cfg.Dataset, cfg.CSVPath, cfg.Rows, cfg.Seed, cfg.logf)
-	if err != nil {
-		return nil, err
-	}
-	wl, err := workload.Generate(tab, workload.Config{
-		Count: cfg.Queries, Seed: cfg.Seed + workloadSeedOff, MinPreds: minPreds, MaxPreds: maxPreds,
-	})
-	if err != nil {
-		return nil, err
-	}
-	parts, err := wl.Split(cfg.Seed+splitSeedOff, trainFrac, calFrac)
-	if err != nil {
-		return nil, err
-	}
-	train, cal := parts[0], parts[1]
-
-	cfg.logf("training %s...", cfg.Model)
-	m, err := BuildModel(cfg.Model, tab, train, cfg.Seed, cfg.Epochs)
-	if err != nil {
-		return nil, err
-	}
-
-	cfg.logf("calibrating %s at coverage %.2f...", cfg.Method, 1-cfg.Alpha)
-	pi, err := BuildPI(cfg, m, tab, train, cal)
-	if err != nil {
-		return nil, err
-	}
-	return &Setup{Table: tab, Model: m, PI: pi, Train: train, Cal: cal}, nil
+	return NewGraph().Build(cfg)
 }
 
 // BuildTable loads the table from csvPath when set, and otherwise generates
@@ -200,14 +207,22 @@ func BuildTable(dsName, csvPath string, rows int, seed int64, logf func(string, 
 
 // BuildModel trains the named estimator family. epochs > 0 overrides the
 // family default (mscn and lwnn only; the other families have no epoch
-// knob).
+// knob). It is the uncached TrainModel stage; the graph memoises it.
 func BuildModel(name string, tab *dataset.Table, train *workload.Workload, seed int64, epochs int) (cardpi.Estimator, error) {
+	return buildModel(name, tab, train, seed, epochs, nil)
+}
+
+// buildModel implements BuildModel. fz, when non-nil, supplies memoised
+// featurizers from the graph's Featurize stage; nil constructs fresh ones
+// (identical bytes — featurizer construction is deterministic and
+// workload-independent).
+func buildModel(name string, tab *dataset.Table, train *workload.Workload, seed int64, epochs int, fz *Featurized) (cardpi.Estimator, error) {
 	noteTraining("model/" + strings.ToLower(name))
 	switch strings.ToLower(name) {
 	case "spn":
 		return spn.Train(tab, spn.Config{Seed: seed + modelSeedOff})
 	case "mscn":
-		return mscn.Train(mscn.NewSingleFeaturizer(tab), train, mscn.Config{Epochs: pick(epochs, mscnEpochs), Seed: seed + modelSeedOff})
+		return mscn.Train(mscnFeaturizer(tab, fz), train, mscn.Config{Epochs: pick(epochs, mscnEpochs), Seed: seed + modelSeedOff})
 	case "lwnn":
 		return lwnn.Train(tab, train, lwnn.Config{Epochs: pick(epochs, lwnnEpochs), SampleSize: lwnnSampleSize, Seed: seed + modelSeedOff})
 	case "naru":
@@ -220,11 +235,30 @@ func BuildModel(name string, tab *dataset.Table, train *workload.Workload, seed 
 	}
 }
 
+// mscnFeaturizer returns the shared featurizer when available.
+func mscnFeaturizer(tab *dataset.Table, fz *Featurized) *mscn.Featurizer {
+	if fz != nil {
+		return fz.MSCN
+	}
+	return mscn.NewSingleFeaturizer(tab)
+}
+
+// lower is strings.ToLower, named for key-derivation readability.
+func lower(s string) string { return strings.ToLower(s) }
+
 func pick(override, def int) int {
 	if override > 0 {
 		return override
 	}
 	return def
+}
+
+// EvalWorkload generates a held-out labeled workload with the pipeline's
+// standard query shape (1–4 predicates per query). The caller picks a seed
+// disjoint from the training workload's derived seeds; synth uses it to
+// score trials on queries none of them trained or calibrated on.
+func EvalWorkload(tab *dataset.Table, count int, seed int64) (*workload.Workload, error) {
+	return workload.Generate(tab, workload.Config{Count: count, Seed: seed, MinPreds: minPreds, MaxPreds: maxPreds})
 }
 
 // Featurizer returns the query-feature function the lw-s-cp and lcp methods
@@ -252,32 +286,38 @@ func PredCountGroup(q workload.Query) string {
 
 // BuildPI calibrates the configured method around the trained model. The
 // combo has already been validated, so cqr only sees pinball-capable
-// families.
+// families. It is a thin composition over a fresh graph's Calibrate stage.
 func BuildPI(cfg Config, m cardpi.Estimator, tab *dataset.Table, train, cal *workload.Workload) (cardpi.PI, error) {
-	ff := Featurizer(tab)
+	return NewGraph().PI(cfg, m, tab, train, cal)
+}
+
+// buildPI is the uncached Calibrate stage. fz supplies the table's
+// featurizers; g serves the cqr quantile-model training (so a shared graph
+// memoises it alongside the point models).
+func buildPI(cfg Config, m cardpi.Estimator, tab *dataset.Table, train, cal *workload.Workload, fz *Featurized, g *Graph) (cardpi.PI, error) {
 	switch strings.ToLower(cfg.Method) {
 	case "s-cp":
 		return cardpi.WrapSplitCP(m, cal, conformal.ResidualScore{}, cfg.Alpha)
 	case "lw-s-cp":
 		noteTraining("difficulty/gbm")
-		lw, err := cardpi.WrapLocallyWeighted(m, train, cal, ff, conformal.ResidualScore{}, cfg.Alpha,
+		lw, err := cardpi.WrapLocallyWeighted(m, train, cal, fz.FF, conformal.ResidualScore{}, cfg.Alpha,
 			gbm.Config{NumTrees: 60, MaxDepth: 4, Seed: cfg.Seed + gbmSeedOff})
 		if err != nil {
 			return nil, err
 		}
-		lw.SetAppendFeatures(AppendFeaturizer(tab))
+		lw.SetAppendFeatures(fz.AFF)
 		return lw, nil
 	case "lcp":
-		lcp, err := cardpi.WrapLocalized(m, cal, ff, conformal.ResidualScore{}, cfg.Alpha, len(cal.Queries)/localizedKDiv)
+		lcp, err := cardpi.WrapLocalized(m, cal, fz.FF, conformal.ResidualScore{}, cfg.Alpha, len(cal.Queries)/cfg.kDiv())
 		if err != nil {
 			return nil, err
 		}
-		lcp.SetAppendFeatures(AppendFeaturizer(tab))
+		lcp.SetAppendFeatures(fz.AFF)
 		return lcp, nil
 	case "mondrian":
-		return cardpi.WrapMondrian(m, cal, PredCountGroup, conformal.ResidualScore{}, cfg.Alpha, mondrianMinGroup)
+		return cardpi.WrapMondrian(m, cal, PredCountGroup, conformal.ResidualScore{}, cfg.Alpha, cfg.minGroup())
 	case "cqr":
-		qlo, qhi, err := BuildQuantileModels(cfg.Model, tab, train, cfg.Alpha, cfg.Seed, cfg.Epochs)
+		qlo, qhi, err := g.QuantileModels(cfg, tab, train)
 		if err != nil {
 			return nil, err
 		}
@@ -291,10 +331,17 @@ func BuildPI(cfg Config, m cardpi.Estimator, tab *dataset.Table, train, cal *wor
 // the family for CQR. epochs > 0 overrides the family default.
 func BuildQuantileModels(modelName string, tab *dataset.Table, train *workload.Workload,
 	alpha float64, seed int64, epochs int) (lo, hi cardpi.Estimator, err error) {
+	return buildQuantileModels(modelName, tab, train, alpha, seed, epochs, nil)
+}
+
+// buildQuantileModels implements BuildQuantileModels; fz, when non-nil,
+// supplies the memoised mscn featurizer.
+func buildQuantileModels(modelName string, tab *dataset.Table, train *workload.Workload,
+	alpha float64, seed int64, epochs int, fz *Featurized) (lo, hi cardpi.Estimator, err error) {
 	noteTraining("quantile/" + strings.ToLower(modelName))
 	switch strings.ToLower(modelName) {
 	case "mscn":
-		f := mscn.NewSingleFeaturizer(tab)
+		f := mscnFeaturizer(tab, fz)
 		cfg := mscn.Config{Epochs: pick(epochs, mscnEpochs), Seed: seed + modelSeedOff}
 		if lo, err = mscn.TrainQuantile(f, train, alpha/2, cfg); err != nil {
 			return nil, nil, err

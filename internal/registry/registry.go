@@ -235,6 +235,26 @@ func (r *Registry[T]) Register(key Key, path string) (*BundleRef, error) {
 	return ref, nil
 }
 
+// Ref returns the key's registered BundleRef for version; 0 selects the
+// latest registration. The ref carries the decoded provenance manifest, so
+// callers (the /admin/synth handler) can derive a workload description from
+// a registration without loading any bundle bytes.
+func (r *Registry[T]) Ref(key Key, version int) (*BundleRef, error) {
+	e, err := r.lookupEntry(key)
+	if err != nil {
+		return nil, err
+	}
+	st := e.state.Load()
+	if version == 0 {
+		version = len(st.versions)
+	}
+	if version < 1 || version > len(st.versions) {
+		return nil, fmt.Errorf("%w: %s has %d versions, asked for v%d",
+			ErrUnknownVersion, key, len(st.versions), version)
+	}
+	return st.versions[version-1], nil
+}
+
 // getOrCreateEntry returns the key's entry, creating an empty one on first
 // registration.
 func (r *Registry[T]) getOrCreateEntry(key Key) *entry[T] {

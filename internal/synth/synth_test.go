@@ -1,0 +1,201 @@
+package synth
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+
+	"cardpi/internal/obs"
+	"cardpi/internal/pipeline"
+)
+
+// testOptions is the shared small-but-real search: census table, three
+// families (naru included so the artifact budget statically prunes it), the
+// full method set, and a budget sized so histogram/spn bundles fit but naru
+// can never.
+func testOptions() Options {
+	return Options{
+		Dataset: "census", Rows: 1500, Queries: 240, Seed: 1, Alpha: 0.1,
+		Models:      []string{"histogram", "spn", "naru"},
+		EvalQueries: 120,
+		Budget:      Budget{ArtifactBytes: 128 << 10},
+		Metrics:     obs.NewRegistry(),
+	}
+}
+
+// TestSynthDeterministicAcrossWorkers is the reproducibility contract: the
+// same workload + budget + seed yields byte-identical leaderboards and
+// byte-identical winning bundles for 1, 2, and NumCPU workers. Runs under
+// the CI -race step.
+func TestSynthDeterministicAcrossWorkers(t *testing.T) {
+	var wantLB, wantBundle []byte
+	for _, workers := range []int{1, 2, runtime.NumCPU()} {
+		opts := testOptions()
+		opts.Workers = workers
+		res, err := Synthesize(opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		lb, err := res.Leaderboard.Encode()
+		if err != nil {
+			t.Fatalf("workers=%d: encode: %v", workers, err)
+		}
+		if wantLB == nil {
+			wantLB, wantBundle = lb, res.Bundle
+			counts := Counts(res.Leaderboard)
+			if counts[StatusScored] < 8 {
+				t.Fatalf("only %d scored trials, want >= 8", counts[StatusScored])
+			}
+			if counts[StatusPruned] < 1 {
+				t.Fatalf("no pruned trials; the naru size bound should prune under a %d B budget",
+					opts.Budget.ArtifactBytes)
+			}
+			if res.Winner == nil || len(res.Bundle) == 0 {
+				t.Fatal("no winner produced")
+			}
+			continue
+		}
+		if !bytes.Equal(lb, wantLB) {
+			t.Errorf("workers=%d: leaderboard bytes differ from workers=1", workers)
+		}
+		if !bytes.Equal(res.Bundle, wantBundle) {
+			t.Errorf("workers=%d: winning bundle bytes differ from workers=1", workers)
+		}
+	}
+}
+
+// TestSynthPrunesBeforeTraining is the satellite-1 contract: a family whose
+// static artifact lower bound exceeds the byte budget is pruned without its
+// training code path ever running, and the leaderboard records the reason.
+func TestSynthPrunesBeforeTraining(t *testing.T) {
+	var trainings []string
+	pipeline.OnTrain = func(what string) { trainings = append(trainings, what) }
+	defer func() { pipeline.OnTrain = nil }()
+
+	opts := testOptions()
+	opts.Models = []string{"histogram", "naru"}
+	opts.Methods = []string{"s-cp"}
+	opts.Workers = 1
+	res, err := Synthesize(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range trainings {
+		if w == "model/naru" {
+			t.Fatal("naru trained despite being statically over the artifact budget")
+		}
+	}
+	found := false
+	for _, tr := range res.Leaderboard.Trials {
+		if tr.Model != "naru" {
+			continue
+		}
+		found = true
+		if tr.Status != StatusPruned {
+			t.Fatalf("naru trial status %q, want pruned", tr.Status)
+		}
+		if !strings.Contains(tr.Reason, "lower bound") || !strings.Contains(tr.Reason, "never trained") {
+			t.Fatalf("pruning reason %q does not explain the static bound", tr.Reason)
+		}
+		if tr.EstMinArtifactBytes <= opts.Budget.ArtifactBytes {
+			t.Fatalf("recorded lower bound %d does not exceed budget %d",
+				tr.EstMinArtifactBytes, opts.Budget.ArtifactBytes)
+		}
+	}
+	if !found {
+		t.Fatal("no naru trial in leaderboard")
+	}
+	if res.Winner == nil || res.Winner.Model != "histogram" {
+		t.Fatalf("winner %+v, want a histogram trial", res.Winner)
+	}
+}
+
+// TestSynthSharesPrefixesAcrossTrials proves the meta-search actually rides
+// the build graph: a run with many trials per family trains each family's
+// point model exactly once.
+func TestSynthSharesPrefixesAcrossTrials(t *testing.T) {
+	var trainings []string
+	pipeline.OnTrain = func(what string) { trainings = append(trainings, what) }
+	defer func() { pipeline.OnTrain = nil }()
+
+	opts := testOptions()
+	opts.Models = []string{"histogram"}
+	opts.Workers = 1
+	res, err := Synthesize(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := Counts(res.Leaderboard)[StatusScored]; n < 6 {
+		t.Fatalf("%d scored histogram trials, want >= 6 (methods x lattice)", n)
+	}
+	count := 0
+	for _, w := range trainings {
+		if w == "model/histogram" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("histogram trained %d times across the trial fan-out, want 1", count)
+	}
+}
+
+// TestSynthWinnerMatchesRebuild is the acceptance bit-identity contract:
+// rebuilding the winner from its recorded Config through the ordinary
+// pipeline entry point yields byte-identical .cpi bundle bytes, so the
+// artifact synth emits is exactly what `cardpi train` (or serve's
+// in-process build) would produce for the same configuration.
+func TestSynthWinnerMatchesRebuild(t *testing.T) {
+	opts := testOptions()
+	opts.Models = []string{"histogram", "spn"}
+	res, err := Synthesize(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Winner == nil {
+		t.Fatal("no winner")
+	}
+	setup, err := pipeline.Build(res.Config)
+	if err != nil {
+		t.Fatalf("rebuild winner config: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := pipeline.SaveBundle(&buf, setup, res.Config); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), res.Bundle) {
+		t.Errorf("rebuilt bundle differs from synth output (%d vs %d bytes)",
+			buf.Len(), len(res.Bundle))
+	}
+}
+
+// TestLeaderboardChecksum proves Encode/Decode round-trips and that
+// tampering is detected.
+func TestLeaderboardChecksum(t *testing.T) {
+	lb := &Leaderboard{
+		Kind: LeaderboardKind, SchemaVersion: LeaderboardSchemaVersion,
+		Dataset: "census", Source: "generated", Rows: 10, Queries: 5, EvalQueries: 3,
+		Seed: 1, Alpha: 0.1,
+		Budget:   budgetJSON{TargetCoverage: 0.9, WidthObjective: "mean"},
+		WinnerID: 0,
+		Trials:   []Trial{{ID: 0, Model: "histogram", Method: "s-cp", Status: StatusScored, Rank: 1, Score: 0.25}},
+	}
+	enc, err := lb.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.WinnerID != 0 || len(dec.Trials) != 1 || dec.Trials[0].Score != 0.25 {
+		t.Fatalf("decoded leaderboard mangled: %+v", dec)
+	}
+	tampered := bytes.Replace(enc, []byte(`"score": 0.25`), []byte(`"score": 0.75`), 1)
+	if bytes.Equal(tampered, enc) {
+		t.Fatal("tamper target not found in encoding")
+	}
+	if _, err := Decode(tampered); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("tampered leaderboard decoded without a checksum error: %v", err)
+	}
+}

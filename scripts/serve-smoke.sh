@@ -183,7 +183,7 @@ printf '%s\n' "$INSPECT" >&2
 grep -q 'histogram / s-cp' <<<"$INSPECT"
 
 echo "serve-smoke: serve -artifact"
-"$BIN" serve -addr "$ART_ADDR" -artifact "$ART" >"$ART_LOG" 2>&1 &
+"$BIN" serve -addr "$ART_ADDR" -artifact "$ART" -synth-admin -synth-dir "$WORK/synth" >"$ART_LOG" 2>&1 &
 ART_PID=$!
 wait_ready "$ART_ADDR" "$ART_PID" "$ART_LOG"
 grep -q 'model source: artifact' "$ART_LOG"
@@ -308,6 +308,40 @@ done
 for label in 'tenant="acme"' 'tenant="globex"'; do
   if ! grep -q "^cardpi_registry_requests_total{$label}" <<<"$REG_METRICS"; then
     echo "serve-smoke: missing cardpi_registry_requests_total{$label} series" >&2
+    exit 1
+  fi
+done
+
+# --- synth round trip: /admin/synth → registered candidate → promote ------
+# Synthesize a replacement for globex/dmv from its registered provenance.
+# The winner must land in the registry as a promotable candidate (v2, not
+# active) and then serve through the ordinary promote path.
+
+echo "serve-smoke: POST /admin/synth registers a candidate for globex/dmv"
+admin_post /admin/synth '{"tenant":"globex","table":"dmv","models":["histogram"],"methods":["s-cp","mondrian"],"eval_queries":100,"workers":2}' 200
+printf '%s\n' "$ADMIN_OUT" >&2
+grep -q '"registered_version": 2' <<<"$ADMIN_OUT"
+grep -q '"model": "histogram"' <<<"$ADMIN_OUT"
+grep -q '"summary"' <<<"$ADMIN_OUT"
+
+echo "serve-smoke: the synth candidate is registered but not auto-promoted"
+REGISTRY_SYNTH="$(curl -fsS "http://$ART_ADDR/admin/registry")"
+SYNTH_ENTRY="$(grep -A 3 '"tenant": "globex"' <<<"$REGISTRY_SYNTH")"
+grep -q '"active_version": 1' <<<"$SYNTH_ENTRY"
+
+echo "serve-smoke: promoting the synth candidate serves it"
+admin_post /admin/promote '{"tenant":"globex","table":"dmv","version":2,"force":true}' 200
+grep -q '"active_version": 2' <<<"$ADMIN_OUT"
+SYNTH_ROUTED="$(curl -fsS "http://$ART_ADDR/estimate?q=$Q&tenant=globex&table=dmv")"
+grep -q '"bundle": "globex/dmv@v2"' <<<"$SYNTH_ROUTED"
+grep -q '"covered"' <<<"$SYNTH_ROUTED"
+
+echo "serve-smoke: cardpi_synth_* metric families on /metrics"
+SYNTH_METRICS="$(curl -fsS "http://$ART_ADDR/metrics")"
+for family in cardpi_synth_runs_total cardpi_synth_trials_total \
+  cardpi_synth_best_score cardpi_synth_wall_seconds; do
+  if ! grep -q "^$family" <<<"$SYNTH_METRICS"; then
+    echo "serve-smoke: missing metric family $family" >&2
     exit 1
   fi
 done

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# synth-demo.sh — end-to-end demo of `cardpi synth`: run a budget-aware
+# estimator synthesis over the full family set on a small census workload,
+# then prove every promise the leaderboard makes:
+#
+#   1. the leaderboard parses, its checksum verifies, and it holds >= 8
+#      scored trials plus >= 1 statically budget-pruned trial with a
+#      recorded reason (naru's artifact lower bound cannot fit 128 KiB);
+#   2. the winning bundle round-trips through `cardpi inspect`;
+#   3. `cardpi serve -artifact` loads the winner and answers /estimate.
+#
+# Run via `make synth-demo`.
+#
+# Style rule (shared with serve-smoke.sh): never pipe a producer into
+# `grep -q` — capture to a variable first, then grep a here-string, so a
+# SIGPIPE can't turn into a spurious exit 141.
+set -euo pipefail
+
+ADDR="${SYNTH_ADDR:-127.0.0.1:18083}"
+WORK="$(mktemp -d)"
+BIN="$WORK/cardpi"
+OUT="$WORK/best.cpi"
+LB="$OUT.leaderboard.json"
+LOG="$(mktemp)"
+SERVE_PID=""
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$WORK" "$LOG"' EXIT
+
+go build -o "$BIN" ./cmd/cardpi
+
+echo "synth-demo: cardpi synth (census, 128 KiB artifact budget)"
+"$BIN" synth -dataset census -rows 2000 -queries 300 -eval-queries 150 \
+  -epochs 2 -budget-artifact-bytes 131072 -workers 2 -out "$OUT"
+
+echo "synth-demo: leaderboard parses and the checksum verifies"
+INSPECT_LB="$("$BIN" inspect "$LB")"
+printf '%s\n' "$INSPECT_LB" >&2
+grep -q 'checksum ok' <<<"$INSPECT_LB"
+grep -q 'why it won' <<<"$INSPECT_LB"
+
+SCORED="$(grep -c '"status": "scored"' "$LB")"
+if [ "$SCORED" -lt 8 ]; then
+  echo "synth-demo: only $SCORED scored trials, want >= 8" >&2
+  exit 1
+fi
+PRUNED="$(grep -c '"status": "pruned"' "$LB")"
+if [ "$PRUNED" -lt 1 ]; then
+  echo "synth-demo: no budget-pruned trial; the naru size bound should prune under 128 KiB" >&2
+  exit 1
+fi
+LB_TEXT="$(cat "$LB")"
+grep -q 'never trained' <<<"$LB_TEXT"
+
+echo "synth-demo: found $SCORED scored and $PRUNED pruned trials"
+
+echo "synth-demo: the winning bundle round-trips through inspect"
+INSPECT_ART="$("$BIN" inspect "$OUT")"
+printf '%s\n' "$INSPECT_ART" >&2
+grep -q 'cardpi artifact' <<<"$INSPECT_ART"
+grep -q 'table fingerprint' <<<"$INSPECT_ART"
+
+echo "synth-demo: serve -artifact answers /estimate from the winner"
+"$BIN" serve -addr "$ADDR" -artifact "$OUT" >"$LOG" 2>&1 &
+SERVE_PID=$!
+delay=0.1
+for _ in $(seq 1 12); do
+  if curl -fsS --max-time 2 "http://$ADDR/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "synth-demo: server exited early:" >&2
+    cat "$LOG" >&2
+    exit 1
+  fi
+  sleep "$delay"
+  delay="$(awk -v d="$delay" 'BEGIN { printf "%.2f", (d * 2 > 3) ? 3 : d * 2 }')"
+done
+EST="$(curl -fsS "http://$ADDR/estimate?q=age+%3D+3")"
+printf '%s\n' "$EST" >&2
+grep -q '"covered"' <<<"$EST"
+
+echo "synth-demo: ok"
