@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json experiments experiments-small fmt vet cover clean serve serve-smoke train-demo registry-demo synth-demo
+.PHONY: all build test race bench bench-json bench-serve experiments experiments-small fmt vet cover clean serve serve-smoke train-demo registry-demo synth-demo
 
 all: build test
 
@@ -31,6 +31,13 @@ bench-json:
 	  | tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_pi.json
 	@{ $(GO) test -run '^$$' -bench '^BenchmarkIntervalBatchMT$$' -benchmem . ; } \
 	  | tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_batch_mt.json
+
+# Record the serving-layer interval-cache speedup as BENCH_serve.json:
+# boot identical cache-on and cache-off servers, replay a Zipfian query
+# universe against both with `cardpi loadgen`, and fail unless cache-on
+# sustains >= 5x the cache-off queries/sec (see OPERATIONS.md).
+bench-serve:
+	bash scripts/bench-serve.sh
 
 # Regenerate every paper table/figure at the default scale.
 experiments:

@@ -91,6 +91,10 @@ type Adaptive struct {
 	widths  ring
 	alarmed bool // last drift-alarm state, for edge-triggered counting
 
+	// onRecal, when set, fires after every committed recalibration (see
+	// OnRecalibrate).
+	onRecal func()
+
 	// Optional metric instruments (nil when AdaptiveConfig.Metrics is nil).
 	obsTotal     *obs.Counter
 	alarmsTotal  *obs.Counter
@@ -360,11 +364,28 @@ func (a *Adaptive) recalibrate(model Estimator, wl *workload.Workload) error {
 	a.alarmed = false
 	a.hits = ring{}
 	a.widths = ring{}
+	hook := a.onRecal
 	a.mu.Unlock()
 	if a.recalTotal != nil {
 		a.recalTotal.Inc()
 	}
+	if hook != nil {
+		hook()
+	}
 	return nil
+}
+
+// OnRecalibrate registers fn to run after every successful recalibration
+// commit (Recalibrate or RecalibrateModel), outside the internal lock and
+// strictly after the new calibration state is visible to Interval. The
+// serving layer uses it to bump the interval cache's epoch so stale cached
+// intervals become unreachable the moment a recalibration lands. Only one
+// hook is kept (later registrations replace earlier ones); fn must be safe
+// to call from whichever goroutine triggered the recalibration.
+func (a *Adaptive) OnRecalibrate(fn func()) {
+	a.mu.Lock()
+	a.onRecal = fn
+	a.mu.Unlock()
 }
 
 // DriftStatistic exposes the running maximum of the restarted log

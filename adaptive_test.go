@@ -258,6 +258,40 @@ func TestAdaptiveRecalibrateResetsTelemetryRings(t *testing.T) {
 	}
 }
 
+// TestAdaptiveOnRecalibrateHook: the hook fires exactly once per committed
+// recalibration, outside the internal lock (the hook body re-enters the
+// wrapper), and never on a failed recalibration.
+func TestAdaptiveOnRecalibrateHook(t *testing.T) {
+	model, _, _, cal, _ := fixture(t)
+	a, err := NewAdaptive(model, cal, conformal.ResidualScore{},
+		AdaptiveConfig{Alpha: 0.1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	a.OnRecalibrate(func() {
+		fired++
+		a.CalibrationSize() // must not deadlock: hook runs outside the lock
+	})
+	if err := a.Recalibrate(cal); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("hook fired %d times after one recalibration, want 1", fired)
+	}
+	poisoned := &workload.Workload{NormN: cal.NormN}
+	for _, lq := range cal.Queries[:10] {
+		poisoned.Queries = append(poisoned.Queries,
+			workload.Labeled{Query: lq.Query, Sel: math.NaN(), Norm: lq.Norm})
+	}
+	if err := a.Recalibrate(poisoned); err == nil {
+		t.Fatal("poisoned recalibration unexpectedly succeeded")
+	}
+	if fired != 1 {
+		t.Fatalf("hook fired on a failed recalibration (count %d)", fired)
+	}
+}
+
 // TestAdaptiveRecalibrateModel pins the model-swap commit path used by the
 // recalibration supervisor: both arguments are required, and a successful
 // swap changes the served estimates, the wrapper's name, and the calibration

@@ -1,0 +1,167 @@
+package cardpi
+
+import (
+	"context"
+	"fmt"
+
+	"cardpi/internal/cache"
+	"cardpi/internal/obs"
+	"cardpi/internal/workload"
+)
+
+// CacheConfig sizes a Cached wrapper; see NewCached.
+type CacheConfig struct {
+	// Entries is the total cache capacity (rounded up to the sharded
+	// set-associative geometry); <= 0 takes 4096.
+	Entries int
+	// Shards is the lock-domain count, rounded up to a power of two;
+	// <= 0 takes 8. More shards cut contention under concurrent load.
+	Shards int
+	// Metrics, when non-nil, registers the cardpi_cache_* families there,
+	// labeled cache=<Label>. See OBSERVABILITY.md.
+	Metrics *obs.Registry
+	// Label distinguishes this cache's metric series when several caches
+	// share one registry; "" takes "library".
+	Label string
+}
+
+// Cached memoizes a PI behind the epoch-invalidated interval cache
+// (internal/cache): repeated intervals for semantically identical queries
+// are served from memory, and N concurrent misses on one key execute
+// exactly one underlying Interval call (singleflight).
+//
+// Identity is the canonical query key — predicate order and equivalent
+// range forms are normalized before hashing — and on a miss the wrapped PI
+// is invoked with the canonicalized query, so every variant of a query
+// maps to one bit-exact result: for any q1, q2 with equal canonical forms,
+// Interval(q1) and Interval(q2) return identical bits, equal to
+// pi.Interval(workload.Canonicalize(q1)). For already-canonical queries
+// (anything from ParseQuery or the workload generator) this is
+// indistinguishable from the uncached wrapper.
+//
+// Cached is for immutable PIs (the calibrated static wrappers). If the
+// underlying state changes — a recalibration, a model swap — call
+// Invalidate, which makes every cached entry unreachable in O(1). Safe for
+// concurrent use whenever the wrapped PI is; steady-state hits perform
+// zero heap allocations (enforced by AllocsPerRun tests).
+type Cached struct {
+	pi PI
+	c  *cache.Cache
+}
+
+// NewCached wraps pi in an interval cache. The error is reserved for
+// invalid configurations; the current geometry rules accept any values.
+func NewCached(pi PI, cfg CacheConfig) (*Cached, error) {
+	if pi == nil {
+		return nil, fmt.Errorf("cardpi: NewCached requires a PI")
+	}
+	var m *cache.Metrics
+	if cfg.Metrics != nil {
+		label := cfg.Label
+		if label == "" {
+			label = "library"
+		}
+		m = cache.NewMetrics(cfg.Metrics, obs.L("cache", label))
+	}
+	return &Cached{
+		pi: pi,
+		c:  cache.New(cache.Config{Entries: cfg.Entries, Shards: cfg.Shards, Metrics: m}),
+	}, nil
+}
+
+// Name identifies the wrapper and its inner method, e.g. "cached/s-cp/spn".
+func (cc *Cached) Name() string { return "cached/" + cc.pi.Name() }
+
+// Interval returns the cached interval for q's canonical form, computing
+// (and storing) it through the wrapped PI on a miss. Concurrent misses on
+// one key coalesce into a single underlying call; every caller gets the
+// leader's result (or error — errors are never cached).
+func (cc *Cached) Interval(q workload.Query) (Interval, error) {
+	k := cache.KeyOf(q)
+	if r, ok := cc.c.Get(k); ok {
+		return Interval{Lo: r.Lo, Hi: r.Hi}, nil
+	}
+	r, _, _, err := cc.c.Do(k, func() (cache.Result, uint64, bool, error) {
+		iv, err := cc.pi.Interval(workload.Canonicalize(q))
+		if err != nil {
+			return cache.Result{}, 0, false, err
+		}
+		return cache.Result{Lo: iv.Lo, Hi: iv.Hi}, 0, true, nil
+	})
+	if err != nil {
+		return Interval{}, err
+	}
+	return Interval{Lo: r.Lo, Hi: r.Hi}, nil
+}
+
+// IntervalCtx is Interval under a context: hits and coalesced waits are
+// served regardless (they cost no model work); a miss checks ctx before
+// computing and forwards it to a context-aware inner PI.
+func (cc *Cached) IntervalCtx(ctx context.Context, q workload.Query) (Interval, error) {
+	k := cache.KeyOf(q)
+	if r, ok := cc.c.Get(k); ok {
+		return Interval{Lo: r.Lo, Hi: r.Hi}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return Interval{}, err
+	}
+	r, _, _, err := cc.c.Do(k, func() (cache.Result, uint64, bool, error) {
+		iv, err := IntervalCtx(ctx, cc.pi, workload.Canonicalize(q))
+		if err != nil {
+			return cache.Result{}, 0, false, err
+		}
+		return cache.Result{Lo: iv.Lo, Hi: iv.Hi}, 0, true, nil
+	})
+	if err != nil {
+		return Interval{}, err
+	}
+	return Interval{Lo: r.Lo, Hi: r.Hi}, nil
+}
+
+// IntervalBatch probes the cache per element and coalesces only the misses
+// into one batched call on the wrapped PI (its native BatchPI path when it
+// has one), preserving the batch ≡ sequential bit-identity contract. A
+// miss-path error fails the whole batch, matching IntervalBatch's
+// all-or-nothing semantics. Within-batch duplicate misses are computed
+// together in the one underlying call (they do not cross-request
+// singleflight); steady-state all-hit batches allocate only the result
+// slice.
+func (cc *Cached) IntervalBatch(qs []workload.Query) ([]Interval, error) {
+	out := make([]Interval, len(qs))
+	epoch := cc.c.Epoch().Load()
+	var missQs []workload.Query
+	var missKeys []cache.Key
+	var missIdx []int
+	for i, q := range qs {
+		k := cache.KeyOf(q)
+		if r, ok := cc.c.Get(k); ok {
+			out[i] = Interval{Lo: r.Lo, Hi: r.Hi}
+			continue
+		}
+		missQs = append(missQs, workload.Canonicalize(q))
+		missKeys = append(missKeys, k)
+		missIdx = append(missIdx, i)
+	}
+	if len(missQs) == 0 {
+		return out, nil
+	}
+	ivs, err := IntervalBatch(cc.pi, missQs)
+	if err != nil {
+		return nil, err
+	}
+	for j, i := range missIdx {
+		out[i] = ivs[j]
+		cc.c.Put(missKeys[j], epoch, cache.Result{Lo: ivs[j].Lo, Hi: ivs[j].Hi})
+	}
+	return out, nil
+}
+
+// Invalidate bumps the cache epoch: every cached interval becomes
+// unreachable in O(1) and the next request per key recomputes against the
+// wrapped PI's current state. Call it after any mutation of the underlying
+// estimator (recalibration, model swap).
+func (cc *Cached) Invalidate() { cc.c.Invalidate() }
+
+// CacheLen reports the live cached entries — a sizing probe for tests and
+// capacity planning, not a hot-path accessor.
+func (cc *Cached) CacheLen() int { return cc.c.Len() }

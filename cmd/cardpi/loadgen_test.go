@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadgenCompareMode drives the full loadgen path against two live
+// in-process servers — cache-on target, cache-off baseline — and checks the
+// JSON report: both runs completed without errors and the speedup ratio is
+// present. (The magnitude of the speedup is asserted by make bench-serve,
+// not here: a busy CI box makes sub-second timings too noisy for a hard
+// threshold.)
+func TestLoadgenCompareMode(t *testing.T) {
+	onTS, _, _ := startServer(t, smallSetup(t), serveOpts{cacheEntries: 4096})
+	offTS, _, _ := startServer(t, smallSetup(t), serveOpts{})
+
+	out := filepath.Join(t.TempDir(), "report.json")
+	err := runLoadgen([]string{
+		"-addr", strings.TrimPrefix(onTS.URL, "http://"),
+		"-baseline-addr", strings.TrimPrefix(offTS.URL, "http://"),
+		"-dataset", "dmv", "-rows", "2000", "-seed", "1",
+		"-universe", "50", "-concurrency", "2",
+		"-duration", "300ms", "-warmup", "100ms",
+		"-batch", "16", "-format", "json",
+		"-out", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadgenReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, raw)
+	}
+	if rep.Baseline == nil {
+		t.Fatal("compare mode produced no baseline summary")
+	}
+	for name, s := range map[string]loadgenSummary{"target": rep.Target, "baseline": *rep.Baseline} {
+		if s.Errors != 0 {
+			t.Errorf("%s run had %d errors", name, s.Errors)
+		}
+		if s.Queries == 0 || s.QPS <= 0 {
+			t.Errorf("%s run answered no queries: %+v", name, s)
+		}
+		if s.P50Ms <= 0 || s.P99Ms < s.P50Ms {
+			t.Errorf("%s run has malformed latency quantiles: %+v", name, s)
+		}
+	}
+	if rep.Speedup <= 0 {
+		t.Fatalf("speedup_qps = %v, want > 0", rep.Speedup)
+	}
+}
+
+// TestLoadgenSingleAndWire covers the two other request shapes: single GET
+// mode and the binary wire batch format.
+func TestLoadgenSingleAndWire(t *testing.T) {
+	ts, _, _ := startServer(t, smallSetup(t), serveOpts{cacheEntries: 4096})
+	addr := strings.TrimPrefix(ts.URL, "http://")
+	common := []string{
+		"-addr", addr, "-dataset", "dmv", "-rows", "2000", "-seed", "1",
+		"-universe", "30", "-concurrency", "2",
+		"-duration", "200ms", "-warmup", "50ms",
+	}
+	t.Run("single", func(t *testing.T) {
+		if err := runLoadgen(common); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("wire", func(t *testing.T) {
+		if err := runLoadgen(append(append([]string{}, common...), "-batch", "8", "-format", "wire")); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestLoadgenValidation covers the flag rejection paths.
+func TestLoadgenValidation(t *testing.T) {
+	cases := [][]string{
+		{"-dist", "pareto"},
+		{"-dist", "zipf", "-zipf-s", "0.5"},
+		{"-universe", "1"},
+		{"-format", "wire"}, // wire without -batch
+		{"-format", "msgpack", "-batch", "4"},
+		{"-dataset", "nope"},
+	}
+	for _, args := range cases {
+		if err := runLoadgen(args); err == nil {
+			t.Errorf("runLoadgen(%v) accepted invalid flags", args)
+		}
+	}
+}

@@ -65,6 +65,7 @@ func main() {
 			"synth":   runSynth,
 			"inspect": runInspect,
 			"batch":   runBatch,
+			"loadgen": runLoadgen,
 		}[sub]
 		if run != nil {
 			if err := run(os.Args[2:]); err != nil {

@@ -135,6 +135,9 @@ func (s *server) handleAdminScenario(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.def.tab.Store(clone)
+	// Publish first, then invalidate: ground truths cached against the old
+	// table must become unreachable the moment the mutated clone serves.
+	s.def.invalidate()
 	logStderr("admin: scenario %s mutated %d rows (table now %d rows)", req.Action, changed, clone.NumRows())
 	writeAdminJSON(w, map[string]any{
 		"action":  req.Action,

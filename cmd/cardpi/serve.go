@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"cardpi"
+	"cardpi/internal/cache"
 	"cardpi/internal/codec"
 	"cardpi/internal/conformal"
 	"cardpi/internal/dataset"
@@ -101,6 +102,9 @@ func runServe(args []string) error {
 
 		regCache   = fs.Int("registry-cache", registry.DefaultCacheSize, "loaded-bundle LRU capacity of the multi-tenant registry (see OPERATIONS.md)")
 		smokeCount = fs.Int("smoke-queries", registry.DefaultSmokeQueries, "calibration queries the /admin/promote bit-identity smoke check compares")
+
+		cacheEntries = fs.Int("cache-entries", 0, "interval-cache capacity per serving unit (0 = cache off); see OPERATIONS.md for sizing")
+		cacheShards  = fs.Int("cache-shards", 0, "interval-cache lock shards, rounded up to a power of two (0 = default 8)")
 
 		recalOn       = fs.Bool("recal", true, "run the closed-loop drift recalibration supervisor on the default serving unit (see RELIABILITY.md)")
 		recalWindow   = fs.Int("recal-window", 1024, "labeled observations the recalibration supervisor keeps in its rolling window")
@@ -183,6 +187,7 @@ func runServe(args []string) error {
 		maxBatch:        *maxBatch,
 		breakerFailures: *brFailures, breakerOpen: *brOpen,
 		registryCache: *regCache, smokeQueries: *smokeCount,
+		cacheEntries: *cacheEntries, cacheShards: *cacheShards,
 		metrics: obs.Default(),
 		source:  src,
 		recal: recalOpts{
@@ -305,6 +310,11 @@ type serveOpts struct {
 	// smokeQueries is the default promote smoke-check depth; 0 takes
 	// registry.DefaultSmokeQueries.
 	smokeQueries int
+	// cacheEntries sizes each serving unit's epoch-invalidated interval
+	// cache (internal/cache); 0 disables caching entirely. cacheShards is
+	// the cache's lock-shard count (0 = package default).
+	cacheEntries int
+	cacheShards  int
 	metrics      *obs.Registry
 	// source records the model's provenance; nil means trained in-process
 	// (tests that assemble a Setup by hand take this default).
@@ -368,6 +378,29 @@ type servingUnit struct {
 	// recal is the closed-loop drift supervisor (RELIABILITY.md); nil unless
 	// enabled, and only ever enabled on the default unit.
 	recal *recal.Supervisor
+	// cache memoizes depth-0 interval results keyed by canonical query hash
+	// (nil = caching off). All units share one server-wide epoch, and every
+	// path that changes what this unit would serve — recalibration swap,
+	// scenario table mutation, registry promote/rollback — bumps it AFTER
+	// publishing the new state, making every cached entry unreachable.
+	cache *cache.Cache
+}
+
+// invalidate bumps the shared cache epoch (no-op when caching is off). Call
+// it only after the new serving state is published — see cache.Epoch.Bump.
+func (u *servingUnit) invalidate() {
+	if u.cache != nil {
+		u.cache.Invalidate()
+	}
+}
+
+// invalidateCaches bumps the server-wide cache epoch directly — promote and
+// rollback change which unit a route resolves to, which no single unit's
+// cache can know about. No-op when caching is off.
+func (s *server) invalidateCaches() {
+	if s.epoch != nil {
+		s.epoch.Bump()
+	}
 }
 
 // table returns the currently published serving table.
@@ -384,6 +417,15 @@ type unitOpts struct {
 	breakerFailures int
 	breakerOpen     time.Duration
 	metrics         *obs.Registry
+	// cacheEntries > 0 attaches an interval cache; cacheEpoch is the
+	// server-wide invalidation epoch every unit cache shares, and
+	// cacheMetrics the unit-labeled cardpi_cache_* instruments (both built
+	// by newServer so they land in the served registry, not the unit's
+	// possibly-private one).
+	cacheEntries int
+	cacheShards  int
+	cacheEpoch   *cache.Epoch
+	cacheMetrics *cache.Metrics
 }
 
 // newServingUnit assembles the fault-tolerant chain for one bundle:
@@ -433,6 +475,16 @@ func newServingUnit(s *pipeline.Setup, o unitOpts) (*servingUnit, error) {
 	u := &servingUnit{adaptive: adaptive, fallback: fallback, uopts: o}
 	u.tab.Store(s.Table)
 	u.chain.Store(&servingChain{model: s.Model, resilient: resilient})
+	if o.cacheEntries > 0 {
+		u.cache = cache.New(cache.Config{
+			Entries: o.cacheEntries, Shards: o.cacheShards,
+			Epoch: o.cacheEpoch, Metrics: o.cacheMetrics,
+		})
+		// Any committed recalibration — the supervisor's swap, an admin
+		// trigger, a direct call — lands after the adaptive monitor's new
+		// state is visible, so cached intervals from the old state die here.
+		adaptive.OnRecalibrate(u.invalidate)
+	}
 	return u, nil
 }
 
@@ -457,6 +509,10 @@ func (u *servingUnit) swapChain(c *recal.Candidate) error {
 		return err
 	}
 	u.chain.Store(&servingChain{model: c.Model, resilient: resilient})
+	// Publish first, then invalidate: a request racing the swap either
+	// resolved the old chain (and may briefly refill old-epoch entries that
+	// the Put epoch check drops) or sees the new chain with an empty cache.
+	u.invalidate()
 	return nil
 }
 
@@ -469,6 +525,12 @@ type server struct {
 	timeout  time.Duration
 	maxBatch int
 	health   healthResponse
+
+	// epoch is the server-wide interval-cache invalidation epoch shared by
+	// every unit's cache (nil when -cache-entries is 0). Registry promotes
+	// and rollbacks bump it directly — the routed unit changes identity, so
+	// every cache that might hold the old unit's intervals must die.
+	epoch *cache.Epoch
 
 	// scenarioAdmin gates POST /admin/scenario; scenarioMu serialises its
 	// clone → mutate → publish cycles so concurrent drills cannot interleave.
@@ -525,6 +587,14 @@ type serveScratch struct {
 	qs      []workload.Query   // parsed queries
 	results []estimateResponse // per-query replies
 	wire    []codec.WireResult // binary response frames
+	depths  []int              // per-query chain depths
+
+	// Interval-cache batch state (unused when -cache-entries is 0).
+	keys    []cache.Key      // per-query canonical hashes
+	cres    []cache.Result   // per-query cached/computed cores
+	hits    []bool           // per-query hit markers
+	missQs  []workload.Query // cold queries, in batch order
+	missIdx []int            // cold queries' positions in the batch
 }
 
 // batchSizeBuckets are the histogram bounds for /estimate/batch sizes:
@@ -551,11 +621,22 @@ func newServer(s *pipeline.Setup, o serveOpts) (*server, error) {
 	if o.source == nil {
 		o.source = &modelSource{origin: "trained", model: s.Model.Name(), method: s.PI.Name()}
 	}
-	def, err := newServingUnit(s, unitOpts{
+	var epoch *cache.Epoch
+	if o.cacheEntries > 0 {
+		epoch = new(cache.Epoch)
+	}
+	defUnit := unitOpts{
 		alpha: o.alpha, window: o.window, seed: o.seed,
 		breakerFailures: o.breakerFailures, breakerOpen: o.breakerOpen,
 		metrics: o.metrics,
-	})
+	}
+	if epoch != nil {
+		defUnit.cacheEntries = o.cacheEntries
+		defUnit.cacheShards = o.cacheShards
+		defUnit.cacheEpoch = epoch
+		defUnit.cacheMetrics = cache.NewMetrics(o.metrics, obs.L("unit", "default"))
+	}
+	def, err := newServingUnit(s, defUnit)
 	if err != nil {
 		return nil, err
 	}
@@ -588,10 +669,19 @@ func newServer(s *pipeline.Setup, o serveOpts) (*server, error) {
 		breakerFailures: o.breakerFailures,
 		breakerOpen:     o.breakerOpen,
 	}
-	reg := registry.New(func(_ registry.Key, ref *registry.BundleRef, rs *pipeline.Setup) (*servingUnit, error) {
+	reg := registry.New(func(k registry.Key, ref *registry.BundleRef, rs *pipeline.Setup) (*servingUnit, error) {
 		uo := unitBase
 		uo.alpha = ref.Manifest.Alpha
 		uo.seed = ref.Manifest.Seed
+		if epoch != nil {
+			// Unit-labeled cache instruments go to the served registry (the
+			// obs families collide only on identical label sets); everything
+			// else stays on the unit's private registry.
+			uo.cacheEntries = o.cacheEntries
+			uo.cacheShards = o.cacheShards
+			uo.cacheEpoch = epoch
+			uo.cacheMetrics = cache.NewMetrics(o.metrics, obs.L("unit", k.String()))
+		}
 		return newServingUnit(rs, uo) // nil metrics → private registry per unit
 	}, registry.Options{
 		CacheSize:    o.registryCache,
@@ -601,6 +691,7 @@ func newServer(s *pipeline.Setup, o serveOpts) (*server, error) {
 	srv := &server{
 		def:           def,
 		reg:           reg,
+		epoch:         epoch,
 		timeout:       o.timeout,
 		maxBatch:      o.maxBatch,
 		health:        healthFor(o.source),
@@ -613,13 +704,22 @@ func newServer(s *pipeline.Setup, o serveOpts) (*server, error) {
 	}
 	maxBatchCap := o.maxBatch
 	srv.scratch.New = func() any {
-		return &serveScratch{
+		sc := &serveScratch{
 			rawQ:    make([][]byte, 0, maxBatchCap),
 			lines:   make([]string, 0, maxBatchCap),
 			qs:      make([]workload.Query, 0, maxBatchCap),
 			results: make([]estimateResponse, 0, maxBatchCap),
 			wire:    make([]codec.WireResult, 0, maxBatchCap),
+			depths:  make([]int, 0, maxBatchCap),
 		}
+		if epoch != nil {
+			sc.keys = make([]cache.Key, 0, maxBatchCap)
+			sc.cres = make([]cache.Result, 0, maxBatchCap)
+			sc.hits = make([]bool, 0, maxBatchCap)
+			sc.missQs = make([]workload.Query, 0, maxBatchCap)
+			sc.missIdx = make([]int, 0, maxBatchCap)
+		}
+		return sc
 	}
 	if ms := o.source; ms.origin == "artifact" {
 		// A constant-1 info gauge: the provenance travels in the labels, so
@@ -660,6 +760,11 @@ func newServer(s *pipeline.Setup, o serveOpts) (*server, error) {
 		"Answered /estimate/batch requests by negotiated wire format.", obs.L("wire_format", "json"))
 	srv.batchWireBinary = o.metrics.Counter("cardpi_serve_batch_wire_total",
 		"Answered /estimate/batch requests by negotiated wire format.", obs.L("wire_format", "binary"))
+	if epoch != nil {
+		o.metrics.GaugeFunc("cardpi_cache_epoch",
+			"Current interval-cache invalidation epoch (bumps on every chain swap, table mutation, promote, and rollback).",
+			func() float64 { return float64(epoch.Load()) })
+	}
 	srv.metricsHandler = o.metrics.Handler()
 	return srv, nil
 }
@@ -792,6 +897,11 @@ type estimateResponse struct {
 	Covered  bool    `json:"covered"`
 	Drifted  bool    `json:"drifted"`
 	RollCov  float64 `json:"rolling_coverage"`
+	// Cached marks replies served without executing the estimator chain —
+	// an interval-cache hit or a coalesced follower of an in-flight miss.
+	// All numeric fields are bit-identical to an uncached reply; only the
+	// live telemetry (drifted, rolling_coverage) can differ.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // route resolves which serving unit answers the request. Requests without
@@ -877,10 +987,15 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// The resilient chain never fails: a sick primary degrades through the
-	// fallback stages down to the fail-safe full-domain interval.
-	iv, depth := ch.resilient.IntervalDepthCtx(ctx, q)
-	resp := u.respond(ch, tab, line, q, iv, depth, bundle, degraded)
+	var resp estimateResponse
+	if u.cache != nil {
+		resp = u.serveCached(ctx, tab, ch, line, q, bundle, degraded)
+	} else {
+		// The resilient chain never fails: a sick primary degrades through
+		// the fallback stages down to the fail-safe full-domain interval.
+		iv, depth := ch.resilient.IntervalDepthCtx(ctx, q)
+		resp = u.respond(ch, tab, line, q, iv, depth, bundle, degraded)
+	}
 	s.reqOK.Inc()
 	w.Header().Set("Content-Type", "application/json")
 	sc := s.scratch.Get().(*serveScratch)
@@ -902,15 +1017,39 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 // on the unrouted path) and whether a registry fault forced the default
 // unit regardless of the chain depth.
 func (u *servingUnit) respond(ch *servingChain, tab *dataset.Table, line string, q workload.Query, iv cardpi.Interval, depth int, bundle string, degraded bool) estimateResponse {
-	// The demo owns the oracle, so it can score itself; a panicking or
-	// erroring model/oracle degrades the telemetry fields, never the reply.
-	truth, truthOK := groundTruth(tab, q)
-	n := int64(tab.NumRows())
-	est := safeEstimate(ch.model, q)
-	if truthOK {
-		u.observe(q, float64(truth)/float64(n))
-	}
+	return u.render(ch, tab, line, u.computeResult(ch, tab, q, iv), depth, bundle, degraded, false)
+}
 
+// computeResult produces the cacheable core of a reply — the interval, the
+// point estimate, and the self-scored ground truth — and feeds the adaptive
+// monitor. Everything in it is a pure function of (chain, table snapshot,
+// canonical query), which is exactly why a cache.Result can be replayed
+// bit-identically until an epoch bump retires the (chain, table) pair it
+// was computed against. The demo owns the oracle, so it can score itself; a
+// panicking or erroring model/oracle degrades the telemetry fields, never
+// the reply.
+func (u *servingUnit) computeResult(ch *servingChain, tab *dataset.Table, q workload.Query, iv cardpi.Interval) cache.Result {
+	truth, truthOK := groundTruth(tab, q)
+	if truthOK {
+		u.observe(q, float64(truth)/float64(tab.NumRows()))
+	} else {
+		truth = -1
+	}
+	return cache.Result{
+		Est: safeEstimate(ch.model, q),
+		Lo:  iv.Lo, Hi: iv.Hi,
+		TrueRows: truth, HasTruth: truthOK,
+	}
+}
+
+// render assembles the JSON reply around a computed (or cached) core
+// result. Covered is re-derived from the cached floats — the derivation is
+// deterministic, so a hit renders bit-for-bit what the original miss did —
+// while drifted/rolling_coverage are read live: they describe the monitor
+// now, not the request that filled the entry.
+func (u *servingUnit) render(ch *servingChain, tab *dataset.Table, line string, res cache.Result, depth int, bundle string, degraded, cached bool) estimateResponse {
+	n := int64(tab.NumRows())
+	iv := cardpi.Interval{Lo: res.Lo, Hi: res.Hi}
 	cardIv := cardpi.CardinalityInterval(iv, n)
 	resp := estimateResponse{
 		Query:    line,
@@ -918,8 +1057,8 @@ func (u *servingUnit) respond(ch *servingChain, tab *dataset.Table, line string,
 		ServedBy: ch.stageName(depth),
 		Bundle:   bundle,
 		Degraded: depth > 0 || degraded,
-		EstSel:   est,
-		EstRows:  est * float64(n),
+		EstSel:   res.Est,
+		EstRows:  res.Est * float64(n),
 		LoSel:    iv.Lo,
 		HiSel:    iv.Hi,
 		LoRows:   cardIv.Lo,
@@ -927,12 +1066,46 @@ func (u *servingUnit) respond(ch *servingChain, tab *dataset.Table, line string,
 		TrueRows: -1,
 		Drifted:  u.adaptive.Drifted(),
 		RollCov:  u.adaptive.RollingCoverage(),
+		Cached:   cached,
 	}
-	if truthOK {
-		resp.TrueRows = truth
-		resp.Covered = cardIv.Contains(float64(truth))
+	if res.HasTruth {
+		resp.TrueRows = res.TrueRows
+		resp.Covered = cardIv.Contains(float64(res.TrueRows))
 	}
 	return resp
+}
+
+// serveCached answers one /estimate query through the unit's interval
+// cache: a hit replays the stored result with zero estimator work; a miss
+// coalesces with any concurrent misses on the same canonical key
+// (singleflight) so N identical cold requests cost exactly one chain
+// execution. Only depth-0 (primary-served) results are stored — degraded
+// intervals are transient and must not outlive the fault that caused them.
+//
+// The singleflight leader re-resolves the chain and table INSIDE the
+// flight, after the cache has snapshotted the epoch. That ordering is the
+// invalidation proof: a result stored under epoch E was computed against
+// state resolved after E's snapshot, so a swap-then-bump sequence can never
+// leave a pre-swap interval reachable under a post-swap epoch. tab and ch
+// are the handler's resolutions, used only for the reply's presentation
+// fields.
+func (u *servingUnit) serveCached(ctx context.Context, tab *dataset.Table, ch *servingChain, line string, q workload.Query, bundle string, degraded bool) estimateResponse {
+	k := cache.KeyOf(q)
+	if r, ok := u.cache.Get(k); ok {
+		return u.render(ch, tab, line, r, 0, bundle, degraded, true)
+	}
+	r, aux, shared, err := u.cache.Do(k, func() (cache.Result, uint64, bool, error) {
+		ftab, fch := u.table(), u.current()
+		iv, depth := fch.resilient.IntervalDepthCtx(ctx, q)
+		return u.computeResult(fch, ftab, q, iv), uint64(depth), depth == 0, nil
+	})
+	if err != nil {
+		// Unreachable today (the flight fn never errors), but degrade to an
+		// uncached computation rather than failing the request.
+		iv, depth := ch.resilient.IntervalDepthCtx(ctx, q)
+		return u.respond(ch, tab, line, q, iv, depth, bundle, degraded)
+	}
+	return u.render(ch, tab, line, r, int(aux), bundle, degraded, shared)
 }
 
 // batchRequest is the JSON body of POST /estimate/batch: one query string
@@ -1036,6 +1209,14 @@ func (s *server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 
 	sc := s.scratch.Get().(*serveScratch)
 	defer s.scratch.Put(sc)
+	// The epoch snapshot precedes the table/chain resolution on purpose:
+	// results stored under this epoch were computed against state resolved
+	// after it, so swap-then-bump can never leave stale entries reachable
+	// (same ordering argument as serveCached).
+	var epoch uint64
+	if u.cache != nil {
+		epoch = u.cache.Epoch().Load()
+	}
 	tab, ch := u.table(), u.current()
 
 	binary := strings.HasPrefix(r.Header.Get("Content-Type"), codec.WireContentType)
@@ -1103,17 +1284,57 @@ func (s *server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.batchSize.Observe(float64(len(sc.qs)))
 
-	ivs, depths := ch.resilient.IntervalBatchDepthCtx(ctx, sc.qs)
-	sc.results = sc.results[:0]
-	for i := range sc.qs {
-		sc.results = append(sc.results, u.respond(ch, tab, lines[i], sc.qs[i], ivs[i], depths[i], bundle, degraded))
+	if u.cache != nil {
+		// Probe per row, then run ONE batched chain execution over the
+		// misses only — a mostly-warm batch rides the matrix kernels for
+		// just its cold rows. Only depth-0 results are stored; within-batch
+		// duplicate misses are computed together in the single call.
+		sc.keys, sc.cres = sc.keys[:0], sc.cres[:0]
+		sc.hits, sc.depths = sc.hits[:0], sc.depths[:0]
+		sc.missQs, sc.missIdx = sc.missQs[:0], sc.missIdx[:0]
+		for i := range sc.qs {
+			k := cache.KeyOf(sc.qs[i])
+			sc.keys = append(sc.keys, k)
+			sc.depths = append(sc.depths, 0)
+			if r, ok := u.cache.Get(k); ok {
+				sc.cres = append(sc.cres, r)
+				sc.hits = append(sc.hits, true)
+				continue
+			}
+			sc.cres = append(sc.cres, cache.Result{})
+			sc.hits = append(sc.hits, false)
+			sc.missQs = append(sc.missQs, sc.qs[i])
+			sc.missIdx = append(sc.missIdx, i)
+		}
+		if len(sc.missQs) > 0 {
+			ivs, depths := ch.resilient.IntervalBatchDepthCtx(ctx, sc.missQs)
+			for j, idx := range sc.missIdx {
+				res := u.computeResult(ch, tab, sc.qs[idx], ivs[j])
+				sc.cres[idx] = res
+				sc.depths[idx] = depths[j]
+				if depths[j] == 0 {
+					u.cache.Put(sc.keys[idx], epoch, res)
+				}
+			}
+		}
+		sc.results = sc.results[:0]
+		for i := range sc.qs {
+			sc.results = append(sc.results, u.render(ch, tab, lines[i], sc.cres[i], sc.depths[i], bundle, degraded, sc.hits[i]))
+		}
+	} else {
+		ivs, depths := ch.resilient.IntervalBatchDepthCtx(ctx, sc.qs)
+		sc.depths = append(sc.depths[:0], depths...)
+		sc.results = sc.results[:0]
+		for i := range sc.qs {
+			sc.results = append(sc.results, u.respond(ch, tab, lines[i], sc.qs[i], ivs[i], depths[i], bundle, degraded))
+		}
 	}
 	s.batchOK.Inc()
 	if binary {
 		s.batchWireBinary.Inc()
 		sc.wire = sc.wire[:0]
 		for i := range sc.results {
-			sc.wire = append(sc.wire, wireResult(&sc.results[i], depths[i]))
+			sc.wire = append(sc.wire, wireResult(&sc.results[i], sc.depths[i]))
 		}
 		sc.body = codec.AppendWireResponse(sc.body[:0], uint64(tab.NumRows()), sc.wire)
 		w.Header().Set("Content-Type", codec.WireContentType)

@@ -30,6 +30,7 @@ func TestPublicSurfaceIsDocumented(t *testing.T) {
 		"internal/registry":  "cardpi/internal/registry",
 		"internal/pipeline":  "cardpi/internal/pipeline",
 		"internal/recal":     "cardpi/internal/recal",
+		"internal/cache":     "cardpi/internal/cache",
 		"internal/scenario":  "cardpi/internal/scenario",
 		"internal/synth":     "cardpi/internal/synth",
 	} {
@@ -101,6 +102,22 @@ func TestObservabilityDocCoversSynthSurface(t *testing.T) {
 	for _, m := range metrics {
 		if !strings.Contains(observability, m) {
 			t.Errorf("OBSERVABILITY.md does not document synthesis metric %s", m)
+		}
+	}
+}
+
+// TestObservabilityDocCoversCacheSurface does the same for the serving-layer
+// interval cache: every cardpi_cache_* metric family created in code must
+// appear in OBSERVABILITY.md.
+func TestObservabilityDocCoversCacheSurface(t *testing.T) {
+	metrics := sourceMatches(t, regexp.MustCompile(`cardpi_cache_[a-z_]+`), "internal/cache", "cmd/cardpi")
+	if len(metrics) == 0 {
+		t.Fatal("surface scan found no cardpi_cache_* families — the scanner is broken")
+	}
+	observability := readDoc(t, "OBSERVABILITY.md")
+	for _, m := range metrics {
+		if !strings.Contains(observability, m) {
+			t.Errorf("OBSERVABILITY.md does not document cache metric %s", m)
 		}
 	}
 }

@@ -1,0 +1,294 @@
+package cache
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cardpi/internal/obs"
+)
+
+func k(hi, lo uint64) Key { return Key{Hi: hi, Lo: lo} }
+
+func res(v float64) Result {
+	return Result{Est: v, Lo: v / 2, Hi: v * 2, TrueRows: int64(v), HasTruth: true}
+}
+
+func TestCacheGetPut(t *testing.T) {
+	c := New(Config{Entries: 64, Shards: 2})
+	if _, ok := c.Get(k(1, 1)); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k(1, 1), c.Epoch().Load(), res(3))
+	got, ok := c.Get(k(1, 1))
+	if !ok || got != res(3) {
+		t.Fatalf("got %+v ok=%v, want %+v", got, ok, res(3))
+	}
+	if _, ok := c.Get(k(1, 2)); ok {
+		t.Fatal("hit for a different key")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	// Same-key overwrite replaces in place.
+	c.Put(k(1, 1), c.Epoch().Load(), res(5))
+	if got, _ := c.Get(k(1, 1)); got != res(5) {
+		t.Fatalf("overwrite not visible: %+v", got)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len after overwrite = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheEpochInvalidation(t *testing.T) {
+	c := New(Config{Entries: 64, Shards: 1})
+	e := c.Epoch().Load()
+	c.Put(k(1, 1), e, res(3))
+	c.Invalidate()
+	if _, ok := c.Get(k(1, 1)); ok {
+		t.Fatal("stale-epoch entry served after Invalidate")
+	}
+	// A fill tagged with the pre-bump epoch must be dropped.
+	c.Put(k(2, 2), e, res(4))
+	if _, ok := c.Get(k(2, 2)); ok {
+		t.Fatal("pre-bump fill accepted after Invalidate")
+	}
+	// Fresh fills under the new epoch work.
+	c.Put(k(1, 1), c.Epoch().Load(), res(7))
+	if got, ok := c.Get(k(1, 1)); !ok || got != res(7) {
+		t.Fatalf("post-bump fill not served: %+v ok=%v", got, ok)
+	}
+}
+
+func TestCacheSharedEpochAcrossCaches(t *testing.T) {
+	e := new(Epoch)
+	a := New(Config{Entries: 32, Epoch: e})
+	b := New(Config{Entries: 32, Epoch: e})
+	a.Put(k(1, 1), e.Load(), res(1))
+	b.Put(k(2, 2), e.Load(), res(2))
+	a.Invalidate() // bumps the shared clock
+	if _, ok := b.Get(k(2, 2)); ok {
+		t.Fatal("shared-epoch bump did not invalidate the sibling cache")
+	}
+}
+
+func TestCacheEvictionLRUWithinSet(t *testing.T) {
+	// One shard, one set (ways entries): force set pressure and check the
+	// least-recently-touched entry goes first.
+	c := New(Config{Entries: ways, Shards: 1})
+	if c.Cap() != ways {
+		t.Fatalf("Cap = %d, want %d", c.Cap(), ways)
+	}
+	e := c.Epoch().Load()
+	for i := 0; i < ways; i++ {
+		c.Put(k(0, uint64(i)<<8), e, res(float64(i+1))) // same set (Hi=0), distinct keys
+	}
+	// Touch key 0 so key 1 becomes the LRU victim.
+	if _, ok := c.Get(k(0, 0)); !ok {
+		t.Fatal("warm entry missing")
+	}
+	c.Put(k(0, uint64(ways)<<8), e, res(100))
+	if _, ok := c.Get(k(0, 0)); !ok {
+		t.Fatal("recently touched entry was evicted")
+	}
+	if _, ok := c.Get(k(0, 1<<8)); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if got, ok := c.Get(k(0, uint64(ways)<<8)); !ok || got != res(100) {
+		t.Fatal("newly filled entry missing after eviction")
+	}
+}
+
+func TestCacheMetricsAccounting(t *testing.T) {
+	m := NewMetrics(newTestRegistry(t))
+	c := New(Config{Entries: ways, Shards: 1, Metrics: m})
+	e := c.Epoch().Load()
+	c.Get(k(9, 9)) // miss
+	c.Put(k(9, 9), e, res(1))
+	c.Get(k(9, 9)) // hit
+	if m.Hits.Value() != 1 || m.Misses.Value() != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", m.Hits.Value(), m.Misses.Value())
+	}
+	if m.Size.Value() != 1 {
+		t.Fatalf("size=%d, want 1", m.Size.Value())
+	}
+	// Fill the single set and overflow it: one eviction.
+	for i := 1; i < ways+1; i++ {
+		c.Put(k(0, uint64(i)<<8|9), e, res(float64(i)))
+	}
+	if m.Evictions.Value() == 0 {
+		t.Fatal("no eviction counted after overflowing the set")
+	}
+	// Epoch bump then read a stale entry (the freshest fill is guaranteed
+	// to have survived the evictions): epoch invalidation + size drop.
+	size := m.Size.Value()
+	c.Invalidate()
+	c.Get(k(0, uint64(ways)<<8|9))
+	if m.EpochInvalidations.Value() != 1 {
+		t.Fatalf("epoch invalidations=%d, want 1", m.EpochInvalidations.Value())
+	}
+	if m.Size.Value() != size-1 {
+		t.Fatalf("size=%d after stale reclaim, want %d", m.Size.Value(), size-1)
+	}
+}
+
+func TestCacheDoCoalesces(t *testing.T) {
+	m := NewMetrics(newTestRegistry(t))
+	c := New(Config{Entries: 64, Metrics: m})
+	const n = 16
+	var calls atomic.Int64
+	inFn := make(chan struct{})
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]Result, n)
+	run := func(i int) {
+		defer wg.Done()
+		r, _, _, err := c.Do(k(1, 1), func() (Result, uint64, bool, error) {
+			calls.Add(1)
+			close(inFn)
+			<-gate // hold the flight open while the followers pile on
+			return res(42), 7, true, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		results[i] = r
+	}
+	wg.Add(1)
+	go run(0)
+	<-inFn // the leader is inside fn; its flight is registered
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go run(i)
+	}
+	// Wait until every follower is provably blocked on the flight, then
+	// release the leader — this makes "exactly one estimator call" a
+	// deterministic assertion, not a scheduling accident.
+	for c.Waiters(k(1, 1)) != n-1 {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("%d estimator calls for %d concurrent misses; want exactly 1", got, n)
+	}
+	if m.Coalesced.Value() != n-1 {
+		t.Fatalf("coalesced=%d, want %d", m.Coalesced.Value(), n-1)
+	}
+	for i := range results {
+		if results[i] != res(42) {
+			t.Fatalf("caller %d got %+v", i, results[i])
+		}
+	}
+	// The leader stored the result: next Get hits.
+	if _, ok := c.Get(k(1, 1)); !ok {
+		t.Fatal("coalesced result was not cached")
+	}
+}
+
+func TestCacheDoErrorAndNoStore(t *testing.T) {
+	c := New(Config{Entries: 64})
+	boom := errors.New("boom")
+	_, _, _, err := c.Do(k(1, 1), func() (Result, uint64, bool, error) {
+		return Result{}, 0, true, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, ok := c.Get(k(1, 1)); ok {
+		t.Fatal("errored result was cached")
+	}
+	r, aux, _, err := c.Do(k(1, 1), func() (Result, uint64, bool, error) {
+		return res(5), 3, false, nil // e.g. a degraded (depth>0) answer
+	})
+	if err != nil || r != res(5) || aux != 3 {
+		t.Fatalf("Do = %+v aux=%d err=%v", r, aux, err)
+	}
+	if _, ok := c.Get(k(1, 1)); ok {
+		t.Fatal("store=false result was cached")
+	}
+}
+
+func TestCacheDoMidFlightInvalidation(t *testing.T) {
+	c := New(Config{Entries: 64})
+	inFn := make(chan struct{})
+	gate := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _, _, _ = c.Do(k(1, 1), func() (Result, uint64, bool, error) {
+			close(inFn)
+			<-gate
+			return res(1), 0, true, nil
+		})
+	}()
+	<-inFn
+	c.Invalidate() // the chain swapped while the leader was computing
+	close(gate)
+	<-done
+	if _, ok := c.Get(k(1, 1)); ok {
+		t.Fatal("result computed under the old epoch was stored past the bump")
+	}
+	// And a post-bump Do must elect a fresh leader, not adopt the stale
+	// flight's result.
+	r, _, shared, err := c.Do(k(1, 1), func() (Result, uint64, bool, error) {
+		return res(2), 0, true, nil
+	})
+	if err != nil || shared || r != res(2) {
+		t.Fatalf("post-bump Do = %+v shared=%v err=%v", r, shared, err)
+	}
+}
+
+func TestCacheGetAllocs(t *testing.T) {
+	c := New(Config{Entries: 256})
+	key := k(3, 3)
+	c.Put(key, c.Epoch().Load(), res(9))
+	if n := testing.AllocsPerRun(200, func() {
+		if _, ok := c.Get(key); !ok {
+			panic("lost entry")
+		}
+	}); n != 0 {
+		t.Fatalf("Get allocates %v times per run; want 0", n)
+	}
+}
+
+// TestCacheConcurrentChurn races fills, reads, and epoch bumps; run under
+// -race it proves the locking discipline, and the final sweep proves no
+// pre-bump result survives the last bump.
+func TestCacheConcurrentChurn(t *testing.T) {
+	c := New(Config{Entries: 128, Shards: 4})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 4000; i++ {
+				key := k(uint64(i%32), uint64(w)<<32|uint64(i%32))
+				e := c.Epoch().Load()
+				if _, ok := c.Get(key); !ok {
+					c.Put(key, e, res(float64(e)))
+				}
+				if i%512 == 511 {
+					c.Invalidate()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	c.Invalidate()
+	// Every surviving entry is now stale by construction; all reads miss.
+	for i := 0; i < 32; i++ {
+		for w := 0; w < 4; w++ {
+			if _, ok := c.Get(k(uint64(i), uint64(w)<<32|uint64(i))); ok {
+				t.Fatal("stale entry survived the final bump")
+			}
+		}
+	}
+}
+
+func newTestRegistry(t *testing.T) *obs.Registry {
+	t.Helper()
+	return obs.NewRegistry()
+}

@@ -1,0 +1,129 @@
+package cache
+
+import (
+	"cardpi/internal/dataset"
+	"cardpi/internal/workload"
+)
+
+// Key is the 128-bit canonical identity of a query: the hash of its
+// canonical predicate form (see workload.Canonicalize). Two queries get
+// equal keys iff their canonical forms are equal — up to hash collisions,
+// which at 128 bits are negligible against any realistic cache population
+// (the birthday bound crosses 2^-40 only beyond ~10^13 distinct queries).
+// The zero Key is a valid (if improbable) hash; entry occupancy is tracked
+// separately, so no key value is reserved.
+type Key struct {
+	// Hi selects the set within a shard; Lo selects the shard. The two
+	// halves come from independently seeded mixers, so the full 128 bits
+	// back the equality check while each half is uniform on its own.
+	Hi, Lo uint64
+}
+
+// maxInlinePreds bounds the stack scratch KeyOf canonicalizes into; beyond
+// it the canonical form spills to the heap. Generated workloads cap
+// predicates at the column count (≤ 11 across the bundled datasets) and
+// the parser intersects per column, so real queries always fit.
+const maxInlinePreds = 16
+
+// KeyOf hashes q's canonical form into a Key. Single-table queries with at
+// most maxInlinePreds predicates hash with zero heap allocations — the
+// canonical scratch lives on the stack — which keeps the serve-layer cache
+// probe allocation-free. The property tests rely on (and verify)
+//
+//	KeyOf(q) == KeyOf(workload.Canonicalize(q))
+//
+// so callers may hash raw queries directly. Join queries take the
+// allocating path through Query.Key (joins are not on the serving hot
+// path).
+func KeyOf(q workload.Query) Key {
+	if q.Join != nil {
+		return keyOfString(q.Key())
+	}
+	var scratch [maxInlinePreds]dataset.Predicate
+	var buf []dataset.Predicate
+	if len(q.Preds) <= maxInlinePreds {
+		buf = scratch[:0]
+	} else {
+		buf = make([]dataset.Predicate, 0, len(q.Preds))
+	}
+	buf = workload.CanonicalizePreds(buf, q.Preds)
+
+	h := newHasher()
+	h.word(uint64(len(buf)))
+	for i := range buf {
+		p := &buf[i]
+		h.str(p.Col)
+		lo, hi := p.Lo, p.Hi
+		if p.Op == dataset.OpEq {
+			// OpEq and OpRange[v, v] are the same canonical point; hash the
+			// closed-bound pair so the op tag itself never distinguishes
+			// them (non-degenerate ranges can't collide with points: their
+			// bounds differ).
+			hi = lo
+		}
+		h.word(uint64(lo))
+		h.word(uint64(hi))
+	}
+	return h.sum()
+}
+
+// keyOfString hashes an opaque canonical string (the join-query path).
+func keyOfString(s string) Key {
+	h := newHasher()
+	h.word(uint64(len(s)))
+	h.str(s)
+	return h.sum()
+}
+
+// hasher is a 128-bit incremental mixer: two independently seeded 64-bit
+// lanes, each word absorbed with a multiply–xor–shift (splitmix64
+// finalizer) round. It is not cryptographic — keys come from trusted
+// parsed queries, and a crafted collision merely aliases one cache entry.
+type hasher struct {
+	h1, h2 uint64
+}
+
+func newHasher() hasher {
+	return hasher{h1: 0x9E3779B97F4A7C15, h2: 0xC2B2AE3D27D4EB4F}
+}
+
+// word absorbs one 64-bit value into both lanes.
+func (h *hasher) word(v uint64) {
+	h.h1 = mix64(h.h1 ^ v)
+	h.h2 = mix64(h.h2 + v*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D)
+}
+
+// str absorbs a string as little-endian 64-bit chunks plus an explicit
+// length word, so "ab"+"c" and "a"+"bc" cannot alias across field
+// boundaries.
+func (h *hasher) str(s string) {
+	h.word(uint64(len(s)))
+	for len(s) >= 8 {
+		v := uint64(s[0]) | uint64(s[1])<<8 | uint64(s[2])<<16 | uint64(s[3])<<24 |
+			uint64(s[4])<<32 | uint64(s[5])<<40 | uint64(s[6])<<48 | uint64(s[7])<<56
+		h.word(v)
+		s = s[8:]
+	}
+	if len(s) > 0 {
+		var v uint64
+		for i := len(s) - 1; i >= 0; i-- {
+			v = v<<8 | uint64(s[i])
+		}
+		h.word(v)
+	}
+}
+
+// sum finalizes both lanes into the 128-bit key.
+func (h *hasher) sum() Key {
+	return Key{Hi: mix64(h.h1 ^ h.h2<<1), Lo: mix64(h.h2 ^ h.h1>>1)}
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche bijection on uint64.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"cardpi/internal/dataset"
+)
+
+// Canonicalize returns the canonical form of q: per column, all conjuncts
+// are intersected into a single closed bound, a degenerate range
+// (lo == hi) becomes an OpEq point predicate (Hi zeroed, matching the
+// query parser's output), an empty intersection (lo > hi) becomes the
+// canonical empty range [1, 0], and the resulting predicates are sorted by
+// column name. ParseQuery already emits exactly this form, so parsed
+// queries round-trip unchanged; Canonicalize exists for programmatically
+// built queries, and is the normal form the cache key (internal/cache
+// KeyOf) hashes — two queries share a cache entry iff their canonical
+// forms are equal.
+//
+// Join queries get the same treatment per table; the table list and join
+// template are left untouched. The input is never mutated.
+func Canonicalize(q Query) Query {
+	if q.Join == nil {
+		return Query{Preds: CanonicalizePreds(nil, q.Preds)}
+	}
+	j := *q.Join
+	j.Preds = make(map[string][]dataset.Predicate, len(q.Join.Preds))
+	for t, preds := range q.Join.Preds {
+		j.Preds[t] = CanonicalizePreds(nil, preds)
+	}
+	return Query{Join: &j}
+}
+
+// CanonicalizePreds appends the canonical form of preds to dst and returns
+// the extended slice — the allocation-free building block behind
+// Canonicalize and the cache key hash. With enough spare capacity in dst
+// (len(preds) entries suffice: merging only shrinks the count) the call
+// performs no heap allocations. dst and preds must not overlap.
+func CanonicalizePreds(dst []dataset.Predicate, preds []dataset.Predicate) []dataset.Predicate {
+	base := len(dst)
+	for _, p := range preds {
+		lo, hi := p.Lo, p.Hi
+		if p.Op == dataset.OpEq {
+			hi = lo
+		}
+		merged := false
+		for i := base; i < len(dst); i++ {
+			if dst[i].Col == p.Col {
+				// Conjunction on one column: intersect the bounds.
+				if lo > dst[i].Lo {
+					dst[i].Lo = lo
+				}
+				if hi < dst[i].Hi {
+					dst[i].Hi = hi
+				}
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			dst = append(dst, dataset.Predicate{Col: p.Col, Op: dataset.OpRange, Lo: lo, Hi: hi})
+		}
+	}
+	out := dst[base:]
+	for i := range out {
+		switch {
+		case out[i].Lo > out[i].Hi:
+			// Canonical empty range: every unsatisfiable conjunction maps
+			// to the same representation so their cache keys collide (they
+			// are all semantically "matches nothing").
+			out[i] = dataset.Predicate{Col: out[i].Col, Op: dataset.OpRange, Lo: 1, Hi: 0}
+		case out[i].Lo == out[i].Hi:
+			out[i] = dataset.Predicate{Col: out[i].Col, Op: dataset.OpEq, Lo: out[i].Lo}
+		}
+	}
+	// Insertion sort: predicate counts are tiny (the generator caps at the
+	// column count) and sort.Slice would allocate a closure.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Col < out[j-1].Col; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return dst
+}

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"cardpi/internal/dataset"
+)
+
+func ceq(col string, v int64) dataset.Predicate {
+	return dataset.Predicate{Col: col, Op: dataset.OpEq, Lo: v}
+}
+
+func crng(col string, lo, hi int64) dataset.Predicate {
+	return dataset.Predicate{Col: col, Op: dataset.OpRange, Lo: lo, Hi: hi}
+}
+
+func TestCanonicalize(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []dataset.Predicate
+		want []dataset.Predicate
+	}{
+		{"empty", nil, nil},
+		{"single point", []dataset.Predicate{ceq("a", 5)}, []dataset.Predicate{ceq("a", 5)}},
+		{"sorts by column",
+			[]dataset.Predicate{ceq("c", 1), crng("a", 2, 9), ceq("b", 3)},
+			[]dataset.Predicate{crng("a", 2, 9), ceq("b", 3), ceq("c", 1)}},
+		{"degenerate range becomes point",
+			[]dataset.Predicate{crng("a", 7, 7)},
+			[]dataset.Predicate{ceq("a", 7)}},
+		{"eq garbage Hi is zeroed",
+			[]dataset.Predicate{{Col: "a", Op: dataset.OpEq, Lo: 5, Hi: 99}},
+			[]dataset.Predicate{ceq("a", 5)}},
+		{"duplicates collapse",
+			[]dataset.Predicate{ceq("a", 5), ceq("a", 5)},
+			[]dataset.Predicate{ceq("a", 5)}},
+		{"same-column ranges intersect",
+			[]dataset.Predicate{crng("a", 0, 10), crng("a", 5, 20)},
+			[]dataset.Predicate{crng("a", 5, 10)}},
+		{"intersection to a point",
+			[]dataset.Predicate{crng("a", 0, 7), crng("a", 7, 20)},
+			[]dataset.Predicate{ceq("a", 7)}},
+		{"point inside range intersects",
+			[]dataset.Predicate{crng("a", 0, 10), ceq("a", 4)},
+			[]dataset.Predicate{ceq("a", 4)}},
+		{"empty intersection normalises",
+			[]dataset.Predicate{crng("a", 10, 2)},
+			[]dataset.Predicate{crng("a", 1, 0)}},
+		{"contradictory points normalise",
+			[]dataset.Predicate{ceq("a", 3), ceq("a", 8)},
+			[]dataset.Predicate{crng("a", 1, 0)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := append([]dataset.Predicate(nil), tc.in...)
+			got := Canonicalize(Query{Preds: tc.in}).Preds
+			if len(got) == 0 && len(tc.want) == 0 {
+				return
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("Canonicalize(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+			if !reflect.DeepEqual(in, tc.in) {
+				t.Fatal("Canonicalize mutated its input")
+			}
+		})
+	}
+}
+
+// TestCanonicalizeIdempotent: canonical forms are fixed points, and the
+// parser's output is already canonical (the serve path relies on this to
+// hash parsed queries directly).
+func TestCanonicalizeIdempotent(t *testing.T) {
+	tab, err := dataset.GenerateForest(dataset.GenConfig{Rows: 400, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := Generate(tab, Config{Count: 200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lq := range wl.Queries {
+		once := Canonicalize(lq.Query)
+		twice := Canonicalize(once)
+		if !reflect.DeepEqual(once, twice) {
+			t.Fatalf("not idempotent for %v: %v vs %v", lq.Query.Preds, once.Preds, twice.Preds)
+		}
+		// Round-trip through the text form the serve endpoint parses.
+		line := QueryText(lq.Query)
+		parsed, err := ParseQuery(tab, line)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if !reflect.DeepEqual(parsed, Canonicalize(parsed)) {
+			t.Fatalf("parser output not canonical for %q: %v", line, parsed.Preds)
+		}
+	}
+}
+
+// TestCanonicalizeJoin canonicalizes per-table predicate lists and leaves
+// the template intact.
+func TestCanonicalizeJoin(t *testing.T) {
+	j := &dataset.JoinQuery{
+		Tables: []string{"fact", "dim"},
+		Preds: map[string][]dataset.Predicate{
+			"fact": {ceq("b", 2), crng("a", 1, 1)},
+			"dim":  {crng("x", 0, 9), crng("x", 5, 20)},
+		},
+	}
+	got := Canonicalize(Query{Join: j})
+	if got.Join == j {
+		t.Fatal("join struct was not copied")
+	}
+	if !reflect.DeepEqual(got.Join.Tables, j.Tables) {
+		t.Fatal("table list changed")
+	}
+	if want := []dataset.Predicate{ceq("a", 1), ceq("b", 2)}; !reflect.DeepEqual(got.Join.Preds["fact"], want) {
+		t.Fatalf("fact preds = %v, want %v", got.Join.Preds["fact"], want)
+	}
+	if want := []dataset.Predicate{crng("x", 5, 9)}; !reflect.DeepEqual(got.Join.Preds["dim"], want) {
+		t.Fatalf("dim preds = %v, want %v", got.Join.Preds["dim"], want)
+	}
+}

@@ -1,0 +1,37 @@
+package workload
+
+import (
+	"strconv"
+	"strings"
+
+	"cardpi/internal/dataset"
+)
+
+// QueryText renders a single-table query in the textual grammar ParseQuery
+// accepts ("a = 5 AND b BETWEEN 2 AND 9"), so programmatically generated
+// workloads can be replayed against the serve HTTP endpoints. Rendering a
+// canonical query and re-parsing it round-trips exactly (see the
+// canonical-form tests). Join queries have no textual grammar and render
+// as the empty string.
+func QueryText(q Query) string {
+	if q.Join != nil {
+		return ""
+	}
+	var sb strings.Builder
+	for i, p := range q.Preds {
+		if i > 0 {
+			sb.WriteString(" AND ")
+		}
+		sb.WriteString(p.Col)
+		if p.Op == dataset.OpEq {
+			sb.WriteString(" = ")
+			sb.WriteString(strconv.FormatInt(p.Lo, 10))
+			continue
+		}
+		sb.WriteString(" BETWEEN ")
+		sb.WriteString(strconv.FormatInt(p.Lo, 10))
+		sb.WriteString(" AND ")
+		sb.WriteString(strconv.FormatInt(p.Hi, 10))
+	}
+	return sb.String()
+}

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# bench-serve.sh — record the serving-layer interval-cache speedup as
+# BENCH_serve.json. Boots two identically configured `cardpi serve`
+# processes (same dataset, model, method, seed; recalibration off so
+# nothing swaps chains mid-run), one with the interval cache enabled and
+# one without, then replays the same Zipfian-popularity query universe
+# against both with `cardpi loadgen` in compare mode. The run fails unless
+# the cache-on server sustains at least MIN_SPEEDUP x the cache-off
+# queries/sec — the acceptance bar for the cache to exist at all.
+#
+# Run via `make bench-serve`; CI runs it on every push so the speedup
+# claim in BENCH_serve.json can't silently rot.
+#
+# Style rule: never pipe a producer into `grep -q`. grep -q exits at the
+# first match, and under `set -o pipefail` the producer can die of
+# SIGPIPE → exit 141 → a spurious, racy failure. Capture output into a
+# variable first, then grep a here-string.
+set -euo pipefail
+
+ON_ADDR="${BENCH_ON_ADDR:-127.0.0.1:18090}"
+OFF_ADDR="${BENCH_OFF_ADDR:-127.0.0.1:18091}"
+OUT="${BENCH_SERVE_OUT:-BENCH_serve.json}"
+MIN_SPEEDUP="${BENCH_MIN_SPEEDUP:-5}"
+DURATION="${BENCH_DURATION:-5s}"
+WARMUP="${BENCH_WARMUP:-1s}"
+ROWS=20000
+TRAIN_QUERIES=500
+
+WORK="$(mktemp -d)"
+BIN="$WORK/cardpi"
+ON_LOG="$(mktemp)"
+OFF_LOG="$(mktemp)"
+ON_PID=""
+OFF_PID=""
+trap 'kill "$ON_PID" "$OFF_PID" 2>/dev/null || true; rm -rf "$WORK" "$ON_LOG" "$OFF_LOG"' EXIT
+
+go build -o "$BIN" ./cmd/cardpi
+
+# wait_ready <addr> <pid> <log> — poll /healthz with bounded exponential
+# backoff: model training takes a moment, but a wedged server must fail
+# the probe quickly rather than hang CI.
+wait_ready() {
+  local addr="$1" pid="$2" log="$3" delay=0.1
+  for _ in $(seq 1 12); do
+    if curl -fsS --max-time 2 "http://$addr/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "bench-serve: server on $addr exited early:" >&2
+      cat "$log" >&2
+      exit 1
+    fi
+    sleep "$delay"
+    delay="$(awk -v d="$delay" 'BEGIN { printf "%.2f", (d * 2 > 3) ? 3 : d * 2 }')"
+  done
+  echo "bench-serve: health probe on $addr never succeeded:" >&2
+  cat "$log" >&2
+  exit 1
+}
+
+# Identical recipes; the only difference between the two processes is
+# -cache-entries. -recal=false pins both chains for the whole run so the
+# comparison measures the cache, not a mid-run recalibration swap.
+COMMON=(-rows "$ROWS" -queries "$TRAIN_QUERIES" -model histogram -method s-cp -recal=false)
+
+echo "bench-serve: booting cache-on ($ON_ADDR) and cache-off ($OFF_ADDR) servers"
+"$BIN" serve -addr "$ON_ADDR" "${COMMON[@]}" -cache-entries 4096 >"$ON_LOG" 2>&1 &
+ON_PID=$!
+"$BIN" serve -addr "$OFF_ADDR" "${COMMON[@]}" >"$OFF_LOG" 2>&1 &
+OFF_PID=$!
+wait_ready "$ON_ADDR" "$ON_PID" "$ON_LOG"
+wait_ready "$OFF_ADDR" "$OFF_PID" "$OFF_LOG"
+
+echo "bench-serve: loadgen zipf(s=1.1) compare run ($DURATION per server)"
+"$BIN" loadgen \
+  -addr "$ON_ADDR" -baseline-addr "$OFF_ADDR" \
+  -dataset dmv -rows "$ROWS" -universe 1000 -seed 1 \
+  -dist zipf -zipf-s 1.1 -concurrency 8 \
+  -duration "$DURATION" -warmup "$WARMUP" \
+  -batch 256 -format wire \
+  -min-speedup "$MIN_SPEEDUP" -out "$OUT"
+
+# The report must actually record the compare-mode fields the Makefile and
+# CI consumers read.
+REPORT="$(cat "$OUT")"
+grep -q '"speedup_qps"' <<<"$REPORT"
+grep -q '"baseline"' <<<"$REPORT"
+
+# The cache-on server must show real cache traffic, or the "speedup" is
+# measuring something else entirely.
+METRICS="$(curl -fsS "http://$ON_ADDR/metrics")"
+HITS="$(awk '/^cardpi_cache_hits_total/ {print $2}' <<<"$METRICS")"
+if [ -z "$HITS" ] || [ "$HITS" = "0" ]; then
+  echo "bench-serve: cache-on server recorded no cache hits (cardpi_cache_hits_total=$HITS)" >&2
+  exit 1
+fi
+
+kill -INT "$ON_PID" "$OFF_PID"
+wait "$ON_PID" "$OFF_PID"
+echo "bench-serve: OK ($OUT written, $HITS cache hits on the target server)"

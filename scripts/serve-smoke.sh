@@ -24,16 +24,19 @@ set -euo pipefail
 ADDR="${SMOKE_ADDR:-127.0.0.1:18080}"
 ART_ADDR="${SMOKE_ART_ADDR:-127.0.0.1:18081}"
 DRIFT_ADDR="${SMOKE_DRIFT_ADDR:-127.0.0.1:18082}"
+CACHE_ADDR="${SMOKE_CACHE_ADDR:-127.0.0.1:18083}"
 WORK="$(mktemp -d)"
 BIN="$WORK/cardpi"
 ART="$WORK/model.cpi"
 LOG="$(mktemp)"
 ART_LOG="$(mktemp)"
 DRIFT_LOG="$(mktemp)"
+CACHE_LOG="$(mktemp)"
 SERVE_PID=""
 ART_PID=""
 DRIFT_PID=""
-trap 'kill "$SERVE_PID" "$ART_PID" "$DRIFT_PID" 2>/dev/null || true; rm -rf "$WORK" "$LOG" "$ART_LOG" "$DRIFT_LOG"' EXIT
+CACHE_PID=""
+trap 'kill "$SERVE_PID" "$ART_PID" "$DRIFT_PID" "$CACHE_PID" 2>/dev/null || true; rm -rf "$WORK" "$LOG" "$ART_LOG" "$DRIFT_LOG" "$CACHE_LOG"' EXIT
 
 go build -o "$BIN" ./cmd/cardpi
 
@@ -346,6 +349,90 @@ for family in cardpi_synth_runs_total cardpi_synth_trials_total \
   fi
 done
 
+# --- interval cache: hit → bit-equality → promote invalidation ------------
+# A dedicated cache-on server loads the same artifact as the cache-off
+# artifact server above, so every cached answer has a fresh reference to be
+# bit-compared against. The `cached` marker is JSON-only and omitempty:
+# a miss response carries no "cached" line at all.
+
+echo "serve-smoke: boot a cache-on server from the same artifact"
+"$BIN" serve -addr "$CACHE_ADDR" -artifact "$ART" -recal=false -cache-entries 256 >"$CACHE_LOG" 2>&1 &
+CACHE_PID=$!
+wait_ready "$CACHE_ADDR" "$CACHE_PID" "$CACHE_LOG"
+
+echo "serve-smoke: first read misses, repeat read is served from the cache"
+COLD="$(curl -fsS "http://$CACHE_ADDR/estimate?q=$Q")"
+if grep -q '"cached"' <<<"$COLD"; then
+  echo "serve-smoke: cold read claims to be cached:" >&2
+  printf '%s\n' "$COLD" >&2
+  exit 1
+fi
+WARM="$(curl -fsS "http://$CACHE_ADDR/estimate?q=$Q")"
+grep -q '"cached": true' <<<"$WARM"
+
+echo "serve-smoke: cached response is bit-identical to the uncached servers"
+# Compare every numeric estimate field — the live telemetry lines
+# (drifted, rolling_coverage) and the cached marker legitimately differ,
+# so only the interval/estimate/truth fields are held to bit-equality.
+# IV_ARTIFACT is the cache-off artifact server's answer for the same $Q.
+iv_lines() { grep -E '"(interval_|estimate_|true_rows|covered)' <<<"$1" | sed 's/^ *//'; }
+IV_COLD="$(iv_lines "$COLD")"
+IV_WARM="$(iv_lines "$WARM")"
+IV_OFF="$(curl -fsS "http://$ART_ADDR/estimate?q=$Q" | grep -E '"(interval_|estimate_|true_rows|covered)' | sed 's/^ *//')"
+if [ "$IV_COLD" != "$IV_WARM" ] || [ "$IV_WARM" != "$IV_OFF" ]; then
+  echo "serve-smoke: cached interval is not bit-identical" >&2
+  printf 'cold:\n%s\nwarm:\n%s\ncache-off:\n%s\n' "$IV_COLD" "$IV_WARM" "$IV_OFF" >&2
+  exit 1
+fi
+
+echo "serve-smoke: cardpi_cache_* metric families on /metrics"
+CACHE_METRICS="$(curl -fsS "http://$CACHE_ADDR/metrics")"
+for family in cardpi_cache_hits_total cardpi_cache_misses_total \
+  cardpi_cache_coalesced_total cardpi_cache_evictions_total \
+  cardpi_cache_epoch_invalidations_total cardpi_cache_size \
+  cardpi_cache_epoch; do
+  if ! grep -q "^$family" <<<"$CACHE_METRICS"; then
+    echo "serve-smoke: missing metric family $family" >&2
+    exit 1
+  fi
+done
+HITS="$(awk -F' ' '/^cardpi_cache_hits_total\{unit="default"\}/ {print $2}' <<<"$CACHE_METRICS")"
+if [ -z "$HITS" ] || [ "$HITS" = "0" ]; then
+  echo "serve-smoke: no cache hits recorded after a repeat read (hits=$HITS)" >&2
+  exit 1
+fi
+grep -q '^cardpi_cache_epoch 0' <<<"$CACHE_METRICS"
+
+echo "serve-smoke: a promote bumps the epoch and empties the cache"
+CACHE_PROMOTE="$(curl -s -w '\n%{http_code}' -X POST -H 'Content-Type: application/json' \
+  -d "{\"tenant\":\"cacheco\",\"table\":\"dmv\",\"artifact\":\"$ART\"}" "http://$CACHE_ADDR/admin/register")"
+if [ "${CACHE_PROMOTE##*$'\n'}" != "200" ]; then
+  echo "serve-smoke: cache-server register failed: $CACHE_PROMOTE" >&2
+  exit 1
+fi
+CACHE_PROMOTE="$(curl -s -w '\n%{http_code}' -X POST -H 'Content-Type: application/json' \
+  -d '{"tenant":"cacheco","table":"dmv"}' "http://$CACHE_ADDR/admin/promote")"
+if [ "${CACHE_PROMOTE##*$'\n'}" != "200" ]; then
+  echo "serve-smoke: cache-server promote failed: $CACHE_PROMOTE" >&2
+  exit 1
+fi
+POST_PROMOTE_METRICS="$(curl -fsS "http://$CACHE_ADDR/metrics")"
+grep -q '^cardpi_cache_epoch 1' <<<"$POST_PROMOTE_METRICS"
+AFTER_PROMOTE="$(curl -fsS "http://$CACHE_ADDR/estimate?q=$Q")"
+if grep -q '"cached"' <<<"$AFTER_PROMOTE"; then
+  echo "serve-smoke: first read after a promote was served from the stale cache:" >&2
+  printf '%s\n' "$AFTER_PROMOTE" >&2
+  exit 1
+fi
+IV_AFTER="$(iv_lines "$AFTER_PROMOTE")"
+if [ "$IV_AFTER" != "$IV_OFF" ]; then
+  echo "serve-smoke: post-promote refill disagrees with the cache-off server" >&2
+  printf 'after:\n%s\ncache-off:\n%s\n' "$IV_AFTER" "$IV_OFF" >&2
+  exit 1
+fi
+REPEAT_AFTER="$(curl -fsS "http://$CACHE_ADDR/estimate?q=$Q")"
+grep -q '"cached": true' <<<"$REPEAT_AFTER"
+
 # --- drift probe: mutate → alarm → recalibrate → swap, no restart ---------
 # A third server with the scenario admin open and the recalibration
 # supervisor tuned for a short drill (small window, fast backoff, relaxed
@@ -433,6 +520,6 @@ echo "serve-smoke: drift probe — manual trigger endpoint answers"
 TRIGGER="$(curl -fsS -X POST "http://$DRIFT_ADDR/admin/recal/trigger")"
 grep -q '"triggered": true' <<<"$TRIGGER"
 
-kill -INT "$SERVE_PID" "$ART_PID" "$DRIFT_PID"
-wait "$SERVE_PID" "$ART_PID" "$DRIFT_PID"
-echo "serve-smoke: OK ($SERIES cardpi_ series, artifact + registry + drift round trips verified)"
+kill -INT "$SERVE_PID" "$ART_PID" "$DRIFT_PID" "$CACHE_PID"
+wait "$SERVE_PID" "$ART_PID" "$DRIFT_PID" "$CACHE_PID"
+echo "serve-smoke: OK ($SERIES cardpi_ series, artifact + registry + cache + drift round trips verified)"
